@@ -1,0 +1,116 @@
+//! Micro-benchmarks of the hot primitives underneath every figure:
+//! SHA-1 hashing, Chord lookups, HIERAS routing, Dijkstra rows.
+//! These are the knobs to watch when optimizing; the replay loop is
+//! `lookups/sec * requests` end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hieras_chord::ChordOracle;
+use hieras_core::{Binning, HierasConfig, HierasOracle};
+use hieras_id::{Id, IdSpace, Sha1};
+use hieras_sim::Workload;
+use hieras_topology::TransitStubConfig;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn ids(n: u64) -> Arc<[Id]> {
+    (0..n).map(|i| Id::hash_of(&i.to_be_bytes())).collect::<Vec<_>>().into()
+}
+
+fn sha1_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| black_box(Sha1::digest(black_box(&data))));
+        });
+    }
+    g.finish();
+}
+
+fn chord_lookup(c: &mut Criterion) {
+    let n = 2000u64;
+    let oracle = ChordOracle::build(IdSpace::full(), ids(n)).unwrap();
+    let w = Workload::new(n as u32, usize::MAX, 7);
+    let mut i = 0usize;
+    c.bench_function("chord_lookup_2k", |b| {
+        b.iter(|| {
+            let (src, key) = w.request(i);
+            i += 1;
+            black_box(oracle.lookup(src, key).hops())
+        });
+    });
+}
+
+fn hieras_route(c: &mut Criterion) {
+    let n = 2000u64;
+    let node_ids = ids(n);
+    let rtts: Vec<Vec<u16>> = (0..n)
+        .map(|i| {
+            vec![
+                if i % 2 == 0 { 5 } else { 150 },
+                if i % 4 < 2 { 10 } else { 130 },
+                if i % 8 < 4 { 30 } else { 110 },
+                40,
+            ]
+        })
+        .collect();
+    let oracle =
+        HierasOracle::from_rtts(IdSpace::full(), node_ids, &rtts, HierasConfig::paper()).unwrap();
+    let w = Workload::new(n as u32, usize::MAX, 9);
+    let mut i = 0usize;
+    c.bench_function("hieras_route_2k", |b| {
+        b.iter(|| {
+            let (src, key) = w.request(i);
+            i += 1;
+            black_box(oracle.route(src, key).hop_count())
+        });
+    });
+}
+
+fn hierarchy_build(c: &mut Criterion) {
+    let n = 1000u64;
+    let node_ids = ids(n);
+    let rtts: Vec<Vec<u16>> =
+        (0..n).map(|i| vec![if i % 2 == 0 { 5 } else { 150 }, 40, 70, 120]).collect();
+    c.bench_function("hieras_build_1k", |b| {
+        b.iter(|| {
+            black_box(
+                HierasOracle::from_rtts(
+                    IdSpace::full(),
+                    node_ids.clone(),
+                    &rtts,
+                    HierasConfig::paper(),
+                )
+                .unwrap()
+                .len(),
+            )
+        });
+    });
+}
+
+fn binning_order(c: &mut Criterion) {
+    let b = Binning::paper();
+    let rtts = [17u16, 88, 204, 5, 61, 140, 33, 99];
+    c.bench_function("binning_order_8lm", |bench| {
+        bench.iter(|| black_box(b.order(black_box(&rtts))));
+    });
+}
+
+fn dijkstra_row(c: &mut Criterion) {
+    let topo = TransitStubConfig::for_peers(1000, 3).generate();
+    c.bench_function("dijkstra_row_1k_routers", |b| {
+        let mut src = 0u32;
+        b.iter(|| {
+            src = (src + 1) % topo.graph.node_count() as u32;
+            black_box(topo.graph.dijkstra(src).len())
+        });
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = sha1_hashing, chord_lookup, hieras_route, hierarchy_build, binning_order, dijkstra_row
+}
+criterion_main!(micro);

@@ -1,0 +1,215 @@
+//! One criterion group per paper artifact: times the exact code path
+//! that regenerates each table/figure (small sizes — the full-scale
+//! numbers come from the `figures` binary; these benches track the
+//! *cost* of producing them and catch performance regressions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hieras_bench::{depth_sweep, landmark_sweep, size_sweep};
+use hieras_can::{CanOracle, HierCan};
+use hieras_core::{Binning, CostReport, HierasConfig, HierasOracle, LandmarkOrder};
+use hieras_id::{Id, IdSpace};
+use hieras_proto::SimNet;
+use hieras_sim::{Experiment, ExperimentConfig, TopologyKind, Workload};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const SEED: u64 = 20030415;
+
+fn small_experiment(nodes: usize) -> Experiment {
+    Experiment::build(ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes,
+        requests: 0,
+        hieras: HierasConfig::paper(),
+        seed: SEED,
+        rtt_noise: 0.0,
+    })
+}
+
+/// Table 1 — the distributed binning computation.
+fn table1_binning(c: &mut Criterion) {
+    let b = Binning::paper();
+    let rows: [[u16; 4]; 6] = [
+        [25, 5, 30, 100],
+        [40, 18, 12, 200],
+        [100, 180, 5, 10],
+        [160, 220, 8, 20],
+        [45, 10, 100, 5],
+        [20, 140, 50, 40],
+    ];
+    c.bench_function("table1_binning", |bench| {
+        bench.iter(|| {
+            for r in &rows {
+                black_box(b.order(black_box(r)));
+            }
+        });
+    });
+}
+
+/// Table 2 — multi-layer finger-table construction (the demo system).
+fn table2_fingers(c: &mut Criterion) {
+    let space = IdSpace::new(8).unwrap();
+    let nodes: [(u64, [u8; 3]); 9] = [
+        (121, [0, 1, 2]),
+        (124, [0, 0, 1]),
+        (131, [0, 1, 1]),
+        (139, [0, 2, 2]),
+        (143, [0, 1, 2]),
+        (158, [0, 1, 2]),
+        (192, [0, 0, 1]),
+        (212, [0, 1, 2]),
+        (253, [0, 1, 2]),
+    ];
+    let ids: Arc<[Id]> = nodes.iter().map(|&(v, _)| Id(v)).collect::<Vec<_>>().into();
+    let orders: Vec<LandmarkOrder> =
+        nodes.iter().map(|&(_, d)| LandmarkOrder(d.to_vec())).collect();
+    let config = HierasConfig { depth: 2, landmarks: 3, binning: Binning::paper() };
+    c.bench_function("table2_fingers", |bench| {
+        bench.iter(|| {
+            let o = HierasOracle::build(space, ids.clone(), orders.clone(), config.clone())
+                .unwrap();
+            black_box(o.finger_rows(0))
+        });
+    });
+}
+
+/// Table 3 — ring-table maintenance (observe/update churn).
+fn table3_ring_table(c: &mut Criterion) {
+    use hieras_core::RingTable;
+    let order = LandmarkOrder(vec![0, 1, 2]);
+    c.bench_function("table3_ring_table", |bench| {
+        bench.iter(|| {
+            let mut t = RingTable::new(&order);
+            for i in 0..64u64 {
+                t.observe(Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)));
+            }
+            black_box(t.len())
+        });
+    });
+}
+
+/// Figure 2 — the hop-count comparison pipeline at one small size.
+fn fig2_hops(c: &mut Criterion) {
+    c.bench_function("fig2_hops_sweep_200", |bench| {
+        bench.iter(|| black_box(size_sweep(TopologyKind::TransitStub, &[200], 500, SEED)));
+    });
+}
+
+/// Figure 3 — latency replay over a prebuilt experiment.
+fn fig3_latency(c: &mut Criterion) {
+    let e = small_experiment(400);
+    c.bench_function("fig3_latency_replay_1k", |bench| {
+        bench.iter(|| black_box(e.run_requests(1000)));
+    });
+}
+
+/// Figure 4 — hop-PDF collection (histogram accounting path).
+fn fig4_pdf(c: &mut Criterion) {
+    let e = small_experiment(400);
+    c.bench_function("fig4_pdf_collect", |bench| {
+        bench.iter_batched(
+            || (),
+            |()| {
+                let r = e.run_requests(500);
+                black_box((r.chord.hop_hist.pdf(), r.hieras.lower_hop_hist.pdf()))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Figure 5 — latency-CDF construction.
+fn fig5_cdf(c: &mut Criterion) {
+    let e = small_experiment(400);
+    let r = e.run_requests(2000);
+    c.bench_function("fig5_cdf_build", |bench| {
+        bench.iter(|| black_box(r.hieras.latency_cdf().curve(30)));
+    });
+}
+
+/// Figure 6 — landmark sweep (binning + hierarchy rebuild cost).
+fn fig6_landmarks(c: &mut Criterion) {
+    c.bench_function("fig6_landmark_sweep", |bench| {
+        bench.iter(|| black_box(landmark_sweep(200, 300, &[2, 6], SEED)));
+    });
+}
+
+/// Figure 7 — landmark-latency metric (same sweep, latency read-out).
+fn fig7_landmark_latency(c: &mut Criterion) {
+    let rows = landmark_sweep(200, 300, &[4], SEED);
+    c.bench_function("fig7_latency_ratio", |bench| {
+        bench.iter(|| {
+            black_box(
+                rows.iter()
+                    .map(|r| r.hieras.avg_latency_ms / r.chord.avg_latency_ms)
+                    .sum::<f64>(),
+            )
+        });
+    });
+}
+
+/// Figures 8/9 — hierarchy-depth sweep.
+fn fig89_depth(c: &mut Criterion) {
+    c.bench_function("fig8_fig9_depth_sweep", |bench| {
+        bench.iter(|| black_box(depth_sweep(&[200], &[2, 3], 300, SEED)));
+    });
+}
+
+/// Cost analysis — state accounting and the message-level join.
+fn cost_join(c: &mut Criterion) {
+    let e = small_experiment(200);
+    c.bench_function("cost_state_report", |bench| {
+        bench.iter(|| black_box(CostReport::for_oracle(&e.hieras, 8)));
+    });
+    c.bench_function("cost_join_choreography", |bench| {
+        let mut n = 0u64;
+        bench.iter_batched(
+            || SimNet::from_oracle(&e.hieras, &e.landmarks, |_, _| 10),
+            |mut net| {
+                n += 1;
+                black_box(net.join(
+                    Id::hash_of(format!("bench-joiner-{n}").as_bytes()),
+                    e.ids[0],
+                    &[15, 40, 120, 60],
+                ))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// CAN ablation — plain CAN vs hierarchical CAN routing.
+fn ablate_can(c: &mut Criterion) {
+    let e = small_experiment(300);
+    let can = CanOracle::build(300, 3, SEED).unwrap();
+    let hier = HierCan::build(&e.orders, 3, SEED).unwrap();
+    let w = Workload::new(300, 200, SEED);
+    c.bench_function("ablate_can_plain", |bench| {
+        bench.iter(|| {
+            let mut h = 0usize;
+            for (src, key) in w.iter() {
+                h += can.route(src, key).hops();
+            }
+            black_box(h)
+        });
+    });
+    c.bench_function("ablate_can_hier", |bench| {
+        bench.iter(|| {
+            let mut h = 0usize;
+            for (src, key) in w.iter() {
+                h += hier.route(src, key).len();
+            }
+            black_box(h)
+        });
+    });
+}
+
+criterion_group! {
+    name = artifacts;
+    config = Criterion::default().sample_size(10);
+    targets = table1_binning, table2_fingers, table3_ring_table,
+              fig2_hops, fig3_latency, fig4_pdf, fig5_cdf,
+              fig6_landmarks, fig7_landmark_latency, fig89_depth,
+              cost_join, ablate_can
+}
+criterion_main!(artifacts);

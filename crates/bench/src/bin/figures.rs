@@ -1,0 +1,555 @@
+//! Regenerates every table and figure of the HIERAS paper.
+//!
+//! ```text
+//! cargo run --release -p hieras-bench --bin figures -- <id> [--full]
+//! ids: table1 table2 table3 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9
+//!      costs ablate-noise ablate-can all
+//! ```
+//!
+//! `--quick` (default) uses laptop-scale sizes; `--full` uses the
+//! paper's 10 000-node networks and 100 000-request workloads.
+//! Markdown goes to stdout; a JSON record of each artifact is written
+//! to `results/<id>.json`.
+
+use hieras_bench::render;
+use hieras_bench::{depth_sweep, landmark_sweep, size_sweep};
+use hieras_can::{CanOracle, HierCan};
+use hieras_chord::DynChord;
+use hieras_core::{Binning, CostReport, HierasConfig, HierasOracle, LandmarkOrder};
+use hieras_id::{Id, IdSpace};
+use hieras_pastry::PastryOracle;
+use hieras_proto::SimNet;
+use hieras_sim::{Experiment, ExperimentConfig, TopologyKind, Workload};
+use std::sync::Arc;
+
+/// Scale knobs for quick vs full (paper-scale) runs.
+struct Scale {
+    sizes: Vec<usize>,
+    inet_sizes: Vec<usize>,
+    depth_sizes: Vec<usize>,
+    dist_nodes: usize,
+    requests: usize,
+    dist_requests: usize,
+}
+
+impl Scale {
+    fn quick() -> Self {
+        Scale {
+            sizes: vec![500, 1000, 2000],
+            inet_sizes: vec![3000],
+            depth_sizes: vec![1000, 2000],
+            dist_nodes: 2000,
+            requests: 10_000,
+            dist_requests: 20_000,
+        }
+    }
+
+    fn full() -> Self {
+        Scale {
+            sizes: (1..=10).map(|k| k * 1000).collect(),
+            inet_sizes: (3..=10).map(|k| k * 1000).collect(),
+            depth_sizes: (5..=10).map(|k| k * 1000).collect(),
+            dist_nodes: 10_000,
+            requests: 100_000,
+            dist_requests: 100_000,
+        }
+    }
+}
+
+const SEED: u64 = 20030415; // ICPP 2003 — any fixed seed works.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let scale = if full { Scale::full() } else { Scale::quick() };
+    let ids: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.contains(&"all") {
+        vec![
+            "table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "costs", "ablate-noise", "ablate-can", "compare-pastry",
+        ]
+    } else {
+        ids
+    };
+    std::fs::create_dir_all("results").ok();
+    for id in ids {
+        let started = std::time::Instant::now();
+        println!("\n## {id}\n");
+        let json = match id {
+            "table1" => table1(),
+            "table2" => table2(),
+            "table3" => table3(),
+            "fig2" | "fig3" => fig23(id, &scale),
+            "fig4" | "fig5" => fig45(id, &scale),
+            "fig6" | "fig7" => fig67(id, &scale),
+            "fig8" | "fig9" => fig89(id, &scale),
+            "costs" => costs(&scale),
+            "ablate-noise" => ablate_noise(&scale),
+            "ablate-can" => ablate_can(),
+            "compare-pastry" => compare_pastry(&scale),
+            other => {
+                eprintln!("unknown figure id: {other}");
+                continue;
+            }
+        };
+        let path = format!("results/{id}.json");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("could not write {path}: {e}");
+        }
+        println!("\n_(generated in {:.1}s; JSON at {path})_", started.elapsed().as_secs_f64());
+    }
+}
+
+/// Table 1: the distributed binning worked example, verbatim.
+fn table1() -> String {
+    let b = Binning::paper();
+    let rows: [(&str, [u16; 4]); 6] = [
+        ("A", [25, 5, 30, 100]),
+        ("B", [40, 18, 12, 200]),
+        ("C", [100, 180, 5, 10]),
+        ("D", [160, 220, 8, 20]),
+        ("E", [45, 10, 100, 5]),
+        ("F", [20, 140, 50, 40]),
+    ];
+    println!("| Node | Dist-L1 | Dist-L2 | Dist-L3 | Dist-L4 | Order |");
+    println!("|------|--------:|--------:|--------:|--------:|-------|");
+    let mut out = Vec::new();
+    for (node, rtts) in rows {
+        let order = b.order(&rtts);
+        println!(
+            "| {node} | {}ms | {}ms | {}ms | {}ms | {} |",
+            rtts[0], rtts[1], rtts[2], rtts[3], order
+        );
+        out.push(serde_json::json!({"node": node, "rtts": rtts, "order": order.name()}));
+    }
+    serde_json::json!({"table1": out}).to_string()
+}
+
+/// The paper's Table 2 demo system: a 2^8 space, 3 landmarks, node 121
+/// in ring "012".
+fn table2_system() -> (HierasOracle, u32) {
+    let space = IdSpace::new(8).expect("8-bit space");
+    // (id, ring digits) — exactly the nodes the paper's Table 2 shows.
+    let nodes: [(u64, [u8; 3]); 9] = [
+        (121, [0, 1, 2]),
+        (124, [0, 0, 1]),
+        (131, [0, 1, 1]),
+        (139, [0, 2, 2]),
+        (143, [0, 1, 2]),
+        (158, [0, 1, 2]),
+        (192, [0, 0, 1]),
+        (212, [0, 1, 2]),
+        (253, [0, 1, 2]),
+    ];
+    let ids: Arc<[Id]> = nodes.iter().map(|&(v, _)| Id(v)).collect::<Vec<_>>().into();
+    let orders = nodes.iter().map(|&(_, d)| LandmarkOrder(d.to_vec())).collect();
+    let config = HierasConfig { depth: 2, landmarks: 3, binning: Binning::paper() };
+    let oracle = HierasOracle::build(space, ids, orders, config).expect("demo system builds");
+    (oracle, 0) // node index 0 = id 121
+}
+
+/// Table 2: node 121's two-layer finger tables.
+fn table2() -> String {
+    let (oracle, node) = table2_system();
+    let rows = oracle.finger_rows(node);
+    println!("| Start | Interval | Layer-1 successor | Layer-2 successor |");
+    println!("|------:|----------|-------------------|-------------------|");
+    let mut out = Vec::new();
+    for r in &rows {
+        let l1 = r.successors[0];
+        let l2 = r.successors[1];
+        let name = |n: u32| oracle.layers()[1].ring_name_of(n).name();
+        println!(
+            "| {} | [{},{}) | {} (\"{}\") | {} (\"{}\") |",
+            r.start.raw(),
+            r.start.raw(),
+            r.end.raw(),
+            oracle.id_of(l1).raw(),
+            name(l1),
+            oracle.id_of(l2).raw(),
+            name(l2),
+        );
+        out.push(serde_json::json!({
+            "start": r.start.raw(),
+            "layer1": oracle.id_of(l1).raw(),
+            "layer2": oracle.id_of(l2).raw(),
+        }));
+    }
+    serde_json::json!({"table2": out}).to_string()
+}
+
+/// Table 3: ring-table structure of the demo system.
+fn table3() -> String {
+    let (oracle, _) = table2_system();
+    println!("| Ringid | Ringname | Largest | 2nd largest | Smallest | 2nd smallest | Holder |");
+    println!("|--------|----------|--------:|------------:|---------:|-------------:|-------:|");
+    let mut names: Vec<&String> = oracle.ring_tables().keys().collect();
+    names.sort();
+    let mut out = Vec::new();
+    for name in names {
+        let t = &oracle.ring_tables()[name];
+        let holder = oracle.id_of(oracle.ring_table_holder(t.ring_id)).raw();
+        let f = |v: Option<Id>| v.map_or("-".into(), |i| i.raw().to_string());
+        println!(
+            "| {:.8}… | \"{}\" | {} | {} | {} | {} | {} |",
+            t.ring_id,
+            t.ring_name,
+            f(t.largest()),
+            f(t.second_largest()),
+            f(t.smallest()),
+            f(t.second_smallest()),
+            holder,
+        );
+        out.push(serde_json::json!({
+            "ring": t.ring_name,
+            "members": t.entry_points().iter().map(|i| i.raw()).collect::<Vec<_>>(),
+            "holder": holder,
+        }));
+    }
+    serde_json::json!({"table3": out}).to_string()
+}
+
+/// Figures 2 & 3: hops / latency vs network size across models.
+fn fig23(id: &str, scale: &Scale) -> String {
+    let mut rows = Vec::new();
+    for (kind, sizes) in [
+        (TopologyKind::TransitStub, &scale.sizes),
+        (TopologyKind::Inet, &scale.inet_sizes),
+        (TopologyKind::Brite, &scale.sizes),
+    ] {
+        rows.extend(size_sweep(kind, sizes, scale.requests, SEED));
+    }
+    if id == "fig2" {
+        print!("{}", render::fig2_table(&rows));
+    } else {
+        print!("{}", render::fig3_table(&rows));
+    }
+    serde_json::to_string_pretty(&rows).expect("rows serialize")
+}
+
+/// Figures 4 & 5: hop PDF and latency CDF on one large TS network.
+fn fig45(id: &str, scale: &Scale) -> String {
+    let cfg = ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes: scale.dist_nodes,
+        requests: scale.dist_requests,
+        hieras: HierasConfig::paper(),
+        seed: SEED,
+        rtt_noise: 0.0,
+    };
+    let e = Experiment::build(cfg);
+    let r = e.run();
+    let (cs, hs) = (r.chord.summary(), r.hieras.summary());
+    if id == "fig4" {
+        print!(
+            "{}",
+            render::pdf_table(
+                &r.chord.hop_hist.pdf(),
+                &r.hieras.hop_hist.pdf(),
+                &r.hieras.lower_hop_hist.pdf()
+            )
+        );
+        println!(
+            "\navg hops: Chord {:.4}, HIERAS {:.4} ({:+.2}%); lower-layer hops/request {:.3} ({:.2}% of all hops)",
+            cs.avg_hops,
+            hs.avg_hops,
+            (hs.avg_hops / cs.avg_hops - 1.0) * 100.0,
+            hs.avg_lower_hops,
+            hs.lower_hop_share * 100.0
+        );
+    } else {
+        let chord_cdf = r.chord.latency_cdf();
+        let hieras_cdf = r.hieras.latency_cdf();
+        let points: Vec<(u32, f64, f64)> = chord_cdf
+            .curve(30)
+            .into_iter()
+            .map(|(x, c)| (x, c, hieras_cdf.at(x)))
+            .collect();
+        print!("{}", render::cdf_table(&points));
+        println!(
+            "\navg latency: Chord {:.2} ms, HIERAS {:.2} ms ({:.2}% of Chord)",
+            cs.avg_latency_ms,
+            hs.avg_latency_ms,
+            hs.avg_latency_ms / cs.avg_latency_ms * 100.0
+        );
+        println!(
+            "avg link delay: top layer {:.2} ms, lower layers {:.3} ms; lower-layer latency share {:.2}%",
+            hs.avg_link_delay_top_ms,
+            hs.avg_link_delay_lower_ms,
+            hs.lower_latency_share * 100.0
+        );
+    }
+    serde_json::json!({
+        "chord": cs, "hieras": hs,
+        "chord_pdf": r.chord.hop_hist.pdf(),
+        "hieras_pdf": r.hieras.hop_hist.pdf(),
+        "hieras_lower_pdf": r.hieras.lower_hop_hist.pdf(),
+    })
+    .to_string()
+}
+
+/// Figures 6 & 7: landmark-count sweep.
+fn fig67(id: &str, scale: &Scale) -> String {
+    let landmarks: Vec<usize> = (2..=12).collect();
+    let rows = landmark_sweep(scale.dist_nodes, scale.requests, &landmarks, SEED);
+    print!("{}", render::landmark_table(&rows));
+    if id == "fig7" {
+        if let Some(best) = rows.iter().min_by(|a, b| {
+            (a.hieras.avg_latency_ms / a.chord.avg_latency_ms)
+                .partial_cmp(&(b.hieras.avg_latency_ms / b.chord.avg_latency_ms))
+                .expect("finite")
+        }) {
+            println!(
+                "\nbest: {} landmarks — HIERAS latency {:.2}% of Chord",
+                best.landmarks,
+                best.hieras.avg_latency_ms / best.chord.avg_latency_ms * 100.0
+            );
+        }
+    }
+    serde_json::to_string_pretty(&rows).expect("rows serialize")
+}
+
+/// Figures 8 & 9: hierarchy-depth sweep.
+fn fig89(_id: &str, scale: &Scale) -> String {
+    let rows = depth_sweep(&scale.depth_sizes, &[2, 3, 4], scale.requests, SEED);
+    print!("{}", render::depth_table(&rows));
+    serde_json::to_string_pretty(&rows).expect("rows serialize")
+}
+
+/// §3.4 / §6 cost analysis: state per node and join message counts.
+fn costs(scale: &Scale) -> String {
+    let nodes = scale.dist_nodes.min(2000);
+    println!("state cost (N = {nodes}, TS model, r = 8 successor list):\n");
+    println!("| depth | finger entries | distinct fingers | succ-list entries | ring tables | bytes/node | vs Chord |");
+    println!("|------:|---------------:|-----------------:|------------------:|------------:|-----------:|---------:|");
+    let mut reports = Vec::new();
+    let mut base: Option<CostReport> = None;
+    for depth in 1..=4usize {
+        let cfg = ExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            nodes,
+            requests: 0,
+            hieras: HierasConfig {
+                depth,
+                landmarks: if depth == 1 { 0 } else { 6 },
+                binning: Binning::paper(),
+            },
+            seed: SEED,
+            rtt_noise: 0.0,
+        };
+        let e = Experiment::build(cfg);
+        let rep = CostReport::for_oracle(&e.hieras, 8);
+        let overhead = base.as_ref().map_or(1.0, |b| rep.overhead_vs(b));
+        println!(
+            "| {} | {} | {} | {} | {} | {:.0} | {:.2}x |",
+            rep.depth,
+            rep.finger_entries,
+            rep.distinct_finger_entries,
+            rep.succ_list_entries,
+            rep.ring_table_count,
+            rep.bytes_per_node,
+            overhead
+        );
+        if depth == 1 {
+            base = Some(rep);
+        }
+        reports.push(rep);
+    }
+
+    // Join message counts: HIERAS protocol joins vs dynamic-Chord joins.
+    let cfg = ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes: 400,
+        requests: 0,
+        hieras: HierasConfig::paper(),
+        seed: SEED,
+        rtt_noise: 0.0,
+    };
+    let e = Experiment::build(cfg);
+    let lat = &e.lat;
+    let router_of = e.router_of.clone();
+    let ids = e.ids.clone();
+    let idx_of = move |id: Id| ids.iter().position(|&i| i == id);
+    let mut net = SimNet::from_oracle(&e.hieras, &e.landmarks, move |a, b| {
+        match (idx_of(a), idx_of(b)) {
+            (Some(x), Some(y)) => {
+                u64::from(lat.latency(router_of[x], router_of[y]))
+            }
+            _ => 30, // joining node not yet placed: nominal delay
+        }
+    });
+    let mut join_msgs = Vec::new();
+    for j in 0..10u64 {
+        let new_id = Id::hash_of(format!("joiner-{j}").as_bytes());
+        let boot = e.ids[(j as usize * 37) % e.ids.len()];
+        let out = net.join(new_id, boot, &[15, 40, 120, 60]);
+        join_msgs.push(out.messages);
+    }
+    let chord_join = {
+        let mut dyn_net = DynChord::new(IdSpace::full(), 8);
+        dyn_net.create(Id::hash_of(b"seed")).expect("fresh network");
+        for i in 0..200u64 {
+            dyn_net
+                .join(Id::hash_of(format!("n{i}").as_bytes()), Id::hash_of(b"seed"))
+                .expect("distinct ids");
+            dyn_net.stabilize_round();
+            dyn_net.stabilize_round();
+        }
+        dyn_net.fix_all_fingers();
+        dyn_net.reset_stats();
+        for i in 0..10u64 {
+            dyn_net
+                .join(Id::hash_of(format!("j{i}").as_bytes()), Id::hash_of(b"n3"))
+                .expect("distinct ids");
+            dyn_net.stabilize_round();
+        }
+        dyn_net.stats()
+    };
+    let hieras_avg = join_msgs.iter().sum::<u64>() as f64 / join_msgs.len() as f64;
+    println!(
+        "\njoin cost: HIERAS (2-layer, message-level) {:.1} msgs/join; dynamic Chord {:.1} msgs/join (incl. stabilize)",
+        hieras_avg,
+        chord_join.total() as f64 / 10.0
+    );
+    serde_json::json!({
+        "state": reports,
+        "hieras_join_msgs": join_msgs,
+        "chord_join_msgs_total": chord_join.total(),
+    })
+    .to_string()
+}
+
+/// Binning-noise ablation: does ping inaccuracy break the win?
+fn ablate_noise(scale: &Scale) -> String {
+    println!("| rtt noise | HIERAS ms | Chord ms | ratio | lower-hop share |");
+    println!("|----------:|----------:|---------:|------:|----------------:|");
+    let mut out = Vec::new();
+    for noise in [0.0, 0.2, 0.5, 1.0] {
+        let cfg = ExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            nodes: scale.dist_nodes.min(2000),
+            requests: scale.requests.min(20_000),
+            hieras: HierasConfig::paper(),
+            seed: SEED,
+            rtt_noise: noise,
+        };
+        let e = Experiment::build(cfg);
+        let r = e.run();
+        let (c, h) = (r.chord.summary(), r.hieras.summary());
+        println!(
+            "| {:.1} | {:.1} | {:.1} | {:.1}% | {:.1}% |",
+            noise,
+            h.avg_latency_ms,
+            c.avg_latency_ms,
+            h.avg_latency_ms / c.avg_latency_ms * 100.0,
+            h.lower_hop_share * 100.0
+        );
+        out.push(serde_json::json!({"noise": noise, "chord": c, "hieras": h}));
+    }
+    serde_json::json!({"ablate_noise": out}).to_string()
+}
+
+/// HIERAS-over-CAN: the §3.2 transplant, CAN vs hierarchical CAN.
+fn ablate_can() -> String {
+    let cfg = ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes: 1000,
+        requests: 0,
+        hieras: HierasConfig::paper(),
+        seed: SEED,
+        rtt_noise: 0.0,
+    };
+    let e = Experiment::build(cfg);
+    let n = e.ids.len();
+    let dims = 3;
+    let can = CanOracle::build(n, dims, SEED).expect("CAN builds");
+    let hier = HierCan::build(&e.orders, dims, SEED).expect("HierCan builds");
+    let w = Workload::new(n as u32, 10_000, SEED ^ 0xca);
+    let (mut ch, mut cl, mut hh, mut hl, mut lower) = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (src, key) in w.iter() {
+        let r = can.route(src, key);
+        ch += r.hops() as u64;
+        for pair in r.path.windows(2) {
+            cl += u64::from(e.peer_latency(pair[0], pair[1]));
+        }
+        let hops = hier.route(src, key);
+        hh += hops.len() as u64;
+        for hp in &hops {
+            hl += u64::from(e.peer_latency(hp.from, hp.to));
+            lower += u64::from(hp.lower);
+        }
+    }
+    let req = w.requests as f64;
+    println!("| system | avg hops | avg latency ms | lower-hop share |");
+    println!("|--------|---------:|---------------:|----------------:|");
+    println!("| CAN (d={dims}) | {:.3} | {:.1} | - |", ch as f64 / req, cl as f64 / req);
+    println!(
+        "| HIERAS-CAN | {:.3} | {:.1} | {:.1}% |",
+        hh as f64 / req,
+        hl as f64 / req,
+        lower as f64 / hh.max(1) as f64 * 100.0
+    );
+    println!(
+        "\nHIERAS-CAN latency = {:.2}% of plain CAN",
+        hl as f64 / cl as f64 * 100.0
+    );
+    serde_json::json!({
+        "can": {"hops": ch as f64 / req, "latency": cl as f64 / req},
+        "hier_can": {"hops": hh as f64 / req, "latency": hl as f64 / req},
+    })
+    .to_string()
+}
+
+/// §6 future work: HIERAS vs Pastry (with proximity neighbour
+/// selection) vs Chord on the same TS network and workload.
+fn compare_pastry(scale: &Scale) -> String {
+    let nodes = scale.dist_nodes.min(3000);
+    let requests = scale.requests.min(20_000);
+    let cfg = ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes,
+        requests,
+        hieras: HierasConfig::paper(),
+        seed: SEED,
+        rtt_noise: 0.0,
+    };
+    let e = Experiment::build(cfg);
+    let pastry = PastryOracle::build(e.ids.clone(), |a, b| e.peer_latency(a, b))
+        .expect("distinct ids");
+    let w = Workload::new(nodes as u32, requests, SEED ^ 0x517c_c1b7);
+    let (mut ph, mut pl) = (0u64, 0u64);
+    for (src, key) in w.iter() {
+        let r = pastry.route(src, key);
+        ph += r.hops() as u64;
+        for pair in r.path.windows(2) {
+            pl += u64::from(e.peer_latency(pair[0], pair[1]));
+        }
+    }
+    let r = e.run();
+    let (c, h) = (r.chord.summary(), r.hieras.summary());
+    let req = requests as f64;
+    println!("| system | avg hops | avg latency ms | vs Chord latency |");
+    println!("|--------|---------:|---------------:|-----------------:|");
+    println!("| Chord | {:.3} | {:.1} | 100% |", c.avg_hops, c.avg_latency_ms);
+    println!(
+        "| Pastry (proximity) | {:.3} | {:.1} | {:.1}% |",
+        ph as f64 / req,
+        pl as f64 / req,
+        pl as f64 / req / c.avg_latency_ms * 100.0
+    );
+    println!(
+        "| HIERAS | {:.3} | {:.1} | {:.1}% |",
+        h.avg_hops,
+        h.avg_latency_ms,
+        h.avg_latency_ms / c.avg_latency_ms * 100.0
+    );
+    println!("
+note: Pastry resolves to the numerically-closest node; Chord/HIERAS to the");
+    println!("successor. Destinations differ per key, but each system pays its own full");
+    println!("lookup, so the latency comparison is fair.");
+    serde_json::json!({
+        "chord": c, "hieras": h,
+        "pastry": {"hops": ph as f64 / req, "latency": pl as f64 / req},
+    })
+    .to_string()
+}

@@ -1,0 +1,22 @@
+//! Benchmark harness: sweep runners and renderers that regenerate
+//! every table and figure of the HIERAS paper.
+//!
+//! The `figures` binary (`cargo run -p hieras-bench --release --bin
+//! figures -- <id>`) prints each artifact as a markdown table plus a
+//! JSON record; the criterion benches (`cargo bench -p hieras-bench`)
+//! time the code path behind each artifact. EXPERIMENTS.md is written
+//! from the `figures all` output.
+//!
+//! Every sweep takes explicit sizes/requests so the same code serves
+//! `--quick` (laptop-scale, minutes) and `--full` (paper-scale:
+//! 10 000 nodes, 100 000 requests) runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod sweeps;
+
+pub use sweeps::{
+    depth_sweep, landmark_sweep, size_sweep, DepthRow, LandmarkRow, SizeRow,
+};

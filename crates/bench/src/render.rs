@@ -1,0 +1,191 @@
+//! Markdown renderers for the figures binary and EXPERIMENTS.md.
+
+use crate::{DepthRow, LandmarkRow, SizeRow};
+use std::fmt::Write as _;
+
+/// Renders Figure 2 (average hops vs network size) as markdown.
+#[must_use]
+pub fn fig2_table(rows: &[SizeRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| model | nodes | Chord hops | HIERAS hops | HIERAS/Chord |");
+    let _ = writeln!(s, "|-------|------:|-----------:|------------:|-------------:|");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.4} | {:.4} | {:+.2}% |",
+            r.kind,
+            r.nodes,
+            r.chord.avg_hops,
+            r.hieras.avg_hops,
+            (r.hieras.avg_hops / r.chord.avg_hops - 1.0) * 100.0
+        );
+    }
+    s
+}
+
+/// Renders Figure 3 (average latency vs network size) as markdown.
+#[must_use]
+pub fn fig3_table(rows: &[SizeRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| model | nodes | Chord ms | HIERAS ms | HIERAS/Chord |");
+    let _ = writeln!(s, "|-------|------:|---------:|----------:|-------------:|");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.1} | {:.1} | {:.2}% |",
+            r.kind,
+            r.nodes,
+            r.chord.avg_latency_ms,
+            r.hieras.avg_latency_ms,
+            r.hieras.avg_latency_ms / r.chord.avg_latency_ms * 100.0
+        );
+    }
+    s
+}
+
+/// Renders Figures 6/7 (landmark sweep) as markdown.
+#[must_use]
+pub fn landmark_table(rows: &[LandmarkRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| landmarks | rings | Chord hops | HIERAS hops | lower hops | Chord ms | HIERAS ms | ratio |"
+    );
+    let _ = writeln!(
+        s,
+        "|----------:|------:|-----------:|------------:|-----------:|---------:|----------:|------:|"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.3} | {:.3} | {:.3} | {:.1} | {:.1} | {:.1}% |",
+            r.landmarks,
+            r.rings,
+            r.chord.avg_hops,
+            r.hieras.avg_hops,
+            r.hieras.avg_lower_hops,
+            r.chord.avg_latency_ms,
+            r.hieras.avg_latency_ms,
+            r.hieras.avg_latency_ms / r.chord.avg_latency_ms * 100.0
+        );
+    }
+    s
+}
+
+/// Renders Figures 8/9 (depth sweep) as markdown.
+#[must_use]
+pub fn depth_table(rows: &[DepthRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| nodes | depth | HIERAS hops | HIERAS ms | Chord ms | ratio |");
+    let _ = writeln!(s, "|------:|------:|------------:|----------:|---------:|------:|");
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.3} | {:.1} | {:.1} | {:.1}% |",
+            r.nodes,
+            r.depth,
+            r.hieras.avg_hops,
+            r.hieras.avg_latency_ms,
+            r.chord.avg_latency_ms,
+            r.hieras.avg_latency_ms / r.chord.avg_latency_ms * 100.0
+        );
+    }
+    s
+}
+
+/// Renders a PDF histogram comparison (Figure 4).
+#[must_use]
+pub fn pdf_table(chord: &[f64], hieras: &[f64], hieras_lower: &[f64]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| hops | Chord | HIERAS | HIERAS lower-layer |");
+    let _ = writeln!(s, "|-----:|------:|-------:|-------------------:|");
+    let len = chord.len().max(hieras.len()).max(hieras_lower.len());
+    for h in 0..len {
+        let g = |v: &[f64]| v.get(h).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            s,
+            "| {} | {:.4} | {:.4} | {:.4} |",
+            h,
+            g(chord),
+            g(hieras),
+            g(hieras_lower)
+        );
+    }
+    s
+}
+
+/// Renders a latency CDF comparison (Figure 5).
+#[must_use]
+pub fn cdf_table(points: &[(u32, f64, f64)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "| latency ms | Chord CDF | HIERAS CDF |");
+    let _ = writeln!(s, "|-----------:|----------:|-----------:|");
+    for (x, c, h) in points {
+        let _ = writeln!(s, "| {x} | {c:.4} | {h:.4} |");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieras_sim::Summary;
+
+    fn summary(hops: f64, ms: f64) -> Summary {
+        Summary {
+            requests: 10,
+            avg_hops: hops,
+            avg_latency_ms: ms,
+            avg_lower_hops: 1.0,
+            lower_hop_share: 0.5,
+            lower_latency_share: 0.3,
+            avg_link_delay_top_ms: 80.0,
+            avg_link_delay_lower_ms: 25.0,
+        }
+    }
+
+    #[test]
+    fn tables_contain_all_rows_and_ratios() {
+        let rows = vec![SizeRow {
+            kind: "TS",
+            nodes: 1000,
+            chord: summary(6.0, 500.0),
+            hieras: summary(6.1, 250.0),
+        }];
+        let t2 = fig2_table(&rows);
+        assert!(t2.contains("| TS | 1000 |"));
+        assert!(t2.contains("+1.67%"));
+        let t3 = fig3_table(&rows);
+        assert!(t3.contains("50.00%"));
+    }
+
+    #[test]
+    fn pdf_table_pads_ragged_series() {
+        let t = pdf_table(&[0.5, 0.5], &[1.0], &[0.2, 0.3, 0.5]);
+        assert!(t.contains("| 2 | 0.0000 | 0.0000 | 0.5000 |"));
+    }
+
+    #[test]
+    fn cdf_table_renders_points() {
+        let t = cdf_table(&[(0, 0.0, 0.1), (100, 0.5, 0.9)]);
+        assert!(t.contains("| 100 | 0.5000 | 0.9000 |"));
+    }
+
+    #[test]
+    fn depth_and_landmark_tables_render() {
+        let d = depth_table(&[DepthRow {
+            nodes: 5000,
+            depth: 3,
+            hieras: summary(6.2, 240.0),
+            chord: summary(6.0, 500.0),
+        }]);
+        assert!(d.contains("| 5000 | 3 |"));
+        let l = landmark_table(&[LandmarkRow {
+            landmarks: 8,
+            rings: 40,
+            chord: summary(6.0, 500.0),
+            hieras: summary(5.9, 216.0),
+        }]);
+        assert!(l.contains("| 8 | 40 |"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Parameter sweeps behind the paper's figures.
+
+use hieras_core::{Binning, HierasConfig};
+use hieras_sim::{Experiment, ExperimentConfig, Summary, TopologyKind};
+use serde::{Deserialize, Serialize};
+
+/// One row of a network-size sweep (Figures 2 and 3).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SizeRow {
+    /// Network model.
+    pub kind: &'static str,
+    /// Number of peers.
+    pub nodes: usize,
+    /// Chord baseline summary.
+    pub chord: Summary,
+    /// HIERAS summary.
+    pub hieras: Summary,
+}
+
+/// Sweeps network size for one model, comparing Chord and HIERAS
+/// (Figures 2 and 3; 4 landmarks, depth 2, as §4.2).
+#[must_use]
+pub fn size_sweep(
+    kind: TopologyKind,
+    sizes: &[usize],
+    requests: usize,
+    seed: u64,
+) -> Vec<SizeRow> {
+    sizes
+        .iter()
+        .map(|&nodes| {
+            let cfg = ExperimentConfig {
+                kind,
+                nodes,
+                requests,
+                hieras: HierasConfig::paper(),
+                seed: seed ^ (nodes as u64),
+                rtt_noise: 0.0,
+            };
+            let e = Experiment::build(cfg);
+            let r = e.run();
+            SizeRow {
+                kind: kind.label(),
+                nodes,
+                chord: r.chord.summary(),
+                hieras: r.hieras.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the landmark-count sweep (Figures 6 and 7).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LandmarkRow {
+    /// Number of landmark nodes.
+    pub landmarks: usize,
+    /// Number of lower-layer rings the binning produced.
+    pub rings: usize,
+    /// Chord baseline summary (identical workload).
+    pub chord: Summary,
+    /// HIERAS summary.
+    pub hieras: Summary,
+}
+
+/// Sweeps the number of landmarks on a fixed TS network (§4.4: 2–12
+/// landmarks, 10 000 nodes, 100 000 requests).
+#[must_use]
+pub fn landmark_sweep(
+    nodes: usize,
+    requests: usize,
+    landmarks: &[usize],
+    seed: u64,
+) -> Vec<LandmarkRow> {
+    landmarks
+        .iter()
+        .map(|&lm| {
+            let cfg = ExperimentConfig {
+                kind: TopologyKind::TransitStub,
+                nodes,
+                requests,
+                hieras: HierasConfig { depth: 2, landmarks: lm, binning: Binning::paper() },
+                seed,
+                rtt_noise: 0.0,
+            };
+            let e = Experiment::build(cfg);
+            let rings = e.hieras.layers().last().expect("depth >= 1").ring_count();
+            let r = e.run();
+            LandmarkRow {
+                landmarks: lm,
+                rings,
+                chord: r.chord.summary(),
+                hieras: r.hieras.summary(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the hierarchy-depth sweep (Figures 8 and 9).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DepthRow {
+    /// Number of peers.
+    pub nodes: usize,
+    /// Hierarchy depth.
+    pub depth: usize,
+    /// HIERAS summary (Chord is depth-independent; compare across rows).
+    pub hieras: Summary,
+    /// Chord baseline at this size, for reference.
+    pub chord: Summary,
+}
+
+/// Sweeps hierarchy depth × network size (§4.5: depths 2–4, 5000–10000
+/// nodes, 6 landmarks).
+#[must_use]
+pub fn depth_sweep(
+    sizes: &[usize],
+    depths: &[usize],
+    requests: usize,
+    seed: u64,
+) -> Vec<DepthRow> {
+    let mut rows = Vec::with_capacity(sizes.len() * depths.len());
+    for &nodes in sizes {
+        for &depth in depths {
+            let cfg = ExperimentConfig {
+                kind: TopologyKind::TransitStub,
+                nodes,
+                requests,
+                hieras: HierasConfig { depth, landmarks: 6, binning: Binning::paper() },
+                seed: seed ^ (nodes as u64),
+                rtt_noise: 0.0,
+            };
+            let e = Experiment::build(cfg);
+            let r = e.run();
+            rows.push(DepthRow {
+                nodes,
+                depth,
+                hieras: r.hieras.summary(),
+                chord: r.chord.summary(),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_sweep_produces_one_row_per_size() {
+        let rows = size_sweep(TopologyKind::TransitStub, &[100, 200], 300, 1);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].nodes, 100);
+        assert!(rows[1].chord.avg_hops > rows[0].chord.avg_hops * 0.8);
+        for r in &rows {
+            assert_eq!(r.kind, "TS");
+            assert_eq!(r.chord.requests, 300);
+        }
+    }
+
+    #[test]
+    fn landmark_sweep_ring_counts_grow() {
+        let rows = landmark_sweep(200, 200, &[2, 6], 3);
+        assert_eq!(rows.len(), 2);
+        assert!(
+            rows[1].rings >= rows[0].rings,
+            "more landmarks should not shrink the ring count: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn depth_sweep_covers_grid() {
+        let rows = depth_sweep(&[150], &[2, 3], 200, 9);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].depth, 2);
+        assert_eq!(rows[1].depth, 3);
+    }
+}

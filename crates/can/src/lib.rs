@@ -1,0 +1,31 @@
+//! CAN underlay and hierarchical CAN.
+//!
+//! The paper claims (§3.2) that HIERAS is not Chord-specific: "if we
+//! use CAN as the underlying algorithm, the whole coordinate space can
+//! be divided multiple times in different layers, we can create
+//! multi-layer neighbor sets accordingly and use these neighbor sets in
+//! different loops during a routing procedure." This crate implements
+//! that claim end to end:
+//!
+//! * [`CanOracle`] — a d-dimensional Content-Addressable Network
+//!   (Ratnasamy et al.): the unit torus is partitioned into zones by
+//!   binary splits as nodes join; keys hash to points; routing is
+//!   greedy through zone neighbours.
+//! * [`HierCan`] — the hierarchical variant: peers are binned by
+//!   landmark order exactly as in Chord-HIERAS; each bin runs its own
+//!   CAN over the full coordinate space, and a lookup routes inside the
+//!   originator's bin-CAN first, then finishes on the global CAN.
+//!
+//! The `ablate-can` bench target compares the two, reproducing the
+//! paper's claim that the hierarchy transplants to CAN.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hier;
+mod oracle;
+mod zone;
+
+pub use hier::HierCan;
+pub use oracle::{CanBuildError, CanOracle, CanRoute};
+pub use zone::Zone;

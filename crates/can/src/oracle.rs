@@ -1,0 +1,314 @@
+//! Oracle-mode CAN: zone assignment by sequential joins, greedy routing.
+
+use crate::Zone;
+use hieras_id::{Id, Sha1};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Errors building a CAN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanBuildError {
+    /// No nodes were supplied.
+    Empty,
+    /// Zero dimensions requested.
+    BadDims,
+}
+
+impl core::fmt::Display for CanBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CanBuildError::Empty => write!(f, "CAN needs at least one node"),
+            CanBuildError::BadDims => write!(f, "CAN needs at least one dimension"),
+        }
+    }
+}
+
+impl std::error::Error for CanBuildError {}
+
+/// The hop path of one CAN lookup (member indices local to the CAN).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanRoute {
+    /// Visited members, origin first, owner last.
+    pub path: Vec<u32>,
+}
+
+impl CanRoute {
+    /// Number of hops.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The zone owner of the key point.
+    #[must_use]
+    pub fn owner(&self) -> u32 {
+        *self.path.last().expect("path never empty")
+    }
+}
+
+/// A d-dimensional CAN over an arbitrary membership.
+///
+/// Members are identified by *positions* `0..len` in the order given
+/// at build time; callers keep their own mapping to global node
+/// indices (exactly like [`hieras_chord::RingView`] does for Chord
+/// rings).
+#[derive(Debug, Clone)]
+pub struct CanOracle {
+    dims: usize,
+    zones: Vec<Zone>,
+    neighbors: Vec<Vec<u32>>,
+}
+
+impl CanOracle {
+    /// Builds a CAN of `members` nodes by replaying the CAN join
+    /// protocol: node 0 owns the whole space; each subsequent node
+    /// picks a deterministic pseudo-random point (from `seed`), routes
+    /// to the zone containing it, and splits that zone in half.
+    ///
+    /// # Errors
+    /// See [`CanBuildError`].
+    pub fn build(members: usize, dims: usize, seed: u64) -> Result<Self, CanBuildError> {
+        if members == 0 {
+            return Err(CanBuildError::Empty);
+        }
+        if dims == 0 {
+            return Err(CanBuildError::BadDims);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut zones: Vec<Zone> = vec![Zone::whole(dims)];
+        for _ in 1..members {
+            let p: Vec<f64> = (0..dims).map(|_| rng.random_range(0.0..1.0)).collect();
+            let target = zones
+                .iter()
+                .position(|z| z.contains(&p))
+                .expect("zones partition the space");
+            let (a, b) = zones[target].split();
+            // The splitting owner keeps the half containing its center;
+            // centres always stay inside their half after a halving.
+            let keep_center = zones[target].center();
+            if a.contains(&keep_center) {
+                zones[target] = a;
+                zones.push(b);
+            } else {
+                zones[target] = b;
+                zones.push(a);
+            }
+        }
+        let neighbors = Self::compute_neighbors(&zones);
+        Ok(CanOracle { dims, zones, neighbors })
+    }
+
+    fn compute_neighbors(zones: &[Zone]) -> Vec<Vec<u32>> {
+        let n = zones.len();
+        let mut nb = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in i + 1..n {
+                if zones[i].is_neighbor(&zones[j]) {
+                    nb[i].push(j as u32);
+                    nb[j].push(i as u32);
+                }
+            }
+        }
+        nb
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The zone of member `m`.
+    #[must_use]
+    pub fn zone(&self, m: u32) -> &Zone {
+        &self.zones[m as usize]
+    }
+
+    /// Neighbour set of member `m` (CAN's per-node routing state).
+    #[must_use]
+    pub fn neighbors(&self, m: u32) -> &[u32] {
+        &self.neighbors[m as usize]
+    }
+
+    /// Maps a DHT key to its coordinate point: `dims` independent
+    /// hashes of the key, each scaled into `[0,1)`.
+    #[must_use]
+    pub fn key_point(&self, key: Id) -> Vec<f64> {
+        (0..self.dims)
+            .map(|d| {
+                let mut h = Sha1::new();
+                h.update(&key.raw().to_be_bytes());
+                h.update(&[d as u8]);
+                let digest = h.finalize();
+                let v = u64::from_be_bytes(digest[..8].try_into().expect("20-byte digest"));
+                (v >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    /// The member owning point `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` lies outside the unit box (keys always map inside).
+    #[must_use]
+    pub fn owner_of_point(&self, p: &[f64]) -> u32 {
+        self.zones
+            .iter()
+            .position(|z| z.contains(p))
+            .expect("zones partition the unit space") as u32
+    }
+
+    /// Greedy CAN routing from member `start` to the zone containing
+    /// `p`: each hop moves to the neighbour whose zone is closest to
+    /// the target (strictly closer than the current zone).
+    ///
+    /// # Panics
+    /// Panics if routing stalls — impossible while zones partition the
+    /// space and neighbour sets are complete, so a stall means state
+    /// corruption.
+    #[must_use]
+    pub fn route_point(&self, start: u32, p: &[f64]) -> CanRoute {
+        let mut path = vec![start];
+        let mut cur = start;
+        let cap = self.zones.len() + 4;
+        while !self.zones[cur as usize].contains(p) {
+            assert!(path.len() <= cap, "CAN routing stalled — corrupt neighbour sets");
+            let cur_d = self.zones[cur as usize].torus_distance(p);
+            let next = self.neighbors[cur as usize]
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    let da = self.zones[a as usize].torus_distance(p);
+                    let db = self.zones[b as usize].torus_distance(p);
+                    da.partial_cmp(&db).expect("finite distances")
+                })
+                .expect("every zone has neighbours when len > 1");
+            let next_d = self.zones[next as usize].torus_distance(p);
+            assert!(
+                next_d < cur_d,
+                "greedy CAN step made no progress ({cur_d} -> {next_d})"
+            );
+            path.push(next);
+            cur = next;
+        }
+        CanRoute { path }
+    }
+
+    /// Routes a DHT key (hash → point → greedy routing).
+    #[must_use]
+    pub fn route(&self, start: u32, key: Id) -> CanRoute {
+        self.route_point(start, &self.key_point(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_rejects_degenerate_inputs() {
+        assert_eq!(CanOracle::build(0, 2, 1).unwrap_err(), CanBuildError::Empty);
+        assert_eq!(CanOracle::build(5, 0, 1).unwrap_err(), CanBuildError::BadDims);
+    }
+
+    #[test]
+    fn zones_partition_the_space() {
+        let can = CanOracle::build(64, 2, 42).unwrap();
+        let vol: f64 = (0..64u32).map(|m| can.zone(m).volume()).sum();
+        assert!((vol - 1.0).abs() < 1e-9, "volumes sum to {vol}");
+        // Random points land in exactly one zone.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let p: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
+            let owners =
+                (0..64u32).filter(|&m| can.zone(m).contains(&p)).count();
+            assert_eq!(owners, 1, "point {p:?} owned by {owners} zones");
+        }
+    }
+
+    #[test]
+    fn neighbor_sets_are_symmetric_and_nonempty() {
+        let can = CanOracle::build(40, 2, 3).unwrap();
+        for m in 0..40u32 {
+            assert!(!can.neighbors(m).is_empty());
+            for &n in can.neighbors(m) {
+                assert!(can.neighbors(n).contains(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn routing_reaches_owner_from_every_start() {
+        let can = CanOracle::build(50, 2, 11).unwrap();
+        for k in 0..30u64 {
+            let key = Id(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let p = can.key_point(key);
+            let owner = can.owner_of_point(&p);
+            for start in 0..50u32 {
+                let r = can.route(start, key);
+                assert_eq!(r.owner(), owner, "key {k} start {start}");
+                assert_eq!(r.path[0], start);
+            }
+        }
+    }
+
+    #[test]
+    fn hops_scale_sublinearly() {
+        // CAN: expected O(d * n^(1/d)) hops; for n=256, d=2 → ~O(16·)
+        let can = CanOracle::build(256, 2, 5).unwrap();
+        let mut total = 0usize;
+        let mut count = 0usize;
+        for k in 0..100u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            total += can.route((k % 256) as u32, key).hops();
+            count += 1;
+        }
+        let avg = total as f64 / count as f64;
+        assert!(avg < 30.0, "average CAN hops {avg} way above d·n^(1/d)");
+        assert!(avg > 1.0);
+    }
+
+    #[test]
+    fn key_point_is_deterministic_and_in_unit_box() {
+        let can = CanOracle::build(8, 3, 2).unwrap();
+        let p1 = can.key_point(Id(12345));
+        let p2 = can.key_point(Id(12345));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 3);
+        assert!(p1.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert_ne!(can.key_point(Id(1)), can.key_point(Id(2)));
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let can = CanOracle::build(1, 2, 9).unwrap();
+        let r = can.route(0, Id(999));
+        assert_eq!(r.hops(), 0);
+        assert_eq!(r.owner(), 0);
+    }
+
+    #[test]
+    fn higher_dims_reduce_hops() {
+        let mut avgs = Vec::new();
+        for dims in [1usize, 2, 4] {
+            let can = CanOracle::build(128, dims, 13).unwrap();
+            let total: usize = (0..100u64)
+                .map(|k| can.route((k % 128) as u32, Id(k * 7919 + 3)).hops())
+                .sum();
+            avgs.push(total as f64 / 100.0);
+        }
+        assert!(avgs[0] > avgs[2], "1-D should need more hops than 4-D: {avgs:?}");
+    }
+}

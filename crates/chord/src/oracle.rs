@@ -1,0 +1,542 @@
+//! Oracle-mode Chord: finger tables over a known membership.
+//!
+//! [`RingView`] is the workhorse shared by plain Chord and every HIERAS
+//! layer: given the global id table and a *subset* of node indices, it
+//! sorts the subset into a ring, builds per-member finger tables, and
+//! routes keys with the standard Chord iterative algorithm
+//! (`closest_preceding_finger` + final delivery hop to the successor).
+
+use hieras_id::{Id, IdSpace, Key};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Errors constructing a ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RingBuildError {
+    /// The member list was empty.
+    Empty,
+    /// Two members share the same identifier (SHA-1 collision or a
+    /// duplicated index); the ring would be ambiguous.
+    DuplicateId(Id),
+    /// A member index exceeded the id table.
+    BadIndex(u32),
+    /// An id had bits outside the ring's identifier space.
+    OutOfSpace(Id),
+}
+
+impl core::fmt::Display for RingBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RingBuildError::Empty => write!(f, "cannot build a ring with no members"),
+            RingBuildError::DuplicateId(id) => write!(f, "duplicate node id {id}"),
+            RingBuildError::BadIndex(i) => write!(f, "member index {i} out of range"),
+            RingBuildError::OutOfSpace(id) => write!(f, "id {id} outside identifier space"),
+        }
+    }
+}
+
+impl std::error::Error for RingBuildError {}
+
+/// The hop-by-hop result of one lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupPath {
+    /// Visited node indices (global), starting with the originator and
+    /// ending with the key's owner. Length 1 means the originator
+    /// already owned the key.
+    pub path: Vec<u32>,
+}
+
+impl LookupPath {
+    /// Number of routing hops (edges traversed).
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+
+    /// The node that owns the key (last element of the path).
+    #[must_use]
+    pub fn owner(&self) -> u32 {
+        *self.path.last().expect("path is never empty")
+    }
+}
+
+/// Chord finger tables and routing over an arbitrary membership subset.
+///
+/// Members are positions `0..len` ordered by id; position arithmetic is
+/// mod `len`, id arithmetic is mod `2^bits`. All tables are flat boxed
+/// slices (hot-path friendly, per the hpc-parallel guides).
+#[derive(Debug, Clone)]
+pub struct RingView {
+    space: IdSpace,
+    /// Global id table (index = global node index).
+    ids: Arc<[Id]>,
+    /// Member global indices, sorted ascending by id.
+    members: Box<[u32]>,
+    /// `fingers[pos * bits + i]` = member *position* of the i-th finger
+    /// of the member at `pos`: successor(member_id + 2^i) within this ring.
+    fingers: Box<[u32]>,
+}
+
+impl RingView {
+    /// Builds a ring over `members` (global indices into `ids`).
+    ///
+    /// # Errors
+    /// See [`RingBuildError`].
+    pub fn build(
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        members: &[u32],
+    ) -> Result<Self, RingBuildError> {
+        if members.is_empty() {
+            return Err(RingBuildError::Empty);
+        }
+        for &m in members {
+            let id = *ids.get(m as usize).ok_or(RingBuildError::BadIndex(m))?;
+            if !space.contains(id) {
+                return Err(RingBuildError::OutOfSpace(id));
+            }
+        }
+        let mut sorted: Vec<u32> = members.to_vec();
+        sorted.sort_unstable_by_key(|&m| ids[m as usize]);
+        for w in sorted.windows(2) {
+            if ids[w[0] as usize] == ids[w[1] as usize] {
+                return Err(RingBuildError::DuplicateId(ids[w[0] as usize]));
+            }
+        }
+        let members = sorted.into_boxed_slice();
+        let bits = space.bits() as usize;
+        let len = members.len();
+        let mut fingers = vec![0u32; len * bits].into_boxed_slice();
+        // successor position of an id: first member position with id >= target,
+        // wrapping to 0.
+        let member_ids: Vec<Id> = members.iter().map(|&m| ids[m as usize]).collect();
+        let succ_pos = |target: Id| -> u32 {
+            match member_ids.binary_search(&target) {
+                Ok(p) => p as u32,
+                Err(p) => (p % len) as u32,
+            }
+        };
+        for (pos, &m) in members.iter().enumerate() {
+            let me = ids[m as usize];
+            for i in 0..bits {
+                fingers[pos * bits + i] = succ_pos(space.finger_start(me, i as u32));
+            }
+        }
+        Ok(RingView { space, ids, members, fingers })
+    }
+
+    /// The identifier space of this ring.
+    #[must_use]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ring has exactly one member (never zero by construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Member global indices in ring order.
+    #[must_use]
+    pub fn members(&self) -> &[u32] {
+        &self.members
+    }
+
+    /// Global node index of the member at `pos`.
+    #[must_use]
+    pub fn node_at(&self, pos: u32) -> u32 {
+        self.members[pos as usize]
+    }
+
+    /// Id of the member at `pos`.
+    #[must_use]
+    pub fn id_at(&self, pos: u32) -> Id {
+        self.ids[self.members[pos as usize] as usize]
+    }
+
+    /// Ring position of global node `node`, if it is a member.
+    #[must_use]
+    pub fn position_of(&self, node: u32) -> Option<u32> {
+        let id = *self.ids.get(node as usize)?;
+        let p = self
+            .members
+            .binary_search_by_key(&id, |&m| self.ids[m as usize])
+            .ok()?;
+        (self.members[p] == node).then_some(p as u32)
+    }
+
+    /// Position of the ring successor of `key`: the member owning the key.
+    #[must_use]
+    pub fn successor_of_key(&self, key: Key) -> u32 {
+        let len = self.members.len();
+        let p = self
+            .members
+            .binary_search_by_key(&key, |&m| self.ids[m as usize])
+            .unwrap_or_else(|p| p);
+        (p % len) as u32
+    }
+
+    /// Position of the i-th finger of the member at `pos`.
+    #[must_use]
+    pub fn finger(&self, pos: u32, i: u32) -> u32 {
+        let bits = self.space.bits() as usize;
+        self.fingers[pos as usize * bits + i as usize]
+    }
+
+    /// Ring successor (next member clockwise).
+    #[must_use]
+    pub fn successor(&self, pos: u32) -> u32 {
+        ((pos as usize + 1) % self.members.len()) as u32
+    }
+
+    /// Ring predecessor (previous member clockwise).
+    #[must_use]
+    pub fn predecessor(&self, pos: u32) -> u32 {
+        ((pos as usize + self.members.len() - 1) % self.members.len()) as u32
+    }
+
+    /// The member of this ring whose finger table the Chord paper's
+    /// `closest_preceding_finger(pos, key)` would return: the highest
+    /// finger of `pos` lying strictly inside `(id(pos), key)`.
+    #[must_use]
+    pub fn closest_preceding_finger(&self, pos: u32, key: Key) -> u32 {
+        let me = self.id_at(pos);
+        for i in (0..self.space.bits()).rev() {
+            let f = self.finger(pos, i);
+            let fid = self.id_at(f);
+            if f != pos && self.space.in_open(me, key, fid) {
+                return f;
+            }
+        }
+        pos
+    }
+
+    /// Routes `key` from the member at `start`, returning the sequence
+    /// of *positions* visited (starting with `start`, ending with the
+    /// ring successor of `key`).
+    ///
+    /// Standard iterative Chord: forward to the closest preceding
+    /// finger while the key lies beyond the current node's successor,
+    /// then take the final delivery hop. Terminates in at most
+    /// `O(log len)` hops for balanced rings; a hard cap of
+    /// `len + bits` hops guards against table-construction bugs.
+    #[must_use]
+    pub fn route(&self, start: u32, key: Key) -> Vec<u32> {
+        let mut path = Vec::with_capacity(12);
+        path.push(start);
+        let mut cur = start;
+        let cap = self.members.len() + self.space.bits() as usize + 2;
+        loop {
+            assert!(path.len() <= cap, "routing did not terminate — finger tables corrupt");
+            // Ownership check via the predecessor pointer (the paper notes
+            // "predecessor and successor lists can be used to accelerate
+            // the process"): if the current node already owns the key,
+            // stop immediately instead of routing the long way around.
+            let pred = self.predecessor(cur);
+            if self.space.in_open_closed(self.id_at(pred), self.id_at(cur), key) {
+                return path;
+            }
+            let succ = self.successor(cur);
+            if self.space.in_open_closed(self.id_at(cur), self.id_at(succ), key) {
+                // Key owned by our successor; deliver (unless we own it:
+                // a single-member ring has successor == self).
+                if succ != cur {
+                    path.push(succ);
+                }
+                return path;
+            }
+            let next = self.closest_preceding_finger(cur, key);
+            let next = if next == cur { succ } else { next };
+            path.push(next);
+            cur = next;
+        }
+    }
+
+    /// Average number of distinct fingers per member — the table-size
+    /// statistic used by the §3.4 cost analysis.
+    #[must_use]
+    pub fn avg_distinct_fingers(&self) -> f64 {
+        let bits = self.space.bits() as usize;
+        let mut total = 0usize;
+        let mut scratch: Vec<u32> = Vec::with_capacity(bits);
+        for pos in 0..self.members.len() {
+            scratch.clear();
+            scratch.extend_from_slice(&self.fingers[pos * bits..(pos + 1) * bits]);
+            scratch.sort_unstable();
+            scratch.dedup();
+            total += scratch.len();
+        }
+        total as f64 / self.members.len() as f64
+    }
+}
+
+/// Plain Chord over the full membership — the paper's baseline.
+///
+/// A thin wrapper around [`RingView`] covering every node, returning
+/// [`LookupPath`]s in *global node indices*.
+#[derive(Debug, Clone)]
+pub struct ChordOracle {
+    ring: RingView,
+}
+
+impl ChordOracle {
+    /// Builds the global Chord ring over all ids.
+    ///
+    /// # Errors
+    /// See [`RingBuildError`].
+    pub fn build(space: IdSpace, ids: Arc<[Id]>) -> Result<Self, RingBuildError> {
+        let members: Vec<u32> = (0..ids.len() as u32).collect();
+        Ok(ChordOracle { ring: RingView::build(space, ids, &members)? })
+    }
+
+    /// The underlying ring view.
+    #[must_use]
+    pub fn ring(&self) -> &RingView {
+        &self.ring
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Rings are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Global index of the node owning `key`.
+    #[must_use]
+    pub fn owner_of(&self, key: Key) -> u32 {
+        self.ring.node_at(self.ring.successor_of_key(key))
+    }
+
+    /// Looks up `key` starting from global node `src`.
+    ///
+    /// # Panics
+    /// Panics if `src` is not a valid node index.
+    #[must_use]
+    pub fn lookup(&self, src: u32, key: Key) -> LookupPath {
+        let start = self.ring.position_of(src).expect("src must be a member");
+        let positions = self.ring.route(start, key);
+        LookupPath { path: positions.into_iter().map(|p| self.ring.node_at(p)).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids_of(raw: &[u64]) -> Arc<[Id]> {
+        raw.iter().map(|&v| Id(v)).collect::<Vec<_>>().into()
+    }
+
+    fn s8() -> IdSpace {
+        IdSpace::new(8).unwrap()
+    }
+
+    #[test]
+    fn build_rejects_empty_and_duplicates() {
+        let ids = ids_of(&[1, 5, 5]);
+        assert_eq!(
+            RingView::build(s8(), ids.clone(), &[]).unwrap_err(),
+            RingBuildError::Empty
+        );
+        assert_eq!(
+            RingView::build(s8(), ids, &[0, 1, 2]).unwrap_err(),
+            RingBuildError::DuplicateId(Id(5))
+        );
+    }
+
+    #[test]
+    fn build_rejects_bad_index_and_out_of_space() {
+        let ids = ids_of(&[1, 300]);
+        assert_eq!(
+            RingView::build(s8(), ids.clone(), &[0, 7]).unwrap_err(),
+            RingBuildError::BadIndex(7)
+        );
+        assert_eq!(
+            RingView::build(s8(), ids, &[0, 1]).unwrap_err(),
+            RingBuildError::OutOfSpace(Id(300))
+        );
+    }
+
+    #[test]
+    fn members_are_sorted_by_id() {
+        let ids = ids_of(&[90, 10, 50]);
+        let r = RingView::build(s8(), ids, &[0, 1, 2]).unwrap();
+        assert_eq!(r.members(), &[1, 2, 0]);
+        assert_eq!(r.id_at(0), Id(10));
+        assert_eq!(r.position_of(2), Some(1));
+    }
+
+    #[test]
+    fn successor_of_key_wraps() {
+        let ids = ids_of(&[10, 50, 90]);
+        let r = RingView::build(s8(), ids, &[0, 1, 2]).unwrap();
+        assert_eq!(r.successor_of_key(Id(10)), 0); // exact hit
+        assert_eq!(r.successor_of_key(Id(11)), 1);
+        assert_eq!(r.successor_of_key(Id(90)), 2);
+        assert_eq!(r.successor_of_key(Id(91)), 0); // wrap
+        assert_eq!(r.successor_of_key(Id(0)), 0);
+    }
+
+    #[test]
+    fn fingers_match_chord_definition_brute_force() {
+        // Nodes at 0,60,120,180,240 in an 8-bit space.
+        let ids = ids_of(&[0, 60, 120, 180, 240]);
+        let members: Vec<u32> = vec![0, 1, 2, 3, 4];
+        let r = RingView::build(s8(), ids.clone(), &members).unwrap();
+        let space = s8();
+        for pos in 0..5u32 {
+            let me = r.id_at(pos);
+            for i in 0..8u32 {
+                let start = space.finger_start(me, i);
+                // Brute-force successor among all ids.
+                let mut best: Option<(u64, u32)> = None;
+                for p in 0..5u32 {
+                    let d = space.distance_cw(start, r.id_at(p));
+                    // successor = member minimizing cw distance FROM start TO member
+                    let dd = (space.mask() - d) & space.mask(); // invert: want distance start->member
+                    let fwd = space.distance_cw(start, r.id_at(p));
+                    let _ = dd;
+                    if best.map_or(true, |(bd, _)| fwd < bd) {
+                        best = Some((fwd, p));
+                    }
+                }
+                assert_eq!(r.finger(pos, i), best.unwrap().1, "pos {pos} finger {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_reaches_owner_and_counts_final_hop() {
+        let ids = ids_of(&[10, 50, 90, 200]);
+        let r = RingView::build(s8(), ids, &[0, 1, 2, 3]).unwrap();
+        // Key 60 is owned by node id 90 (position 2).
+        let path = r.route(0, Id(60));
+        assert_eq!(*path.last().unwrap(), 2);
+        assert!(path.len() >= 2);
+        // Key owned by self: single-element path.
+        let path = r.route(0, Id(5)); // owner = successor(5) = id 10 = pos 0
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn single_member_ring_owns_everything() {
+        let ids = ids_of(&[42]);
+        let r = RingView::build(s8(), ids, &[0]).unwrap();
+        for k in [0u64, 41, 42, 43, 255] {
+            assert_eq!(r.route(0, Id(k)), vec![0]);
+        }
+    }
+
+    #[test]
+    fn two_member_ring_routes_in_one_hop() {
+        let ids = ids_of(&[10, 200]);
+        let r = RingView::build(s8(), ids, &[0, 1]).unwrap();
+        assert_eq!(r.route(0, Id(150)), vec![0, 1]);
+        assert_eq!(r.route(0, Id(5)), vec![0]); // wraps to id 10 = self
+    }
+
+    #[test]
+    fn oracle_lookup_owner_matches_brute_force() {
+        let raw: Vec<u64> = vec![3, 17, 40, 99, 130, 222, 250];
+        let ids = ids_of(&raw);
+        let c = ChordOracle::build(s8(), ids).unwrap();
+        let space = s8();
+        for key in 0..=255u64 {
+            let key = Id(key);
+            let owner = c.owner_of(key);
+            // Brute force: minimal cw distance key -> node.
+            let brute = (0..raw.len() as u32)
+                .min_by_key(|&i| space.distance_cw(key, Id(raw[i as usize])))
+                .unwrap();
+            assert_eq!(owner, brute, "key {key:?}");
+            // Every source agrees.
+            for src in 0..raw.len() as u32 {
+                let p = c.lookup(src, key);
+                assert_eq!(p.owner(), owner, "src {src} key {key:?}");
+                assert_eq!(p.path[0], src);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_hops_are_logarithmic() {
+        // 128 evenly spread nodes in full space: hops must stay ≤ bits.
+        let raw: Vec<u64> = (0..128u64).map(|i| i << 57).collect();
+        let ids = ids_of(&raw);
+        let c = ChordOracle::build(IdSpace::full(), ids).unwrap();
+        let mut max_hops = 0;
+        for k in 0..256u64 {
+            let key = Id(k.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let p = c.lookup((k % 128) as u32, key);
+            max_hops = max_hops.max(p.hops());
+        }
+        assert!(max_hops <= 8, "expected ≤ log2(128)+1 hops, saw {max_hops}");
+    }
+
+    #[test]
+    fn subset_ring_routes_within_subset_only() {
+        let raw: Vec<u64> = vec![5, 20, 60, 100, 140, 180, 220, 240];
+        let ids = ids_of(&raw);
+        let subset = vec![1u32, 3, 5, 7]; // ids 20,100,180,240
+        let r = RingView::build(s8(), ids, &subset).unwrap();
+        let path = r.route(0, Id(150));
+        for &pos in &path {
+            assert!(subset.contains(&r.node_at(pos)));
+        }
+        // Owner within subset of key 150 is id 180 (global 5).
+        assert_eq!(r.node_at(*path.last().unwrap()), 5);
+    }
+
+    #[test]
+    fn avg_distinct_fingers_reasonable() {
+        let raw: Vec<u64> = (0..64u64).map(|i| i * 4).collect();
+        let ids = ids_of(&raw);
+        let r = ChordOracle::build(s8(), ids).unwrap();
+        let avg = r.ring().avg_distinct_fingers();
+        assert!(avg >= 3.0 && avg <= 8.0, "avg distinct fingers {avg}");
+    }
+
+    proptest::proptest! {
+        /// Routing from any source always terminates at the brute-force owner
+        /// and never exceeds the bit-length hop bound.
+        #[test]
+        fn route_always_finds_owner(
+            seed in 0u64..500,
+            n in 1usize..40,
+            key in proptest::num::u64::ANY,
+        ) {
+            let space = IdSpace::full();
+            // Deterministic pseudo-random distinct ids.
+            let mut raw: Vec<u64> = (0..n as u64)
+                .map(|i| (seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ (i << 32))
+                .collect();
+            raw.sort_unstable();
+            raw.dedup();
+            let ids: Arc<[Id]> = raw.iter().map(|&v| Id(v)).collect::<Vec<_>>().into();
+            let c = ChordOracle::build(space, ids).unwrap();
+            let key = Id(key);
+            let brute = (0..raw.len() as u32)
+                .min_by_key(|&i| space.distance_cw(key, Id(raw[i as usize])))
+                .unwrap();
+            for src in 0..raw.len() as u32 {
+                let p = c.lookup(src, key);
+                proptest::prop_assert_eq!(p.owner(), brute);
+                proptest::prop_assert!(p.hops() <= raw.len() + 64);
+                proptest::prop_assert!(p.hops() <= 2 * 64); // log bound with slack
+            }
+        }
+    }
+}

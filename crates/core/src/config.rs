@@ -1,0 +1,164 @@
+//! HIERAS configuration: hierarchy depth, landmark count, binning.
+
+use crate::Binning;
+use serde::{Deserialize, Serialize};
+
+/// Errors validating a [`HierasConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Depth must be at least 1 (1 = plain Chord, 2+ = hierarchical).
+    BadDepth(usize),
+    /// At least one landmark is required for depth ≥ 2.
+    NoLandmarks,
+}
+
+impl core::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ConfigError::BadDepth(d) => write!(f, "hierarchy depth must be >= 1, got {d}"),
+            ConfigError::NoLandmarks => write!(f, "depth >= 2 requires at least one landmark"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// HIERAS system parameters (§2.4, §4.1).
+///
+/// The paper's standard setup is `depth = 2`, `landmarks = 4`,
+/// paper binning boundaries — that is [`HierasConfig::paper`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HierasConfig {
+    /// Hierarchy depth *m*: number of layers including the global ring.
+    /// Depth 1 degenerates to plain Chord (useful as a built-in
+    /// baseline check).
+    pub depth: usize,
+    /// Number of landmark nodes (the paper sweeps 2–12 in §4.4).
+    pub landmarks: usize,
+    /// The latency quantizer used for binning.
+    pub binning: Binning,
+}
+
+impl HierasConfig {
+    /// The paper's default configuration: two layers, four landmarks,
+    /// `[20,100]` level boundaries.
+    #[must_use]
+    pub fn paper() -> Self {
+        HierasConfig { depth: 2, landmarks: 4, binning: Binning::paper() }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// See [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.depth < 1 {
+            return Err(ConfigError::BadDepth(self.depth));
+        }
+        if self.depth >= 2 && self.landmarks == 0 {
+            return Err(ConfigError::NoLandmarks);
+        }
+        Ok(())
+    }
+
+    /// Landmark-order prefix length that names a node's ring at layer
+    /// `layer` (1-based from the top; layer 1 is the global ring).
+    ///
+    /// Prefix refinement (DESIGN.md §3.4): layer 1 uses the empty
+    /// prefix (one ring for everybody); the lowest layer (`depth`) uses
+    /// the full order string — which for `depth == 2` is exactly the
+    /// paper's scheme; intermediate layers interpolate, guaranteeing
+    /// that rings nest.
+    ///
+    /// # Panics
+    /// Panics if `layer` is outside `1..=depth`.
+    #[must_use]
+    pub fn prefix_len(&self, layer: usize) -> usize {
+        assert!(
+            (1..=self.depth).contains(&layer),
+            "layer {layer} outside 1..={}",
+            self.depth
+        );
+        if layer == 1 || self.depth == 1 {
+            return 0;
+        }
+        // ceil((layer-1) * L / (depth-1))
+        ((layer - 1) * self.landmarks).div_ceil(self.depth - 1)
+    }
+}
+
+impl Default for HierasConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = HierasConfig::paper();
+        assert_eq!(c.depth, 2);
+        assert_eq!(c.landmarks, 4);
+        assert!(c.validate().is_ok());
+        assert_eq!(c, HierasConfig::default());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = HierasConfig::paper();
+        c.depth = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::BadDepth(0));
+        let mut c = HierasConfig::paper();
+        c.landmarks = 0;
+        assert_eq!(c.validate().unwrap_err(), ConfigError::NoLandmarks);
+        // Depth 1 with zero landmarks is fine (plain Chord).
+        let c = HierasConfig { depth: 1, landmarks: 0, binning: Binning::paper() };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn prefix_lengths_depth2_match_paper() {
+        let c = HierasConfig { depth: 2, landmarks: 4, binning: Binning::paper() };
+        assert_eq!(c.prefix_len(1), 0);
+        assert_eq!(c.prefix_len(2), 4); // full order string — §2.2 exactly
+    }
+
+    #[test]
+    fn prefix_lengths_interpolate_for_deeper_hierarchies() {
+        let c = HierasConfig { depth: 3, landmarks: 6, binning: Binning::paper() };
+        assert_eq!(c.prefix_len(1), 0);
+        assert_eq!(c.prefix_len(2), 3);
+        assert_eq!(c.prefix_len(3), 6);
+        let c = HierasConfig { depth: 4, landmarks: 6, binning: Binning::paper() };
+        assert_eq!(
+            (1..=4).map(|l| c.prefix_len(l)).collect::<Vec<_>>(),
+            vec![0, 2, 4, 6]
+        );
+    }
+
+    #[test]
+    fn prefix_lengths_are_monotone_and_nest() {
+        for depth in 1..=5usize {
+            for landmarks in 1..=12usize {
+                let c = HierasConfig { depth, landmarks, binning: Binning::paper() };
+                let mut prev = 0;
+                for layer in 1..=depth {
+                    let p = c.prefix_len(layer);
+                    assert!(p >= prev, "depth {depth} lm {landmarks} layer {layer}");
+                    assert!(p <= landmarks);
+                    prev = p;
+                }
+                assert_eq!(c.prefix_len(depth), if depth == 1 { 0 } else { landmarks });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn prefix_len_rejects_bad_layer() {
+        let _ = HierasConfig::paper().prefix_len(3);
+    }
+}

@@ -1,0 +1,584 @@
+//! Oracle-mode HIERAS: multi-layer finger tables and m-loop routing.
+//!
+//! Layer numbering follows the paper: **layer 1** is the single global
+//! ring containing every peer; **layer m** (= the configured depth) is
+//! the lowest layer, whose rings are named by the full landmark order.
+//! Every layer reuses [`hieras_chord::RingView`] — the "underlying DHT
+//! routing algorithm with the corresponding finger table" of §3.2 —
+//! restricted to the ring's membership.
+
+use crate::{ConfigError, HierasConfig, LandmarkOrder, RingTable, RouteTrace};
+use crate::trace::HopRecord;
+use hieras_chord::{RingBuildError, RingView};
+use hieras_id::{Id, IdSpace, Key};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Errors building a [`HierasOracle`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HierasBuildError {
+    /// Invalid configuration.
+    Config(ConfigError),
+    /// Ring construction failed (duplicate ids, empty membership…).
+    Ring(RingBuildError),
+    /// `orders.len() != ids.len()`.
+    OrderCount {
+        /// Number of node ids supplied.
+        expected: usize,
+        /// Number of landmark orders supplied.
+        got: usize,
+    },
+    /// A landmark order has fewer digits than the configured landmark
+    /// count — the lowest layer could not be named.
+    OrderTooShort {
+        /// Offending node index.
+        node: u32,
+        /// Digits present.
+        got: usize,
+        /// Digits required (`config.landmarks`).
+        need: usize,
+    },
+}
+
+impl core::fmt::Display for HierasBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            HierasBuildError::Config(e) => write!(f, "bad config: {e}"),
+            HierasBuildError::Ring(e) => write!(f, "ring construction failed: {e}"),
+            HierasBuildError::OrderCount { expected, got } => {
+                write!(f, "expected {expected} landmark orders, got {got}")
+            }
+            HierasBuildError::OrderTooShort { node, got, need } => {
+                write!(f, "node {node} has {got}-digit order, need {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HierasBuildError {}
+
+impl From<ConfigError> for HierasBuildError {
+    fn from(e: ConfigError) -> Self {
+        HierasBuildError::Config(e)
+    }
+}
+
+impl From<RingBuildError> for HierasBuildError {
+    fn from(e: RingBuildError) -> Self {
+        HierasBuildError::Ring(e)
+    }
+}
+
+/// One hierarchy layer: the disjoint rings partitioning all peers.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// 1-based layer number (1 = global).
+    pub layer_no: usize,
+    /// The rings of this layer.
+    rings: Vec<RingView>,
+    /// Ring names (order-string prefixes), parallel to `rings`.
+    names: Vec<LandmarkOrder>,
+    /// Ring index (into `rings`) of each global node.
+    ring_of_node: Box<[u32]>,
+}
+
+impl Layer {
+    /// Number of rings in this layer.
+    #[must_use]
+    pub fn ring_count(&self) -> usize {
+        self.rings.len()
+    }
+
+    /// The ring containing global node `node`.
+    #[must_use]
+    pub fn ring_of(&self, node: u32) -> &RingView {
+        &self.rings[self.ring_of_node[node as usize] as usize]
+    }
+
+    /// The name of the ring containing `node`.
+    #[must_use]
+    pub fn ring_name_of(&self, node: u32) -> &LandmarkOrder {
+        &self.names[self.ring_of_node[node as usize] as usize]
+    }
+
+    /// Iterates `(name, ring)` pairs.
+    pub fn rings(&self) -> impl Iterator<Item = (&LandmarkOrder, &RingView)> {
+        self.names.iter().zip(self.rings.iter())
+    }
+}
+
+/// One row of a node's (multi-layer) finger table, as in the paper's
+/// Table 2: the finger start, the interval it covers, and the
+/// successor chosen in every layer's ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerRow {
+    /// `n + 2^i`.
+    pub start: Id,
+    /// End of the covered interval `[start, end)` = next finger start.
+    pub end: Id,
+    /// Successor node per layer: `successors[j-1]` is the layer-`j`
+    /// finger target (global node index).
+    pub successors: Vec<u32>,
+}
+
+/// HIERAS over a known membership: every peer's ring memberships and
+/// per-layer finger tables, plus the ring tables, built centrally.
+#[derive(Debug, Clone)]
+pub struct HierasOracle {
+    space: IdSpace,
+    ids: Arc<[Id]>,
+    config: HierasConfig,
+    orders: Vec<LandmarkOrder>,
+    /// `layers[j-1]` is layer `j`; `layers[0]` is the global ring.
+    layers: Vec<Layer>,
+    /// Ring tables of every non-global ring, keyed by ring name.
+    ring_tables: HashMap<String, RingTable>,
+}
+
+impl HierasOracle {
+    /// Builds the hierarchy from per-node landmark orders.
+    ///
+    /// `orders[i]` must carry at least `config.landmarks` digits (extra
+    /// digits are ignored); produce them with
+    /// [`crate::Binning::order`] from measured landmark RTTs.
+    ///
+    /// # Errors
+    /// See [`HierasBuildError`].
+    pub fn build(
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        orders: Vec<LandmarkOrder>,
+        config: HierasConfig,
+    ) -> Result<Self, HierasBuildError> {
+        config.validate()?;
+        if orders.len() != ids.len() {
+            return Err(HierasBuildError::OrderCount { expected: ids.len(), got: orders.len() });
+        }
+        for (i, o) in orders.iter().enumerate() {
+            if o.len() < config.landmarks {
+                return Err(HierasBuildError::OrderTooShort {
+                    node: i as u32,
+                    got: o.len(),
+                    need: config.landmarks,
+                });
+            }
+        }
+        let n = ids.len();
+        let mut layers = Vec::with_capacity(config.depth);
+        for layer_no in 1..=config.depth {
+            let plen = config.prefix_len(layer_no);
+            // Group nodes by order prefix.
+            let mut groups: HashMap<LandmarkOrder, Vec<u32>> = HashMap::new();
+            for (i, o) in orders.iter().enumerate() {
+                groups.entry(o.prefix(plen)).or_default().push(i as u32);
+            }
+            let mut names: Vec<LandmarkOrder> = groups.keys().cloned().collect();
+            names.sort(); // deterministic ring numbering
+            let mut rings = Vec::with_capacity(names.len());
+            let mut ring_of_node = vec![0u32; n].into_boxed_slice();
+            for (ri, name) in names.iter().enumerate() {
+                let members = &groups[name];
+                for &m in members {
+                    ring_of_node[m as usize] = ri as u32;
+                }
+                rings.push(RingView::build(space, Arc::clone(&ids), members)?);
+            }
+            layers.push(Layer { layer_no, rings, names, ring_of_node });
+        }
+        // Ring tables for every non-global ring (§3.1): record all
+        // members; the table itself keeps only the four extreme ids.
+        let mut ring_tables = HashMap::new();
+        for layer in layers.iter().skip(1) {
+            for (name, ring) in layer.rings() {
+                let table = ring_tables
+                    .entry(name.name())
+                    .or_insert_with(|| RingTable::new(name));
+                for &m in ring.members() {
+                    table.observe(ids[m as usize]);
+                }
+            }
+        }
+        Ok(HierasOracle { space, ids, config, orders, layers, ring_tables })
+    }
+
+    /// Convenience: builds from raw landmark RTT vectors using the
+    /// configured binning.
+    ///
+    /// # Errors
+    /// See [`HierasBuildError`].
+    pub fn from_rtts(
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        rtts: &[Vec<u16>],
+        config: HierasConfig,
+    ) -> Result<Self, HierasBuildError> {
+        let orders = rtts.iter().map(|r| config.binning.order(r)).collect();
+        Self::build(space, ids, orders, config)
+    }
+
+    /// The identifier space.
+    #[must_use]
+    pub fn space(&self) -> IdSpace {
+        self.space
+    }
+
+    /// The configuration this hierarchy was built with.
+    #[must_use]
+    pub fn config(&self) -> &HierasConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Never empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Id of node `node`.
+    #[must_use]
+    pub fn id_of(&self, node: u32) -> Id {
+        self.ids[node as usize]
+    }
+
+    /// Landmark order of node `node`.
+    #[must_use]
+    pub fn order_of(&self, node: u32) -> &LandmarkOrder {
+        &self.orders[node as usize]
+    }
+
+    /// The layers, top (global, layer 1) first.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// The global ring (layer 1).
+    #[must_use]
+    pub fn global_ring(&self) -> &RingView {
+        &self.layers[0].rings[0]
+    }
+
+    /// Global node index owning `key` (ground truth = Chord owner).
+    #[must_use]
+    pub fn owner_of(&self, key: Key) -> u32 {
+        let g = self.global_ring();
+        g.node_at(g.successor_of_key(key))
+    }
+
+    /// The ring table of the ring named `name`, if that ring exists.
+    #[must_use]
+    pub fn ring_table(&self, name: &str) -> Option<&RingTable> {
+        self.ring_tables.get(name)
+    }
+
+    /// All ring tables (for diagnostics and the Table 3 figure).
+    #[must_use]
+    pub fn ring_tables(&self) -> &HashMap<String, RingTable> {
+        &self.ring_tables
+    }
+
+    /// The node that *stores* a ring table: the one whose id is
+    /// numerically closest to the ring id — i.e. the Chord owner of
+    /// `ring_id` on the global ring (§3.1).
+    #[must_use]
+    pub fn ring_table_holder(&self, ring_id: Id) -> u32 {
+        self.owner_of(ring_id)
+    }
+
+    /// Routes `key` from `src` with the paper's m-loop procedure
+    /// (§3.2): finish in the lowest-layer ring of the current node,
+    /// check whether the current node is already the destination, and
+    /// otherwise continue one layer up with that layer's finger table.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    #[must_use]
+    pub fn route(&self, src: u32, key: Key) -> RouteTrace {
+        assert!((src as usize) < self.ids.len(), "src out of range");
+        let owner = self.owner_of(key);
+        let mut trace = RouteTrace { origin: src, hops: Vec::with_capacity(8) };
+        let mut cur = src;
+        // Lowest layer first: layers[depth-1] … layers[0].
+        for layer in self.layers.iter().rev() {
+            // The destination check that ends each loop early (§3.2).
+            if cur == owner {
+                return trace;
+            }
+            let ring = layer.ring_of(cur);
+            let pos = ring.position_of(cur).expect("node is member of its own ring");
+            let path = ring.route(pos, key);
+            for w in path.windows(2) {
+                trace.hops.push(HopRecord {
+                    from: ring.node_at(w[0]),
+                    to: ring.node_at(w[1]),
+                    layer: layer.layer_no as u8,
+                });
+            }
+            cur = ring.node_at(*path.last().expect("path never empty"));
+        }
+        debug_assert_eq!(cur, owner, "global loop must end at the key's owner");
+        trace
+    }
+
+    /// The multi-layer finger table of `node`, one [`FingerRow`] per
+    /// finger index — the paper's Table 2. Rows whose interval is
+    /// empty (tiny demo spaces) are still emitted, matching the paper's
+    /// fixed `bits` rows.
+    #[must_use]
+    pub fn finger_rows(&self, node: u32) -> Vec<FingerRow> {
+        let me = self.id_of(node);
+        let bits = self.space.bits();
+        let mut rows = Vec::with_capacity(bits as usize);
+        for i in 0..bits {
+            let start = self.space.finger_start(me, i);
+            let end = if i + 1 < bits {
+                self.space.finger_start(me, i + 1)
+            } else {
+                me
+            };
+            let successors = self
+                .layers
+                .iter()
+                .map(|layer| {
+                    let ring = layer.ring_of(node);
+                    ring.node_at(ring.successor_of_key(start))
+                })
+                .collect();
+            rows.push(FingerRow { start, end, successors });
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Binning;
+
+    /// Hand-built 2-layer system: 12 nodes, 2 landmarks, two bins.
+    fn two_bin_system() -> (HierasOracle, Arc<[Id]>) {
+        let space = IdSpace::full();
+        let ids: Arc<[Id]> = (0..12u64)
+            .map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect::<Vec<_>>()
+            .into();
+        // Even nodes near both landmarks ("00"), odd nodes far ("22").
+        let rtts: Vec<Vec<u16>> = (0..12)
+            .map(|i| if i % 2 == 0 { vec![5, 10] } else { vec![150, 200] })
+            .collect();
+        let config = HierasConfig { depth: 2, landmarks: 2, binning: Binning::paper() };
+        let o = HierasOracle::from_rtts(space, Arc::clone(&ids), &rtts, config).unwrap();
+        (o, ids)
+    }
+
+    #[test]
+    fn builds_expected_ring_structure() {
+        let (o, _) = two_bin_system();
+        assert_eq!(o.layers().len(), 2);
+        assert_eq!(o.layers()[0].ring_count(), 1);
+        assert_eq!(o.layers()[1].ring_count(), 2);
+        assert_eq!(o.global_ring().len(), 12);
+        // Each lower ring holds the 6 even or 6 odd nodes.
+        for (_, ring) in o.layers()[1].rings() {
+            assert_eq!(ring.len(), 6);
+        }
+        assert_eq!(o.layers()[1].ring_name_of(0).name(), "00");
+        assert_eq!(o.layers()[1].ring_name_of(1).name(), "22");
+    }
+
+    #[test]
+    fn route_agrees_with_chord_owner_for_all_keys() {
+        let (o, _) = two_bin_system();
+        for k in 0..200u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95).wrapping_add(k));
+            let owner = o.owner_of(key);
+            for src in 0..12u32 {
+                let t = o.route(src, key);
+                assert_eq!(t.destination(), owner, "src {src} key {k}");
+                assert_eq!(t.origin, src);
+            }
+        }
+    }
+
+    #[test]
+    fn route_uses_lower_layer_first() {
+        let (o, _) = two_bin_system();
+        let mut saw_lower = false;
+        for k in 0..100u64 {
+            let key = Id(k.wrapping_mul(0xdead_beef_1234_5678));
+            let t = o.route(0, key);
+            // Layers must be non-increasing along the trace (lower layer
+            // number = higher layer; we go lowest-first so recorded layer
+            // numbers run high → low).
+            for w in t.hops.windows(2) {
+                assert!(w[0].layer >= w[1].layer, "layer order violated: {:?}", t.hops);
+            }
+            if t.lower_layer_hops() > 0 {
+                saw_lower = true;
+            }
+        }
+        assert!(saw_lower, "no request ever used the lower layer");
+    }
+
+    #[test]
+    fn lower_layer_hops_stay_within_origin_ring() {
+        let (o, _) = two_bin_system();
+        for k in 0..100u64 {
+            let key = Id(k.wrapping_mul(0xabcdef12_3456789b));
+            let t = o.route(1, key); // odd node, ring "22"
+            for h in t.hops.iter().filter(|h| h.layer == 2) {
+                assert_eq!(h.from % 2, 1, "lower hop left the origin ring");
+                assert_eq!(h.to % 2, 1, "lower hop left the origin ring");
+            }
+        }
+    }
+
+    #[test]
+    fn depth1_is_plain_chord() {
+        let space = IdSpace::full();
+        let ids: Arc<[Id]> = (1..=20u64).map(|i| Id(i << 40)).collect::<Vec<_>>().into();
+        let rtts: Vec<Vec<u16>> = (0..20).map(|_| vec![]).collect();
+        let config = HierasConfig { depth: 1, landmarks: 0, binning: Binning::paper() };
+        let o = HierasOracle::from_rtts(space, Arc::clone(&ids), &rtts, config).unwrap();
+        let chord = hieras_chord::ChordOracle::build(space, ids).unwrap();
+        for k in 0..100u64 {
+            let key = Id(k.wrapping_mul(0x0123_4567_89ab_cdef));
+            let t = o.route(3, key);
+            let c = chord.lookup(3, key);
+            assert_eq!(t.destination(), c.owner());
+            assert_eq!(t.hop_count(), c.hops(), "key {k}");
+            assert!(t.hops.iter().all(|h| h.layer == 1));
+        }
+    }
+
+    #[test]
+    fn build_rejects_mismatched_orders() {
+        let space = IdSpace::full();
+        let ids: Arc<[Id]> = vec![Id(1), Id(2)].into();
+        let err = HierasOracle::build(
+            space,
+            Arc::clone(&ids),
+            vec![LandmarkOrder(vec![0, 0])],
+            HierasConfig { depth: 2, landmarks: 2, binning: Binning::paper() },
+        )
+        .unwrap_err();
+        assert_eq!(err, HierasBuildError::OrderCount { expected: 2, got: 1 });
+        let err = HierasOracle::build(
+            space,
+            ids,
+            vec![LandmarkOrder(vec![0]), LandmarkOrder(vec![0, 1])],
+            HierasConfig { depth: 2, landmarks: 2, binning: Binning::paper() },
+        )
+        .unwrap_err();
+        assert_eq!(err, HierasBuildError::OrderTooShort { node: 0, got: 1, need: 2 });
+    }
+
+    #[test]
+    fn ring_tables_cover_all_lower_rings() {
+        let (o, ids) = two_bin_system();
+        assert_eq!(o.ring_tables().len(), 2);
+        let t = o.ring_table("00").unwrap();
+        assert_eq!(t.ring_name, "00");
+        assert!(t.len() >= 1 && t.len() <= 4);
+        // Every entry point is an even node's id.
+        for ep in t.entry_points() {
+            assert!(ids.iter().step_by(2).any(|i| i == ep));
+        }
+        // The holder is the global owner of the ring id.
+        let holder = o.ring_table_holder(t.ring_id);
+        assert_eq!(holder, o.owner_of(t.ring_id));
+    }
+
+    #[test]
+    fn finger_rows_have_one_successor_per_layer() {
+        let (o, _) = two_bin_system();
+        let rows = o.finger_rows(4);
+        assert_eq!(rows.len(), 64);
+        for r in &rows {
+            assert_eq!(r.successors.len(), 2);
+            // Layer-2 successor stays in node 4's ring (even nodes).
+            assert_eq!(r.successors[1] % 2, 0);
+        }
+    }
+
+    #[test]
+    fn deeper_hierarchies_nest_rings() {
+        let space = IdSpace::full();
+        let n = 30u64;
+        let ids: Arc<[Id]> =
+            (0..n).map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15))).collect::<Vec<_>>().into();
+        // 4 landmarks, varied bins.
+        let rtts: Vec<Vec<u16>> = (0..n)
+            .map(|i| {
+                vec![
+                    if i % 2 == 0 { 5 } else { 150 },
+                    if i % 3 == 0 { 10 } else { 120 },
+                    if i % 5 == 0 { 15 } else { 200 },
+                    30,
+                ]
+            })
+            .collect();
+        let config = HierasConfig { depth: 3, landmarks: 4, binning: Binning::paper() };
+        let o = HierasOracle::from_rtts(space, ids, &rtts, config).unwrap();
+        assert_eq!(o.layers().len(), 3);
+        // Nesting: all members of a layer-3 ring share their layer-2 ring.
+        for node in 0..n as u32 {
+            let l3 = o.layers()[2].ring_of(node);
+            let my_l2 = o.layers()[1].ring_name_of(node);
+            for &m in l3.members() {
+                assert_eq!(o.layers()[1].ring_name_of(m), my_l2);
+            }
+        }
+        // Routing still exact.
+        for k in 0..60u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            let t = o.route((k % n) as u32, key);
+            assert_eq!(t.destination(), o.owner_of(key));
+        }
+    }
+
+    proptest::proptest! {
+        /// HIERAS always resolves to the Chord owner, for arbitrary
+        /// memberships, orders and depths.
+        #[test]
+        fn hieras_owner_equals_chord_owner(
+            seed in 0u64..300,
+            n in 2usize..40,
+            depth in 1usize..4,
+            key in proptest::num::u64::ANY,
+        ) {
+            let space = IdSpace::full();
+            let mut raw: Vec<u64> = (0..n as u64)
+                .map(|i| seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 17))
+                .collect();
+            raw.sort_unstable();
+            raw.dedup();
+            let ids: Arc<[Id]> = raw.iter().map(|&v| Id(v)).collect::<Vec<_>>().into();
+            let landmarks = 3usize;
+            let rtts: Vec<Vec<u16>> = (0..raw.len() as u64)
+                .map(|i| {
+                    (0..landmarks as u64)
+                        .map(|l| (((seed ^ i).wrapping_mul(31).wrapping_add(l * 97)) % 250) as u16)
+                        .collect()
+                })
+                .collect();
+            let config = HierasConfig { depth, landmarks, binning: Binning::paper() };
+            let o = HierasOracle::from_rtts(space, Arc::clone(&ids), &rtts, config).unwrap();
+            let chord = hieras_chord::ChordOracle::build(space, ids).unwrap();
+            let key = Id(key);
+            let want = chord.owner_of(key);
+            for src in 0..raw.len() as u32 {
+                let t = o.route(src, key);
+                proptest::prop_assert_eq!(t.destination(), want);
+                // Scalability bound: O(depth * log N) with generous slack.
+                proptest::prop_assert!(t.hop_count() <= depth * (raw.len() + 64));
+            }
+        }
+    }
+}

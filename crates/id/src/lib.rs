@@ -1,0 +1,49 @@
+//! Identifier space for the HIERAS reproduction.
+//!
+//! Every node and every file key in HIERAS (and in its underlying DHT,
+//! Chord) is named by a fixed-width identifier produced by a
+//! collision-resistant hash — the paper specifies SHA-1. This crate
+//! provides:
+//!
+//! * [`Sha1`] — a from-scratch SHA-1 implementation (no external crypto
+//!   dependency is available offline), validated against the FIPS 180-1
+//!   test vectors.
+//! * [`Id`] — a point on the identifier circle, stored as a `u64`
+//!   (the top 64 bits of the SHA-1 digest; see DESIGN.md §3.1 for the
+//!   collision analysis).
+//! * [`IdSpace`] — modular arithmetic on a `2^bits` circle for any
+//!   `bits ∈ 1..=64`. Production code uses the full 64-bit space; the
+//!   small demo spaces reproduce the paper's worked examples (Table 2
+//!   uses an 8-bit space).
+//!
+//! Interval conventions follow the Chord paper: `(a, b]` is the
+//! clockwise-open/closed arc used for successor ownership, `(a, b)` the
+//! open arc used by `closest_preceding_finger`.
+//!
+//! # Example
+//!
+//! ```
+//! use hieras_id::{Id, IdSpace, Sha1};
+//!
+//! let space = IdSpace::full();
+//! let node = Id::hash_of(b"node:10.0.0.1:4000");
+//! let key = Id::hash_of(b"file:paper.pdf");
+//! // Clockwise distance from the node to the key never exceeds the ring size.
+//! let _d = space.distance_cw(node, key);
+//! let digest = Sha1::digest(b"abc");
+//! assert_eq!(digest[0], 0xa9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ident;
+mod sha1;
+mod space;
+
+pub use ident::Id;
+pub use sha1::Sha1;
+pub use space::{IdSpace, SpaceError};
+
+/// A lookup key is just an [`Id`]; the alias keeps signatures readable.
+pub type Key = Id;

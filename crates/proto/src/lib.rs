@@ -1,0 +1,38 @@
+//! Message-level HIERAS protocol engine.
+//!
+//! The oracle crates compute *what* HIERAS routes; this crate shows the
+//! system actually *exchanging the messages* the paper describes —
+//! most importantly the §3.3 join choreography (landmark table fetch →
+//! binning → ring-table request routed over the global ring →
+//! finger-table creation through an in-ring entry point → ring-table
+//! modification message).
+//!
+//! Architecture: node behaviour is a *pure message handler*
+//! ([`NodeState::handle`]) that maps an incoming [`Payload`] to a list
+//! of outgoing messages, with no knowledge of how messages move. Two
+//! transports drive it:
+//!
+//! * [`SimNet`] — single-threaded, deterministic discrete-event
+//!   delivery with per-link latencies from a caller-supplied delay
+//!   function; used for join-cost and message-count experiments.
+//! * [`ThreadNet`] — one OS thread per node, crossbeam channels, and a
+//!   serialized wire format ([`wire`]); demonstrates the same handler
+//!   running under real concurrency.
+//!
+//! Protocol-vs-oracle equivalence is tested: a `SimNet` bootstrapped
+//! from a [`hieras_core::HierasOracle`] produces *hop-for-hop identical*
+//! lookups, because both sides implement the same §3.2 routing rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod messages;
+mod sim_net;
+mod state;
+mod thread_net;
+pub mod wire;
+
+pub use messages::Payload;
+pub use sim_net::{JoinOutcome, LookupOutcome, SimNet, TrafficStats};
+pub use state::{LayerState, NodeState};
+pub use thread_net::ThreadNet;

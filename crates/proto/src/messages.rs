@@ -1,0 +1,176 @@
+//! The HIERAS wire protocol.
+//!
+//! Layer numbers are 1-based as in the paper: layer 1 is the global
+//! ring, layer `depth` the lowest. A lookup starts at the originator's
+//! lowest layer and *ascends* toward layer 1 (§3.2's m loops).
+
+use hieras_core::RingTable;
+use hieras_id::Id;
+use serde::{Deserialize, Serialize};
+
+/// Protocol messages. Every message is addressed to a node id; the
+/// transport resolves ids to endpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Hierarchical find-successor, forwarded recursively. `layer` is
+    /// the ring currently being searched; `hops` counts forwarding
+    /// steps so far (the paper's routing-hop metric).
+    FindSucc {
+        /// Key being resolved.
+        key: Id,
+        /// Ring layer being searched (1 = global).
+        layer: u8,
+        /// Node that issued the lookup (receives [`Payload::FoundSucc`]).
+        origin: Id,
+        /// Request correlation id.
+        req: u64,
+        /// Routing hops taken so far.
+        hops: u32,
+    },
+    /// Final response to a [`Payload::FindSucc`], sent by the owner
+    /// directly to the originator.
+    FoundSucc {
+        /// The resolved key.
+        key: Id,
+        /// The key's owner.
+        owner: Id,
+        /// Request correlation id.
+        req: u64,
+        /// Total routing hops.
+        hops: u32,
+    },
+    /// Asks for the receiver's predecessor in `layer` (join/stabilize).
+    GetPred {
+        /// Ring layer.
+        layer: u8,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::GetPred`].
+    PredIs {
+        /// Ring layer.
+        layer: u8,
+        /// The predecessor, if known.
+        pred: Option<Id>,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Chord `notify`: the sender believes it is the receiver's
+    /// predecessor in `layer`.
+    Notify {
+        /// Ring layer.
+        layer: u8,
+    },
+    /// Aggressive-join counterpart of [`Payload::Notify`]: tells the
+    /// receiver its layer-`layer` successor is now the sender.
+    UpdateSucc {
+        /// Ring layer.
+        layer: u8,
+    },
+    /// Asks the receiver (the table holder) for the ring table of
+    /// `ring_name` (§3.3: "sends a ring table request message").
+    GetRingTable {
+        /// Ring name (landmark-order digit string).
+        ring_name: String,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::GetRingTable`]. `table` is `None` when
+    /// the holder has never heard of the ring — the joining node is
+    /// founding it.
+    RingTableIs {
+        /// The stored table, if any.
+        table: Option<RingTable>,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Ring-table modification message (§3.3): the sender joined
+    /// `ring_name` and its id may belong in the table.
+    RingTableUpdate {
+        /// Ring name.
+        ring_name: String,
+        /// The joining node's id.
+        node: Id,
+    },
+    /// Asks the receiver for its full finger table in `layer`
+    /// (§3.3: finger-table creation request, answered with the entry
+    /// point's own table as the initial approximation).
+    GetFingers {
+        /// Ring layer.
+        layer: u8,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::GetFingers`].
+    FingersAre {
+        /// Ring layer.
+        layer: u8,
+        /// Finger entries (one per id bit; `None` = unresolved).
+        fingers: Vec<Option<Id>>,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Asks for the landmark table (§3.3 step 1: the newcomer fetches
+    /// landmark information from a nearby member).
+    GetLandmarks {
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::GetLandmarks`]: landmark router ids.
+    LandmarksAre {
+        /// Landmark router identifiers (opaque to the protocol).
+        landmarks: Vec<u32>,
+        /// Request correlation id.
+        req: u64,
+    },
+}
+
+impl Payload {
+    /// Short tag for traffic accounting.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Payload::FindSucc { .. } => "find_succ",
+            Payload::FoundSucc { .. } => "found_succ",
+            Payload::GetPred { .. } => "get_pred",
+            Payload::PredIs { .. } => "pred_is",
+            Payload::Notify { .. } => "notify",
+            Payload::UpdateSucc { .. } => "update_succ",
+            Payload::GetRingTable { .. } => "get_ring_table",
+            Payload::RingTableIs { .. } => "ring_table_is",
+            Payload::RingTableUpdate { .. } => "ring_table_update",
+            Payload::GetFingers { .. } => "get_fingers",
+            Payload::FingersAre { .. } => "fingers_are",
+            Payload::GetLandmarks { .. } => "get_landmarks",
+            Payload::LandmarksAre { .. } => "landmarks_are",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct() {
+        let msgs = [
+            Payload::FindSucc { key: Id(1), layer: 1, origin: Id(2), req: 0, hops: 0 },
+            Payload::FoundSucc { key: Id(1), owner: Id(2), req: 0, hops: 3 },
+            Payload::GetPred { layer: 1, req: 0 },
+            Payload::PredIs { layer: 1, pred: None, req: 0 },
+            Payload::Notify { layer: 1 },
+            Payload::UpdateSucc { layer: 1 },
+            Payload::GetRingTable { ring_name: "01".into(), req: 0 },
+            Payload::RingTableIs { table: None, req: 0 },
+            Payload::RingTableUpdate { ring_name: "01".into(), node: Id(3) },
+            Payload::GetFingers { layer: 2, req: 0 },
+            Payload::FingersAre { layer: 2, fingers: vec![], req: 0 },
+            Payload::GetLandmarks { req: 0 },
+            Payload::LandmarksAre { landmarks: vec![1, 2], req: 0 },
+        ];
+        let mut kinds: Vec<&str> = msgs.iter().map(Payload::kind).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), msgs.len());
+    }
+}

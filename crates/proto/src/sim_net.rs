@@ -1,0 +1,548 @@
+//! Deterministic discrete-event transport.
+//!
+//! [`SimNet`] owns every node's [`NodeState`], delivers messages
+//! through an [`EventQueue`] with per-link latencies, and exposes the
+//! two *drivers* experiments need:
+//!
+//! * [`SimNet::lookup`] — injects a hierarchical `FindSucc` at a node's
+//!   lowest layer and runs the queue until the owner answers.
+//! * [`SimNet::join`] — executes the full §3.3 join choreography for a
+//!   new node, counting every message.
+//!
+//! Drivers consume the response messages (`FoundSucc`, `PredIs`, …)
+//! addressed to the node they orchestrate; everything else flows
+//! through [`NodeState::handle`].
+
+use crate::state::{order_from_name, states_from_oracle};
+use crate::{LayerState, NodeState, Payload};
+use hieras_core::{HierasConfig, HierasOracle};
+use hieras_id::{Id, Key};
+use hieras_sim::EventQueue;
+use std::collections::HashMap;
+
+/// Message-traffic counters by purpose.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Messages delivered, by payload kind.
+    pub by_kind: HashMap<&'static str, u64>,
+    /// Total messages delivered.
+    pub total: u64,
+}
+
+impl TrafficStats {
+    fn count(&mut self, kind: &'static str) {
+        *self.by_kind.entry(kind).or_insert(0) += 1;
+        self.total += 1;
+    }
+}
+
+/// Result of one message-driven lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupOutcome {
+    /// The key's owner.
+    pub owner: Id,
+    /// Routing hops (FindSucc forwardings).
+    pub hops: u32,
+    /// Simulated time from injection until the owner answered, ms.
+    pub latency_ms: u64,
+}
+
+/// Result of one §3.3 join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JoinOutcome {
+    /// Messages exchanged on behalf of this join.
+    pub messages: u64,
+    /// Simulated wall-clock duration of the join, ms.
+    pub duration_ms: u64,
+    /// Rings joined (= hierarchy depth).
+    pub rings_joined: usize,
+    /// How many rings this node *founded* (was first member of).
+    pub rings_founded: usize,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Envelope {
+    from: Id,
+    to: Id,
+    msg_seq: u64,
+}
+
+/// A deterministic, single-threaded message-passing HIERAS network.
+///
+/// The lifetime parameter lets the delay function borrow experiment
+/// state (e.g. a latency oracle) instead of owning it.
+pub struct SimNet<'a> {
+    nodes: HashMap<Id, NodeState>,
+    /// Link latency between two nodes, ms.
+    delay: Box<dyn Fn(Id, Id) -> u64 + 'a>,
+    queue: EventQueue<Envelope>,
+    payloads: HashMap<u64, Payload>,
+    next_msg: u64,
+    next_req: u64,
+    stats: TrafficStats,
+    config: HierasConfig,
+}
+
+impl<'a> SimNet<'a> {
+    /// Bootstraps a consistent network from a built oracle (every node
+    /// starts with exact successors, predecessors and fingers — a
+    /// stabilized system).
+    #[must_use]
+    pub fn from_oracle(
+        oracle: &HierasOracle,
+        landmarks: &[u32],
+        delay: impl Fn(Id, Id) -> u64 + 'a,
+    ) -> Self {
+        let states = states_from_oracle(oracle, landmarks);
+        let nodes = states.into_iter().map(|s| (s.id, s)).collect();
+        SimNet {
+            nodes,
+            delay: Box::new(delay),
+            queue: EventQueue::new(),
+            payloads: HashMap::new(),
+            next_msg: 0,
+            next_req: 0,
+            stats: TrafficStats::default(),
+            config: oracle.config().clone(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the network has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Traffic counters.
+    #[must_use]
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Immutable view of a node's state (tests, diagnostics).
+    #[must_use]
+    pub fn node(&self, id: Id) -> Option<&NodeState> {
+        self.nodes.get(&id)
+    }
+
+    /// Current simulated time (ms).
+    #[must_use]
+    pub fn now(&self) -> u64 {
+        self.queue.now()
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        self.next_req += 1;
+        self.next_req
+    }
+
+    fn post(&mut self, from: Id, to: Id, msg: Payload) {
+        let d = if from == to { 0 } else { (self.delay)(from, to) };
+        let seq = self.next_msg;
+        self.next_msg += 1;
+        self.payloads.insert(seq, msg);
+        self.queue.schedule_in(d, Envelope { from, to, msg_seq: seq });
+    }
+
+    /// Runs the queue until a message matching `stop` arrives at
+    /// `watch_node` (that message is consumed and returned), or the
+    /// queue drains (returns `None`).
+    fn run_until(
+        &mut self,
+        watch_node: Id,
+        stop: impl Fn(&Payload) -> bool,
+    ) -> Option<(Id, Payload, u64)> {
+        while let Some((at, env)) = self.queue.pop() {
+            let msg = self.payloads.remove(&env.msg_seq).expect("payload stored at post");
+            self.stats.count(msg.kind());
+            if env.to == watch_node && stop(&msg) {
+                return Some((env.from, msg, at));
+            }
+            let Some(node) = self.nodes.get_mut(&env.to) else {
+                continue; // message to a vanished node: dropped
+            };
+            for (dest, out) in node.handle(env.from, msg) {
+                self.post(env.to, dest, out);
+            }
+        }
+        None
+    }
+
+    /// Message-driven hierarchical lookup from `origin` (§3.2).
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a member or the network loses the
+    /// request (a protocol bug, surfaced loudly).
+    #[must_use]
+    pub fn lookup(&mut self, origin: Id, key: Key) -> LookupOutcome {
+        let depth = self.nodes.get(&origin).expect("origin must exist").depth() as u8;
+        let req = self.fresh_req();
+        let start = self.queue.now();
+        // The originator processes the FindSucc locally first.
+        self.post(origin, origin, Payload::FindSucc { key, layer: depth, origin, req, hops: 0 });
+        let (_, msg, at) = self
+            .run_until(origin, |m| matches!(m, Payload::FoundSucc { req: r, .. } if *r == req))
+            .expect("lookup lost in the network");
+        match msg {
+            Payload::FoundSucc { owner, hops, .. } => {
+                // The routing latency the paper measures is the chain of
+                // FindSucc forwardings; subtract the owner's direct
+                // response leg (owner == origin ⇔ zero hops, no leg).
+                let response_leg =
+                    if owner == origin { 0 } else { (self.delay)(owner, origin) };
+                LookupOutcome { owner, hops, latency_ms: at - start - response_leg }
+            }
+            _ => unreachable!("run_until matched FoundSucc"),
+        }
+    }
+
+    /// RPC helper for drivers: send `msg` to `to` on behalf of
+    /// `driver`, then run until the matching reply arrives back.
+    fn rpc(
+        &mut self,
+        driver: Id,
+        to: Id,
+        msg: Payload,
+        matches: impl Fn(&Payload) -> bool,
+    ) -> Payload {
+        self.post(driver, to, msg);
+        let (_, reply, _) =
+            self.run_until(driver, matches).expect("rpc reply lost in the network");
+        reply
+    }
+
+    /// Resolves the owner of `key` by routing from `via` (an existing
+    /// member) — the "ordinary Chord routing procedure" §3.3 uses for
+    /// ring-table requests. Driver-initiated, so usable before the
+    /// driver has joined.
+    fn resolve_via(&mut self, driver: Id, via: Id, key: Key, layer: u8) -> (Id, u32) {
+        let req = self.fresh_req();
+        let msg = Payload::FindSucc { key, layer, origin: driver, req, hops: 0 };
+        let reply = self.rpc(driver, via, msg, |m| {
+            matches!(m, Payload::FoundSucc { req: r, .. } if *r == req)
+        });
+        match reply {
+            Payload::FoundSucc { owner, hops, .. } => (owner, hops),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Executes the §3.3 join choreography for a new node.
+    ///
+    /// `bootstrap` is the nearby member n′; `rtts` are the newcomer's
+    /// measured RTTs to the landmark set (the ping phase happens
+    /// outside the overlay). Steps, each a real message exchange:
+    ///
+    /// 1. fetch the landmark table from n′;
+    /// 2. bin locally → landmark order → ring names per layer;
+    /// 3. resolve the layer-1 successor through n′ and splice into the
+    ///    global ring (GetPred / Notify / UpdateSucc);
+    /// 4. for each lower layer: route a ring-table request to the
+    ///    holder, fetch the table, enter through a recorded member,
+    ///    splice into the ring, copy the entry point's finger table as
+    ///    the initial approximation, and send the ring-table
+    ///    modification message if the newcomer's id belongs in the
+    ///    table (founding the ring if it did not exist).
+    ///
+    /// # Panics
+    /// Panics if `new_id` already exists or `bootstrap` does not.
+    pub fn join(&mut self, new_id: Id, bootstrap: Id, rtts: &[u16]) -> JoinOutcome {
+        assert!(!self.nodes.contains_key(&new_id), "node already joined");
+        assert!(self.nodes.contains_key(&bootstrap), "bootstrap unknown");
+        let start_total = self.stats.total;
+        let start_time = self.queue.now();
+        let space = self.nodes[&bootstrap].space;
+        let bits = space.bits();
+        let depth = self.config.depth;
+
+        // Step 1: landmark table from n'.
+        let req = self.fresh_req();
+        let reply = self.rpc(new_id, bootstrap, Payload::GetLandmarks { req }, |m| {
+            matches!(m, Payload::LandmarksAre { req: r, .. } if *r == req)
+        });
+        let landmarks = match reply {
+            Payload::LandmarksAre { landmarks, .. } => landmarks,
+            _ => unreachable!(),
+        };
+
+        // Step 2: bin locally.
+        let order = self.config.binning.order(rtts);
+        let mut layers: Vec<LayerState> = Vec::with_capacity(depth);
+        let mut founded = 0usize;
+
+        // Step 3: global ring (layer 1) through n'.
+        let (g_succ, _) = self.resolve_via(new_id, bootstrap, new_id, 1);
+        layers.push(self.splice_layer(new_id, 1, String::new(), g_succ, bits));
+
+        // Step 4: lower layers.
+        for layer_no in 2..=depth as u8 {
+            let plen = self.config.prefix_len(layer_no as usize);
+            let ring_name = order.prefix(plen).name();
+            let ring_id = order_from_name(&ring_name).ring_id();
+            // Ring-table request routed over the global ring (ordinary
+            // Chord lookup, §3.3).
+            let (holder, _) = self.resolve_via(new_id, bootstrap, ring_id, 1);
+            let req = self.fresh_req();
+            let reply = self.rpc(
+                new_id,
+                holder,
+                Payload::GetRingTable { ring_name: ring_name.clone(), req },
+                |m| matches!(m, Payload::RingTableIs { req: r, .. } if *r == req),
+            );
+            let table = match reply {
+                Payload::RingTableIs { table, .. } => table,
+                _ => unreachable!(),
+            };
+            let entry = table.as_ref().and_then(|t| t.entry_points().first().copied());
+            let ls = match entry {
+                Some(p) if self.nodes.contains_key(&p) => {
+                    // Resolve our in-ring successor through entry point p.
+                    let (succ, _) = self.resolve_via(new_id, p, new_id, layer_no);
+                    let mut ls = self.splice_layer(new_id, layer_no, ring_name.clone(), succ, bits);
+                    // Initial finger approximation: copy p's table (§3.3's
+                    // "p generates the finger table of n and sends it back").
+                    let req = self.fresh_req();
+                    let reply = self.rpc(new_id, p, Payload::GetFingers { layer: layer_no, req }, |m| {
+                        matches!(m, Payload::FingersAre { req: r, .. } if *r == req)
+                    });
+                    if let Payload::FingersAre { fingers, .. } = reply {
+                        ls.fingers = fingers;
+                    }
+                    ls
+                }
+                _ => {
+                    // First member of this ring: found it.
+                    founded += 1;
+                    LayerState::solo(ring_name.clone(), new_id, bits)
+                }
+            };
+            layers.push(ls);
+            // Ring-table modification message (§3.3) — also what creates
+            // the table at the holder for a founded ring.
+            self.post(new_id, holder, Payload::RingTableUpdate { ring_name, node: new_id });
+            self.drain();
+        }
+
+        self.nodes.insert(
+            new_id,
+            NodeState { id: new_id, space, layers, ring_tables: HashMap::new(), landmarks },
+        );
+        JoinOutcome {
+            messages: self.stats.total - start_total,
+            duration_ms: self.queue.now() - start_time,
+            rings_joined: depth,
+            rings_founded: founded,
+        }
+    }
+
+    /// Splices the joining node between `succ` and `succ`'s current
+    /// predecessor in `layer`: GetPred(succ) → adopt pred →
+    /// Notify(succ) → UpdateSucc(pred). Returns the new layer state.
+    fn splice_layer(
+        &mut self,
+        new_id: Id,
+        layer: u8,
+        ring_name: String,
+        succ: Id,
+        bits: u32,
+    ) -> LayerState {
+        if succ == new_id {
+            return LayerState::solo(ring_name, new_id, bits);
+        }
+        let req = self.fresh_req();
+        let reply = self.rpc(new_id, succ, Payload::GetPred { layer, req }, |m| {
+            matches!(m, Payload::PredIs { req: r, .. } if *r == req)
+        });
+        let pred = match reply {
+            Payload::PredIs { pred, .. } => pred,
+            _ => unreachable!(),
+        };
+        self.post(new_id, succ, Payload::Notify { layer });
+        if let Some(p) = pred.filter(|&p| p != new_id && p != succ) {
+            self.post(new_id, p, Payload::UpdateSucc { layer });
+        }
+        self.drain();
+        LayerState {
+            ring_name,
+            succ,
+            // Until told otherwise we sit between succ's old pred and succ.
+            pred: pred.or(Some(succ)),
+            fingers: vec![None; bits as usize],
+        }
+    }
+
+    /// Delivers everything currently in flight.
+    fn drain(&mut self) {
+        while let Some((_, env)) = self.queue.pop() {
+            let msg = self.payloads.remove(&env.msg_seq).expect("payload stored");
+            self.stats.count(msg.kind());
+            let Some(node) = self.nodes.get_mut(&env.to) else { continue };
+            for (dest, out) in node.handle(env.from, msg) {
+                self.post(env.to, dest, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieras_core::{Binning, HierasConfig};
+    use hieras_id::IdSpace;
+    use std::sync::Arc;
+
+    fn build(n: u64, depth: usize) -> (HierasOracle, Vec<Vec<u16>>) {
+        let ids: Arc<[Id]> = (0..n)
+            .map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)))
+            .collect::<Vec<_>>()
+            .into();
+        let rtts: Vec<Vec<u16>> = (0..n)
+            .map(|i| {
+                vec![
+                    if i % 2 == 0 { 5 } else { 150 },
+                    if i % 4 < 2 { 10 } else { 130 },
+                ]
+            })
+            .collect();
+        let o = HierasOracle::from_rtts(
+            IdSpace::full(),
+            ids,
+            &rtts,
+            HierasConfig { depth, landmarks: 2, binning: Binning::paper() },
+        )
+        .unwrap();
+        (o, rtts)
+    }
+
+    /// Link delay model for tests: cheap within a ring-mate pair,
+    /// expensive otherwise — but any deterministic function works.
+    fn delay(a: Id, b: Id) -> u64 {
+        5 + (a.raw() ^ b.raw()) % 90
+    }
+
+    #[test]
+    fn message_lookup_matches_oracle_hop_for_hop() {
+        let (o, _) = build(40, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        for k in 0..120u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            let src = (k % 40) as u32;
+            let oracle_trace = o.route(src, key);
+            let got = net.lookup(o.id_of(src), key);
+            assert_eq!(got.owner, o.id_of(oracle_trace.destination()), "key {k}");
+            assert_eq!(got.hops as usize, oracle_trace.hop_count(), "key {k}");
+        }
+    }
+
+    #[test]
+    fn lookup_latency_accumulates_link_delays() {
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[], delay);
+        let key = Id(0xdead_beef);
+        let src = o.id_of(3);
+        let out = net.lookup(src, key);
+        // Latency counts the FindSucc chain; zero hops → zero latency.
+        if out.hops == 0 {
+            assert_eq!(out.latency_ms, 0);
+        } else {
+            assert!(out.latency_ms >= u64::from(out.hops) * 5);
+        }
+    }
+
+    #[test]
+    fn join_integrates_new_node_into_all_layers() {
+        let (o, _) = build(40, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let new_id = Id(0x7777_7777_7777_7777);
+        let bootstrap = o.id_of(0);
+        let outcome = net.join(new_id, bootstrap, &[5, 10]); // ring "00"
+        assert_eq!(outcome.rings_joined, 2);
+        assert!(outcome.messages >= 8, "join used only {} messages", outcome.messages);
+        assert!(net.node(new_id).is_some());
+        let state = net.node(new_id).unwrap();
+        assert_eq!(state.layer(2).ring_name, "00");
+        // The newcomer resolves lookups & is found by others:
+        let out = net.lookup(new_id, Id(123456));
+        assert_eq!(out.owner, net.node(out.owner).unwrap().id);
+        // Keys directly behind the new node now belong to it.
+        let probe = net.lookup(bootstrap, new_id);
+        assert_eq!(probe.owner, new_id, "existing nodes must find the newcomer");
+    }
+
+    #[test]
+    fn join_founds_a_new_ring_when_bin_is_empty() {
+        let (o, _) = build(20, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let new_id = Id(0x1234_5678_9abc_def0);
+        // RTTs that produce a bin no existing node occupies: "20".
+        let outcome = net.join(new_id, o.id_of(0), &[150, 10]);
+        assert_eq!(outcome.rings_founded, 1);
+        let s = net.node(new_id).unwrap();
+        assert_eq!(s.layer(2).ring_name, "20");
+        assert_eq!(s.layer(2).succ, new_id); // solo ring
+        // The ring table now exists at its holder.
+        let ring_id = order_from_name("20").ring_id();
+        let holder = net.lookup(o.id_of(0), ring_id).owner;
+        let held = net.node(holder).unwrap().ring_tables.get("20").unwrap();
+        assert_eq!(held.entry_points(), &[new_id]);
+    }
+
+    #[test]
+    fn sequential_joins_preserve_lookup_correctness() {
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let mut members: Vec<Id> = (0..30).map(|i| o.id_of(i)).collect();
+        for j in 0..6u64 {
+            let new_id = Id(0x0101_0101_0101_0101u64.wrapping_mul(j + 1));
+            let rtts = if j % 2 == 0 { vec![5, 10] } else { vec![150, 130] };
+            net.join(new_id, members[j as usize % members.len()], &rtts);
+            members.push(new_id);
+        }
+        // Every key resolves to the node whose id is its true successor.
+        let mut sorted = members.clone();
+        sorted.sort_unstable();
+        for k in 0..60u64 {
+            let key = Id(k.wrapping_mul(0xabcd_ef01_2345_6789));
+            let want = *sorted.iter().find(|&&m| m >= key).unwrap_or(&sorted[0]);
+            let got = net.lookup(members[(k % members.len() as u64) as usize], key);
+            assert_eq!(got.owner, want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn traffic_stats_categorize_messages() {
+        let (o, _) = build(25, 2);
+        let mut net = SimNet::from_oracle(&o, &[1], delay);
+        let _ = net.lookup(o.id_of(1), Id(42));
+        let stats = net.stats();
+        assert!(stats.total > 0);
+        assert!(stats.by_kind.contains_key("found_succ"));
+        let before = stats.total;
+        let _ = net.join(Id(0x4242_4242_4242_4242), o.id_of(0), &[5, 10]);
+        assert!(net.stats().total > before);
+        assert!(net.stats().by_kind.contains_key("get_ring_table"));
+        assert!(net.stats().by_kind.contains_key("ring_table_update"));
+        assert!(net.stats().by_kind.contains_key("get_landmarks"));
+    }
+
+    #[test]
+    fn deeper_hierarchy_joins_every_layer() {
+        let (o, _) = build(40, 3);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let new_id = Id(0x0f0f_0f0f_0f0f_0f0f);
+        let outcome = net.join(new_id, o.id_of(2), &[5, 10]);
+        assert_eq!(outcome.rings_joined, 3);
+        let s = net.node(new_id).unwrap();
+        assert_eq!(s.depth(), 3);
+        // Layer ring names are prefixes of each other (nesting).
+        let n2 = s.layer(2).ring_name.clone();
+        let n3 = s.layer(3).ring_name.clone();
+        assert!(n3.starts_with(&n2));
+    }
+}

@@ -1,0 +1,358 @@
+//! Per-node protocol state and the pure message handler.
+
+use crate::Payload;
+use hieras_core::{HierasOracle, RingTable};
+use hieras_id::{Id, IdSpace, Key};
+use std::collections::HashMap;
+
+/// One ring membership: the node's routing state in a single layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerState {
+    /// Ring name (empty string for the global ring).
+    pub ring_name: String,
+    /// Ring successor.
+    pub succ: Id,
+    /// Ring predecessor (`None` until learned).
+    pub pred: Option<Id>,
+    /// Finger table, one entry per id bit; `None` = not yet resolved.
+    pub fingers: Vec<Option<Id>>,
+}
+
+impl LayerState {
+    /// A single-member ring (a node founding a new ring, or the first
+    /// node of the system).
+    #[must_use]
+    pub fn solo(ring_name: String, me: Id, bits: u32) -> Self {
+        LayerState { ring_name, succ: me, pred: Some(me), fingers: vec![None; bits as usize] }
+    }
+}
+
+/// A node's complete protocol state.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// This node's identifier.
+    pub id: Id,
+    /// The identifier space.
+    pub space: IdSpace,
+    /// Per-layer state; index 0 = layer 1 (global), last = lowest.
+    pub layers: Vec<LayerState>,
+    /// Ring tables this node stores (it is their holder).
+    pub ring_tables: HashMap<String, RingTable>,
+    /// Landmark router ids (the landmark table of §3.1).
+    pub landmarks: Vec<u32>,
+}
+
+impl NodeState {
+    /// The hierarchy depth this node participates in.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer state by 1-based layer number.
+    ///
+    /// # Panics
+    /// Panics if `layer` is outside `1..=depth`.
+    #[must_use]
+    pub fn layer(&self, layer: u8) -> &LayerState {
+        &self.layers[layer as usize - 1]
+    }
+
+    /// Mutable layer state by 1-based layer number.
+    pub fn layer_mut(&mut self, layer: u8) -> &mut LayerState {
+        &mut self.layers[layer as usize - 1]
+    }
+
+    /// True if this node owns `key` within its layer-`layer` ring:
+    /// `key ∈ (pred, me]`. Nodes without a predecessor pointer answer
+    /// `false` (they cannot prove ownership yet).
+    #[must_use]
+    pub fn owns_in_layer(&self, layer: u8, key: Key) -> bool {
+        let ls = self.layer(layer);
+        match ls.pred {
+            Some(p) => self.space.in_open_closed(p, self.id, key),
+            None => false,
+        }
+    }
+
+    /// Chord forwarding choice within one layer: the closest preceding
+    /// candidate for `key` among fingers and the successor; falls back
+    /// to the successor.
+    #[must_use]
+    pub fn next_hop_in_layer(&self, layer: u8, key: Key) -> Id {
+        let ls = self.layer(layer);
+        let mut best: Option<Id> = None;
+        let mut consider = |cand: Id| {
+            if cand != self.id && self.space.in_open(self.id, key, cand) {
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => self.space.closer_predecessor(key, cand, b),
+                });
+            }
+        };
+        for f in ls.fingers.iter().rev().flatten() {
+            consider(*f);
+        }
+        consider(ls.succ);
+        best.unwrap_or(ls.succ)
+    }
+
+    /// The §3.2 routing step for an incoming [`Payload::FindSucc`]:
+    /// ascend through every layer this node owns the key in; if the
+    /// global layer is reached the lookup is answered, otherwise the
+    /// message is forwarded within the first layer that still needs
+    /// routing. Returns the messages to emit.
+    fn on_find_succ(&self, key: Key, mut layer: u8, origin: Id, req: u64, hops: u32) -> Vec<(Id, Payload)> {
+        loop {
+            if self.owns_in_layer(layer, key) {
+                if layer == 1 {
+                    return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
+                }
+                layer -= 1; // ascend toward the global ring
+                continue;
+            }
+            break;
+        }
+        let next = self.next_hop_in_layer(layer, key);
+        if next == self.id {
+            // Degenerate solo ring that doesn't own the key can only
+            // happen at layer 1 with one node — which owns everything —
+            // so reaching here means state corruption.
+            return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
+        }
+        vec![(next, Payload::FindSucc { key, layer, origin, req, hops: hops + 1 })]
+    }
+
+    /// Handles one incoming message, returning the messages to send.
+    /// Pure with respect to the transport: no I/O, no clocks.
+    pub fn handle(&mut self, from: Id, msg: Payload) -> Vec<(Id, Payload)> {
+        match msg {
+            Payload::FindSucc { key, layer, origin, req, hops } => {
+                self.on_find_succ(key, layer, origin, req, hops)
+            }
+            Payload::FoundSucc { .. } => Vec::new(), // consumed by drivers
+            Payload::GetPred { layer, req } => {
+                let pred = self.layer(layer).pred;
+                vec![(from, Payload::PredIs { layer, pred, req })]
+            }
+            Payload::PredIs { .. } => Vec::new(), // consumed by drivers
+            Payload::Notify { layer } => {
+                let me = self.id;
+                let space = self.space;
+                let ls = self.layer_mut(layer);
+                let adopt = match ls.pred {
+                    None => true,
+                    Some(p) => p == me || space.in_open(p, me, from),
+                };
+                if adopt && from != me {
+                    ls.pred = Some(from);
+                }
+                Vec::new()
+            }
+            Payload::UpdateSucc { layer } => {
+                let me = self.id;
+                let space = self.space;
+                let ls = self.layer_mut(layer);
+                // Accept only if the sender actually sits between us and
+                // our current successor (or we are solo).
+                if from != me && (ls.succ == me || space.in_open(me, ls.succ, from)) {
+                    ls.succ = from;
+                }
+                Vec::new()
+            }
+            Payload::GetRingTable { ring_name, req } => {
+                let table = self.ring_tables.get(&ring_name).cloned();
+                vec![(from, Payload::RingTableIs { table, req })]
+            }
+            Payload::RingTableIs { .. } => Vec::new(), // consumed by drivers
+            Payload::RingTableUpdate { ring_name, node } => {
+                let table = self
+                    .ring_tables
+                    .entry(ring_name.clone())
+                    .or_insert_with(|| {
+                        RingTable::new(&order_from_name(&ring_name))
+                    });
+                table.observe(node);
+                Vec::new()
+            }
+            Payload::GetFingers { layer, req } => {
+                let fingers = self.layer(layer).fingers.clone();
+                vec![(from, Payload::FingersAre { layer, fingers, req })]
+            }
+            Payload::FingersAre { .. } => Vec::new(), // consumed by drivers
+            Payload::GetLandmarks { req } => {
+                vec![(from, Payload::LandmarksAre { landmarks: self.landmarks.clone(), req })]
+            }
+            Payload::LandmarksAre { .. } => Vec::new(), // consumed by drivers
+        }
+    }
+}
+
+/// Parses a ring name back into a [`hieras_core::LandmarkOrder`]
+/// (digit characters '0'–'9').
+#[must_use]
+pub(crate) fn order_from_name(name: &str) -> hieras_core::LandmarkOrder {
+    hieras_core::LandmarkOrder(name.bytes().map(|b| b.saturating_sub(b'0')).collect())
+}
+
+/// Extracts every node's protocol state from a built oracle — the
+/// "warm bootstrap" used to initialize transports with a consistent,
+/// fully stabilized network.
+#[must_use]
+pub fn states_from_oracle(oracle: &HierasOracle, landmarks: &[u32]) -> Vec<NodeState> {
+    let space = oracle.space();
+    let bits = space.bits() as usize;
+    let n = oracle.len();
+    let mut states: Vec<NodeState> = (0..n as u32)
+        .map(|node| NodeState {
+            id: oracle.id_of(node),
+            space,
+            layers: Vec::with_capacity(oracle.layers().len()),
+            ring_tables: HashMap::new(),
+            landmarks: landmarks.to_vec(),
+        })
+        .collect();
+    for layer in oracle.layers() {
+        for (name, ring) in layer.rings() {
+            for (pos, &member) in ring.members().iter().enumerate() {
+                let pos = pos as u32;
+                let succ = oracle.id_of(ring.node_at(ring.successor(pos)));
+                let pred = oracle.id_of(ring.node_at(ring.predecessor(pos)));
+                let mut fingers = vec![None; bits];
+                for (i, f) in fingers.iter_mut().enumerate() {
+                    *f = Some(oracle.id_of(ring.node_at(ring.finger(pos, i as u32))));
+                }
+                states[member as usize].layers.push(LayerState {
+                    ring_name: name.name(),
+                    succ,
+                    pred: Some(pred),
+                    fingers,
+                });
+            }
+        }
+    }
+    // Ring tables live at their holders.
+    for table in oracle.ring_tables().values() {
+        let holder = oracle.ring_table_holder(table.ring_id);
+        states[holder as usize].ring_tables.insert(table.ring_name.clone(), table.clone());
+    }
+    states
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieras_core::{Binning, HierasConfig};
+    use std::sync::Arc;
+
+    fn oracle() -> HierasOracle {
+        let ids: Arc<[Id]> = (0..16u64)
+            .map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect::<Vec<_>>()
+            .into();
+        let rtts: Vec<Vec<u16>> =
+            (0..16).map(|i| vec![if i % 2 == 0 { 5 } else { 150 }, 30]).collect();
+        HierasOracle::from_rtts(
+            IdSpace::full(),
+            ids,
+            &rtts,
+            HierasConfig { depth: 2, landmarks: 2, binning: Binning::paper() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn states_from_oracle_are_complete() {
+        let o = oracle();
+        let states = states_from_oracle(&o, &[7, 9]);
+        assert_eq!(states.len(), 16);
+        for s in &states {
+            assert_eq!(s.depth(), 2);
+            assert_eq!(s.landmarks, vec![7, 9]);
+            for l in &s.layers {
+                assert!(l.pred.is_some());
+                assert!(l.fingers.iter().all(Option::is_some));
+            }
+        }
+        // Ring tables distributed to holders only.
+        let held: usize = states.iter().map(|s| s.ring_tables.len()).sum();
+        assert_eq!(held, o.ring_tables().len());
+    }
+
+    #[test]
+    fn ownership_matches_oracle() {
+        let o = oracle();
+        let states = states_from_oracle(&o, &[]);
+        for k in 0..50u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            let owner = o.owner_of(key);
+            for (i, s) in states.iter().enumerate() {
+                assert_eq!(
+                    s.owns_in_layer(1, key),
+                    i as u32 == owner,
+                    "node {i} key {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn get_pred_and_fingers_roundtrip() {
+        let o = oracle();
+        let mut states = states_from_oracle(&o, &[]);
+        let asker = states[1].id;
+        let out = states[0].handle(asker, Payload::GetPred { layer: 1, req: 9 });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, asker);
+        match &out[0].1 {
+            Payload::PredIs { pred, req: 9, .. } => assert!(pred.is_some()),
+            other => panic!("unexpected {other:?}"),
+        }
+        let out = states[0].handle(asker, Payload::GetFingers { layer: 2, req: 1 });
+        match &out[0].1 {
+            Payload::FingersAre { fingers, .. } => assert_eq!(fingers.len(), 64),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn notify_adopts_closer_predecessor_only() {
+        let o = oracle();
+        let mut states = states_from_oracle(&o, &[]);
+        let me = states[0].id;
+        let old_pred = states[0].layer(1).pred.unwrap();
+        // A node *behind* the current predecessor must not displace it.
+        let space = states[0].space;
+        let worse = space.sub(old_pred, 1);
+        let out = states[0].handle(worse, Payload::Notify { layer: 1 });
+        assert!(out.is_empty());
+        assert_eq!(states[0].layer(1).pred, Some(old_pred));
+        // A node between pred and me is adopted.
+        let better = space.sub(me, 1);
+        if better != old_pred {
+            states[0].handle(better, Payload::Notify { layer: 1 });
+            assert_eq!(states[0].layer(1).pred, Some(better));
+        }
+    }
+
+    #[test]
+    fn ring_table_update_creates_table_on_demand() {
+        let o = oracle();
+        let mut states = states_from_oracle(&o, &[]);
+        let sender = states[4].id;
+        let out = states[3].handle(
+            sender,
+            Payload::RingTableUpdate { ring_name: "99".into(), node: Id(42) },
+        );
+        assert!(out.is_empty());
+        let t = states[3].ring_tables.get("99").unwrap();
+        assert_eq!(t.entry_points(), &[Id(42)]);
+    }
+
+    #[test]
+    fn order_from_name_roundtrips() {
+        let o = order_from_name("0212");
+        assert_eq!(o.0, vec![0, 2, 1, 2]);
+        assert_eq!(o.name(), "0212");
+    }
+}

@@ -1,0 +1,217 @@
+//! Real-concurrency transport: one OS thread per node, crossbeam
+//! channels, serialized frames.
+//!
+//! The same pure handler that drives [`crate::SimNet`] runs here under
+//! genuine parallel delivery — no simulated clock, no global lock
+//! around the network. Each node thread owns its [`NodeState`]
+//! exclusively (share-nothing actor style, per the hpc-parallel
+//! guides); the only shared structure is the immutable routing map
+//! from node id to channel sender.
+//!
+//! Scope: lookups against a bootstrapped (already stabilized) network.
+//! Join choreography is exercised deterministically in `SimNet`; this
+//! transport exists to prove the handler is thread-safe and the wire
+//! format complete.
+
+use crate::state::states_from_oracle;
+use crate::wire::{decode, encode, Frame};
+use crate::Payload;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hieras_core::HierasOracle;
+use hieras_id::{Id, Key};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Channel item: a serialized frame, or the stop signal.
+enum WireMsg {
+    /// A serialized [`Frame`].
+    Frame(bytes::Bytes),
+    /// Orderly shutdown request for the node thread.
+    Stop,
+}
+
+/// Shared, immutable-after-construction routing table.
+struct Fabric {
+    routes: HashMap<Id, Sender<WireMsg>>,
+    /// Lookup responses are delivered here, keyed by origin id.
+    client_inbox: Mutex<HashMap<Id, Sender<Frame>>>,
+}
+
+impl Fabric {
+    fn send(&self, frame: &Frame) {
+        // Responses to a client driver are intercepted by id.
+        if let Some(tx) = self.client_inbox.lock().get(&frame.to) {
+            let _ = tx.send(frame.clone());
+            return;
+        }
+        if let Some(tx) = self.routes.get(&frame.to) {
+            let _ = tx.send(WireMsg::Frame(encode(frame)));
+        }
+    }
+}
+
+/// A running threaded HIERAS network.
+pub struct ThreadNet {
+    fabric: Arc<Fabric>,
+    handles: Vec<JoinHandle<u64>>,
+    node_ids: Vec<Id>,
+    next_req: std::sync::atomic::AtomicU64,
+}
+
+impl ThreadNet {
+    /// Spawns one thread per node, bootstrapped from a built oracle.
+    #[must_use]
+    pub fn spawn(oracle: &HierasOracle, landmarks: &[u32]) -> Self {
+        let states = states_from_oracle(oracle, landmarks);
+        let node_ids: Vec<Id> = states.iter().map(|s| s.id).collect();
+        let mut routes = HashMap::with_capacity(states.len());
+        let mut inboxes: Vec<(crate::NodeState, Receiver<WireMsg>)> =
+            Vec::with_capacity(states.len());
+        for state in states {
+            let (tx, rx) = unbounded::<WireMsg>();
+            routes.insert(state.id, tx);
+            inboxes.push((state, rx));
+        }
+        let fabric = Arc::new(Fabric { routes, client_inbox: Mutex::new(HashMap::new()) });
+        let handles = inboxes
+            .into_iter()
+            .map(|(mut state, rx)| {
+                let fabric = Arc::clone(&fabric);
+                std::thread::spawn(move || {
+                    let mut processed = 0u64;
+                    while let Ok(item) = rx.recv() {
+                        let raw = match item {
+                            WireMsg::Frame(raw) => raw,
+                            WireMsg::Stop => break,
+                        };
+                        let frame = decode(&raw).expect("peers only send valid frames");
+                        processed += 1;
+                        for (to, payload) in state.handle(frame.from, frame.payload) {
+                            fabric.send(&Frame { from: state.id, to, payload });
+                        }
+                    }
+                    processed
+                })
+            })
+            .collect();
+        ThreadNet {
+            fabric,
+            handles,
+            node_ids,
+            next_req: std::sync::atomic::AtomicU64::new(1),
+        }
+    }
+
+    /// The ids of all running nodes.
+    #[must_use]
+    pub fn node_ids(&self) -> &[Id] {
+        &self.node_ids
+    }
+
+    /// Performs a hierarchical lookup, injecting the request at
+    /// `origin`'s lowest layer and blocking until the owner's response
+    /// arrives. The response is routed to a transient client address.
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a member, or if the network drops the
+    /// request (all node threads are alive by construction).
+    #[must_use]
+    pub fn lookup(&self, origin: Id, key: Key, depth: u8) -> (Id, u32) {
+        assert!(self.node_ids.contains(&origin), "origin must be a member");
+        let req = self.next_req.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // A unique client address per request keeps concurrent lookups apart.
+        let client = Id(0x8000_0000_0000_0000u64 | req);
+        let (tx, rx) = unbounded::<Frame>();
+        self.fabric.client_inbox.lock().insert(client, tx);
+        self.fabric.send(&Frame {
+            from: client,
+            to: origin,
+            payload: Payload::FindSucc { key, layer: depth, origin: client, req, hops: 0 },
+        });
+        let reply = rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("lookup timed out — network wedged");
+        self.fabric.client_inbox.lock().remove(&client);
+        match reply.payload {
+            Payload::FoundSucc { owner, hops, .. } => (owner, hops),
+            other => panic!("client received unexpected message {other:?}"),
+        }
+    }
+
+    /// Shuts the network down (stop signal to every node thread, then
+    /// join), returning the total number of messages processed.
+    #[must_use]
+    pub fn shutdown(self) -> u64 {
+        for tx in self.fabric.routes.values() {
+            let _ = tx.send(WireMsg::Stop);
+        }
+        self.handles.into_iter().map(|h| h.join().unwrap_or(0)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieras_core::{Binning, HierasConfig};
+    use hieras_id::IdSpace;
+    use std::sync::Arc as StdArc;
+
+    fn oracle(n: u64) -> HierasOracle {
+        let ids: StdArc<[Id]> = (0..n)
+            .map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(3)))
+            .collect::<Vec<_>>()
+            .into();
+        let rtts: Vec<Vec<u16>> =
+            (0..n).map(|i| vec![if i % 2 == 0 { 5 } else { 150 }, 40]).collect();
+        HierasOracle::from_rtts(
+            IdSpace::full(),
+            ids,
+            &rtts,
+            HierasConfig { depth: 2, landmarks: 2, binning: Binning::paper() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn threaded_lookups_match_oracle() {
+        let o = oracle(16);
+        let net = ThreadNet::spawn(&o, &[1, 2]);
+        for k in 0..40u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            let src = o.id_of((k % 16) as u32);
+            let (owner, hops) = net.lookup(src, key, 2);
+            let trace = o.route((k % 16) as u32, key);
+            assert_eq!(owner, o.id_of(trace.destination()), "key {k}");
+            assert_eq!(hops as usize, trace.hop_count(), "key {k}");
+        }
+        let _ = net.shutdown();
+    }
+
+    #[test]
+    fn concurrent_lookups_from_multiple_client_threads() {
+        let o = oracle(12);
+        let net = StdArc::new(ThreadNet::spawn(&o, &[]));
+        let owners: Vec<Id> =
+            (0..60u64).map(|k| o.id_of(o.route(0, Id(k * 977 + 5)).destination())).collect();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let net = StdArc::clone(&net);
+                let o = &o;
+                let owners = &owners;
+                s.spawn(move || {
+                    for k in (t..60).step_by(4) {
+                        let key = Id(k * 977 + 5);
+                        let src = o.id_of((k % 12) as u32);
+                        let (owner, _) = net.lookup(src, key, 2);
+                        assert_eq!(owner, owners[k as usize], "key {k}");
+                    }
+                });
+            }
+        });
+        let net = StdArc::try_unwrap(net).unwrap_or_else(|_| panic!("net still shared"));
+        let processed = net.shutdown();
+        assert!(processed >= 60, "only {processed} messages processed");
+    }
+}

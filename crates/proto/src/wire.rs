@@ -1,0 +1,78 @@
+//! Wire format: length-free, self-describing JSON frames in
+//! [`bytes::Bytes`].
+//!
+//! The thread transport serializes every message before it crosses a
+//! channel, proving the protocol state machine is fully
+//! serializable — nothing in [`crate::Payload`] smuggles process-local
+//! references. JSON keeps frames debuggable; a production deployment
+//! would swap in a binary codec behind the same two functions.
+
+use crate::Payload;
+use bytes::Bytes;
+use hieras_id::Id;
+use serde::{Deserialize, Serialize};
+
+/// A framed protocol message: source, destination, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Sender id.
+    pub from: Id,
+    /// Destination id.
+    pub to: Id,
+    /// The protocol payload.
+    pub payload: Payload,
+}
+
+/// Encodes a frame.
+///
+/// # Panics
+/// Panics if serialization fails (impossible for these types — all
+/// fields are plain data).
+#[must_use]
+pub fn encode(frame: &Frame) -> Bytes {
+    Bytes::from(serde_json::to_vec(frame).expect("Payload is plain data"))
+}
+
+/// Decodes a frame.
+///
+/// # Errors
+/// Returns the underlying JSON error for malformed input.
+pub fn decode(bytes: &Bytes) -> Result<Frame, serde_json::Error> {
+    serde_json::from_slice(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_variant() {
+        let frames = vec![
+            Payload::FindSucc { key: Id(7), layer: 2, origin: Id(1), req: 3, hops: 4 },
+            Payload::FoundSucc { key: Id(7), owner: Id(9), req: 3, hops: 6 },
+            Payload::GetPred { layer: 1, req: 1 },
+            Payload::PredIs { layer: 1, pred: Some(Id(5)), req: 1 },
+            Payload::Notify { layer: 2 },
+            Payload::UpdateSucc { layer: 1 },
+            Payload::GetRingTable { ring_name: "012".into(), req: 8 },
+            Payload::RingTableIs { table: None, req: 8 },
+            Payload::RingTableUpdate { ring_name: "012".into(), node: Id(11) },
+            Payload::GetFingers { layer: 2, req: 9 },
+            Payload::FingersAre { layer: 2, fingers: vec![None, Some(Id(3))], req: 9 },
+            Payload::GetLandmarks { req: 2 },
+            Payload::LandmarksAre { landmarks: vec![10, 20], req: 2 },
+        ];
+        for payload in frames {
+            let f = Frame { from: Id(100), to: Id(200), payload };
+            let encoded = encode(&f);
+            let decoded = decode(&encoded).unwrap();
+            assert_eq!(decoded, f);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(&Bytes::from_static(b"not json")).is_err());
+        assert!(decode(&Bytes::from_static(b"{}")).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Discrete-event simulation primitives.
+//!
+//! A minimal, deterministic event queue used by the message-level
+//! protocol engine (`hieras-proto`): events carry a firing time in
+//! simulated milliseconds; ties break by insertion sequence so runs are
+//! reproducible bit-for-bit.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in milliseconds since simulation start.
+pub type SimClock = u64;
+
+/// An event scheduled at a point in simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent<E> {
+    /// Firing time (ms).
+    pub at: SimClock,
+    /// Monotonic insertion sequence (tie-breaker).
+    pub seq: u64,
+    /// The payload.
+    pub event: E,
+}
+
+impl<E: Eq> Ord for TimedEvent<E> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for TimedEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use hieras_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(10, "b");
+/// q.schedule(5, "a");
+/// q.schedule(10, "c"); // same time as "b": FIFO among ties
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E: Eq> {
+    heap: BinaryHeap<Reverse<TimedEvent<E>>>,
+    next_seq: u64,
+    now: SimClock,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// An empty queue at time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+
+    /// Current simulated time: the firing time of the last popped
+    /// event (0 before any pop).
+    #[must_use]
+    pub fn now(&self) -> SimClock {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past — scheduling into the past is a
+    /// protocol-logic bug, not a recoverable condition.
+    pub fn schedule(&mut self, at: SimClock, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {})", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(TimedEvent { at, seq, event }));
+    }
+
+    /// Schedules `event` `delay` ms after the current time.
+    pub fn schedule_in(&mut self, delay: SimClock, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(SimClock, E)> {
+        let Reverse(te) = self.heap.pop()?;
+        self.now = te.at;
+        Some((te.at, te.event))
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(7, "x");
+        assert_eq!(q.now(), 0);
+        let _ = q.pop();
+        assert_eq!(q.now(), 7);
+        q.schedule_in(3, "y");
+        assert_eq!(q.pop(), Some((10, "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(10, 1);
+        let _ = q.pop();
+        q.schedule(5, 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(1, 'a');
+        q.schedule(100, 'z');
+        assert_eq!(q.pop(), Some((1, 'a')));
+        q.schedule_in(2, 'b');
+        assert_eq!(q.pop(), Some((3, 'b')));
+        assert_eq!(q.pop(), Some((100, 'z')));
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Experiment assembly and parallel replay — the paper's §4 pipeline.
+
+use crate::metrics::{Metrics, Sample};
+use crate::Workload;
+use hieras_chord::ChordOracle;
+use hieras_core::{HierasConfig, HierasOracle, LandmarkOrder};
+use hieras_id::{Id, IdSpace};
+use hieras_topology::{BriteConfig, InetConfig, LatencyOracle, Topology, TransitStubConfig};
+use rand::prelude::*;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Which of the paper's three network models to simulate (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// GT-ITM Transit-Stub — the primary model.
+    TransitStub,
+    /// Inet-style power-law AS topology (paper minimum: 3000 nodes).
+    Inet,
+    /// BRITE-style Barabási–Albert with planar delays.
+    Brite,
+}
+
+impl TopologyKind {
+    /// Short name used in figure output ("TS", "Inet", "BRITE").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::TransitStub => "TS",
+            TopologyKind::Inet => "Inet",
+            TopologyKind::Brite => "BRITE",
+        }
+    }
+
+    fn generate(self, peers: usize, seed: u64) -> Topology {
+        match self {
+            TopologyKind::TransitStub => TransitStubConfig::for_peers(peers, seed).generate(),
+            TopologyKind::Inet => InetConfig::for_peers(peers, seed).generate(),
+            TopologyKind::Brite => BriteConfig::for_peers(peers, seed).generate(),
+        }
+    }
+}
+
+/// Full description of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Network model.
+    pub kind: TopologyKind,
+    /// Number of overlay peers (the paper sweeps 1000–10000).
+    pub nodes: usize,
+    /// Number of routing requests to replay (the paper uses 100 000).
+    pub requests: usize,
+    /// HIERAS parameters (depth, landmarks, binning).
+    pub hieras: HierasConfig,
+    /// Master seed: topology, placement, ids and workload all derive
+    /// from it deterministically.
+    pub seed: u64,
+    /// Multiplicative landmark-RTT measurement noise: each RTT is
+    /// scaled by a uniform factor in `[1-noise, 1+noise]` before
+    /// binning. 0.0 reproduces the paper's exact-measurement setting;
+    /// > 0 models `ping` inaccuracy (§2.2 ablation).
+    pub rtt_noise: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper's standard setup at a given network size: TS model,
+    /// 2-layer HIERAS with 4 landmarks, 100 000 requests.
+    #[must_use]
+    pub fn paper(nodes: usize, seed: u64) -> Self {
+        ExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            nodes,
+            requests: 100_000,
+            hieras: HierasConfig::paper(),
+            seed,
+            rtt_noise: 0.0,
+        }
+    }
+}
+
+/// Replay results for both algorithms over the identical workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComparisonResult {
+    /// Chord baseline metrics.
+    pub chord: Metrics,
+    /// HIERAS metrics.
+    pub hieras: Metrics,
+}
+
+/// Per-algorithm view used by sweep helpers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlgoStats {
+    /// The Chord baseline.
+    Chord,
+    /// HIERAS.
+    Hieras,
+}
+
+/// A fully assembled experiment: topology, peer placement, landmark
+/// measurements, and both routing structures over one membership.
+pub struct Experiment {
+    /// The configuration this experiment realizes.
+    pub config: ExperimentConfig,
+    /// The generated internetwork.
+    pub topo: Topology,
+    /// Latency oracle over the router graph.
+    pub lat: LatencyOracle,
+    /// Attachment router of each overlay peer.
+    pub router_of: Vec<u32>,
+    /// Node identifiers (index = peer).
+    pub ids: Arc<[Id]>,
+    /// Landmark routers.
+    pub landmarks: Vec<u32>,
+    /// Landmark orders per peer (after optional noise).
+    pub orders: Vec<LandmarkOrder>,
+    /// The Chord baseline.
+    pub chord: ChordOracle,
+    /// The HIERAS hierarchy.
+    pub hieras: HierasOracle,
+}
+
+impl Experiment {
+    /// Assembles the experiment: generates the topology, places peers,
+    /// measures landmark RTTs, bins, and builds both DHTs.
+    ///
+    /// This is the expensive step (it warms the latency rows of every
+    /// peer router in parallel); [`Experiment::run`] afterwards is pure
+    /// replay.
+    ///
+    /// # Panics
+    /// Panics on invalid configurations (zero nodes) or on the
+    /// astronomically unlikely failure to find distinct 64-bit ids.
+    #[must_use]
+    pub fn build(config: ExperimentConfig) -> Self {
+        assert!(config.nodes > 0, "experiment needs at least one peer");
+        config.hieras.validate().expect("invalid HIERAS config");
+        let topo = config.kind.generate(config.nodes, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
+        let router_of = topo.place_peers(config.nodes, &mut rng);
+        let lat = LatencyOracle::new(topo.graph.clone());
+
+        // Landmarks + per-peer RTT measurement. Only the landmark rows
+        // are needed here (cheap: L Dijkstras).
+        let lm_count = config.hieras.landmarks;
+        let landmarks = if lm_count > 0 {
+            topo.pick_landmarks(lm_count, &lat, &mut rng)
+        } else {
+            Vec::new()
+        };
+        let mut orders = Vec::with_capacity(config.nodes);
+        let binning = &config.hieras.binning;
+        for &r in &router_of {
+            let rtts: Vec<u16> = landmarks.iter().map(|&lm| lat.latency(lm, r)).collect();
+            if config.rtt_noise > 0.0 {
+                let noise: Vec<f64> = (0..rtts.len())
+                    .map(|_| 1.0 + rng.random_range(-config.rtt_noise..=config.rtt_noise))
+                    .collect();
+                orders.push(binning.order_with_noise(&rtts, &noise));
+            } else {
+                orders.push(binning.order(&rtts));
+            }
+        }
+
+        // Unique node identifiers (production path: SHA-1 of a name).
+        let mut seen = HashSet::with_capacity(config.nodes);
+        let mut ids = Vec::with_capacity(config.nodes);
+        for i in 0..config.nodes {
+            let mut salt = 0u32;
+            loop {
+                let id =
+                    Id::hash_of(format!("node-{seed}-{i}-{salt}", seed = config.seed).as_bytes());
+                if seen.insert(id) {
+                    ids.push(id);
+                    break;
+                }
+                salt += 1;
+                assert!(salt < 64, "could not find a distinct id — broken hash?");
+            }
+        }
+        let ids: Arc<[Id]> = ids.into();
+        let space = IdSpace::full();
+        let chord = ChordOracle::build(space, Arc::clone(&ids)).expect("ids are distinct");
+        let hieras =
+            HierasOracle::build(space, Arc::clone(&ids), orders.clone(), config.hieras.clone())
+                .expect("validated config and matching orders");
+
+        // Warm the latency rows every replay hop can touch, in parallel.
+        let mut distinct: Vec<u32> = router_of.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        lat.precompute(&distinct);
+
+        Experiment { config, topo, lat, router_of, ids, landmarks, orders, chord, hieras }
+    }
+
+    /// Link latency between two *peers* (their attachment routers).
+    #[inline]
+    #[must_use]
+    pub fn peer_latency(&self, a: u32, b: u32) -> u16 {
+        self.lat.latency(self.router_of[a as usize], self.router_of[b as usize])
+    }
+
+    /// Replays `requests` random lookups through both algorithms in
+    /// parallel and returns the merged metrics. Deterministic in the
+    /// experiment seed regardless of thread count.
+    #[must_use]
+    pub fn run_requests(&self, requests: usize) -> ComparisonResult {
+        let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
+        let (chord, hieras) = (0..requests)
+            .into_par_iter()
+            .fold(
+                || (Metrics::default(), Metrics::default()),
+                |mut acc, i| {
+                    let (src, key) = w.request(i);
+                    acc.0.record(self.eval_chord(src, key));
+                    acc.1.record(self.eval_hieras(src, key));
+                    acc
+                },
+            )
+            .reduce(
+                || (Metrics::default(), Metrics::default()),
+                |a, b| (a.0.merged(b.0), a.1.merged(b.1)),
+            );
+        ComparisonResult { chord, hieras }
+    }
+
+    /// Replays the configured number of requests.
+    #[must_use]
+    pub fn run(&self) -> ComparisonResult {
+        self.run_requests(self.config.requests)
+    }
+
+    fn eval_chord(&self, src: u32, key: Id) -> Sample {
+        let p = self.chord.lookup(src, key);
+        let mut latency = 0u32;
+        for w in p.path.windows(2) {
+            latency += u32::from(self.peer_latency(w[0], w[1]));
+        }
+        Sample {
+            hops: p.hops() as u32,
+            lower_hops: 0,
+            latency_ms: latency,
+            lower_latency_ms: 0,
+        }
+    }
+
+    fn eval_hieras(&self, src: u32, key: Id) -> Sample {
+        let t = self.hieras.route(src, key);
+        let (total, lower) = t.latency_split(|a, b| self.peer_latency(a, b));
+        Sample {
+            hops: t.hop_count() as u32,
+            lower_hops: t.lower_layer_hops() as u32,
+            latency_ms: total as u32,
+            lower_latency_ms: lower as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            nodes: 300,
+            requests: 2000,
+            hieras: HierasConfig::paper(),
+            seed: 7,
+            rtt_noise: 0.0,
+        }
+    }
+
+    #[test]
+    fn build_produces_consistent_structures() {
+        let e = Experiment::build(small_cfg());
+        assert_eq!(e.ids.len(), 300);
+        assert_eq!(e.router_of.len(), 300);
+        assert_eq!(e.landmarks.len(), 4);
+        assert_eq!(e.chord.len(), 300);
+        assert_eq!(e.hieras.len(), 300);
+        assert!(e.hieras.layers()[1].ring_count() > 1, "binning produced a single ring");
+    }
+
+    #[test]
+    fn hieras_beats_chord_on_latency_in_ts_model() {
+        let e = Experiment::build(small_cfg());
+        let r = e.run();
+        let (c, h) = (r.chord.summary(), r.hieras.summary());
+        assert_eq!(c.requests, 2000);
+        // The paper's headline (Fig. 3): HIERAS latency well below Chord.
+        assert!(
+            h.avg_latency_ms < 0.85 * c.avg_latency_ms,
+            "HIERAS {h:.1?} vs Chord {c:.1?}"
+        );
+        // Hops comparable (within ~15 % — paper: +0.8..3.4 %).
+        assert!(h.avg_hops < 1.15 * c.avg_hops);
+        // A solid share of hops run in the lower layer.
+        assert!(h.lower_hop_share > 0.3, "lower-layer share {}", h.lower_hop_share);
+        // Lower-layer links are cheaper on average than top links.
+        assert!(h.avg_link_delay_lower_ms < c.avg_latency_ms / c.avg_hops);
+    }
+
+    #[test]
+    fn replay_is_deterministic_across_runs() {
+        let e = Experiment::build(small_cfg());
+        let a = e.run_requests(500);
+        let b = e.run_requests(500);
+        assert_eq!(a.chord.total_latency_ms, b.chord.total_latency_ms);
+        assert_eq!(a.hieras.total_hops, b.hieras.total_hops);
+        // And across rebuilds from the same config.
+        let e2 = Experiment::build(small_cfg());
+        let c = e2.run_requests(500);
+        assert_eq!(a.hieras.total_latency_ms, c.hieras.total_latency_ms);
+    }
+
+    #[test]
+    fn destinations_agree_between_algorithms() {
+        let e = Experiment::build(ExperimentConfig { nodes: 120, requests: 0, ..small_cfg() });
+        let w = Workload::new(120, 300, 99);
+        for (src, key) in w.iter() {
+            let c = e.chord.lookup(src, key);
+            let h = e.hieras.route(src, key);
+            assert_eq!(c.owner(), h.destination());
+        }
+    }
+
+    #[test]
+    fn noise_perturbs_binning_but_not_correctness() {
+        let mut cfg = small_cfg();
+        cfg.nodes = 150;
+        cfg.rtt_noise = 0.5;
+        let e = Experiment::build(cfg);
+        let w = Workload::new(150, 200, 3);
+        for (src, key) in w.iter() {
+            assert_eq!(e.hieras.route(src, key).destination(), e.chord.lookup(src, key).owner());
+        }
+    }
+
+    #[test]
+    fn brite_and_inet_models_run() {
+        for kind in [TopologyKind::Brite, TopologyKind::Inet] {
+            let cfg = ExperimentConfig {
+                kind,
+                nodes: 150,
+                requests: 300,
+                hieras: HierasConfig::paper(),
+                seed: 5,
+                rtt_noise: 0.0,
+            };
+            let e = Experiment::build(cfg);
+            let r = e.run();
+            assert_eq!(r.chord.requests, 300);
+            assert!(r.hieras.summary().avg_hops > 0.0);
+            assert_eq!(e.topo.model, if kind == TopologyKind::Brite { "brite" } else { "inet" });
+        }
+    }
+
+    #[test]
+    fn depth1_hieras_equals_chord_metrics() {
+        let cfg = ExperimentConfig {
+            hieras: HierasConfig { depth: 1, landmarks: 0, ..HierasConfig::paper() },
+            nodes: 100,
+            requests: 500,
+            ..small_cfg()
+        };
+        let e = Experiment::build(cfg);
+        let r = e.run();
+        let (c, h) = (r.chord.summary(), r.hieras.summary());
+        assert_eq!(c.avg_hops, h.avg_hops);
+        assert_eq!(c.avg_latency_ms, h.avg_latency_ms);
+        assert_eq!(h.lower_hop_share, 0.0);
+    }
+}

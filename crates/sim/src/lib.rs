@@ -1,0 +1,36 @@
+//! Trace-driven simulation of HIERAS vs. Chord — the paper's §4.
+//!
+//! The pipeline mirrors the paper's evaluation exactly:
+//!
+//! 1. Generate a network model ([`TopologyKind`]: GT-ITM Transit-Stub,
+//!    Inet or BRITE) and place N overlay peers on it.
+//! 2. Pick landmark routers, measure each peer's landmark RTTs through
+//!    the latency oracle, and bin peers into rings.
+//! 3. Build the Chord baseline and the HIERAS hierarchy over the same
+//!    membership.
+//! 4. Replay R uniform-random routing requests (the paper uses
+//!    100 000) through both, collecting hop and latency metrics.
+//!
+//! [`Experiment`] owns steps 1–3; [`Experiment::run`] performs step 4
+//! in parallel (rayon) with deterministic per-request RNG streams, so
+//! the same seed always reproduces the same numbers regardless of
+//! thread count.
+//!
+//! The crate also hosts the discrete-event machinery ([`EventQueue`],
+//! [`SimClock`]) used by the message-level protocol engine
+//! (`hieras-proto`) for churn and join-cost experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod des;
+mod experiment;
+mod metrics;
+mod workload;
+
+pub use des::{EventQueue, SimClock, TimedEvent};
+pub use experiment::{
+    AlgoStats, ComparisonResult, Experiment, ExperimentConfig, TopologyKind,
+};
+pub use metrics::{Cdf, Histogram, Metrics, Summary};
+pub use workload::Workload;

@@ -1,0 +1,391 @@
+//! Metric containers: hop histograms (PDF), latency CDFs, summaries.
+//!
+//! All containers are mergeable so the replay loop can fold per-thread
+//! accumulators and reduce them at the end — no shared mutable state on
+//! the hot path (hpc-parallel guide idiom).
+
+use serde::{Deserialize, Serialize};
+
+/// A dense histogram over small non-negative integers (hop counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count at `value`.
+    #[must_use]
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Largest observed value (0 for an empty histogram).
+    #[must_use]
+    pub fn max_value(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean of the observations (0.0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().enumerate().map(|(v, c)| v as u64 * c).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// The probability density function: `pdf()[v]` = fraction of
+    /// observations equal to `v`. Empty histogram → empty vector.
+    #[must_use]
+    pub fn pdf(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// An empirical CDF over latency samples (milliseconds).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<u32>,
+}
+
+impl Cdf {
+    /// Builds from raw samples (takes ownership, sorts once).
+    #[must_use]
+    pub fn from_samples(mut samples: Vec<u32>) -> Self {
+        samples.sort_unstable();
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if no samples were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`.
+    #[must_use]
+    pub fn at(&self, x: u32) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `p`-quantile (0.0 ≤ p ≤ 1.0); e.g. `quantile(0.5)` = median.
+    ///
+    /// # Panics
+    /// Panics if the CDF is empty or `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> u32 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+        let idx = ((p * (self.sorted.len() - 1) as f64).round()) as usize;
+        self.sorted[idx]
+    }
+
+    /// Mean of the samples.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        self.sorted.iter().map(|&v| u64::from(v)).sum::<u64>() as f64 / self.sorted.len() as f64
+    }
+
+    /// Evenly spaced `(x, P(X<=x))` points for plotting, from 0 to the
+    /// max sample, `points` entries.
+    #[must_use]
+    pub fn curve(&self, points: usize) -> Vec<(u32, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let max = *self.sorted.last().expect("non-empty");
+        (0..=points)
+            .map(|i| {
+                let x = (u64::from(max) * i as u64 / points as u64) as u32;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+}
+
+/// Per-request sample folded into [`Metrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sample {
+    /// Total hops for the request.
+    pub hops: u32,
+    /// Hops taken in lower-layer rings (0 for Chord).
+    pub lower_hops: u32,
+    /// End-to-end routing latency, ms.
+    pub latency_ms: u32,
+    /// Portion of the latency spent in lower-layer hops, ms.
+    pub lower_latency_ms: u32,
+}
+
+/// A mergeable metric accumulator for one routing algorithm.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Number of requests replayed.
+    pub requests: u64,
+    /// Sum of hop counts.
+    pub total_hops: u64,
+    /// Sum of lower-layer hop counts.
+    pub lower_hops: u64,
+    /// Sum of latencies (ms).
+    pub total_latency_ms: u64,
+    /// Sum of lower-layer latencies (ms).
+    pub lower_latency_ms: u64,
+    /// Histogram of per-request total hops (Figure 4 PDF).
+    pub hop_hist: Histogram,
+    /// Histogram of per-request lower-layer hops (Figure 4, third curve).
+    pub lower_hop_hist: Histogram,
+    /// Raw per-request latencies for the CDF (Figure 5).
+    pub latency_samples: Vec<u32>,
+}
+
+impl Metrics {
+    /// Records one request.
+    pub fn record(&mut self, s: Sample) {
+        self.requests += 1;
+        self.total_hops += u64::from(s.hops);
+        self.lower_hops += u64::from(s.lower_hops);
+        self.total_latency_ms += u64::from(s.latency_ms);
+        self.lower_latency_ms += u64::from(s.lower_latency_ms);
+        self.hop_hist.record(s.hops as usize);
+        self.lower_hop_hist.record(s.lower_hops as usize);
+        self.latency_samples.push(s.latency_ms);
+    }
+
+    /// Merges a sibling accumulator (rayon reduce step).
+    #[must_use]
+    pub fn merged(mut self, other: Metrics) -> Metrics {
+        self.requests += other.requests;
+        self.total_hops += other.total_hops;
+        self.lower_hops += other.lower_hops;
+        self.total_latency_ms += other.total_latency_ms;
+        self.lower_latency_ms += other.lower_latency_ms;
+        self.hop_hist.merge(&other.hop_hist);
+        self.lower_hop_hist.merge(&other.lower_hop_hist);
+        self.latency_samples.extend_from_slice(&other.latency_samples);
+        self
+    }
+
+    /// Condenses into the headline numbers.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let req = self.requests.max(1) as f64;
+        let avg_hops = self.total_hops as f64 / req;
+        let avg_lower_hops = self.lower_hops as f64 / req;
+        let top_hops = self.total_hops - self.lower_hops;
+        let top_latency = self.total_latency_ms - self.lower_latency_ms;
+        Summary {
+            requests: self.requests,
+            avg_hops,
+            avg_latency_ms: self.total_latency_ms as f64 / req,
+            avg_lower_hops,
+            lower_hop_share: if self.total_hops == 0 {
+                0.0
+            } else {
+                self.lower_hops as f64 / self.total_hops as f64
+            },
+            lower_latency_share: if self.total_latency_ms == 0 {
+                0.0
+            } else {
+                self.lower_latency_ms as f64 / self.total_latency_ms as f64
+            },
+            avg_link_delay_top_ms: if top_hops == 0 {
+                0.0
+            } else {
+                top_latency as f64 / top_hops as f64
+            },
+            avg_link_delay_lower_ms: if self.lower_hops == 0 {
+                0.0
+            } else {
+                self.lower_latency_ms as f64 / self.lower_hops as f64
+            },
+        }
+    }
+
+    /// The latency CDF (consumes a clone of the samples).
+    #[must_use]
+    pub fn latency_cdf(&self) -> Cdf {
+        Cdf::from_samples(self.latency_samples.clone())
+    }
+}
+
+/// Headline statistics for one algorithm on one experiment — the
+/// numbers the paper's figures plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Requests replayed.
+    pub requests: u64,
+    /// Average routing hops per request (Figures 2, 6, 8).
+    pub avg_hops: f64,
+    /// Average routing latency per request, ms (Figures 3, 7, 9).
+    pub avg_latency_ms: f64,
+    /// Average lower-layer hops per request (Figure 6, second curve).
+    pub avg_lower_hops: f64,
+    /// Fraction of hops executed in lower-layer rings (§4.3: 71.38 %).
+    pub lower_hop_share: f64,
+    /// Fraction of latency spent in lower-layer hops (§4.3: 47.24 %).
+    pub lower_latency_share: f64,
+    /// Mean per-hop link delay in the global ring (§4.3: 79 ms).
+    pub avg_link_delay_top_ms: f64,
+    /// Mean per-hop link delay in lower rings (§4.3: 27.758 ms).
+    pub avg_link_delay_lower_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [1usize, 2, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.max_value(), 3);
+        assert!((h.mean() - 14.0 / 6.0).abs() < 1e-12);
+        let pdf = h.pdf();
+        assert!((pdf[2] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((pdf.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        a.record(1);
+        let mut b = Histogram::new();
+        b.record(5);
+        b.record(1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.count(1), 2);
+        assert_eq!(a.count(5), 1);
+    }
+
+    #[test]
+    fn empty_histogram_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.pdf().is_empty());
+        assert_eq!(h.max_value(), 0);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let c = Cdf::from_samples(vec![10, 20, 30, 40]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.at(9), 0.0);
+        assert_eq!(c.at(10), 0.25);
+        assert_eq!(c.at(25), 0.5);
+        assert_eq!(c.at(40), 1.0);
+        assert_eq!(c.at(1000), 1.0);
+        assert_eq!(c.quantile(0.0), 10);
+        assert_eq!(c.quantile(1.0), 40);
+        assert!((c.mean() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_curve_is_monotone() {
+        let c = Cdf::from_samples((0..100u32).map(|i| i * i % 301).collect());
+        let curve = c.curve(20);
+        assert_eq!(curve.len(), 21);
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn cdf_quantile_empty_panics() {
+        let _ = Cdf::from_samples(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn metrics_summary_matches_hand_computation() {
+        let mut m = Metrics::default();
+        m.record(Sample { hops: 6, lower_hops: 4, latency_ms: 300, lower_latency_ms: 100 });
+        m.record(Sample { hops: 4, lower_hops: 2, latency_ms: 200, lower_latency_ms: 50 });
+        let s = m.summary();
+        assert_eq!(s.requests, 2);
+        assert!((s.avg_hops - 5.0).abs() < 1e-12);
+        assert!((s.avg_latency_ms - 250.0).abs() < 1e-12);
+        assert!((s.lower_hop_share - 6.0 / 10.0).abs() < 1e-12);
+        assert!((s.lower_latency_share - 150.0 / 500.0).abs() < 1e-12);
+        // top: 4 hops, 350 ms; lower: 6 hops, 150 ms.
+        assert!((s.avg_link_delay_top_ms - 87.5).abs() < 1e-12);
+        assert!((s.avg_link_delay_lower_ms - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_merge_is_sum() {
+        let mut a = Metrics::default();
+        a.record(Sample { hops: 3, lower_hops: 0, latency_ms: 90, lower_latency_ms: 0 });
+        let mut b = Metrics::default();
+        b.record(Sample { hops: 5, lower_hops: 5, latency_ms: 50, lower_latency_ms: 50 });
+        let m = a.merged(b);
+        assert_eq!(m.requests, 2);
+        assert_eq!(m.total_hops, 8);
+        assert_eq!(m.latency_samples.len(), 2);
+        assert_eq!(m.hop_hist.total(), 2);
+    }
+
+    #[test]
+    fn zero_request_summary_is_finite() {
+        let s = Metrics::default().summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.avg_hops, 0.0);
+        assert_eq!(s.avg_link_delay_top_ms, 0.0);
+        assert_eq!(s.avg_link_delay_lower_ms, 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Workload generation: "randomly generated routing requests" (§4.1).
+//!
+//! Requests are derived from the request *index* through a SplitMix64
+//! stream, so request `i` is identical whether the replay is
+//! sequential, chunked, or parallel — determinism is independent of
+//! thread count.
+
+use hieras_id::{Id, Key};
+use serde::{Deserialize, Serialize};
+
+/// A deterministic stream of `(source node, lookup key)` requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Number of overlay nodes (sources are uniform over `0..nodes`).
+    pub nodes: u32,
+    /// Number of requests.
+    pub requests: usize,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Workload {
+    /// Creates a workload description.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`.
+    #[must_use]
+    pub fn new(nodes: u32, requests: usize, seed: u64) -> Self {
+        assert!(nodes > 0, "workload needs at least one node");
+        Workload { nodes, requests, seed }
+    }
+
+    /// The `i`-th request: uniform source and uniform 64-bit key.
+    #[must_use]
+    pub fn request(&self, i: usize) -> (u32, Key) {
+        let mut x = self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let a = splitmix64(&mut x);
+        let b = splitmix64(&mut x);
+        ((a % u64::from(self.nodes)) as u32, Id(b))
+    }
+
+    /// Iterates all requests.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Key)> + '_ {
+        (0..self.requests).map(|i| self.request(i))
+    }
+}
+
+/// SplitMix64 step — tiny, seedable, and stateless per request.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_are_deterministic_and_index_addressable() {
+        let w = Workload::new(100, 1000, 42);
+        let all: Vec<_> = w.iter().collect();
+        assert_eq!(all.len(), 1000);
+        for (i, &(src, key)) in all.iter().enumerate() {
+            assert_eq!(w.request(i), (src, key));
+            assert!(src < 100);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = Workload::new(50, 100, 1).iter().collect();
+        let b: Vec<_> = Workload::new(50, 100, 2).iter().collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sources_cover_the_node_range() {
+        let w = Workload::new(16, 2000, 7);
+        let mut seen = vec![false; 16];
+        for (src, _) in w.iter() {
+            seen[src as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some node never originates a request");
+    }
+
+    #[test]
+    fn keys_are_spread() {
+        let w = Workload::new(4, 4096, 11);
+        let high = w.iter().filter(|(_, k)| k.raw() >> 63 == 1).count();
+        assert!((1600..=2500).contains(&high), "keys badly skewed: {high}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Workload::new(0, 10, 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Undirected weighted router graph and single-source shortest paths.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A directed half-edge in the adjacency list (every undirected link
+/// is stored twice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Neighbour router index.
+    pub to: u32,
+    /// Link propagation delay in milliseconds.
+    pub delay_ms: u16,
+}
+
+/// An undirected router-level graph with millisecond link delays.
+///
+/// Node indices are dense `u32`s; delays saturate at `u16::MAX`.
+/// Everything downstream (DHT simulation, latency oracle) works on
+/// these dense indices, keeping hot structures flat per the
+/// hpc-parallel guides.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adj: Vec<Vec<Edge>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` isolated nodes.
+    #[must_use]
+    pub fn with_nodes(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new isolated node, returning its index.
+    pub fn add_node(&mut self) -> u32 {
+        self.adj.push(Vec::new());
+        (self.adj.len() - 1) as u32
+    }
+
+    /// Adds an undirected edge `u — v` with the given delay.
+    ///
+    /// Parallel edges are coalesced: if the edge already exists the
+    /// smaller delay wins (shortest-path semantics make the larger one
+    /// irrelevant). Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32, delay_ms: u16) {
+        assert!((u as usize) < self.adj.len() && (v as usize) < self.adj.len());
+        if u == v {
+            return;
+        }
+        let exists = self.adj[u as usize].iter().any(|e| e.to == v);
+        if exists {
+            for (a, b) in [(u, v), (v, u)] {
+                let e = self.adj[a as usize]
+                    .iter_mut()
+                    .find(|e| e.to == b)
+                    .expect("symmetric adjacency");
+                e.delay_ms = e.delay_ms.min(delay_ms);
+            }
+            return;
+        }
+        self.adj[u as usize].push(Edge { to: v, delay_ms });
+        self.adj[v as usize].push(Edge { to: u, delay_ms });
+        self.edge_count += 1;
+    }
+
+    /// True if the edge `u — v` exists.
+    #[must_use]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj.get(u as usize).is_some_and(|es| es.iter().any(|e| e.to == v))
+    }
+
+    /// Neighbours of `u`.
+    #[must_use]
+    pub fn neighbors(&self, u: u32) -> &[Edge] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[must_use]
+    pub fn degree(&self, u: u32) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// True if every node can reach every other node.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0u32];
+        seen[0] = true;
+        let mut visited = 1usize;
+        while let Some(u) = stack.pop() {
+            for e in &self.adj[u as usize] {
+                if !seen[e.to as usize] {
+                    seen[e.to as usize] = true;
+                    visited += 1;
+                    stack.push(e.to);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// Single-source shortest path delays from `src` to every node,
+    /// in milliseconds, saturating at `u16::MAX - 1`. Unreachable
+    /// nodes report `u16::MAX`.
+    #[must_use]
+    pub fn dijkstra(&self, src: u32) -> Box<[u16]> {
+        const UNREACHABLE: u32 = u32::MAX;
+        let n = self.node_count();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut out = vec![u16::MAX; n].into_boxed_slice();
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        dist[src as usize] = 0;
+        heap.push(Reverse((0, src)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            for e in &self.adj[u as usize] {
+                let nd = d + u32::from(e.delay_ms);
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+        for (o, d) in out.iter_mut().zip(dist) {
+            if d != UNREACHABLE {
+                *o = d.min(u32::from(u16::MAX - 1)) as u16;
+            }
+        }
+        out
+    }
+
+    /// Shortest-path delay between one pair (convenience for tests;
+    /// hot paths use [`crate::LatencyOracle`]).
+    #[must_use]
+    pub fn shortest_delay(&self, u: u32, v: u32) -> u16 {
+        self.dijkstra(u)[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, w: u16) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 1..n {
+            g.add_edge((i - 1) as u32, i as u32, w);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::with_nodes(0).is_connected());
+        assert!(Graph::with_nodes(1).is_connected());
+        assert!(!Graph::with_nodes(2).is_connected());
+    }
+
+    #[test]
+    fn add_edge_is_symmetric_and_counted() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 10);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn parallel_edges_keep_min_delay() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(0, 1, 50);
+        g.add_edge(0, 1, 10);
+        g.add_edge(0, 1, 90);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.shortest_delay(0, 1), 10);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(1, 1, 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn dijkstra_on_line() {
+        let g = line(5, 7);
+        let d = g.dijkstra(0);
+        assert_eq!(&d[..], &[0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_detour() {
+        // 0-1 expensive direct, 0-2-1 cheap detour.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 100);
+        g.add_edge(0, 2, 10);
+        g.add_edge(2, 1, 10);
+        assert_eq!(g.shortest_delay(0, 1), 20);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_max() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 1);
+        assert_eq!(g.dijkstra(0)[2], u16::MAX);
+    }
+
+    #[test]
+    fn dijkstra_saturates() {
+        // Chain long enough to exceed u16::MAX total delay.
+        let g = line(3, u16::MAX - 1);
+        let d = g.dijkstra(0);
+        assert_eq!(d[2], u16::MAX - 1); // saturated, still "reachable"
+    }
+
+    #[test]
+    fn dijkstra_zero_weight_edges() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 3);
+        assert_eq!(g.shortest_delay(0, 2), 3);
+    }
+
+    proptest::proptest! {
+        /// Triangle inequality: d(a,c) <= d(a,b) + d(b,c) on random
+        /// connected graphs (modulo saturation, which the sizes avoid).
+        #[test]
+        fn triangle_inequality(seed in 0u64..200) {
+            use rand_like::*;
+            let mut s = Lcg::new(seed);
+            let n = 3 + (s.next() % 20) as usize;
+            let mut g = Graph::with_nodes(n);
+            for i in 1..n {
+                let j = (s.next() % i as u64) as u32;
+                g.add_edge(i as u32, j, (s.next() % 50) as u16 + 1);
+            }
+            for _ in 0..n {
+                let u = (s.next() % n as u64) as u32;
+                let v = (s.next() % n as u64) as u32;
+                g.add_edge(u, v, (s.next() % 50) as u16 + 1);
+            }
+            let (a, b, c) = ((s.next()%n as u64) as u32, (s.next()%n as u64) as u32, (s.next()%n as u64) as u32);
+            let dab = g.shortest_delay(a, b) as u32;
+            let dbc = g.shortest_delay(b, c) as u32;
+            let dac = g.shortest_delay(a, c) as u32;
+            proptest::prop_assert!(dac <= dab + dbc);
+        }
+    }
+
+    /// Minimal deterministic generator for tests that don't need rand.
+    mod rand_like {
+        pub struct Lcg(u64);
+        impl Lcg {
+            pub fn new(seed: u64) -> Self {
+                Lcg(seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407))
+            }
+            pub fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                self.0 >> 11
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The latency oracle: cached all-pairs shortest-path delays.
+//!
+//! Every overlay hop in the simulation costs the underlay shortest-path
+//! delay between the two peers' attachment routers. A full APSP matrix
+//! for a 10⁴-router network is 10⁸ entries; storing them as `u16`
+//! milliseconds (200 MB) is feasible but wasteful for small sweeps, so
+//! rows are computed lazily — each row is one Dijkstra, memoized behind
+//! a `OnceLock` so concurrent readers race benignly (first writer wins,
+//! later computations of the same row are discarded).
+
+use crate::Graph;
+use rayon::prelude::*;
+use std::sync::OnceLock;
+
+/// Cached single-source shortest-path rows over a router graph.
+///
+/// Cheap to share by reference across threads; all methods take
+/// `&self`.
+#[derive(Debug)]
+pub struct LatencyOracle {
+    graph: Graph,
+    rows: Vec<OnceLock<Box<[u16]>>>,
+}
+
+impl LatencyOracle {
+    /// Wraps a router graph. No shortest paths are computed yet.
+    #[must_use]
+    pub fn new(graph: Graph) -> Self {
+        let n = graph.node_count();
+        let mut rows = Vec::with_capacity(n);
+        rows.resize_with(n, OnceLock::new);
+        LatencyOracle { graph, rows }
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The full distance row from router `src` (computed on first use).
+    #[must_use]
+    pub fn row(&self, src: u32) -> &[u16] {
+        self.rows[src as usize].get_or_init(|| self.graph.dijkstra(src))
+    }
+
+    /// Shortest-path delay in milliseconds between routers `u` and `v`.
+    #[inline]
+    #[must_use]
+    pub fn latency(&self, u: u32, v: u32) -> u16 {
+        if u == v {
+            return 0;
+        }
+        self.row(u)[v as usize]
+    }
+
+    /// Number of rows currently materialized (diagnostics/tests).
+    #[must_use]
+    pub fn cached_rows(&self) -> usize {
+        self.rows.iter().filter(|r| r.get().is_some()).count()
+    }
+
+    /// Eagerly computes the rows for the given sources in parallel.
+    ///
+    /// Experiments know exactly which routers host peers; warming those
+    /// rows up front turns the replay phase into pure lookups.
+    pub fn precompute(&self, sources: &[u32]) {
+        sources.par_iter().for_each(|&s| {
+            let _ = self.row(s);
+        });
+    }
+
+    /// Eagerly computes every row (full APSP). Only sensible for
+    /// moderate graphs; prefer [`LatencyOracle::precompute`].
+    pub fn precompute_all(&self) {
+        (0..self.graph.node_count() as u32).into_par_iter().for_each(|s| {
+            let _ = self.row(s);
+        });
+    }
+
+    /// Approximate bytes held by materialized rows (diagnostics).
+    #[must_use]
+    pub fn cache_bytes(&self) -> usize {
+        self.cached_rows() * self.graph.node_count() * core::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 10);
+        g.add_edge(0, 2, 50);
+        g
+    }
+
+    #[test]
+    fn latency_matches_dijkstra_and_is_symmetric() {
+        let o = LatencyOracle::new(triangle());
+        assert_eq!(o.latency(0, 2), 20);
+        assert_eq!(o.latency(2, 0), 20);
+        assert_eq!(o.latency(0, 0), 0);
+    }
+
+    #[test]
+    fn rows_are_cached_lazily() {
+        let o = LatencyOracle::new(triangle());
+        assert_eq!(o.cached_rows(), 0);
+        let _ = o.latency(0, 1);
+        assert_eq!(o.cached_rows(), 1);
+        let _ = o.latency(0, 2); // same row
+        assert_eq!(o.cached_rows(), 1);
+    }
+
+    #[test]
+    fn self_latency_never_materializes_a_row() {
+        let o = LatencyOracle::new(triangle());
+        assert_eq!(o.latency(1, 1), 0);
+        assert_eq!(o.cached_rows(), 0);
+    }
+
+    #[test]
+    fn precompute_warms_requested_rows() {
+        let o = LatencyOracle::new(triangle());
+        o.precompute(&[0, 2]);
+        assert_eq!(o.cached_rows(), 2);
+        o.precompute_all();
+        assert_eq!(o.cached_rows(), 3);
+        assert_eq!(o.cache_bytes(), 3 * 3 * 2);
+    }
+
+    #[test]
+    fn concurrent_row_access_is_consistent() {
+        let o = LatencyOracle::new(triangle());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for u in 0..3u32 {
+                        for v in 0..3u32 {
+                            let fwd = o.latency(u, v);
+                            let bwd = o.latency(v, u);
+                            assert_eq!(fwd, bwd);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,270 @@
+//! GT-ITM Transit-Stub topology generator.
+//!
+//! Reproduces the structural model of Zegura's GT-ITM `ts` generator
+//! (the paper's primary network model, §4.1): a top-level backbone of
+//! *transit domains*, each a small connected random graph of transit
+//! routers; every transit router attaches a few *stub domains*, each a
+//! connected random graph of stub routers. The paper's link delays are
+//! the defaults: intra-transit 100 ms, transit–stub 20 ms, intra-stub
+//! 5 ms. Inter-transit-domain links (which the paper does not list) use
+//! the intra-transit delay, as in common GT-ITM parameterizations.
+
+use crate::{Graph, NodeKind, Topology};
+use rand::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Parameters for the Transit-Stub generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitStubConfig {
+    /// Number of transit domains (the paper varies this with network size).
+    pub transit_domains: usize,
+    /// Transit routers per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains hanging off each transit router.
+    pub stub_domains_per_transit: usize,
+    /// Stub routers per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Delay of intra-transit-domain (and inter-domain) links, ms. Paper: 100.
+    pub intra_transit_ms: u16,
+    /// Delay of transit–stub attachment links, ms. Paper: 20.
+    pub transit_stub_ms: u16,
+    /// Delay of intra-stub-domain links, ms. Paper: 5.
+    pub intra_stub_ms: u16,
+    /// Probability of extra (non-spanning-tree) edges inside a domain;
+    /// controls redundancy, GT-ITM's edge-density knob.
+    pub extra_edge_prob: f64,
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+}
+
+impl TransitStubConfig {
+    /// A configuration sized so the topology offers at least `peers`
+    /// stub routers, with domain counts scaled the way the paper's
+    /// 1000–10000-node networks are.
+    #[must_use]
+    pub fn for_peers(peers: usize, seed: u64) -> Self {
+        let peers = peers.max(8);
+        let transit_domains = (peers / 1000).clamp(2, 10);
+        let transit_nodes_per_domain = 6;
+        let stub_domains_per_transit = 3;
+        let stub_slots = transit_domains * transit_nodes_per_domain * stub_domains_per_transit;
+        let stub_nodes_per_domain = peers.div_ceil(stub_slots).max(2);
+        TransitStubConfig {
+            transit_domains,
+            transit_nodes_per_domain,
+            stub_domains_per_transit,
+            stub_nodes_per_domain,
+            intra_transit_ms: 100,
+            transit_stub_ms: 20,
+            intra_stub_ms: 5,
+            extra_edge_prob: 0.3,
+            seed,
+        }
+    }
+
+    /// Total stub routers this configuration will produce.
+    #[must_use]
+    pub fn stub_router_count(&self) -> usize {
+        self.transit_domains
+            * self.transit_nodes_per_domain
+            * self.stub_domains_per_transit
+            * self.stub_nodes_per_domain
+    }
+
+    /// Generates the topology.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn generate(&self) -> Topology {
+        assert!(self.transit_domains > 0, "need at least one transit domain");
+        assert!(self.transit_nodes_per_domain > 0, "need transit nodes");
+        assert!(self.stub_domains_per_transit > 0, "need stub domains");
+        assert!(self.stub_nodes_per_domain > 0, "need stub nodes");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let transit_total = self.transit_domains * self.transit_nodes_per_domain;
+        let total = transit_total + self.stub_router_count();
+        let mut graph = Graph::with_nodes(total);
+        let mut kind = vec![NodeKind::Stub; total];
+
+        // Transit routers occupy indices [0, transit_total); domain d owns
+        // the contiguous block starting at d * transit_nodes_per_domain.
+        for k in kind.iter_mut().take(transit_total) {
+            *k = NodeKind::Transit;
+        }
+        let domain_nodes: Vec<Vec<u32>> = (0..self.transit_domains)
+            .map(|d| {
+                let base = d * self.transit_nodes_per_domain;
+                (base..base + self.transit_nodes_per_domain).map(|i| i as u32).collect()
+            })
+            .collect();
+
+        // Connected random graph inside each transit domain.
+        for nodes in &domain_nodes {
+            connect_random(&mut graph, nodes, self.intra_transit_ms, self.extra_edge_prob, &mut rng);
+        }
+
+        // Backbone between transit domains: ring over the domains plus
+        // random chords, each realized between random routers of the
+        // two domains (GT-ITM's top-level random graph).
+        for d in 0..self.transit_domains {
+            let e = (d + 1) % self.transit_domains;
+            if d == e {
+                break;
+            }
+            let u = *domain_nodes[d].choose(&mut rng).expect("non-empty domain");
+            let v = *domain_nodes[e].choose(&mut rng).expect("non-empty domain");
+            graph.add_edge(u, v, self.intra_transit_ms);
+        }
+        if self.transit_domains > 2 {
+            let chords = self.transit_domains / 2;
+            for _ in 0..chords {
+                let d = rng.random_range(0..self.transit_domains);
+                let e = rng.random_range(0..self.transit_domains);
+                if d != e {
+                    let u = *domain_nodes[d].choose(&mut rng).expect("non-empty domain");
+                    let v = *domain_nodes[e].choose(&mut rng).expect("non-empty domain");
+                    graph.add_edge(u, v, self.intra_transit_ms);
+                }
+            }
+        }
+
+        // Stub domains.
+        let mut next = transit_total as u32;
+        let mut attach_candidates = Vec::with_capacity(self.stub_router_count());
+        for t in 0..transit_total as u32 {
+            for _ in 0..self.stub_domains_per_transit {
+                let nodes: Vec<u32> = (0..self.stub_nodes_per_domain)
+                    .map(|_| {
+                        let id = next;
+                        next += 1;
+                        id
+                    })
+                    .collect();
+                connect_random(&mut graph, &nodes, self.intra_stub_ms, self.extra_edge_prob, &mut rng);
+                // Attach the stub domain to its transit router via a
+                // random gateway stub node.
+                let gw = *nodes.choose(&mut rng).expect("non-empty stub domain");
+                graph.add_edge(t, gw, self.transit_stub_ms);
+                attach_candidates.extend_from_slice(&nodes);
+            }
+        }
+        debug_assert_eq!(next as usize, total);
+
+        Topology { graph, kind, attach_candidates, model: "transit-stub" }
+    }
+}
+
+/// Wires `nodes` into a connected random subgraph: random spanning tree
+/// (each node links to a random earlier node) plus extra edges with
+/// probability `extra_prob` per candidate pair, capped to keep density
+/// linear in the domain size.
+fn connect_random(
+    graph: &mut Graph,
+    nodes: &[u32],
+    delay: u16,
+    extra_prob: f64,
+    rng: &mut StdRng,
+) {
+    for (i, &u) in nodes.iter().enumerate().skip(1) {
+        let v = nodes[rng.random_range(0..i)];
+        graph.add_edge(u, v, delay);
+    }
+    // Extra edges: sample ~extra_prob * |nodes| random pairs.
+    let extras = ((nodes.len() as f64) * extra_prob).round() as usize;
+    for _ in 0..extras {
+        let u = *nodes.choose(rng).expect("non-empty");
+        let v = *nodes.choose(rng).expect("non-empty");
+        if u != v {
+            graph.add_edge(u, v, delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in 0..5 {
+            let t = TransitStubConfig::for_peers(300, seed).generate();
+            assert!(t.graph.is_connected(), "seed {seed} produced disconnected graph");
+        }
+    }
+
+    #[test]
+    fn counts_match_config() {
+        let cfg = TransitStubConfig {
+            transit_domains: 3,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit: 2,
+            stub_nodes_per_domain: 5,
+            intra_transit_ms: 100,
+            transit_stub_ms: 20,
+            intra_stub_ms: 5,
+            extra_edge_prob: 0.3,
+            seed: 1,
+        };
+        let t = cfg.generate();
+        assert_eq!(t.router_count(), 3 * 4 + 3 * 4 * 2 * 5);
+        assert_eq!(t.attach_candidates.len(), cfg.stub_router_count());
+        let transit = t.kind.iter().filter(|k| **k == NodeKind::Transit).count();
+        assert_eq!(transit, 12);
+    }
+
+    #[test]
+    fn attach_candidates_are_stub_routers() {
+        let t = TransitStubConfig::for_peers(200, 9).generate();
+        for &c in &t.attach_candidates {
+            assert_eq!(t.kind[c as usize], NodeKind::Stub);
+        }
+    }
+
+    #[test]
+    fn for_peers_offers_enough_stub_routers() {
+        for n in [100, 1000, 5000, 10000] {
+            let cfg = TransitStubConfig::for_peers(n, 0);
+            assert!(cfg.stub_router_count() >= n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TransitStubConfig::for_peers(150, 5).generate();
+        let b = TransitStubConfig::for_peers(150, 5).generate();
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+        assert_eq!(a.attach_candidates, b.attach_candidates);
+        let c = TransitStubConfig::for_peers(150, 6).generate();
+        // Different seed rewires something (counts may coincide, edges shouldn't all).
+        let same_edges = (0..a.router_count() as u32)
+            .all(|u| a.graph.neighbors(u) == c.graph.neighbors(u));
+        assert!(!same_edges, "different seeds produced identical graphs");
+    }
+
+    #[test]
+    fn intra_stub_paths_are_cheap_cross_domain_expensive() {
+        let t = TransitStubConfig::for_peers(400, 11).generate();
+        // Two stub routers in the same stub domain communicate in
+        // multiples of 5 ms; crossing transit costs at least
+        // 20 + 20 = 40 ms (two attachment links).
+        let spd = t.graph.shortest_delay(t.attach_candidates[0], t.attach_candidates[1]);
+        assert!(spd > 0);
+        // Same-domain neighbours (first stub domain is contiguous):
+        let cfg_stub = TransitStubConfig::for_peers(400, 11);
+        let per_dom = cfg_stub.stub_nodes_per_domain;
+        let a = t.attach_candidates[0];
+        let b = t.attach_candidates[per_dom - 1];
+        let local = t.graph.shortest_delay(a, b);
+        assert!(local < 40, "intra-domain delay {local} should be < transit round trip");
+    }
+
+    #[test]
+    fn delay_hierarchy_matches_paper_setting() {
+        let cfg = TransitStubConfig::for_peers(100, 3);
+        assert_eq!(
+            (cfg.intra_transit_ms, cfg.transit_stub_ms, cfg.intra_stub_ms),
+            (100, 20, 5)
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Churn: nodes join, fail silently, and leave while lookups continue.
+//!
+//! Exercises the dynamic Chord substrate (the maintenance machinery
+//! HIERAS inherits per §3.3/§3.4): successor-list repair, stabilize /
+//! notify rounds, and fix-fingers, with message accounting.
+//!
+//! ```text
+//! cargo run --release --example churn
+//! ```
+
+use hieras::chord::DynChord;
+use hieras::id::{Id, IdSpace};
+use rand::prelude::*;
+
+fn main() {
+    let mut net = DynChord::new(IdSpace::full(), 8);
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // Bootstrap a 200-node ring.
+    let first = Id::hash_of(b"node-0");
+    net.create(first).expect("fresh network");
+    let mut alive: Vec<Id> = vec![first];
+    for i in 1..200u32 {
+        let id = Id::hash_of(format!("node-{i}").as_bytes());
+        net.join(id, first).expect("distinct ids");
+        alive.push(id);
+        net.stabilize_round();
+        net.stabilize_round();
+    }
+    for _ in 0..4 {
+        net.stabilize_round();
+    }
+    net.fix_all_fingers();
+    assert!(net.ring_consistent());
+    println!("bootstrapped 200 nodes; maintenance traffic so far: {:?}\n", net.stats());
+    net.reset_stats();
+
+    // Churn: 10 epochs of {5 silent failures, 5 joins, 2 graceful
+    // leaves}, with stabilization between epochs and live lookups.
+    let mut next_id = 200u32;
+    let mut resolved = 0u32;
+    let mut total = 0u32;
+    for epoch in 0..10 {
+        for _ in 0..5 {
+            let victim = alive.swap_remove(rng.random_range(0..alive.len()));
+            net.fail(victim).expect("victim was alive");
+        }
+        for _ in 0..2 {
+            let leaver = alive.swap_remove(rng.random_range(0..alive.len()));
+            net.leave(leaver).expect("leaver was alive");
+        }
+        for _ in 0..5 {
+            let id = Id::hash_of(format!("node-{next_id}").as_bytes());
+            next_id += 1;
+            let boot = alive[rng.random_range(0..alive.len())];
+            net.join(id, boot).expect("distinct ids");
+            alive.push(id);
+        }
+        for _ in 0..4 {
+            net.stabilize_round();
+        }
+        net.fix_fingers_round();
+
+        // Lookups must keep resolving to the true owner.
+        let mut ok = 0;
+        for k in 0..50u64 {
+            let key = Id::hash_of(format!("key-{epoch}-{k}").as_bytes());
+            let want = net.true_owner(key).expect("network non-empty");
+            let from = alive[rng.random_range(0..alive.len())];
+            total += 1;
+            if let Ok((got, _)) = net.find_successor(from, key) {
+                if got == want {
+                    ok += 1;
+                    resolved += 1;
+                }
+            }
+        }
+        println!(
+            "epoch {epoch}: {} nodes alive, {}/50 lookups exact, ring consistent: {}",
+            net.len(),
+            ok,
+            net.ring_consistent()
+        );
+    }
+
+    let s = net.stats();
+    println!("\nlookup exactness under churn: {resolved}/{total}");
+    println!(
+        "maintenance traffic: {} stabilize msgs, {} fix-finger msgs, {} lookup msgs, {} join msgs",
+        s.stabilize_msgs, s.fix_finger_msgs, s.lookup_msgs, s.join_msgs
+    );
+    // Final convergence: after a few quiet rounds everything is exact.
+    for _ in 0..6 {
+        net.stabilize_round();
+    }
+    net.fix_all_fingers();
+    assert!(net.ring_consistent(), "ring must re-converge after churn stops");
+    println!("ring re-converged after churn stopped ✔");
+}

@@ -1,0 +1,51 @@
+//! Landmark tuning: how many landmark nodes should a deployment pick?
+//!
+//! Reproduces the §4.4 sweep at laptop scale and prints a deployment
+//! recommendation. (Figures 6/7 at paper scale: `cargo run --release
+//! -p hieras-bench --bin figures -- fig6 fig7 --full`.)
+//!
+//! ```text
+//! cargo run --release --example landmark_tuning
+//! ```
+
+use hieras::core::{Binning, HierasConfig};
+use hieras::prelude::*;
+
+fn main() {
+    let nodes = 800;
+    let requests = 8_000;
+    println!("sweeping landmark count on a {nodes}-peer Transit-Stub network…\n");
+    println!("| landmarks | rings | HIERAS hops | latency vs Chord | lower-hop share |");
+    println!("|----------:|------:|------------:|-----------------:|----------------:|");
+    let mut best: Option<(usize, f64)> = None;
+    for landmarks in 2..=12usize {
+        let e = Experiment::build(ExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            nodes,
+            requests,
+            hieras: HierasConfig { depth: 2, landmarks, binning: Binning::paper() },
+            seed: 11,
+            rtt_noise: 0.0,
+        });
+        let rings = e.hieras.layers().last().unwrap().ring_count();
+        let r = e.run();
+        let (c, h) = (r.chord.summary(), r.hieras.summary());
+        let ratio = h.avg_latency_ms / c.avg_latency_ms;
+        println!(
+            "| {landmarks:>9} | {rings:>5} | {:>11.3} | {:>15.1}% | {:>14.1}% |",
+            h.avg_hops,
+            ratio * 100.0,
+            h.lower_hop_share * 100.0
+        );
+        if best.is_none_or(|(_, b)| ratio < b) {
+            best = Some((landmarks, ratio));
+        }
+    }
+    let (lm, ratio) = best.expect("sweep is non-empty");
+    println!(
+        "\nrecommendation: {lm} landmarks — lookup latency drops to {:.1}% of plain Chord.",
+        ratio * 100.0
+    );
+    println!("(the paper finds the same shape: too few landmarks → too few rings;");
+    println!(" too many → rings too small to absorb hops; the sweet spot is mid-range.)");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: build a HIERAS system over a simulated internetwork and
+//! compare it against plain Chord in five minutes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hieras::prelude::*;
+
+fn main() {
+    // 1. Describe the experiment: a GT-ITM Transit-Stub internetwork
+    //    with 800 peers, the paper's 2-layer / 4-landmark HIERAS.
+    let config = ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes: 800,
+        requests: 20_000,
+        hieras: hieras::core::HierasConfig::paper(),
+        seed: 42,
+        rtt_noise: 0.0,
+    };
+
+    // 2. Build it: generates the topology, places peers, measures
+    //    landmark RTTs, bins peers into rings, and constructs both the
+    //    Chord baseline and the HIERAS hierarchy.
+    println!("building 800-peer experiment…");
+    let e = Experiment::build(config);
+    println!(
+        "  topology: {} routers, {} links ({})",
+        e.topo.router_count(),
+        e.topo.graph.edge_count(),
+        e.topo.model
+    );
+    println!(
+        "  hierarchy: {} layers; {} lower-layer rings",
+        e.hieras.layers().len(),
+        e.hieras.layers().last().unwrap().ring_count()
+    );
+
+    // 3. Route a single request by hand and inspect the trace.
+    let key = Id::hash_of(b"my-file.tar.gz");
+    let trace = e.hieras.route(0, key);
+    println!(
+        "\nlookup of {key} from node 0: {} hops ({} in lower rings), owner = node {}",
+        trace.hop_count(),
+        trace.lower_layer_hops(),
+        trace.destination()
+    );
+    for h in &trace.hops {
+        println!(
+            "  layer {} hop: node {:>3} -> node {:>3}  ({} ms)",
+            h.layer,
+            h.from,
+            h.to,
+            e.peer_latency(h.from, h.to)
+        );
+    }
+
+    // 4. Replay the full workload through both algorithms.
+    println!("\nreplaying 20 000 random requests…");
+    let r = e.run();
+    let (c, h) = (r.chord.summary(), r.hieras.summary());
+    println!("  Chord : {:>6.3} hops, {:>7.2} ms avg latency", c.avg_hops, c.avg_latency_ms);
+    println!("  HIERAS: {:>6.3} hops, {:>7.2} ms avg latency", h.avg_hops, h.avg_latency_ms);
+    println!(
+        "  => HIERAS latency is {:.1}% of Chord with {:+.2}% hops;",
+        h.avg_latency_ms / c.avg_latency_ms * 100.0,
+        (h.avg_hops / c.avg_hops - 1.0) * 100.0
+    );
+    println!(
+        "     {:.1}% of hops ran inside low-latency rings (avg {:.1} ms/hop vs {:.1} ms/hop on top).",
+        h.lower_hop_share * 100.0,
+        h.avg_link_delay_lower_ms,
+        h.avg_link_delay_top_ms
+    );
+}

@@ -1,0 +1,42 @@
+//! # HIERAS — a DHT-based hierarchical P2P routing algorithm
+//!
+//! Facade crate for the HIERAS reproduction (Xu, Min & Hu, ICPP 2003).
+//! Re-exports the workspace crates under one roof so downstream users
+//! can depend on a single `hieras` crate:
+//!
+//! * [`id`] — identifier circle, SHA-1, interval arithmetic.
+//! * [`topology`] — GT-ITM Transit-Stub / Inet / BRITE network models
+//!   and the shortest-path latency oracle.
+//! * [`chord`] — the Chord baseline DHT (oracle + dynamic protocol).
+//! * [`core`] — HIERAS itself: distributed binning, ring tables,
+//!   multi-layer finger tables and the m-loop routing procedure.
+//! * [`sim`] — workload generation, metrics, experiment runners.
+//! * [`proto`] — message-level protocol engine with pluggable
+//!   transports (simulated-delay and real crossbeam-channel threads).
+//! * [`can`] — CAN underlay and hierarchical CAN (the paper's §3.2
+//!   extension claim, implemented).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and
+//! `EXPERIMENTS.md` for the paper-versus-measured record of every
+//! table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hieras_can as can;
+pub use hieras_chord as chord;
+pub use hieras_core as core;
+pub use hieras_id as id;
+pub use hieras_pastry as pastry;
+pub use hieras_proto as proto;
+pub use hieras_sim as sim;
+pub use hieras_topology as topology;
+
+/// Commonly used items, importable in one line.
+pub mod prelude {
+    pub use hieras_chord::ChordOracle;
+    pub use hieras_core::{Binning, HierasConfig, HierasOracle};
+    pub use hieras_id::{Id, IdSpace, Key, Sha1};
+    pub use hieras_sim::{ExperimentConfig, Metrics, TopologyKind, Workload};
+    pub use hieras_topology::{LatencyOracle, Topology, TransitStubConfig};
+}

@@ -1,0 +1,103 @@
+//! Cross-crate equivalence: the message-level protocol engine and the
+//! oracle must implement the *same* algorithm — hop-for-hop.
+
+use hieras::core::HierasConfig;
+use hieras::id::Id;
+use hieras::prelude::*;
+use hieras::proto::{SimNet, ThreadNet};
+
+fn experiment(nodes: usize, seed: u64) -> Experiment {
+    Experiment::build(ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes,
+        requests: 0,
+        hieras: HierasConfig::paper(),
+        seed,
+        rtt_noise: 0.0,
+    })
+}
+
+/// SimNet lookups = oracle routes, over a real binned topology.
+#[test]
+fn simnet_matches_oracle_on_real_topology() {
+    let e = experiment(200, 21);
+    let mut net = SimNet::from_oracle(&e.hieras, &e.landmarks, |a, b| {
+        // Any deterministic delay works for hop equality.
+        3 + (a.raw() ^ b.raw()) % 40
+    });
+    for k in 0..150u64 {
+        let key = Id::hash_of(&k.to_be_bytes());
+        let src = (k % 200) as u32;
+        let oracle = e.hieras.route(src, key);
+        let proto = net.lookup(e.ids[src as usize], key);
+        assert_eq!(proto.owner, e.ids[oracle.destination() as usize], "key {k}");
+        assert_eq!(proto.hops as usize, oracle.hop_count(), "key {k}");
+    }
+}
+
+/// Joins through the §3.3 choreography leave a network where both old
+/// and new members resolve keys to the correct successor.
+#[test]
+fn join_choreography_preserves_global_correctness() {
+    let e = experiment(150, 22);
+    let mut net = SimNet::from_oracle(&e.hieras, &e.landmarks, |_, _| 10);
+    let mut members: Vec<Id> = e.ids.to_vec();
+    for j in 0..8u64 {
+        let new_id = Id::hash_of(format!("late-joiner-{j}").as_bytes());
+        let boot = members[(j as usize * 13) % members.len()];
+        let rtts = [
+            (10 + j * 17) as u16 % 200,
+            (40 + j * 31) as u16 % 200,
+            (90 + j * 7) as u16 % 200,
+            (120 + j * 3) as u16 % 200,
+        ];
+        let out = net.join(new_id, boot, &rtts);
+        assert_eq!(out.rings_joined, 2);
+        members.push(new_id);
+    }
+    let mut sorted = members.clone();
+    sorted.sort_unstable();
+    for k in 0..100u64 {
+        let key = Id::hash_of(format!("probe-{k}").as_bytes());
+        let want = *sorted.iter().find(|&&m| m >= key).unwrap_or(&sorted[0]);
+        let src = members[(k as usize * 7) % members.len()];
+        assert_eq!(net.lookup(src, key).owner, want, "key {k}");
+    }
+}
+
+/// The threaded transport (real concurrency + serialized frames)
+/// produces identical results to the oracle too.
+#[test]
+fn threadnet_matches_oracle() {
+    let e = experiment(48, 23);
+    let net = ThreadNet::spawn(&e.hieras, &e.landmarks);
+    for k in 0..60u64 {
+        let key = Id::hash_of(&(k * 31).to_le_bytes());
+        let src = (k % 48) as u32;
+        let oracle = e.hieras.route(src, key);
+        let (owner, hops) = net.lookup(e.ids[src as usize], key, 2);
+        assert_eq!(owner, e.ids[oracle.destination() as usize]);
+        assert_eq!(hops as usize, oracle.hop_count());
+    }
+    assert!(net.shutdown() > 0);
+}
+
+/// Simulated lookup latency equals the sum of per-hop link delays the
+/// latency oracle reports (DES clock integrity).
+#[test]
+fn simnet_latency_equals_trace_latency() {
+    let e = experiment(120, 24);
+    let ids = e.ids.clone();
+    let idx = move |id: Id| ids.iter().position(|&i| i == id).expect("member id");
+    let mut net = SimNet::from_oracle(&e.hieras, &e.landmarks, |a, b| {
+        u64::from(e.peer_latency(idx(a) as u32, idx(b) as u32))
+    });
+    for k in 0..80u64 {
+        let key = Id::hash_of(&(k * 101).to_be_bytes());
+        let src = (k % 120) as u32;
+        let trace = e.hieras.route(src, key);
+        let (want, _) = trace.latency_split(|a, b| e.peer_latency(a, b));
+        let got = net.lookup(e.ids[src as usize], key);
+        assert_eq!(got.latency_ms, want, "key {k}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Serde round-trips of every public configuration and result type —
+//! experiments must be fully describable and replayable from JSON.
+
+use hieras::core::{Binning, HierasConfig, LandmarkOrder, RingTable};
+use hieras::id::{Id, IdSpace};
+use hieras::prelude::*;
+
+fn roundtrip<T>(v: &T) -> T
+where
+    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
+{
+    serde_json::from_str(&serde_json::to_string(v).expect("serialize")).expect("deserialize")
+}
+
+#[test]
+fn id_serializes_transparently_as_u64() {
+    let id = Id(0xdead_beef_1234_5678);
+    assert_eq!(serde_json::to_string(&id).unwrap(), "16045690981412324984");
+    assert_eq!(roundtrip(&id), id);
+}
+
+#[test]
+fn config_types_roundtrip() {
+    let cfg = ExperimentConfig {
+        kind: TopologyKind::Brite,
+        nodes: 1234,
+        requests: 567,
+        hieras: HierasConfig { depth: 3, landmarks: 7, binning: Binning::new(vec![10, 80, 300]) },
+        seed: 99,
+        rtt_noise: 0.25,
+    };
+    assert_eq!(roundtrip(&cfg), cfg);
+    assert_eq!(roundtrip(&IdSpace::new(16).unwrap()), IdSpace::new(16).unwrap());
+}
+
+#[test]
+fn ring_table_and_order_roundtrip() {
+    let order = LandmarkOrder(vec![0, 2, 1]);
+    let mut t = RingTable::new(&order);
+    for i in [5u64, 900, 17, 40000] {
+        t.observe(Id(i));
+    }
+    let back: RingTable = roundtrip(&t);
+    assert_eq!(back, t);
+    assert_eq!(roundtrip(&order), order);
+}
+
+#[test]
+fn metrics_and_summary_roundtrip_through_json() {
+    let e = Experiment::build(ExperimentConfig {
+        kind: TopologyKind::TransitStub,
+        nodes: 120,
+        requests: 500,
+        hieras: HierasConfig::paper(),
+        seed: 4,
+        rtt_noise: 0.0,
+    });
+    let r = e.run();
+    let m: Metrics = roundtrip(&r.hieras);
+    assert_eq!(m.total_hops, r.hieras.total_hops);
+    assert_eq!(m.hop_hist, r.hieras.hop_hist);
+    let s = r.hieras.summary();
+    let s2: hieras::sim::Summary = roundtrip(&s);
+    assert_eq!(s, s2);
+}
+
+#[test]
+fn topology_configs_roundtrip() {
+    use hieras::topology::{BriteConfig, InetConfig, TransitStubConfig};
+    let ts = TransitStubConfig::for_peers(1000, 5);
+    assert_eq!(roundtrip(&ts), ts);
+    let inet = InetConfig::for_peers(4000, 6);
+    assert_eq!(roundtrip(&inet), inet);
+    let brite = BriteConfig::for_peers(2000, 7);
+    assert_eq!(roundtrip(&brite), brite);
+}
+
+#[test]
+fn route_traces_roundtrip() {
+    use hieras::core::{HopRecord, RouteTrace};
+    let t = RouteTrace {
+        origin: 3,
+        hops: vec![
+            HopRecord { from: 3, to: 9, layer: 2 },
+            HopRecord { from: 9, to: 1, layer: 1 },
+        ],
+    };
+    assert_eq!(roundtrip(&t), t);
+}
