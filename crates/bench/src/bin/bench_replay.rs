@@ -1,0 +1,116 @@
+//! Replay benchmark — the in-tree replacement for the criterion suite.
+//!
+//! Times the two expensive phases of an experiment:
+//!
+//! 1. **build** — topology generation, landmark measurement, binning,
+//!    and oracle construction (`Experiment::build`), reported in ms;
+//! 2. **replay** — the parallel lookup replay
+//!    (`Experiment::run_requests_on`), reported as median ns per
+//!    lookup over several timed repetitions. Each lookup evaluates
+//!    *both* Chord and HIERAS on the same `(src, key)` pair, so the
+//!    figure is directly comparable across commits.
+//!
+//! Output goes to `BENCH_replay.json` (and stdout): one record per
+//! network size with the timing plus the replayed Chord/HIERAS routing
+//! summaries, the executor thread count, and the config. Run with
+//! `--smoke` for the CI-sized run (500 peers, 2000 requests);
+//! `HIERAS_THREADS=n` pins the executor width.
+
+use hieras_rt::{Executor, Json, ToJson};
+use hieras_sim::{Experiment, ExperimentConfig};
+use std::time::Instant;
+
+/// Master seed shared with the figure harness (paper publication date).
+const SEED: u64 = 20030415;
+
+/// Timed repetitions of the replay per size; the median filters out
+/// scheduler warm-up without needing criterion's statistics.
+const REPS: usize = 5;
+
+struct SizePoint {
+    nodes: usize,
+    requests: usize,
+}
+
+fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
+    let mut config = ExperimentConfig::paper(point.nodes, SEED);
+    config.requests = point.requests;
+
+    let t0 = Instant::now();
+    let e = Experiment::build(config.clone());
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // One untimed warm-up, then REPS timed repetitions.
+    let mut result = e.run_requests_on(exec, point.requests);
+    let mut per_lookup_ns: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            result = e.run_requests_on(exec, point.requests);
+            t.elapsed().as_secs_f64() * 1e9 / point.requests as f64
+        })
+        .collect();
+    per_lookup_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = per_lookup_ns[per_lookup_ns.len() / 2];
+
+    let cs = result.chord.summary();
+    let hs = result.hieras.summary();
+    println!(
+        "{:>6} peers | build {:>8.1} ms | replay {:>9.0} ns/lookup | \
+         chord {:.2} hops {:.0} ms | hieras {:.2} hops {:.0} ms",
+        point.nodes, build_ms, median_ns, cs.avg_hops, cs.avg_latency_ms, hs.avg_hops,
+        hs.avg_latency_ms
+    );
+
+    Json::obj([
+        ("nodes", point.nodes.to_json()),
+        ("requests", point.requests.to_json()),
+        ("build_ms", build_ms.to_json()),
+        ("median_ns_per_lookup", median_ns.to_json()),
+        ("ns_per_lookup", per_lookup_ns.to_json()),
+        ("chord", cs.to_json()),
+        ("hieras", hs.to_json()),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}` (usage: bench_replay [--smoke])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let points: Vec<SizePoint> = if smoke {
+        vec![SizePoint { nodes: 500, requests: 2000 }]
+    } else {
+        [1000usize, 3000, 5000]
+            .iter()
+            .map(|&nodes| SizePoint { nodes, requests: 20_000 })
+            .collect()
+    };
+
+    let exec = Executor::default();
+    println!(
+        "replay bench: {} thread(s), {} size point(s){}",
+        exec.threads(),
+        points.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let sizes: Vec<Json> = points.iter().map(|p| bench_one(&exec, p)).collect();
+    let out = Json::obj([
+        ("bench", "replay".to_json()),
+        ("seed", SEED.to_json()),
+        ("threads", exec.threads().to_json()),
+        ("smoke", smoke.to_json()),
+        ("reps", REPS.to_json()),
+        ("sizes", Json::Arr(sizes)),
+    ]);
+
+    let path = "BENCH_replay.json";
+    std::fs::write(path, out.dump_pretty()).expect("write benchmark output");
+    println!("wrote {path}");
+}

@@ -19,6 +19,7 @@ use hieras_core::{Binning, CostReport, HierasConfig, HierasOracle, LandmarkOrder
 use hieras_id::{Id, IdSpace};
 use hieras_pastry::PastryOracle;
 use hieras_proto::SimNet;
+use hieras_rt::{Json, ToJson};
 use hieras_sim::{Experiment, ExperimentConfig, TopologyKind, Workload};
 use std::sync::Arc;
 
@@ -120,9 +121,13 @@ fn table1() -> String {
             "| {node} | {}ms | {}ms | {}ms | {}ms | {} |",
             rtts[0], rtts[1], rtts[2], rtts[3], order
         );
-        out.push(serde_json::json!({"node": node, "rtts": rtts, "order": order.name()}));
+        out.push(Json::obj([
+            ("node", node.to_json()),
+            ("rtts", rtts.to_json()),
+            ("order", order.name().to_json()),
+        ]));
     }
-    serde_json::json!({"table1": out}).to_string()
+    Json::obj([("table1", out.to_json())]).dump()
 }
 
 /// The paper's Table 2 demo system: a 2^8 space, 3 landmarks, node 121
@@ -169,13 +174,13 @@ fn table2() -> String {
             oracle.id_of(l2).raw(),
             name(l2),
         );
-        out.push(serde_json::json!({
-            "start": r.start.raw(),
-            "layer1": oracle.id_of(l1).raw(),
-            "layer2": oracle.id_of(l2).raw(),
-        }));
+        out.push(Json::obj([
+            ("start", r.start.raw().to_json()),
+            ("layer1", oracle.id_of(l1).raw().to_json()),
+            ("layer2", oracle.id_of(l2).raw().to_json()),
+        ]));
     }
-    serde_json::json!({"table2": out}).to_string()
+    Json::obj([("table2", out.to_json())]).dump()
 }
 
 /// Table 3: ring-table structure of the demo system.
@@ -200,13 +205,13 @@ fn table3() -> String {
             f(t.second_smallest()),
             holder,
         );
-        out.push(serde_json::json!({
-            "ring": t.ring_name,
-            "members": t.entry_points().iter().map(|i| i.raw()).collect::<Vec<_>>(),
-            "holder": holder,
-        }));
+        out.push(Json::obj([
+            ("ring", t.ring_name.to_json()),
+            ("members", t.entry_points().iter().map(|i| i.raw()).collect::<Vec<_>>().to_json()),
+            ("holder", holder.to_json()),
+        ]));
     }
-    serde_json::json!({"table3": out}).to_string()
+    Json::obj([("table3", out.to_json())]).dump()
 }
 
 /// Figures 2 & 3: hops / latency vs network size across models.
@@ -224,7 +229,7 @@ fn fig23(id: &str, scale: &Scale) -> String {
     } else {
         print!("{}", render::fig3_table(&rows));
     }
-    serde_json::to_string_pretty(&rows).expect("rows serialize")
+    hieras_rt::to_string_pretty(&rows)
 }
 
 /// Figures 4 & 5: hop PDF and latency CDF on one large TS network.
@@ -279,13 +284,14 @@ fn fig45(id: &str, scale: &Scale) -> String {
             hs.lower_latency_share * 100.0
         );
     }
-    serde_json::json!({
-        "chord": cs, "hieras": hs,
-        "chord_pdf": r.chord.hop_hist.pdf(),
-        "hieras_pdf": r.hieras.hop_hist.pdf(),
-        "hieras_lower_pdf": r.hieras.lower_hop_hist.pdf(),
-    })
-    .to_string()
+    Json::obj([
+        ("chord", cs.to_json()),
+        ("hieras", hs.to_json()),
+        ("chord_pdf", r.chord.hop_hist.pdf().to_json()),
+        ("hieras_pdf", r.hieras.hop_hist.pdf().to_json()),
+        ("hieras_lower_pdf", r.hieras.lower_hop_hist.pdf().to_json()),
+    ])
+    .dump()
 }
 
 /// Figures 6 & 7: landmark-count sweep.
@@ -306,14 +312,14 @@ fn fig67(id: &str, scale: &Scale) -> String {
             );
         }
     }
-    serde_json::to_string_pretty(&rows).expect("rows serialize")
+    hieras_rt::to_string_pretty(&rows)
 }
 
 /// Figures 8 & 9: hierarchy-depth sweep.
 fn fig89(_id: &str, scale: &Scale) -> String {
     let rows = depth_sweep(&scale.depth_sizes, &[2, 3, 4], scale.requests, SEED);
     print!("{}", render::depth_table(&rows));
-    serde_json::to_string_pretty(&rows).expect("rows serialize")
+    hieras_rt::to_string_pretty(&rows)
 }
 
 /// §3.4 / §6 cost analysis: state per node and join message counts.
@@ -411,12 +417,12 @@ fn costs(scale: &Scale) -> String {
         hieras_avg,
         chord_join.total() as f64 / 10.0
     );
-    serde_json::json!({
-        "state": reports,
-        "hieras_join_msgs": join_msgs,
-        "chord_join_msgs_total": chord_join.total(),
-    })
-    .to_string()
+    Json::obj([
+        ("state", reports.to_json()),
+        ("hieras_join_msgs", join_msgs.to_json()),
+        ("chord_join_msgs_total", chord_join.total().to_json()),
+    ])
+    .dump()
 }
 
 /// Binning-noise ablation: does ping inaccuracy break the win?
@@ -444,9 +450,13 @@ fn ablate_noise(scale: &Scale) -> String {
             h.avg_latency_ms / c.avg_latency_ms * 100.0,
             h.lower_hop_share * 100.0
         );
-        out.push(serde_json::json!({"noise": noise, "chord": c, "hieras": h}));
+        out.push(Json::obj([
+            ("noise", noise.to_json()),
+            ("chord", c.to_json()),
+            ("hieras", h.to_json()),
+        ]));
     }
-    serde_json::json!({"ablate_noise": out}).to_string()
+    Json::obj([("ablate_noise", out.to_json())]).dump()
 }
 
 /// HIERAS-over-CAN: the §3.2 transplant, CAN vs hierarchical CAN.
@@ -493,11 +503,17 @@ fn ablate_can() -> String {
         "\nHIERAS-CAN latency = {:.2}% of plain CAN",
         hl as f64 / cl as f64 * 100.0
     );
-    serde_json::json!({
-        "can": {"hops": ch as f64 / req, "latency": cl as f64 / req},
-        "hier_can": {"hops": hh as f64 / req, "latency": hl as f64 / req},
-    })
-    .to_string()
+    Json::obj([
+        ("can", Json::obj([
+            ("hops", (ch as f64 / req).to_json()),
+            ("latency", (cl as f64 / req).to_json()),
+        ])),
+        ("hier_can", Json::obj([
+            ("hops", (hh as f64 / req).to_json()),
+            ("latency", (hl as f64 / req).to_json()),
+        ])),
+    ])
+    .dump()
 }
 
 /// §6 future work: HIERAS vs Pastry (with proximity neighbour
@@ -547,9 +563,13 @@ fn compare_pastry(scale: &Scale) -> String {
 note: Pastry resolves to the numerically-closest node; Chord/HIERAS to the");
     println!("successor. Destinations differ per key, but each system pays its own full");
     println!("lookup, so the latency comparison is fair.");
-    serde_json::json!({
-        "chord": c, "hieras": h,
-        "pastry": {"hops": ph as f64 / req, "latency": pl as f64 / req},
-    })
-    .to_string()
+    Json::obj([
+        ("chord", c.to_json()),
+        ("hieras", h.to_json()),
+        ("pastry", Json::obj([
+            ("hops", (ph as f64 / req).to_json()),
+            ("latency", (pl as f64 / req).to_json()),
+        ])),
+    ])
+    .dump()
 }

@@ -3,9 +3,10 @@
 //!
 //! The `figures` binary (`cargo run -p hieras-bench --release --bin
 //! figures -- <id>`) prints each artifact as a markdown table plus a
-//! JSON record; the criterion benches (`cargo bench -p hieras-bench`)
-//! time the code path behind each artifact. EXPERIMENTS.md is written
-//! from the `figures all` output.
+//! JSON record; the `bench_replay` binary times oracle construction
+//! and the parallel replay (median ns/lookup) and writes
+//! `BENCH_replay.json`. EXPERIMENTS.md is written from the
+//! `figures all` output.
 //!
 //! Every sweep takes explicit sizes/requests so the same code serves
 //! `--quick` (laptop-scale, minutes) and `--full` (paper-scale:

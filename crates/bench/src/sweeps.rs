@@ -1,11 +1,11 @@
 //! Parameter sweeps behind the paper's figures.
 
 use hieras_core::{Binning, HierasConfig};
+use hieras_rt::{Json, ToJson};
 use hieras_sim::{Experiment, ExperimentConfig, Summary, TopologyKind};
-use serde::{Deserialize, Serialize};
 
 /// One row of a network-size sweep (Figures 2 and 3).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SizeRow {
     /// Network model.
     pub kind: &'static str,
@@ -50,7 +50,7 @@ pub fn size_sweep(
 }
 
 /// One row of the landmark-count sweep (Figures 6 and 7).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LandmarkRow {
     /// Number of landmark nodes.
     pub landmarks: usize,
@@ -96,7 +96,7 @@ pub fn landmark_sweep(
 }
 
 /// One row of the hierarchy-depth sweep (Figures 8 and 9).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DepthRow {
     /// Number of peers.
     pub nodes: usize,
@@ -139,6 +139,39 @@ pub fn depth_sweep(
         }
     }
     rows
+}
+
+impl ToJson for SizeRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("chord", self.chord.to_json()),
+            ("hieras", self.hieras.to_json()),
+        ])
+    }
+}
+
+impl ToJson for LandmarkRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("landmarks", self.landmarks.to_json()),
+            ("rings", self.rings.to_json()),
+            ("chord", self.chord.to_json()),
+            ("hieras", self.hieras.to_json()),
+        ])
+    }
+}
+
+impl ToJson for DepthRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", self.nodes.to_json()),
+            ("depth", self.depth.to_json()),
+            ("hieras", self.hieras.to_json()),
+            ("chord", self.chord.to_json()),
+        ])
+    }
 }
 
 #[cfg(test)]

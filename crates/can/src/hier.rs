@@ -9,7 +9,7 @@
 
 use crate::{CanBuildError, CanOracle};
 use hieras_core::LandmarkOrder;
-use hieras_id::{Id, Key};
+use hieras_id::Key;
 use std::collections::HashMap;
 
 /// A two-layer hierarchical CAN over a binned membership.
@@ -138,6 +138,7 @@ impl HierCan {
 mod tests {
     use super::*;
     use hieras_core::Binning;
+    use hieras_id::Id;
 
     fn orders(n: usize) -> Vec<LandmarkOrder> {
         let b = Binning::paper();

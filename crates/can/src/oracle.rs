@@ -2,8 +2,7 @@
 
 use crate::Zone;
 use hieras_id::{Id, Sha1};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
 
 /// Errors building a CAN.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,7 +25,7 @@ impl core::fmt::Display for CanBuildError {
 impl std::error::Error for CanBuildError {}
 
 /// The hop path of one CAN lookup (member indices local to the CAN).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CanRoute {
     /// Visited members, origin first, owner last.
     pub path: Vec<u32>,
@@ -43,6 +42,22 @@ impl CanRoute {
     #[must_use]
     pub fn owner(&self) -> u32 {
         *self.path.last().expect("path never empty")
+    }
+}
+
+impl ToJson for CanRoute {
+    fn to_json(&self) -> Json {
+        Json::obj([("path", self.path.to_json())])
+    }
+}
+
+impl FromJson for CanRoute {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let r = CanRoute { path: v.field("path")? };
+        if r.path.is_empty() {
+            return Err(JsonError("CAN route path must be non-empty".into()));
+        }
+        Ok(r)
     }
 }
 
@@ -74,7 +89,7 @@ impl CanOracle {
         if dims == 0 {
             return Err(CanBuildError::BadDims);
         }
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut zones: Vec<Zone> = vec![Zone::whole(dims)];
         for _ in 1..members {
             let p: Vec<f64> = (0..dims).map(|_| rng.random_range(0.0..1.0)).collect();
@@ -229,7 +244,7 @@ mod tests {
         let vol: f64 = (0..64u32).map(|m| can.zone(m).volume()).sum();
         assert!((vol - 1.0).abs() < 1e-9, "volumes sum to {vol}");
         // Random points land in exactly one zone.
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..500 {
             let p: Vec<f64> = (0..2).map(|_| rng.random_range(0.0..1.0)).collect();
             let owners =

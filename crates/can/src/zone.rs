@@ -4,11 +4,11 @@
 //! dyadic rational representable exactly in `f64` — equality tests on
 //! borders are therefore exact, not approximate.
 
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// An axis-aligned half-open box `[lo, hi)` per dimension inside the
 /// unit torus `[0,1)^d`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zone {
     /// Inclusive lower corner.
     pub lo: Vec<f64>,
@@ -63,11 +63,14 @@ impl Zone {
     /// returning `(lower_half, upper_half)` — the classic CAN split.
     #[must_use]
     pub fn split(&self) -> (Zone, Zone) {
-        let dim = (0..self.dims())
-            .max_by(|&a, &b| {
-                self.extent(a).partial_cmp(&self.extent(b)).expect("finite extents")
-            })
-            .expect("at least one dimension");
+        // Strictly-greater comparison keeps the lowest index on ties
+        // (`Iterator::max_by` would keep the last).
+        let mut dim = 0;
+        for d in 1..self.dims() {
+            if self.extent(d) > self.extent(dim) {
+                dim = d;
+            }
+        }
         let mid = (self.lo[dim] + self.hi[dim]) / 2.0;
         let mut lower = self.clone();
         let mut upper = self.clone();
@@ -121,6 +124,22 @@ impl Zone {
             return false; // disjoint and not touching in this dim
         }
         abut == 1
+    }
+}
+
+impl ToJson for Zone {
+    fn to_json(&self) -> Json {
+        Json::obj([("lo", self.lo.to_json()), ("hi", self.hi.to_json())])
+    }
+}
+
+impl FromJson for Zone {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let z = Zone { lo: v.field("lo")?, hi: v.field("hi")? };
+        if z.lo.is_empty() || z.lo.len() != z.hi.len() {
+            return Err(JsonError("zone corners must be non-empty and equal-length".into()));
+        }
+        Ok(z)
     }
 }
 

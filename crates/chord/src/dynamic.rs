@@ -14,11 +14,10 @@
 //! maintenance traffic is measured in DHT evaluations.
 
 use hieras_id::{Id, IdSpace, Key};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Counters for protocol traffic, split by purpose.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MaintStats {
     /// RPCs spent resolving application lookups.
     pub lookup_msgs: u64,

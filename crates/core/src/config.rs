@@ -1,7 +1,7 @@
 //! HIERAS configuration: hierarchy depth, landmark count, binning.
 
 use crate::Binning;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Errors validating a [`HierasConfig`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,7 +27,7 @@ impl std::error::Error for ConfigError {}
 ///
 /// The paper's standard setup is `depth = 2`, `landmarks = 4`,
 /// paper binning boundaries — that is [`HierasConfig::paper`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierasConfig {
     /// Hierarchy depth *m*: number of layers including the global ring.
     /// Depth 1 degenerates to plain Chord (useful as a built-in
@@ -84,6 +84,28 @@ impl HierasConfig {
         }
         // ceil((layer-1) * L / (depth-1))
         ((layer - 1) * self.landmarks).div_ceil(self.depth - 1)
+    }
+}
+
+impl ToJson for HierasConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("depth", self.depth.to_json()),
+            ("landmarks", self.landmarks.to_json()),
+            ("binning", self.binning.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HierasConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let c = HierasConfig {
+            depth: v.field("depth")?,
+            landmarks: v.field("landmarks")?,
+            binning: v.field("binning")?,
+        };
+        c.validate().map_err(|e| JsonError(e.to_string()))?;
+        Ok(c)
     }
 }
 

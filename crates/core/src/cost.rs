@@ -9,7 +9,7 @@
 //! bench target.
 
 use crate::HierasOracle;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Bytes we charge per routing-table entry: 8-byte node id + 4-byte
 /// IPv4 address + 2-byte port, padded to 16 for alignment — the same
@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 pub const BYTES_PER_ENTRY: usize = 16;
 
 /// State-size accounting for one configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CostReport {
     /// Hierarchy depth (1 = plain Chord).
     pub depth: usize,
@@ -74,6 +74,34 @@ impl CostReport {
     #[must_use]
     pub fn overhead_vs(&self, base: &CostReport) -> f64 {
         self.bytes_per_node / base.bytes_per_node
+    }
+}
+
+impl ToJson for CostReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("depth", self.depth.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("finger_entries", self.finger_entries.to_json()),
+            ("distinct_finger_entries", self.distinct_finger_entries.to_json()),
+            ("succ_list_entries", self.succ_list_entries.to_json()),
+            ("ring_table_count", self.ring_table_count.to_json()),
+            ("bytes_per_node", self.bytes_per_node.to_json()),
+        ])
+    }
+}
+
+impl FromJson for CostReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(CostReport {
+            depth: v.field("depth")?,
+            nodes: v.field("nodes")?,
+            finger_entries: v.field("finger_entries")?,
+            distinct_finger_entries: v.field("distinct_finger_entries")?,
+            succ_list_entries: v.field("succ_list_entries")?,
+            ring_table_count: v.field("ring_table_count")?,
+            bytes_per_node: v.field("bytes_per_node")?,
+        })
     }
 }
 

@@ -296,6 +296,12 @@ impl HierasOracle {
     /// check whether the current node is already the destination, and
     /// otherwise continue one layer up with that layer's finger table.
     ///
+    /// Lower layers route to the closest *preceding* ring member of the
+    /// key and hand off there; only the global ring takes the delivery
+    /// hop to the owner. Handing off at the ring-local owner instead
+    /// would overshoot the key in id space and force the next layer to
+    /// route nearly the whole circle.
+    ///
     /// # Panics
     /// Panics if `src` is out of range.
     #[must_use]
@@ -312,7 +318,11 @@ impl HierasOracle {
             }
             let ring = layer.ring_of(cur);
             let pos = ring.position_of(cur).expect("node is member of its own ring");
-            let path = ring.route(pos, key);
+            let path = if layer.layer_no == 1 {
+                ring.route(pos, key)
+            } else {
+                ring.route_to_predecessor(pos, key)
+            };
             for w in path.windows(2) {
                 trace.hops.push(HopRecord {
                     from: ring.node_at(w[0]),
@@ -543,16 +553,17 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        /// HIERAS always resolves to the Chord owner, for arbitrary
-        /// memberships, orders and depths.
-        #[test]
-        fn hieras_owner_equals_chord_owner(
-            seed in 0u64..300,
-            n in 2usize..40,
-            depth in 1usize..4,
-            key in proptest::num::u64::ANY,
-        ) {
+    /// Seeded-loop replacement for the old property test: HIERAS always
+    /// resolves to the Chord owner, for arbitrary memberships, orders
+    /// and depths.
+    #[test]
+    fn hieras_owner_equals_chord_owner() {
+        let mut rng = hieras_rt::Rng::seed_from_u64(0x0c1e);
+        for case in 0..128 {
+            let seed = rng.random_range(0u64..300);
+            let n = rng.random_range(2usize..40);
+            let depth = rng.random_range(1usize..4);
+            let key = Id(rng.next_u64());
             let space = IdSpace::full();
             let mut raw: Vec<u64> = (0..n as u64)
                 .map(|i| seed.wrapping_add(i).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (i << 17))
@@ -571,13 +582,12 @@ mod tests {
             let config = HierasConfig { depth, landmarks, binning: Binning::paper() };
             let o = HierasOracle::from_rtts(space, Arc::clone(&ids), &rtts, config).unwrap();
             let chord = hieras_chord::ChordOracle::build(space, ids).unwrap();
-            let key = Id(key);
             let want = chord.owner_of(key);
             for src in 0..raw.len() as u32 {
                 let t = o.route(src, key);
-                proptest::prop_assert_eq!(t.destination(), want);
+                assert_eq!(t.destination(), want, "case {case} src {src}");
                 // Scalability bound: O(depth * log N) with generous slack.
-                proptest::prop_assert!(t.hop_count() <= depth * (raw.len() + 64));
+                assert!(t.hop_count() <= depth * (raw.len() + 64), "case {case}");
             }
         }
     }

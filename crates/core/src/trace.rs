@@ -1,10 +1,10 @@
 //! Per-hop routing traces — the raw material for every figure.
 
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// One routing hop: the message moved from global node `from` to
 /// global node `to`, using the finger table of layer `layer`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HopRecord {
     /// Global index of the forwarding node.
     pub from: u32,
@@ -17,7 +17,7 @@ pub struct HopRecord {
 }
 
 /// The full trace of one routing procedure.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RouteTrace {
     /// Originating node.
     pub origin: u32,
@@ -67,6 +67,34 @@ impl RouteTrace {
             }
         }
         (total, lower)
+    }
+}
+
+impl ToJson for HopRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("layer", self.layer.to_json()),
+        ])
+    }
+}
+
+impl FromJson for HopRecord {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(HopRecord { from: v.field("from")?, to: v.field("to")?, layer: v.field("layer")? })
+    }
+}
+
+impl ToJson for RouteTrace {
+    fn to_json(&self) -> Json {
+        Json::obj([("origin", self.origin.to_json()), ("hops", self.hops.to_json())])
+    }
+}
+
+impl FromJson for RouteTrace {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(RouteTrace { origin: v.field("origin")?, hops: v.field("hops")? })
     }
 }
 

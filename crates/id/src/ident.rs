@@ -1,7 +1,7 @@
 //! The [`Id`] newtype: a point on the identifier circle.
 
 use crate::Sha1;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// A point on the identifier circle.
 ///
@@ -14,11 +14,21 @@ use serde::{Deserialize, Serialize};
 /// what ring construction (sorting node ids) needs. Circular relations
 /// ("is x between a and b going clockwise?") live on
 /// [`crate::IdSpace`], because they depend on the ring size.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Id(pub u64);
+
+impl ToJson for Id {
+    /// Transparent: an `Id` serializes as its bare `u64`.
+    fn to_json(&self) -> Json {
+        Json::U64(self.0)
+    }
+}
+
+impl FromJson for Id {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_u64().map(Id).ok_or_else(|| JsonError("expected id (u64)".into()))
+    }
+}
 
 impl Id {
     /// The identifier `0`.

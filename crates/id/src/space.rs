@@ -7,7 +7,7 @@
 //! bug-prone part of Chord implementations.
 
 use crate::Id;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Errors constructing or using an identifier space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,9 +35,22 @@ impl std::error::Error for SpaceError {}
 /// [`IdSpace::full`] space) is the production configuration; smaller
 /// spaces exist to reproduce the paper's worked examples and to make
 /// exhaustive tests feasible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IdSpace {
     bits: u32,
+}
+
+impl ToJson for IdSpace {
+    fn to_json(&self) -> Json {
+        Json::obj([("bits", Json::U64(u64::from(self.bits)))])
+    }
+}
+
+impl FromJson for IdSpace {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let bits: u32 = v.field("bits")?;
+        IdSpace::new(bits).map_err(|e| JsonError(e.to_string()))
+    }
 }
 
 impl Default for IdSpace {
@@ -196,7 +209,6 @@ impl IdSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn new_rejects_bad_bits() {
@@ -292,59 +304,63 @@ mod tests {
         assert_eq!(s.closer_predecessor(Id(5), Id(250), Id(100)), Id(250));
     }
 
-    fn arb_space() -> impl Strategy<Value = IdSpace> {
-        (1u32..=64).prop_map(|b| IdSpace::new(b).unwrap())
+    /// Deterministic case generator replacing the old proptest
+    /// strategies: a random space and three ids inside it per case.
+    fn random_cases(seed: u64, cases: usize) -> impl Iterator<Item = (IdSpace, Id, Id, Id)> {
+        let mut rng = hieras_rt::Rng::seed_from_u64(seed);
+        (0..cases).map(move |_| {
+            let s = IdSpace::new(rng.random_range(1u32..=64)).unwrap();
+            let a = s.reduce(Id(rng.next_u64()));
+            let b = s.reduce(Id(rng.next_u64()));
+            let x = s.reduce(Id(rng.next_u64()));
+            (s, a, b, x)
+        })
     }
 
-    proptest! {
-        #[test]
-        fn distance_is_additive_inverse((bits, a, b) in arb_space().prop_flat_map(|s| {
-            let m = s.mask();
-            (Just(s), 0..=m, 0..=m)
-        })) {
-            let (s, a, b) = (bits, Id(a), Id(b));
+    #[test]
+    fn distance_is_additive_inverse() {
+        for (s, a, b, _) in random_cases(0xd157, 2000) {
             let d = s.distance_cw(a, b);
-            prop_assert_eq!(s.add(a, d), b);
+            assert_eq!(s.add(a, d), b);
             if a != b {
-                prop_assert_eq!(s.distance_cw(b, a), (s.mask() - d).wrapping_add(1) & s.mask());
+                assert_eq!(s.distance_cw(b, a), (s.mask() - d).wrapping_add(1) & s.mask());
             }
         }
+    }
 
-        #[test]
-        fn open_closed_partition((s, a, b, x) in arb_space().prop_flat_map(|s| {
-            let m = s.mask();
-            (Just(s), 0..=m, 0..=m, 0..=m)
-        })) {
-            let (a, b, x) = (Id(a), Id(b), Id(x));
-            // (a,b] and (b,a] partition circle-minus-nothing: every x != border
-            // relations hold. Specifically for a != b:
-            prop_assume!(a != b);
+    #[test]
+    fn open_closed_partition() {
+        // Every point is in exactly one of (a,b] or (b,a] when a != b.
+        for (s, a, b, x) in random_cases(0x0c9a, 2000) {
+            if a == b {
+                continue;
+            }
             let in1 = s.in_open_closed(a, b, x);
             let in2 = s.in_open_closed(b, a, x);
-            // Every point is in exactly one of (a,b] or (b,a].
-            prop_assert!(in1 ^ in2, "x={:?} a={:?} b={:?}", x, a, b);
+            assert!(in1 ^ in2, "x={x:?} a={a:?} b={b:?}");
         }
+    }
 
-        #[test]
-        fn open_is_open_closed_minus_endpoint((s, a, b, x) in arb_space().prop_flat_map(|s| {
-            let m = s.mask();
-            (Just(s), 0..=m, 0..=m, 0..=m)
-        })) {
-            let (a, b, x) = (Id(a), Id(b), Id(x));
-            prop_assume!(a != b);
+    #[test]
+    fn open_is_open_closed_minus_endpoint() {
+        for (s, a, b, x) in random_cases(0x09e4, 2000) {
+            if a == b {
+                continue;
+            }
             let open = s.in_open(a, b, x);
             let oc = s.in_open_closed(a, b, x);
-            prop_assert_eq!(open, oc && x != b);
+            assert_eq!(open, oc && x != b);
         }
+    }
 
-        #[test]
-        fn finger_start_monotone_distance(s in arb_space(), n in proptest::num::u64::ANY) {
-            let n = s.reduce(Id(n));
+    #[test]
+    fn finger_start_monotone_distance() {
+        for (s, n, _, _) in random_cases(0xf19e, 500) {
             let mut prev = 0u64;
             for i in 0..s.bits() {
                 let d = s.distance_cw(n, s.finger_start(n, i));
-                prop_assert_eq!(d, 1u64 << i);
-                prop_assert!(d > prev || i == 0);
+                assert_eq!(d, 1u64 << i);
+                assert!(d > prev || i == 0);
                 prev = d;
             }
         }

@@ -15,7 +15,7 @@
 //! * [`SimNet`] — single-threaded, deterministic discrete-event
 //!   delivery with per-link latencies from a caller-supplied delay
 //!   function; used for join-cost and message-count experiments.
-//! * [`ThreadNet`] — one OS thread per node, crossbeam channels, and a
+//! * [`ThreadNet`] — one OS thread per node, std mpsc channels, and a
 //!   serialized wire format ([`wire`]); demonstrates the same handler
 //!   running under real concurrency.
 //!

@@ -6,11 +6,11 @@
 
 use hieras_core::RingTable;
 use hieras_id::Id;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// Protocol messages. Every message is addressed to a node id; the
 /// transport resolves ids to endpoints.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Payload {
     /// Hierarchical find-successor, forwarded recursively. `layer` is
     /// the ring currently being searched; `hops` counts forwarding
@@ -27,8 +27,25 @@ pub enum Payload {
         /// Routing hops taken so far.
         hops: u32,
     },
-    /// Final response to a [`Payload::FindSucc`], sent by the owner
-    /// directly to the originator.
+    /// Single-ring find-successor: ordinary Chord routing confined to
+    /// one ring (§3.3 resolves join-time successors and ring-table
+    /// holders this way). Unlike [`Payload::FindSucc`] it never ascends
+    /// layers; the ring-local owner answers.
+    FindRingSucc {
+        /// Key being resolved.
+        key: Id,
+        /// Ring layer to route in (1 = global).
+        layer: u8,
+        /// Node that issued the lookup (receives [`Payload::FoundSucc`]).
+        origin: Id,
+        /// Request correlation id.
+        req: u64,
+        /// Routing hops taken so far.
+        hops: u32,
+    },
+    /// Final response to a [`Payload::FindSucc`] or
+    /// [`Payload::FindRingSucc`], sent by the owner directly to the
+    /// originator.
     FoundSucc {
         /// The resolved key.
         key: Id,
@@ -131,6 +148,7 @@ impl Payload {
     pub fn kind(&self) -> &'static str {
         match self {
             Payload::FindSucc { .. } => "find_succ",
+            Payload::FindRingSucc { .. } => "find_ring_succ",
             Payload::FoundSucc { .. } => "found_succ",
             Payload::GetPred { .. } => "get_pred",
             Payload::PredIs { .. } => "pred_is",
@@ -147,6 +165,137 @@ impl Payload {
     }
 }
 
+impl ToJson for Payload {
+    fn to_json(&self) -> Json {
+        let kind = ("kind", self.kind().to_json());
+        match self {
+            Payload::FindSucc { key, layer, origin, req, hops } => Json::obj([
+                kind,
+                ("key", key.to_json()),
+                ("layer", layer.to_json()),
+                ("origin", origin.to_json()),
+                ("req", req.to_json()),
+                ("hops", hops.to_json()),
+            ]),
+            Payload::FindRingSucc { key, layer, origin, req, hops } => Json::obj([
+                kind,
+                ("key", key.to_json()),
+                ("layer", layer.to_json()),
+                ("origin", origin.to_json()),
+                ("req", req.to_json()),
+                ("hops", hops.to_json()),
+            ]),
+            Payload::FoundSucc { key, owner, req, hops } => Json::obj([
+                kind,
+                ("key", key.to_json()),
+                ("owner", owner.to_json()),
+                ("req", req.to_json()),
+                ("hops", hops.to_json()),
+            ]),
+            Payload::GetPred { layer, req } => {
+                Json::obj([kind, ("layer", layer.to_json()), ("req", req.to_json())])
+            }
+            Payload::PredIs { layer, pred, req } => Json::obj([
+                kind,
+                ("layer", layer.to_json()),
+                ("pred", pred.to_json()),
+                ("req", req.to_json()),
+            ]),
+            Payload::Notify { layer } => Json::obj([kind, ("layer", layer.to_json())]),
+            Payload::UpdateSucc { layer } => Json::obj([kind, ("layer", layer.to_json())]),
+            Payload::GetRingTable { ring_name, req } => Json::obj([
+                kind,
+                ("ring_name", ring_name.to_json()),
+                ("req", req.to_json()),
+            ]),
+            Payload::RingTableIs { table, req } => {
+                Json::obj([kind, ("table", table.to_json()), ("req", req.to_json())])
+            }
+            Payload::RingTableUpdate { ring_name, node } => Json::obj([
+                kind,
+                ("ring_name", ring_name.to_json()),
+                ("node", node.to_json()),
+            ]),
+            Payload::GetFingers { layer, req } => {
+                Json::obj([kind, ("layer", layer.to_json()), ("req", req.to_json())])
+            }
+            Payload::FingersAre { layer, fingers, req } => Json::obj([
+                kind,
+                ("layer", layer.to_json()),
+                ("fingers", fingers.to_json()),
+                ("req", req.to_json()),
+            ]),
+            Payload::GetLandmarks { req } => Json::obj([kind, ("req", req.to_json())]),
+            Payload::LandmarksAre { landmarks, req } => Json::obj([
+                kind,
+                ("landmarks", landmarks.to_json()),
+                ("req", req.to_json()),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Payload {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind: String = v.field("kind")?;
+        match kind.as_str() {
+            "find_succ" => Ok(Payload::FindSucc {
+                key: v.field("key")?,
+                layer: v.field("layer")?,
+                origin: v.field("origin")?,
+                req: v.field("req")?,
+                hops: v.field("hops")?,
+            }),
+            "find_ring_succ" => Ok(Payload::FindRingSucc {
+                key: v.field("key")?,
+                layer: v.field("layer")?,
+                origin: v.field("origin")?,
+                req: v.field("req")?,
+                hops: v.field("hops")?,
+            }),
+            "found_succ" => Ok(Payload::FoundSucc {
+                key: v.field("key")?,
+                owner: v.field("owner")?,
+                req: v.field("req")?,
+                hops: v.field("hops")?,
+            }),
+            "get_pred" => Ok(Payload::GetPred { layer: v.field("layer")?, req: v.field("req")? }),
+            "pred_is" => Ok(Payload::PredIs {
+                layer: v.field("layer")?,
+                pred: v.field("pred")?,
+                req: v.field("req")?,
+            }),
+            "notify" => Ok(Payload::Notify { layer: v.field("layer")? }),
+            "update_succ" => Ok(Payload::UpdateSucc { layer: v.field("layer")? }),
+            "get_ring_table" => Ok(Payload::GetRingTable {
+                ring_name: v.field("ring_name")?,
+                req: v.field("req")?,
+            }),
+            "ring_table_is" => {
+                Ok(Payload::RingTableIs { table: v.field("table")?, req: v.field("req")? })
+            }
+            "ring_table_update" => Ok(Payload::RingTableUpdate {
+                ring_name: v.field("ring_name")?,
+                node: v.field("node")?,
+            }),
+            "get_fingers" => {
+                Ok(Payload::GetFingers { layer: v.field("layer")?, req: v.field("req")? })
+            }
+            "fingers_are" => Ok(Payload::FingersAre {
+                layer: v.field("layer")?,
+                fingers: v.field("fingers")?,
+                req: v.field("req")?,
+            }),
+            "get_landmarks" => Ok(Payload::GetLandmarks { req: v.field("req")? }),
+            "landmarks_are" => Ok(Payload::LandmarksAre {
+                landmarks: v.field("landmarks")?,
+                req: v.field("req")?,
+            }),
+            other => Err(JsonError(format!("unknown payload kind `{other}`"))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +304,7 @@ mod tests {
     fn kinds_are_distinct() {
         let msgs = [
             Payload::FindSucc { key: Id(1), layer: 1, origin: Id(2), req: 0, hops: 0 },
+            Payload::FindRingSucc { key: Id(1), layer: 2, origin: Id(2), req: 0, hops: 0 },
             Payload::FoundSucc { key: Id(1), owner: Id(2), req: 0, hops: 3 },
             Payload::GetPred { layer: 1, req: 0 },
             Payload::PredIs { layer: 1, pred: None, req: 0 },

@@ -217,13 +217,14 @@ impl<'a> SimNet<'a> {
         reply
     }
 
-    /// Resolves the owner of `key` by routing from `via` (an existing
-    /// member) — the "ordinary Chord routing procedure" §3.3 uses for
+    /// Resolves the ring-local owner of `key` in `layer` by routing
+    /// from `via` (an existing ring member) — the "ordinary Chord
+    /// routing procedure" §3.3 uses for join-time successors and
     /// ring-table requests. Driver-initiated, so usable before the
     /// driver has joined.
     fn resolve_via(&mut self, driver: Id, via: Id, key: Key, layer: u8) -> (Id, u32) {
         let req = self.fresh_req();
-        let msg = Payload::FindSucc { key, layer, origin: driver, req, hops: 0 };
+        let msg = Payload::FindRingSucc { key, layer, origin: driver, req, hops: 0 };
         let reply = self.rpc(driver, via, msg, |m| {
             matches!(m, Payload::FoundSucc { req: r, .. } if *r == req)
         });
@@ -480,16 +481,18 @@ mod tests {
         let (o, _) = build(20, 2);
         let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
         let new_id = Id(0x1234_5678_9abc_def0);
-        // RTTs that produce a bin no existing node occupies: "20".
-        let outcome = net.join(new_id, o.id_of(0), &[150, 10]);
+        // RTTs that produce a bin no existing node occupies: every
+        // fixture node has level-0 or level-2 RTTs only, so the
+        // mid-level 50 ms reading yields the unoccupied ring "10".
+        let outcome = net.join(new_id, o.id_of(0), &[50, 10]);
         assert_eq!(outcome.rings_founded, 1);
         let s = net.node(new_id).unwrap();
-        assert_eq!(s.layer(2).ring_name, "20");
+        assert_eq!(s.layer(2).ring_name, "10");
         assert_eq!(s.layer(2).succ, new_id); // solo ring
         // The ring table now exists at its holder.
-        let ring_id = order_from_name("20").ring_id();
+        let ring_id = order_from_name("10").ring_id();
         let holder = net.lookup(o.id_of(0), ring_id).owner;
-        let held = net.node(holder).unwrap().ring_tables.get("20").unwrap();
+        let held = net.node(holder).unwrap().ring_tables.get("10").unwrap();
         assert_eq!(held.entry_points(), &[new_id]);
     }
 

@@ -97,21 +97,32 @@ impl NodeState {
         best.unwrap_or(ls.succ)
     }
 
-    /// The §3.2 routing step for an incoming [`Payload::FindSucc`]:
-    /// ascend through every layer this node owns the key in; if the
-    /// global layer is reached the lookup is answered, otherwise the
-    /// message is forwarded within the first layer that still needs
-    /// routing. Returns the messages to emit.
+    /// The §3.2 routing step for an incoming [`Payload::FindSucc`].
+    ///
+    /// Mirrors [`hieras_core::HierasOracle::route`] hop for hop: the
+    /// global owner answers; a node that is the closest-*preceding*
+    /// member of the key in a lower ring hands the message up a layer
+    /// at no hop cost; a node that ring-locally owns the key in a lower
+    /// ring overshoots it in id space and bounces one backward hop to
+    /// its predecessor (the hand-off point); everyone else forwards via
+    /// the layer's fingers. Returns the messages to emit.
     fn on_find_succ(&self, key: Key, mut layer: u8, origin: Id, req: u64, hops: u32) -> Vec<(Id, Payload)> {
-        loop {
-            if self.owns_in_layer(layer, key) {
-                if layer == 1 {
-                    return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
-                }
-                layer -= 1; // ascend toward the global ring
-                continue;
+        // The destination check that ends each m loop early (§3.2).
+        if self.owns_in_layer(1, key) {
+            return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
+        }
+        while layer > 1 {
+            let ls = self.layer(layer);
+            if ls.succ == self.id || self.space.in_open_closed(self.id, ls.succ, key) {
+                // Closest-preceding member of the key in this ring (or a
+                // solo ring): ascend toward the global ring.
+                layer -= 1;
+            } else if self.owns_in_layer(layer, key) {
+                let pred = ls.pred.expect("ring-local owner knows its predecessor");
+                return vec![(pred, Payload::FindSucc { key, layer, origin, req, hops: hops + 1 })];
+            } else {
+                break;
             }
-            break;
         }
         let next = self.next_hop_in_layer(layer, key);
         if next == self.id {
@@ -123,12 +134,29 @@ impl NodeState {
         vec![(next, Payload::FindSucc { key, layer, origin, req, hops: hops + 1 })]
     }
 
+    /// The §3.3 routing step for [`Payload::FindRingSucc`]: ordinary
+    /// Chord routing confined to `layer`'s ring, answered by the
+    /// ring-local owner.
+    fn on_find_ring_succ(&self, key: Key, layer: u8, origin: Id, req: u64, hops: u32) -> Vec<(Id, Payload)> {
+        if self.owns_in_layer(layer, key) {
+            return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
+        }
+        let next = self.next_hop_in_layer(layer, key);
+        if next == self.id {
+            return vec![(origin, Payload::FoundSucc { key, owner: self.id, req, hops })];
+        }
+        vec![(next, Payload::FindRingSucc { key, layer, origin, req, hops: hops + 1 })]
+    }
+
     /// Handles one incoming message, returning the messages to send.
     /// Pure with respect to the transport: no I/O, no clocks.
     pub fn handle(&mut self, from: Id, msg: Payload) -> Vec<(Id, Payload)> {
         match msg {
             Payload::FindSucc { key, layer, origin, req, hops } => {
                 self.on_find_succ(key, layer, origin, req, hops)
+            }
+            Payload::FindRingSucc { key, layer, origin, req, hops } => {
+                self.on_find_ring_succ(key, layer, origin, req, hops)
             }
             Payload::FoundSucc { .. } => Vec::new(), // consumed by drivers
             Payload::GetPred { layer, req } => {

@@ -1,4 +1,4 @@
-//! Real-concurrency transport: one OS thread per node, crossbeam
+//! Real-concurrency transport: one OS thread per node, std mpsc
 //! channels, serialized frames.
 //!
 //! The same pure handler that drives [`crate::SimNet`] runs here under
@@ -16,18 +16,17 @@
 use crate::state::states_from_oracle;
 use crate::wire::{decode, encode, Frame};
 use crate::Payload;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use hieras_core::HierasOracle;
 use hieras_id::{Id, Key};
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Channel item: a serialized frame, or the stop signal.
 enum WireMsg {
     /// A serialized [`Frame`].
-    Frame(bytes::Bytes),
+    Frame(Vec<u8>),
     /// Orderly shutdown request for the node thread.
     Stop,
 }
@@ -42,7 +41,7 @@ struct Fabric {
 impl Fabric {
     fn send(&self, frame: &Frame) {
         // Responses to a client driver are intercepted by id.
-        if let Some(tx) = self.client_inbox.lock().get(&frame.to) {
+        if let Some(tx) = self.client_inbox.lock().expect("inbox lock poisoned").get(&frame.to) {
             let _ = tx.send(frame.clone());
             return;
         }
@@ -70,7 +69,7 @@ impl ThreadNet {
         let mut inboxes: Vec<(crate::NodeState, Receiver<WireMsg>)> =
             Vec::with_capacity(states.len());
         for state in states {
-            let (tx, rx) = unbounded::<WireMsg>();
+            let (tx, rx) = channel::<WireMsg>();
             routes.insert(state.id, tx);
             inboxes.push((state, rx));
         }
@@ -123,8 +122,8 @@ impl ThreadNet {
         let req = self.next_req.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         // A unique client address per request keeps concurrent lookups apart.
         let client = Id(0x8000_0000_0000_0000u64 | req);
-        let (tx, rx) = unbounded::<Frame>();
-        self.fabric.client_inbox.lock().insert(client, tx);
+        let (tx, rx) = channel::<Frame>();
+        self.fabric.client_inbox.lock().expect("inbox lock poisoned").insert(client, tx);
         self.fabric.send(&Frame {
             from: client,
             to: origin,
@@ -133,7 +132,7 @@ impl ThreadNet {
         let reply = rx
             .recv_timeout(std::time::Duration::from_secs(30))
             .expect("lookup timed out — network wedged");
-        self.fabric.client_inbox.lock().remove(&client);
+        self.fabric.client_inbox.lock().expect("inbox lock poisoned").remove(&client);
         match reply.payload {
             Payload::FoundSucc { owner, hops, .. } => (owner, hops),
             other => panic!("client received unexpected message {other:?}"),

@@ -1,19 +1,18 @@
-//! Wire format: length-free, self-describing JSON frames in
-//! [`bytes::Bytes`].
+//! Wire format: length-free, self-describing JSON frames in `Vec<u8>`.
 //!
 //! The thread transport serializes every message before it crosses a
 //! channel, proving the protocol state machine is fully
 //! serializable — nothing in [`crate::Payload`] smuggles process-local
-//! references. JSON keeps frames debuggable; a production deployment
-//! would swap in a binary codec behind the same two functions.
+//! references. JSON (the in-tree `hieras_rt` writer/reader) keeps
+//! frames debuggable; a production deployment would swap in a binary
+//! codec behind the same two functions.
 
 use crate::Payload;
-use bytes::Bytes;
 use hieras_id::Id;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// A framed protocol message: source, destination, payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Frame {
     /// Sender id.
     pub from: Id,
@@ -23,22 +22,40 @@ pub struct Frame {
     pub payload: Payload,
 }
 
+impl ToJson for Frame {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("from", self.from.to_json()),
+            ("to", self.to.to_json()),
+            ("payload", self.payload.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Frame {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Frame {
+            from: v.field("from")?,
+            to: v.field("to")?,
+            payload: v.field("payload")?,
+        })
+    }
+}
+
 /// Encodes a frame.
-///
-/// # Panics
-/// Panics if serialization fails (impossible for these types — all
-/// fields are plain data).
 #[must_use]
-pub fn encode(frame: &Frame) -> Bytes {
-    Bytes::from(serde_json::to_vec(frame).expect("Payload is plain data"))
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    frame.to_json().dump().into_bytes()
 }
 
 /// Decodes a frame.
 ///
 /// # Errors
 /// Returns the underlying JSON error for malformed input.
-pub fn decode(bytes: &Bytes) -> Result<Frame, serde_json::Error> {
-    serde_json::from_slice(bytes)
+pub fn decode(bytes: &[u8]) -> Result<Frame, JsonError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| JsonError(format!("frame is not UTF-8: {e}")))?;
+    Frame::from_json(&Json::parse(text)?)
 }
 
 #[cfg(test)]
@@ -72,7 +89,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert!(decode(&Bytes::from_static(b"not json")).is_err());
-        assert!(decode(&Bytes::from_static(b"{}")).is_err());
+        assert!(decode(b"not json").is_err());
+        assert!(decode(b"{}").is_err());
     }
 }

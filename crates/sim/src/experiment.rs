@@ -6,14 +6,12 @@ use hieras_chord::ChordOracle;
 use hieras_core::{HierasConfig, HierasOracle, LandmarkOrder};
 use hieras_id::{Id, IdSpace};
 use hieras_topology::{BriteConfig, InetConfig, LatencyOracle, Topology, TransitStubConfig};
-use rand::prelude::*;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{Executor, FromJson, Json, JsonError, Rng, ToJson};
 use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Which of the paper's three network models to simulate (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TopologyKind {
     /// GT-ITM Transit-Stub — the primary model.
     TransitStub,
@@ -43,8 +41,32 @@ impl TopologyKind {
     }
 }
 
+impl ToJson for TopologyKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                TopologyKind::TransitStub => "transit_stub",
+                TopologyKind::Inet => "inet",
+                TopologyKind::Brite => "brite",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for TopologyKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("transit_stub") => Ok(TopologyKind::TransitStub),
+            Some("inet") => Ok(TopologyKind::Inet),
+            Some("brite") => Ok(TopologyKind::Brite),
+            _ => Err(JsonError("expected topology kind string".into())),
+        }
+    }
+}
+
 /// Full description of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentConfig {
     /// Network model.
     pub kind: TopologyKind,
@@ -80,8 +102,34 @@ impl ExperimentConfig {
     }
 }
 
+impl ToJson for ExperimentConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("nodes", self.nodes.to_json()),
+            ("requests", self.requests.to_json()),
+            ("hieras", self.hieras.to_json()),
+            ("seed", self.seed.to_json()),
+            ("rtt_noise", self.rtt_noise.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ExperimentConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ExperimentConfig {
+            kind: v.field("kind")?,
+            nodes: v.field("nodes")?,
+            requests: v.field("requests")?,
+            hieras: v.field("hieras")?,
+            seed: v.field("seed")?,
+            rtt_noise: v.field("rtt_noise")?,
+        })
+    }
+}
+
 /// Replay results for both algorithms over the identical workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonResult {
     /// Chord baseline metrics.
     pub chord: Metrics,
@@ -89,8 +137,20 @@ pub struct ComparisonResult {
     pub hieras: Metrics,
 }
 
+impl ToJson for ComparisonResult {
+    fn to_json(&self) -> Json {
+        Json::obj([("chord", self.chord.to_json()), ("hieras", self.hieras.to_json())])
+    }
+}
+
+impl FromJson for ComparisonResult {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(ComparisonResult { chord: v.field("chord")?, hieras: v.field("hieras")? })
+    }
+}
+
 /// Per-algorithm view used by sweep helpers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgoStats {
     /// The Chord baseline.
     Chord,
@@ -137,7 +197,7 @@ impl Experiment {
         assert!(config.nodes > 0, "experiment needs at least one peer");
         config.hieras.validate().expect("invalid HIERAS config");
         let topo = config.kind.generate(config.nodes, config.seed);
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
+        let mut rng = Rng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
         let router_of = topo.place_peers(config.nodes, &mut rng);
         let lat = LatencyOracle::new(topo.graph.clone());
 
@@ -207,22 +267,32 @@ impl Experiment {
     /// experiment seed regardless of thread count.
     #[must_use]
     pub fn run_requests(&self, requests: usize) -> ComparisonResult {
+        self.run_requests_on(&Executor::default(), requests)
+    }
+
+    /// Like [`Experiment::run_requests`] but on a caller-supplied
+    /// executor — used to pin the thread count (determinism tests, the
+    /// bench harness). The chunk size is fixed independently of the
+    /// executor, so the merged metrics — including the order of
+    /// `latency_samples` — are bit-identical at any parallelism level.
+    #[must_use]
+    pub fn run_requests_on(&self, exec: &Executor, requests: usize) -> ComparisonResult {
+        /// Requests per work chunk. Each request is a pair of table
+        /// lookups (microseconds), so a few hundred per claim amortizes
+        /// the atomic increment without starving the workers.
+        const REPLAY_CHUNK: usize = 256;
         let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
-        let (chord, hieras) = (0..requests)
-            .into_par_iter()
-            .fold(
-                || (Metrics::default(), Metrics::default()),
-                |mut acc, i| {
-                    let (src, key) = w.request(i);
-                    acc.0.record(self.eval_chord(src, key));
-                    acc.1.record(self.eval_hieras(src, key));
-                    acc
-                },
-            )
-            .reduce(
-                || (Metrics::default(), Metrics::default()),
-                |a, b| (a.0.merged(b.0), a.1.merged(b.1)),
-            );
+        let (chord, hieras) = exec.par_fold(
+            requests,
+            REPLAY_CHUNK,
+            || (Metrics::default(), Metrics::default()),
+            |acc, i| {
+                let (src, key) = w.request(i);
+                acc.0.record(self.eval_chord(src, key));
+                acc.1.record(self.eval_hieras(src, key));
+            },
+            |a, b| (a.0.merged(b.0), a.1.merged(b.1)),
+        );
         ComparisonResult { chord, hieras }
     }
 
@@ -301,6 +371,16 @@ mod tests {
         assert!(h.lower_hop_share > 0.3, "lower-layer share {}", h.lower_hop_share);
         // Lower-layer links are cheaper on average than top links.
         assert!(h.avg_link_delay_lower_ms < c.avg_latency_ms / c.avg_hops);
+    }
+
+    #[test]
+    fn replay_is_bit_identical_across_thread_counts() {
+        let e = Experiment::build(ExperimentConfig { nodes: 200, ..small_cfg() });
+        let base = e.run_requests_on(&Executor::new(1), 1500);
+        for threads in [2, 3, 8] {
+            let r = e.run_requests_on(&Executor::new(threads), 1500);
+            assert_eq!(r, base, "metrics diverge at {threads} threads");
+        }
     }
 
     #[test]

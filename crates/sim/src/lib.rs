@@ -12,9 +12,10 @@
 //!    100 000) through both, collecting hop and latency metrics.
 //!
 //! [`Experiment`] owns steps 1–3; [`Experiment::run`] performs step 4
-//! in parallel (rayon) with deterministic per-request RNG streams, so
-//! the same seed always reproduces the same numbers regardless of
-//! thread count.
+//! in parallel on the in-tree `hieras_rt::Executor` with deterministic
+//! per-request RNG streams and a fixed chunked merge order, so the same
+//! seed always reproduces the same numbers — bit-identical — regardless
+//! of thread count.
 //!
 //! The crate also hosts the discrete-event machinery ([`EventQueue`],
 //! [`SimClock`]) used by the message-level protocol engine

@@ -4,10 +4,10 @@
 //! accumulators and reduce them at the end — no shared mutable state on
 //! the hot path (hpc-parallel guide idiom).
 
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 
 /// A dense histogram over small non-negative integers (hop counts).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     counts: Vec<u64>,
     total: u64,
@@ -80,7 +80,7 @@ impl Histogram {
 }
 
 /// An empirical CDF over latency samples (milliseconds).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Cdf {
     sorted: Vec<u32>,
 }
@@ -167,7 +167,7 @@ pub struct Sample {
 }
 
 /// A mergeable metric accumulator for one routing algorithm.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Metrics {
     /// Number of requests replayed.
     pub requests: u64,
@@ -200,7 +200,7 @@ impl Metrics {
         self.latency_samples.push(s.latency_ms);
     }
 
-    /// Merges a sibling accumulator (rayon reduce step).
+    /// Merges a sibling accumulator (parallel-replay merge step).
     #[must_use]
     pub fn merged(mut self, other: Metrics) -> Metrics {
         self.requests += other.requests;
@@ -259,7 +259,7 @@ impl Metrics {
 
 /// Headline statistics for one algorithm on one experiment — the
 /// numbers the paper's figures plot.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Requests replayed.
     pub requests: u64,
@@ -277,6 +277,99 @@ pub struct Summary {
     pub avg_link_delay_top_ms: f64,
     /// Mean per-hop link delay in lower rings (§4.3: 27.758 ms).
     pub avg_link_delay_lower_ms: f64,
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        Json::obj([("counts", self.counts.to_json()), ("total", self.total.to_json())])
+    }
+}
+
+impl FromJson for Histogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let counts: Vec<u64> = v.field("counts")?;
+        let total: u64 = v.field("total")?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(JsonError("histogram total does not match counts".into()));
+        }
+        Ok(Histogram { counts, total })
+    }
+}
+
+impl ToJson for Cdf {
+    fn to_json(&self) -> Json {
+        Json::obj([("sorted", self.sorted.to_json())])
+    }
+}
+
+impl FromJson for Cdf {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let sorted: Vec<u32> = v.field("sorted")?;
+        if sorted.windows(2).any(|w| w[0] > w[1]) {
+            return Err(JsonError("cdf samples must be sorted".into()));
+        }
+        Ok(Cdf { sorted })
+    }
+}
+
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", self.requests.to_json()),
+            ("total_hops", self.total_hops.to_json()),
+            ("lower_hops", self.lower_hops.to_json()),
+            ("total_latency_ms", self.total_latency_ms.to_json()),
+            ("lower_latency_ms", self.lower_latency_ms.to_json()),
+            ("hop_hist", self.hop_hist.to_json()),
+            ("lower_hop_hist", self.lower_hop_hist.to_json()),
+            ("latency_samples", self.latency_samples.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Metrics {
+            requests: v.field("requests")?,
+            total_hops: v.field("total_hops")?,
+            lower_hops: v.field("lower_hops")?,
+            total_latency_ms: v.field("total_latency_ms")?,
+            lower_latency_ms: v.field("lower_latency_ms")?,
+            hop_hist: v.field("hop_hist")?,
+            lower_hop_hist: v.field("lower_hop_hist")?,
+            latency_samples: v.field("latency_samples")?,
+        })
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("requests", self.requests.to_json()),
+            ("avg_hops", self.avg_hops.to_json()),
+            ("avg_latency_ms", self.avg_latency_ms.to_json()),
+            ("avg_lower_hops", self.avg_lower_hops.to_json()),
+            ("lower_hop_share", self.lower_hop_share.to_json()),
+            ("lower_latency_share", self.lower_latency_share.to_json()),
+            ("avg_link_delay_top_ms", self.avg_link_delay_top_ms.to_json()),
+            ("avg_link_delay_lower_ms", self.avg_link_delay_lower_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Summary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Summary {
+            requests: v.field("requests")?,
+            avg_hops: v.field("avg_hops")?,
+            avg_latency_ms: v.field("avg_latency_ms")?,
+            avg_lower_hops: v.field("avg_lower_hops")?,
+            lower_hop_share: v.field("lower_hop_share")?,
+            lower_latency_share: v.field("lower_latency_share")?,
+            avg_link_delay_top_ms: v.field("avg_link_delay_top_ms")?,
+            avg_link_delay_lower_ms: v.field("avg_link_delay_lower_ms")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -6,10 +6,9 @@
 //! thread count.
 
 use hieras_id::{Id, Key};
-use serde::{Deserialize, Serialize};
 
 /// A deterministic stream of `(source node, lookup key)` requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Workload {
     /// Number of overlay nodes (sources are uniform over `0..nodes`).
     pub nodes: u32,

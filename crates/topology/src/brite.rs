@@ -8,11 +8,10 @@
 //! distance — which is exactly what this module produces.
 
 use crate::{Graph, NodeKind, Topology};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
 
 /// Parameters for the BRITE-style generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BriteConfig {
     /// Number of routers.
     pub nodes: usize,
@@ -58,7 +57,7 @@ impl BriteConfig {
             self.nodes,
             self.links_per_node
         );
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let n = self.nodes;
         let m = self.links_per_node;
 
@@ -122,6 +121,32 @@ impl BriteConfig {
 
         let attach_candidates = (0..n as u32).collect();
         Topology { graph, kind: vec![NodeKind::Router; n], attach_candidates, model: "brite" }
+    }
+}
+
+impl ToJson for BriteConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", self.nodes.to_json()),
+            ("links_per_node", self.links_per_node.to_json()),
+            ("plane", self.plane.to_json()),
+            ("ms_per_unit", self.ms_per_unit.to_json()),
+            ("waxman_beta", self.waxman_beta.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for BriteConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(BriteConfig {
+            nodes: v.field("nodes")?,
+            links_per_node: v.field("links_per_node")?,
+            plane: v.field("plane")?,
+            ms_per_unit: v.field("ms_per_unit")?,
+            waxman_beta: v.field("waxman_beta")?,
+            seed: v.field("seed")?,
+        })
     }
 }
 

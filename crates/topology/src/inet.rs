@@ -15,11 +15,10 @@
 //! the same minimum.
 
 use crate::{Graph, NodeKind, Topology};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
 
 /// Parameters for the Inet-style generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InetConfig {
     /// Number of routers (Inet requires ≥ 3000 in the original tool;
     /// we allow smaller for tests but `for_peers` clamps to 3000 as the
@@ -35,6 +34,32 @@ pub struct InetConfig {
     pub ms_per_unit: f64,
     /// RNG seed.
     pub seed: u64,
+}
+
+impl ToJson for InetConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("nodes", self.nodes.to_json()),
+            ("alpha", self.alpha.to_json()),
+            ("max_degree_frac", self.max_degree_frac.to_json()),
+            ("plane", self.plane.to_json()),
+            ("ms_per_unit", self.ms_per_unit.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for InetConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(InetConfig {
+            nodes: v.field("nodes")?,
+            alpha: v.field("alpha")?,
+            max_degree_frac: v.field("max_degree_frac")?,
+            plane: v.field("plane")?,
+            ms_per_unit: v.field("ms_per_unit")?,
+            seed: v.field("seed")?,
+        })
+    }
 }
 
 impl InetConfig {
@@ -60,7 +85,7 @@ impl InetConfig {
     pub fn generate(&self) -> Topology {
         assert!(self.nodes >= 4, "Inet model needs at least 4 nodes");
         assert!(self.alpha > 1.0, "power-law exponent must exceed 1");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let n = self.nodes;
 
         // Node placement on the plane (drives link delays).
@@ -89,7 +114,7 @@ impl InetConfig {
         // give the three largest hubs generous degrees.
         degrees.sort_unstable_by(|a, b| b.cmp(a));
         let mut order: Vec<usize> = (0..n).collect();
-        order.shuffle(&mut rng);
+        rng.shuffle(&mut order);
         // degrees[i] belongs to router order[i]; hubs are the first few.
         let mut want = vec![0usize; n];
         for (rank, &node) in order.iter().enumerate() {
@@ -112,7 +137,7 @@ impl InetConfig {
                 stubs.push(node as u32);
             }
         }
-        stubs.shuffle(&mut rng);
+        rng.shuffle(&mut stubs);
         // Pair off half-edge stubs (configuration-model style), skipping
         // self-loops/duplicates.
         let mut i = 0;

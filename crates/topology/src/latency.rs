@@ -9,8 +9,13 @@
 //! later computations of the same row are discarded).
 
 use crate::Graph;
-use rayon::prelude::*;
+use hieras_rt::Executor;
 use std::sync::OnceLock;
+
+/// Sources per work chunk for parallel row precomputation. One
+/// Dijkstra over a 10⁴-router graph takes milliseconds, so small
+/// chunks keep the workers balanced without scheduling overhead.
+const PRECOMPUTE_CHUNK: usize = 4;
 
 /// Cached single-source shortest-path rows over a router graph.
 ///
@@ -65,16 +70,16 @@ impl LatencyOracle {
     /// Experiments know exactly which routers host peers; warming those
     /// rows up front turns the replay phase into pure lookups.
     pub fn precompute(&self, sources: &[u32]) {
-        sources.par_iter().for_each(|&s| {
-            let _ = self.row(s);
+        Executor::default().par_for_each(sources.len(), PRECOMPUTE_CHUNK, |i| {
+            let _ = self.row(sources[i]);
         });
     }
 
     /// Eagerly computes every row (full APSP). Only sensible for
     /// moderate graphs; prefer [`LatencyOracle::precompute`].
     pub fn precompute_all(&self) {
-        (0..self.graph.node_count() as u32).into_par_iter().for_each(|s| {
-            let _ = self.row(s);
+        Executor::default().par_for_each(self.graph.node_count(), PRECOMPUTE_CHUNK, |i| {
+            let _ = self.row(i as u32);
         });
     }
 

@@ -3,11 +3,10 @@
 //! where landmarks should sit).
 
 use crate::{Graph, LatencyOracle};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::Rng;
 
 /// Role of a router in the generated internetwork.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NodeKind {
     /// Backbone router inside a transit domain (GT-ITM only).
     Transit,
@@ -18,7 +17,7 @@ pub enum NodeKind {
 }
 
 /// A generated internetwork: router graph + roles + attachment points.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Topology {
     /// The router-level graph.
     pub graph: Graph,
@@ -46,16 +45,16 @@ impl Topology {
     /// LAN — latency between co-attached peers is then 0 ms at the
     /// router level, a faithful model of same-site hosts).
     #[must_use]
-    pub fn place_peers(&self, n: usize, rng: &mut StdRng) -> Vec<u32> {
+    pub fn place_peers(&self, n: usize, rng: &mut Rng) -> Vec<u32> {
         let mut cands = self.attach_candidates.clone();
-        cands.shuffle(rng);
+        rng.shuffle(&mut cands);
         let mut out = Vec::with_capacity(n);
         if n <= cands.len() {
             out.extend_from_slice(&cands[..n]);
         } else {
             out.extend_from_slice(&cands);
             for _ in cands.len()..n {
-                out.push(*cands.choose(rng).expect("non-empty candidates"));
+                out.push(*rng.choose(&cands).expect("non-empty candidates"));
             }
         }
         out
@@ -70,12 +69,12 @@ impl Topology {
     /// assumption of well-separated, well-known machines regardless of
     /// the underlying model.
     #[must_use]
-    pub fn pick_landmarks(&self, k: usize, oracle: &LatencyOracle, rng: &mut StdRng) -> Vec<u32> {
+    pub fn pick_landmarks(&self, k: usize, oracle: &LatencyOracle, rng: &mut Rng) -> Vec<u32> {
         assert!(k >= 1, "at least one landmark required");
         let cands = &self.attach_candidates;
         assert!(!cands.is_empty(), "topology has no attach candidates");
         let mut landmarks = Vec::with_capacity(k);
-        landmarks.push(*cands.choose(rng).expect("non-empty"));
+        landmarks.push(*rng.choose(cands).expect("non-empty"));
         let mut min_d: Vec<u32> = cands
             .iter()
             .map(|&c| u32::from(oracle.latency(landmarks[0], c)))
@@ -94,7 +93,7 @@ impl Topology {
         }
         // Degenerate tiny topologies: repeat landmarks if k > candidates.
         while landmarks.len() < k {
-            landmarks.push(*cands.choose(rng).expect("non-empty"));
+            landmarks.push(*rng.choose(cands).expect("non-empty"));
         }
         landmarks
     }
@@ -112,7 +111,7 @@ mod tests {
     #[test]
     fn place_peers_without_replacement_when_possible() {
         let t = small_topo();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let n = t.attach_candidates.len().min(20);
         let placed = t.place_peers(n, &mut rng);
         let mut uniq = placed.clone();
@@ -124,7 +123,7 @@ mod tests {
     #[test]
     fn place_peers_overflow_shares_routers() {
         let t = small_topo();
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let n = t.attach_candidates.len() + 10;
         let placed = t.place_peers(n, &mut rng);
         assert_eq!(placed.len(), n);
@@ -136,8 +135,8 @@ mod tests {
     #[test]
     fn place_peers_is_deterministic_per_seed() {
         let t = small_topo();
-        let a = t.place_peers(10, &mut StdRng::seed_from_u64(42));
-        let b = t.place_peers(10, &mut StdRng::seed_from_u64(42));
+        let a = t.place_peers(10, &mut Rng::seed_from_u64(42));
+        let b = t.place_peers(10, &mut Rng::seed_from_u64(42));
         assert_eq!(a, b);
     }
 
@@ -145,7 +144,7 @@ mod tests {
     fn landmarks_are_spread() {
         let t = small_topo();
         let oracle = LatencyOracle::new(t.graph.clone());
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let lms = t.pick_landmarks(4, &oracle, &mut rng);
         assert_eq!(lms.len(), 4);
         // Pairwise distances among landmarks should all be non-trivial:
@@ -164,7 +163,7 @@ mod tests {
     fn landmarks_count_exceeding_candidates_still_returns_k() {
         let t = small_topo();
         let oracle = LatencyOracle::new(t.graph.clone());
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let k = t.attach_candidates.len() + 3;
         let lms = t.pick_landmarks(k, &oracle, &mut rng);
         assert_eq!(lms.len(), k);

@@ -10,11 +10,10 @@
 //! the intra-transit delay, as in common GT-ITM parameterizations.
 
 use crate::{Graph, NodeKind, Topology};
-use rand::prelude::*;
-use serde::{Deserialize, Serialize};
+use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
 
 /// Parameters for the Transit-Stub generator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransitStubConfig {
     /// Number of transit domains (the paper varies this with network size).
     pub transit_domains: usize,
@@ -37,16 +36,56 @@ pub struct TransitStubConfig {
     pub seed: u64,
 }
 
+impl ToJson for TransitStubConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("transit_domains", self.transit_domains.to_json()),
+            ("transit_nodes_per_domain", self.transit_nodes_per_domain.to_json()),
+            ("stub_domains_per_transit", self.stub_domains_per_transit.to_json()),
+            ("stub_nodes_per_domain", self.stub_nodes_per_domain.to_json()),
+            ("intra_transit_ms", self.intra_transit_ms.to_json()),
+            ("transit_stub_ms", self.transit_stub_ms.to_json()),
+            ("intra_stub_ms", self.intra_stub_ms.to_json()),
+            ("extra_edge_prob", self.extra_edge_prob.to_json()),
+            ("seed", self.seed.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TransitStubConfig {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TransitStubConfig {
+            transit_domains: v.field("transit_domains")?,
+            transit_nodes_per_domain: v.field("transit_nodes_per_domain")?,
+            stub_domains_per_transit: v.field("stub_domains_per_transit")?,
+            stub_nodes_per_domain: v.field("stub_nodes_per_domain")?,
+            intra_transit_ms: v.field("intra_transit_ms")?,
+            transit_stub_ms: v.field("transit_stub_ms")?,
+            intra_stub_ms: v.field("intra_stub_ms")?,
+            extra_edge_prob: v.field("extra_edge_prob")?,
+            seed: v.field("seed")?,
+        })
+    }
+}
+
 impl TransitStubConfig {
     /// A configuration sized so the topology offers at least `peers`
-    /// stub routers, with domain counts scaled the way the paper's
-    /// 1000–10000-node networks are.
+    /// stub routers.
+    ///
+    /// The transit fabric is kept small and coarse (a handful of transit
+    /// routers, each aggregating many stub domains): with the paper's
+    /// link delays any path through a 100 ms transit link quantizes to
+    /// the top latency level, so the landmark orders can only
+    /// discriminate *within* a transit router's neighbourhood. Few, fat
+    /// neighbourhoods keep the paper's `[20, 100]` binning informative —
+    /// matching Table 1, where most sample RTTs straddle those
+    /// boundaries — and let a 4-landmark deployment cover the network.
     #[must_use]
     pub fn for_peers(peers: usize, seed: u64) -> Self {
         let peers = peers.max(8);
-        let transit_domains = (peers / 1000).clamp(2, 10);
-        let transit_nodes_per_domain = 6;
-        let stub_domains_per_transit = 3;
+        let transit_domains = (peers / 2500).clamp(2, 4);
+        let transit_nodes_per_domain = 2;
+        let stub_domains_per_transit = 8;
         let stub_slots = transit_domains * transit_nodes_per_domain * stub_domains_per_transit;
         let stub_nodes_per_domain = peers.div_ceil(stub_slots).max(2);
         TransitStubConfig {
@@ -81,7 +120,7 @@ impl TransitStubConfig {
         assert!(self.transit_nodes_per_domain > 0, "need transit nodes");
         assert!(self.stub_domains_per_transit > 0, "need stub domains");
         assert!(self.stub_nodes_per_domain > 0, "need stub nodes");
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let transit_total = self.transit_domains * self.transit_nodes_per_domain;
         let total = transit_total + self.stub_router_count();
         let mut graph = Graph::with_nodes(total);
@@ -112,8 +151,8 @@ impl TransitStubConfig {
             if d == e {
                 break;
             }
-            let u = *domain_nodes[d].choose(&mut rng).expect("non-empty domain");
-            let v = *domain_nodes[e].choose(&mut rng).expect("non-empty domain");
+            let u = *rng.choose(&domain_nodes[d]).expect("non-empty domain");
+            let v = *rng.choose(&domain_nodes[e]).expect("non-empty domain");
             graph.add_edge(u, v, self.intra_transit_ms);
         }
         if self.transit_domains > 2 {
@@ -122,8 +161,8 @@ impl TransitStubConfig {
                 let d = rng.random_range(0..self.transit_domains);
                 let e = rng.random_range(0..self.transit_domains);
                 if d != e {
-                    let u = *domain_nodes[d].choose(&mut rng).expect("non-empty domain");
-                    let v = *domain_nodes[e].choose(&mut rng).expect("non-empty domain");
+                    let u = *rng.choose(&domain_nodes[d]).expect("non-empty domain");
+                    let v = *rng.choose(&domain_nodes[e]).expect("non-empty domain");
                     graph.add_edge(u, v, self.intra_transit_ms);
                 }
             }
@@ -144,7 +183,7 @@ impl TransitStubConfig {
                 connect_random(&mut graph, &nodes, self.intra_stub_ms, self.extra_edge_prob, &mut rng);
                 // Attach the stub domain to its transit router via a
                 // random gateway stub node.
-                let gw = *nodes.choose(&mut rng).expect("non-empty stub domain");
+                let gw = *rng.choose(&nodes).expect("non-empty stub domain");
                 graph.add_edge(t, gw, self.transit_stub_ms);
                 attach_candidates.extend_from_slice(&nodes);
             }
@@ -164,7 +203,7 @@ fn connect_random(
     nodes: &[u32],
     delay: u16,
     extra_prob: f64,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     for (i, &u) in nodes.iter().enumerate().skip(1) {
         let v = nodes[rng.random_range(0..i)];
@@ -173,8 +212,8 @@ fn connect_random(
     // Extra edges: sample ~extra_prob * |nodes| random pairs.
     let extras = ((nodes.len() as f64) * extra_prob).round() as usize;
     for _ in 0..extras {
-        let u = *nodes.choose(rng).expect("non-empty");
-        let v = *nodes.choose(rng).expect("non-empty");
+        let u = *rng.choose(nodes).expect("non-empty");
+        let v = *rng.choose(nodes).expect("non-empty");
         if u != v {
             graph.add_edge(u, v, delay);
         }

@@ -10,11 +10,11 @@
 
 use hieras::chord::DynChord;
 use hieras::id::{Id, IdSpace};
-use rand::prelude::*;
+use hieras::rt::Rng;
 
 fn main() {
     let mut net = DynChord::new(IdSpace::full(), 8);
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = Rng::seed_from_u64(5);
 
     // Bootstrap a 200-node ring.
     let first = Id::hash_of(b"node-0");

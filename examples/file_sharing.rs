@@ -12,7 +12,7 @@
 //! ```
 
 use hieras::prelude::*;
-use rand::prelude::*;
+use hieras::rt::Rng;
 
 const CATALOGUE: usize = 5_000;
 const FETCHES: usize = 30_000;
@@ -35,7 +35,7 @@ fn main() {
     let weights: Vec<f64> = (1..=CATALOGUE).map(|r| 1.0 / r as f64).collect();
     let total: f64 = weights.iter().sum();
 
-    let mut rng = StdRng::seed_from_u64(99);
+    let mut rng = Rng::seed_from_u64(99);
     let mut chord_ms = 0u64;
     let mut hieras_ms = 0u64;
     let mut chord_hops = 0usize;

@@ -1,0 +1,22 @@
+#!/usr/bin/env sh
+# Canonical CI entry point: builds the workspace, runs every test, and
+# exercises the replay benchmark end to end — all offline, no network,
+# no external crates. Run from the repository root:
+#
+#   scripts/verify.sh
+#
+# HIERAS_THREADS=n pins the executor width for the bench step.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> tier 1: release build"
+cargo build --workspace --release
+
+echo "==> tier 1: workspace tests"
+cargo test -q --workspace
+
+echo "==> bench smoke: 500 peers, 2000 requests"
+./target/release/bench_replay --smoke
+
+echo "==> verify OK"

@@ -12,9 +12,12 @@
 //!   multi-layer finger tables and the m-loop routing procedure.
 //! * [`sim`] — workload generation, metrics, experiment runners.
 //! * [`proto`] — message-level protocol engine with pluggable
-//!   transports (simulated-delay and real crossbeam-channel threads).
+//!   transports (simulated-delay and real std-mpsc threads).
 //! * [`can`] — CAN underlay and hierarchical CAN (the paper's §3.2
 //!   extension claim, implemented).
+//! * [`rt`] — the zero-dependency runtime: deterministic parallel
+//!   executor, seeded PRNG, and the JSON reader/writer every other
+//!   crate serializes with.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, and
 //! `EXPERIMENTS.md` for the paper-versus-measured record of every
@@ -29,6 +32,7 @@ pub use hieras_core as core;
 pub use hieras_id as id;
 pub use hieras_pastry as pastry;
 pub use hieras_proto as proto;
+pub use hieras_rt as rt;
 pub use hieras_sim as sim;
 pub use hieras_topology as topology;
 
@@ -37,6 +41,6 @@ pub mod prelude {
     pub use hieras_chord::ChordOracle;
     pub use hieras_core::{Binning, HierasConfig, HierasOracle};
     pub use hieras_id::{Id, IdSpace, Key, Sha1};
-    pub use hieras_sim::{ExperimentConfig, Metrics, TopologyKind, Workload};
+    pub use hieras_sim::{Experiment, ExperimentConfig, Metrics, TopologyKind, Workload};
     pub use hieras_topology::{LatencyOracle, Topology, TransitStubConfig};
 }

@@ -1,0 +1,55 @@
+//! Replay determinism: the parallel executor must produce
+//! *bit-identical* metrics at any thread count. The fixed-chunk
+//! claim-based distribution assigns each request index to a chunk
+//! independently of which worker claims it, and chunk accumulators
+//! merge in index order — so 1, 2, and 8 workers (on any number of
+//! physical cores) fold to the same `ComparisonResult`, including the
+//! order of `latency_samples`.
+
+use hieras::core::HierasConfig;
+use hieras::prelude::*;
+use hieras::rt::Executor;
+
+fn experiment(kind: TopologyKind, nodes: usize, seed: u64) -> Experiment {
+    Experiment::build(ExperimentConfig {
+        kind,
+        nodes,
+        requests: 0,
+        hieras: HierasConfig::paper(),
+        seed,
+        rtt_noise: 0.0,
+    })
+}
+
+#[test]
+fn replay_metrics_identical_across_thread_counts() {
+    let e = experiment(TopologyKind::TransitStub, 300, 41);
+    let requests = 5_000;
+    let baseline = e.run_requests_on(&Executor::new(1), requests);
+    for threads in [2, 8] {
+        let r = e.run_requests_on(&Executor::new(threads), requests);
+        assert_eq!(
+            r, baseline,
+            "replay metrics diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn replay_is_reproducible_within_one_executor() {
+    let e = experiment(TopologyKind::Brite, 200, 42);
+    let exec = Executor::new(4);
+    let a = e.run_requests_on(&exec, 3_000);
+    let b = e.run_requests_on(&exec, 3_000);
+    assert_eq!(a, b, "same executor, same workload, different metrics");
+}
+
+#[test]
+fn experiment_build_is_deterministic() {
+    let a = experiment(TopologyKind::Inet, 3000, 43);
+    let b = experiment(TopologyKind::Inet, 3000, 43);
+    assert_eq!(a.ids, b.ids);
+    assert_eq!(a.orders, b.orders);
+    assert_eq!(a.landmarks, b.landmarks);
+    assert_eq!(a.router_of, b.router_of);
+}

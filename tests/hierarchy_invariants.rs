@@ -1,9 +1,16 @@
-//! Property-based cross-crate invariants of the HIERAS hierarchy.
+//! Randomized cross-crate invariants of the HIERAS hierarchy.
+//!
+//! Formerly proptest suites; now deterministic seeded loops driven by
+//! the in-tree PRNG so the workspace builds offline. Each test draws
+//! 64 random parameter tuples from a fixed seed — failures reproduce
+//! exactly and the printed `case` index identifies the tuple.
 
 use hieras::core::{Binning, HierasConfig, HierasOracle, LandmarkOrder};
 use hieras::id::{Id, IdSpace};
-use proptest::prelude::*;
+use hieras::rt::Rng;
 use std::sync::Arc;
+
+const CASES: u64 = 64;
 
 /// Deterministic pseudo-random distinct ids.
 fn make_ids(seed: u64, n: usize) -> Arc<[Id]> {
@@ -27,12 +34,14 @@ fn make_orders(seed: u64, n: usize, landmarks: usize) -> Vec<LandmarkOrder> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Rings at each layer partition the membership exactly.
-    #[test]
-    fn layers_partition_membership(seed in 0u64..500, n in 2usize..60, depth in 2usize..4) {
+/// Rings at each layer partition the membership exactly.
+#[test]
+fn layers_partition_membership() {
+    let mut rng = Rng::seed_from_u64(0x1a7e_55);
+    for case in 0..CASES {
+        let seed = rng.random_range(0..500u64);
+        let n = rng.random_range(2..60usize);
+        let depth = rng.random_range(2..4usize);
         let ids = make_ids(seed, n);
         let n = ids.len();
         let orders = make_orders(seed, n, 4);
@@ -41,25 +50,36 @@ proptest! {
             ids,
             orders,
             HierasConfig { depth, landmarks: 4, binning: Binning::paper() },
-        ).unwrap();
+        )
+        .unwrap();
         for layer in o.layers() {
             let mut seen = vec![false; n];
             let mut total = 0usize;
             for (_, ring) in layer.rings() {
                 for &m in ring.members() {
-                    prop_assert!(!seen[m as usize], "node {m} in two rings of layer {}", layer.layer_no);
+                    assert!(
+                        !seen[m as usize],
+                        "case {case}: node {m} in two rings of layer {}",
+                        layer.layer_no
+                    );
                     seen[m as usize] = true;
                     total += 1;
                 }
             }
-            prop_assert_eq!(total, n, "layer {} does not cover all nodes", layer.layer_no);
+            assert_eq!(total, n, "case {case}: layer {} does not cover all nodes", layer.layer_no);
         }
     }
+}
 
-    /// Ring nesting: a node's layer-(j+1) ring members all share its
-    /// layer-j ring (prefix refinement guarantees containment).
-    #[test]
-    fn rings_nest(seed in 0u64..500, n in 2usize..50, depth in 2usize..5) {
+/// Ring nesting: a node's layer-(j+1) ring members all share its
+/// layer-j ring (prefix refinement guarantees containment).
+#[test]
+fn rings_nest() {
+    let mut rng = Rng::seed_from_u64(0x2e57_11);
+    for case in 0..CASES {
+        let seed = rng.random_range(0..500u64);
+        let n = rng.random_range(2..50usize);
+        let depth = rng.random_range(2..5usize);
         let ids = make_ids(seed, n);
         let n = ids.len();
         let orders = make_orders(seed, n, 6);
@@ -68,23 +88,29 @@ proptest! {
             ids,
             orders,
             HierasConfig { depth, landmarks: 6, binning: Binning::paper() },
-        ).unwrap();
+        )
+        .unwrap();
         for j in 0..depth - 1 {
             let upper = &o.layers()[j];
             let lower = &o.layers()[j + 1];
             for node in 0..n as u32 {
                 let upper_name = upper.ring_name_of(node);
                 for &mate in lower.ring_of(node).members() {
-                    prop_assert_eq!(upper.ring_name_of(mate), upper_name);
+                    assert_eq!(upper.ring_name_of(mate), upper_name, "case {case}");
                 }
             }
         }
     }
+}
 
-    /// Every hop of every trace uses a layer whose ring contains both
-    /// endpoints (hops never leave the ring that made them).
-    #[test]
-    fn hops_stay_in_their_ring(seed in 0u64..300, n in 2usize..40) {
+/// Every hop of every trace uses a layer whose ring contains both
+/// endpoints (hops never leave the ring that made them).
+#[test]
+fn hops_stay_in_their_ring() {
+    let mut rng = Rng::seed_from_u64(0x3109_5a);
+    for case in 0..CASES {
+        let seed = rng.random_range(0..300u64);
+        let n = rng.random_range(2..40usize);
         let ids = make_ids(seed, n);
         let n = ids.len();
         let orders = make_orders(seed, n, 4);
@@ -93,50 +119,59 @@ proptest! {
             ids,
             orders,
             HierasConfig { depth: 2, landmarks: 4, binning: Binning::paper() },
-        ).unwrap();
+        )
+        .unwrap();
         let key = Id(seed.wrapping_mul(0x517c_c1b7_2722_0a95));
         for src in 0..n as u32 {
             let t = o.route(src, key);
             for h in &t.hops {
                 let layer = &o.layers()[h.layer as usize - 1];
-                prop_assert_eq!(
+                assert_eq!(
                     layer.ring_name_of(h.from),
                     layer.ring_name_of(h.to),
-                    "hop {:?} crossed rings", h
+                    "case {case}: hop {h:?} crossed rings"
                 );
             }
         }
     }
+}
 
-    /// Hop count is bounded by depth × (log2-ish of the ring sizes):
-    /// the paper's scalability claim with generous slack.
-    #[test]
-    fn hop_bound_scales_logarithmically(seed in 0u64..200, n in 4usize..64) {
+/// Hop count is bounded by depth × (log2-ish of the ring sizes):
+/// the paper's scalability claim with generous slack.
+#[test]
+fn hop_bound_scales_logarithmically() {
+    let mut rng = Rng::seed_from_u64(0x4b0b_bd);
+    for case in 0..CASES {
+        let seed = rng.random_range(0..200u64);
+        let n = rng.random_range(4..64usize);
         let ids = make_ids(seed, n);
         let n = ids.len();
         let orders = make_orders(seed, n, 4);
-        let o = HierasOracle::build(
-            IdSpace::full(),
-            ids,
-            orders,
-            HierasConfig::paper(),
-        ).unwrap();
+        let o = HierasOracle::build(IdSpace::full(), ids, orders, HierasConfig::paper()).unwrap();
         let log2n = (usize::BITS - n.leading_zeros()) as usize;
         let bound = 2 * 2 * (log2n + 2); // depth × 2·log₂ + slack
         for k in 0..8u64 {
             let key = Id((seed ^ k).wrapping_mul(0xdead_beef_cafe_f00d));
             let t = o.route((k % n as u64) as u32, key);
-            prop_assert!(
+            assert!(
                 t.hop_count() <= bound,
-                "{} hops on {} nodes (bound {})", t.hop_count(), n, bound
+                "case {case}: {} hops on {} nodes (bound {})",
+                t.hop_count(),
+                n,
+                bound
             );
         }
     }
+}
 
-    /// The ring table of every lower ring records exactly the extreme
-    /// member ids of that ring.
-    #[test]
-    fn ring_tables_record_extremes(seed in 0u64..300, n in 2usize..50) {
+/// The ring table of every lower ring records exactly the extreme
+/// member ids of that ring.
+#[test]
+fn ring_tables_record_extremes() {
+    let mut rng = Rng::seed_from_u64(0x5ca1_ab1e);
+    for case in 0..CASES {
+        let seed = rng.random_range(0..300u64);
+        let n = rng.random_range(2..50usize);
         let ids = make_ids(seed, n);
         let n = ids.len();
         let orders = make_orders(seed, n, 3);
@@ -145,16 +180,23 @@ proptest! {
             ids.clone(),
             orders,
             HierasConfig { depth: 2, landmarks: 3, binning: Binning::paper() },
-        ).unwrap();
+        )
+        .unwrap();
+        let _ = n;
         for (name, ring) in o.layers()[1].rings() {
             let table = o.ring_table(&name.name()).expect("table exists for every ring");
-            let mut member_ids: Vec<Id> = ring.members().iter().map(|&m| ids[m as usize]).collect();
+            let mut member_ids: Vec<Id> =
+                ring.members().iter().map(|&m| ids[m as usize]).collect();
             member_ids.sort_unstable();
-            prop_assert_eq!(table.smallest(), member_ids.first().copied());
-            prop_assert_eq!(table.largest(), member_ids.last().copied());
+            assert_eq!(table.smallest(), member_ids.first().copied(), "case {case}");
+            assert_eq!(table.largest(), member_ids.last().copied(), "case {case}");
             if member_ids.len() >= 2 {
-                prop_assert_eq!(table.second_smallest(), Some(member_ids[1]));
-                prop_assert_eq!(table.second_largest(), Some(member_ids[member_ids.len() - 2]));
+                assert_eq!(table.second_smallest(), Some(member_ids[1]), "case {case}");
+                assert_eq!(
+                    table.second_largest(),
+                    Some(member_ids[member_ids.len() - 2]),
+                    "case {case}"
+                );
             }
         }
     }

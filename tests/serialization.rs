@@ -1,21 +1,22 @@
-//! Serde round-trips of every public configuration and result type —
-//! experiments must be fully describable and replayable from JSON.
+//! JSON round-trips of every public configuration and result type —
+//! experiments must be fully describable and replayable from JSON
+//! using only the in-tree `hieras::rt` reader/writer.
 
 use hieras::core::{Binning, HierasConfig, LandmarkOrder, RingTable};
 use hieras::id::{Id, IdSpace};
 use hieras::prelude::*;
+use hieras::rt::{FromJson, Json, ToJson};
+use hieras::sim::Experiment;
 
-fn roundtrip<T>(v: &T) -> T
-where
-    T: serde::Serialize + for<'de> serde::Deserialize<'de>,
-{
-    serde_json::from_str(&serde_json::to_string(v).expect("serialize")).expect("deserialize")
+fn roundtrip<T: ToJson + FromJson>(v: &T) -> T {
+    let text = v.to_json().dump();
+    T::from_json(&Json::parse(&text).expect("parse")).expect("deserialize")
 }
 
 #[test]
 fn id_serializes_transparently_as_u64() {
     let id = Id(0xdead_beef_1234_5678);
-    assert_eq!(serde_json::to_string(&id).unwrap(), "16045690981412324984");
+    assert_eq!(id.to_json().dump(), "16045690981402826360");
     assert_eq!(roundtrip(&id), id);
 }
 
