@@ -1,0 +1,84 @@
+//! Churn benchmark — resilience under membership turnover.
+//!
+//! Runs the deterministic churn engine over three departure mixes
+//! (all-graceful, 50/50, all-silent) and writes one record per
+//! scenario to `BENCH_churn.json`: lookup failure rates,
+//! timeout-inflated latency summaries, and per-layer maintenance
+//! overhead for both HIERAS and the dynamic Chord baseline.
+//!
+//! Run with `--smoke` for the CI-sized run (120 initial nodes);
+//! the full run uses the acceptance scale (300 initial nodes, ≥ 5 %
+//! turnover). `HIERAS_THREADS=n` pins the executor width — the
+//! engine is strictly sequential per scenario, so the JSON is
+//! bit-identical at any thread count.
+
+use hieras_bench::churn_sweep;
+use hieras_rt::{Executor, Json, ToJson};
+use std::time::Instant;
+
+/// Master seed shared with the figure harness (paper publication date).
+const SEED: u64 = 20030415;
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}` (usage: churn [--smoke])");
+                std::process::exit(2);
+            }
+        }
+    }
+    // (initial nodes, arrivals, horizon ms): smoke is CI-sized; the
+    // full run matches the acceptance floor of ≥ 300 nodes and ≥ 5 %
+    // membership turnover.
+    let (initial, arrivals, horizon_ms) =
+        if smoke { (120, 10, 8_000) } else { (300, 20, 12_000) };
+
+    let exec = Executor::default();
+    println!(
+        "churn bench: {} thread(s), {} initial nodes{}",
+        exec.threads(),
+        initial,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let t0 = Instant::now();
+    let rows = churn_sweep(&exec, initial, arrivals, horizon_ms, SEED);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    for r in &rows {
+        let h = &r.report.hieras;
+        let c = &r.report.chord;
+        println!(
+            "{:>8} | turnover {:>5.1}% | hieras {:>3}/{:<4} failed ({:.3}) | \
+             chord {:>3}/{:<4} failed ({:.3}) | timeouts {}",
+            r.scenario,
+            r.report.turnover * 100.0,
+            h.failed(),
+            h.lookups,
+            h.failure_rate(),
+            c.failed(),
+            c.lookups,
+            c.failure_rate(),
+            r.report.timeouts_total,
+        );
+    }
+
+    let out = Json::obj([
+        ("bench", "churn".to_json()),
+        ("seed", SEED.to_json()),
+        ("threads", exec.threads().to_json()),
+        ("smoke", smoke.to_json()),
+        ("initial_nodes", initial.to_json()),
+        ("arrivals", arrivals.to_json()),
+        ("horizon_ms", horizon_ms.to_json()),
+        ("wall_ms", wall_ms.to_json()),
+        ("scenarios", rows.to_json()),
+    ]);
+
+    let path = "BENCH_churn.json";
+    std::fs::write(path, out.dump_pretty()).expect("write benchmark output");
+    println!("wrote {path}");
+}

@@ -19,5 +19,6 @@ pub mod render;
 pub mod sweeps;
 
 pub use sweeps::{
-    depth_sweep, landmark_sweep, size_sweep, DepthRow, LandmarkRow, SizeRow,
+    churn_sweep, depth_sweep, landmark_sweep, size_sweep, ChurnRow, DepthRow, LandmarkRow,
+    SizeRow,
 };

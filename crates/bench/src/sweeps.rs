@@ -1,8 +1,9 @@
 //! Parameter sweeps behind the paper's figures.
 
+use hieras_churn::{run_churn, ChurnExperimentConfig, ChurnReport};
 use hieras_core::{Binning, HierasConfig};
-use hieras_rt::{Json, ToJson};
-use hieras_sim::{Experiment, ExperimentConfig, Summary, TopologyKind};
+use hieras_rt::{Executor, Json, ToJson};
+use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime, Summary, TopologyKind};
 
 /// One row of a network-size sweep (Figures 2 and 3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,6 +142,79 @@ pub fn depth_sweep(
     rows
 }
 
+/// One row of the churn sweep: a scenario label plus the full
+/// [`ChurnReport`] the engine produced for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnRow {
+    /// Scenario label: `graceful`, `mixed`, or `silent`.
+    pub scenario: &'static str,
+    /// Fraction of departures executed as graceful leaves.
+    pub graceful_fraction: f64,
+    /// The engine's full report.
+    pub report: ChurnReport,
+}
+
+/// The three departure mixes the churn sweep compares.
+const CHURN_SCENARIOS: [(&str, f64); 3] = [("graceful", 1.0), ("mixed", 0.5), ("silent", 0.0)];
+
+/// Runs the churn engine over three departure mixes — all-graceful,
+/// 50/50, and all-silent — on identically sized populations.
+///
+/// Scenarios are farmed out across the executor one per chunk; each
+/// engine run is strictly sequential and seeded, and the merge order
+/// is fixed by chunk index, so the result (and its JSON) is
+/// bit-identical at any thread count.
+#[must_use]
+pub fn churn_sweep(
+    exec: &Executor,
+    initial_nodes: u32,
+    arrivals: u32,
+    horizon_ms: u64,
+    seed: u64,
+) -> Vec<ChurnRow> {
+    exec.par_fold(
+        CHURN_SCENARIOS.len(),
+        1,
+        Vec::new,
+        |acc: &mut Vec<ChurnRow>, i| {
+            let (scenario, graceful_fraction) = CHURN_SCENARIOS[i];
+            let churn = ChurnConfig {
+                initial_nodes,
+                arrivals,
+                inter_arrival: Lifetime::Fixed { ms: horizon_ms / (arrivals as u64 + 1) },
+                // Mean lifetime of 10x the horizon gives each initial
+                // node a ~9.5 % chance of departing inside the run.
+                lifetime: Lifetime::Exponential { mean_ms: 10.0 * horizon_ms as f64 },
+                graceful_fraction,
+                horizon_ms,
+                seed: seed ^ ((i as u64) << 32),
+            };
+            let mut cfg = ChurnExperimentConfig::standard(churn);
+            if graceful_fraction < 1.0 {
+                // Widen the window in which silent failures are
+                // observable: fewer maintenance rounds, more probes.
+                cfg.lookups_per_event = 12;
+                cfg.maintenance_every = 4;
+            }
+            acc.push(ChurnRow { scenario, graceful_fraction, report: run_churn(&cfg) });
+        },
+        |mut a, b| {
+            a.extend(b);
+            a
+        },
+    )
+}
+
+impl ToJson for ChurnRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.to_json()),
+            ("graceful_fraction", self.graceful_fraction.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
 impl ToJson for SizeRow {
     fn to_json(&self) -> Json {
         Json::obj([
@@ -198,6 +272,22 @@ mod tests {
             rows[1].rings >= rows[0].rings,
             "more landmarks should not shrink the ring count: {rows:?}"
         );
+    }
+
+    #[test]
+    fn churn_sweep_covers_all_scenarios() {
+        let rows = churn_sweep(&Executor::new(2), 40, 4, 3000, 11);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].scenario, "graceful");
+        assert_eq!(rows[1].scenario, "mixed");
+        assert_eq!(rows[2].scenario, "silent");
+        for r in &rows {
+            assert!(r.report.hieras.lookups > 0, "{}: no lookups ran", r.scenario);
+            assert!(r.report.population_start >= 40);
+        }
+        // The departure mix actually differs across scenarios.
+        assert_eq!(rows[0].report.events.fails, 0, "graceful scenario saw silent fails");
+        assert_eq!(rows[2].report.events.leaves, 0, "silent scenario saw graceful leaves");
     }
 
     #[test]

@@ -1,0 +1,21 @@
+//! The churn sweep's metrics must be bit-identical at any executor
+//! width: the engine is strictly sequential per scenario and the
+//! merge order is fixed by chunk index, so only wall-clock fields may
+//! differ between runs.
+
+use hieras_bench::churn_sweep;
+use hieras_rt::{Executor, Json, ToJson};
+
+/// Serializes the sweep's scenario records — everything the bench
+/// binary writes except the wall-clock and thread-count fields.
+fn scenarios_json(threads: usize) -> String {
+    let rows = churn_sweep(&Executor::new(threads), 60, 6, 4_000, 20030415);
+    Json::Arr(rows.iter().map(|r| r.to_json()).collect()).dump_pretty()
+}
+
+#[test]
+fn churn_metrics_are_identical_across_thread_counts() {
+    let one = scenarios_json(1);
+    assert_eq!(one, scenarios_json(2), "1-thread and 2-thread sweeps diverged");
+    assert_eq!(one, scenarios_json(8), "1-thread and 8-thread sweeps diverged");
+}

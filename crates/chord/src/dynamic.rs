@@ -14,6 +14,7 @@
 //! maintenance traffic is measured in DHT evaluations.
 
 use hieras_id::{Id, IdSpace, Key};
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
 use std::collections::BTreeMap;
 
 /// Counters for protocol traffic, split by purpose.
@@ -27,14 +28,75 @@ pub struct MaintStats {
     pub stabilize_msgs: u64,
     /// RPCs spent refreshing finger entries.
     pub fix_finger_msgs: u64,
+    /// RPCs attempted against dead nodes: the request is sent, the
+    /// timeout is paid, and the caller reroutes. Churn experiments
+    /// charge each of these one RTO of latency.
+    pub timeout_msgs: u64,
+    /// RPCs spent repairing auxiliary state after a failure (ring-table
+    /// holder repair, landmark re-binning; unused by plain Chord).
+    pub repair_msgs: u64,
 }
 
 impl MaintStats {
     /// Total RPCs across all categories.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.lookup_msgs + self.join_msgs + self.stabilize_msgs + self.fix_finger_msgs
+        self.lookup_msgs
+            + self.join_msgs
+            + self.stabilize_msgs
+            + self.fix_finger_msgs
+            + self.timeout_msgs
+            + self.repair_msgs
     }
+
+    /// Merges another accumulator into this one (per-layer roll-ups).
+    pub fn merge(&mut self, other: &MaintStats) {
+        self.lookup_msgs += other.lookup_msgs;
+        self.join_msgs += other.join_msgs;
+        self.stabilize_msgs += other.stabilize_msgs;
+        self.fix_finger_msgs += other.fix_finger_msgs;
+        self.timeout_msgs += other.timeout_msgs;
+        self.repair_msgs += other.repair_msgs;
+    }
+}
+
+impl ToJson for MaintStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("lookup_msgs", self.lookup_msgs.to_json()),
+            ("join_msgs", self.join_msgs.to_json()),
+            ("stabilize_msgs", self.stabilize_msgs.to_json()),
+            ("fix_finger_msgs", self.fix_finger_msgs.to_json()),
+            ("timeout_msgs", self.timeout_msgs.to_json()),
+            ("repair_msgs", self.repair_msgs.to_json()),
+            ("total", self.total().to_json()),
+        ])
+    }
+}
+
+impl FromJson for MaintStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MaintStats {
+            lookup_msgs: v.field("lookup_msgs")?,
+            join_msgs: v.field("join_msgs")?,
+            stabilize_msgs: v.field("stabilize_msgs")?,
+            fix_finger_msgs: v.field("fix_finger_msgs")?,
+            timeout_msgs: v.field("timeout_msgs")?,
+            repair_msgs: v.field("repair_msgs")?,
+        })
+    }
+}
+
+/// Result of a traced lookup: the owner, the node path actually
+/// walked (for latency accounting), and the timeouts paid en route.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupTrace {
+    /// The key's owner.
+    pub owner: Id,
+    /// Every node the request visited, origin first, owner last.
+    pub path: Vec<Id>,
+    /// RPCs that timed out against dead table entries along the way.
+    pub timeouts: u64,
 }
 
 /// Errors from dynamic-chord operations.
@@ -231,55 +293,94 @@ impl DynChord {
     /// [`DynError::Unknown`] for a dead origin,
     /// [`DynError::LookupFailed`] if the hop budget is exhausted.
     pub fn find_successor(&mut self, from: Id, key: Key) -> Result<(Id, usize), DynError> {
+        let t = self.find_successor_traced(from, key)?;
+        Ok((t.owner, t.path.len() - 1))
+    }
+
+    /// Like [`DynChord::find_successor`] but returns the full node path
+    /// (for latency accounting) and the number of RPC timeouts the
+    /// lookup paid rerouting around dead table entries.
+    ///
+    /// # Errors
+    /// Same as [`DynChord::find_successor`].
+    pub fn find_successor_traced(&mut self, from: Id, key: Key) -> Result<LookupTrace, DynError> {
         if !self.alive(from) {
             return Err(DynError::Unknown(from));
         }
         let budget = 2 * (self.nodes.len() + self.space.bits() as usize) + 4;
         let mut cur = from;
-        let mut hops = 0usize;
+        let mut path = vec![from];
+        let mut timeouts = 0u64;
         loop {
-            if hops > budget {
+            if path.len() - 1 > budget {
                 return Err(DynError::LookupFailed(key));
             }
-            let succ = match self.live_successor(cur) {
+            let succ = match self.live_successor_counting(cur, &mut timeouts) {
                 Some(s) => s,
-                None => return Err(DynError::LookupFailed(key)),
+                None => {
+                    self.stats.timeout_msgs += timeouts;
+                    return Err(DynError::LookupFailed(key));
+                }
             };
             if self.space.in_open_closed(cur, succ, key) {
                 if succ != cur {
-                    hops += 1;
+                    path.push(succ);
                     self.stats.lookup_msgs += 1;
                 }
-                return Ok((succ, hops));
+                self.stats.timeout_msgs += timeouts;
+                return Ok(LookupTrace { owner: succ, path, timeouts });
             }
-            let next = self.closest_preceding_alive(cur, key).unwrap_or(succ);
+            let next = self.closest_preceding_alive(cur, key, &mut timeouts).unwrap_or(succ);
             let next = if next == cur { succ } else { next };
-            hops += 1;
+            path.push(next);
             self.stats.lookup_msgs += 1;
             cur = next;
         }
     }
 
-    /// Best alive routing candidate strictly inside `(cur, key)`,
-    /// drawn from fingers and the successor list.
-    fn closest_preceding_alive(&self, cur: Id, key: Key) -> Option<Id> {
+    /// First alive successor of `cur`, counting each dead entry tried
+    /// before it as one timed-out RPC.
+    fn live_successor_counting(&self, cur: Id, timeouts: &mut u64) -> Option<Id> {
         let node = self.nodes.get(&cur)?;
-        let mut best: Option<Id> = None;
-        let mut consider = |cand: Id, space: IdSpace| {
-            if cand != cur && self.alive(cand) && space.in_open(cur, key, cand) {
-                best = Some(match best {
-                    None => cand,
-                    // The candidate closer to (preceding) the key wins.
-                    Some(b) => space.closer_predecessor(key, cand, b),
-                });
+        for &s in &node.succ_list {
+            if self.alive(s) {
+                return Some(s);
             }
-        };
-        for f in node.fingers.iter().rev().flatten() {
-            consider(*f, self.space);
+            *timeouts += 1;
         }
-        for s in &node.succ_list {
-            consider(*s, self.space);
+        None
+    }
+
+    /// Best alive routing candidate strictly inside `(cur, key)`,
+    /// drawn from fingers and the successor list. The real protocol
+    /// contacts the best candidate first and only learns it is dead by
+    /// timing out, so every dead candidate *better* than the returned
+    /// one costs a timed-out RPC.
+    fn closest_preceding_alive(&self, cur: Id, key: Key, timeouts: &mut u64) -> Option<Id> {
+        let node = self.nodes.get(&cur)?;
+        // Distinct routing candidates strictly inside (cur, key).
+        let mut cands: Vec<Id> = Vec::new();
+        for cand in node.fingers.iter().rev().flatten().copied().chain(node.succ_list.iter().copied())
+        {
+            if cand != cur && self.space.in_open(cur, key, cand) && !cands.contains(&cand) {
+                cands.push(cand);
+            }
         }
+        let best = cands
+            .iter()
+            .copied()
+            .filter(|&c| self.alive(c))
+            .reduce(|a, b| self.space.closer_predecessor(key, a, b));
+        // The node tries candidates best-first, so it times out once on
+        // every dead candidate closer to the key than the hop it ends
+        // up taking (all of them, if none is alive).
+        *timeouts += cands
+            .iter()
+            .filter(|&&c| {
+                !self.alive(c)
+                    && best.is_none_or(|b| self.space.closer_predecessor(key, c, b) == c)
+            })
+            .count() as u64;
         best
     }
 
@@ -529,6 +630,53 @@ mod tests {
         assert_eq!(net.stats().lookup_msgs, before.lookup_msgs);
         net.reset_stats();
         assert_eq!(net.stats().total(), 0);
+    }
+
+    #[test]
+    fn traced_lookup_path_matches_hops_and_counts_timeouts() {
+        let mut net = build_network(20);
+        let key = Id(0x1234_5678_9abc_def0);
+        let t = net.find_successor_traced(id(3), key).unwrap();
+        let (owner, hops) = net.find_successor(id(3), key).unwrap();
+        assert_eq!(t.owner, owner);
+        assert_eq!(t.path.len() - 1, hops);
+        assert_eq!(t.path[0], id(3));
+        assert_eq!(*t.path.last().unwrap(), owner);
+        assert_eq!(t.timeouts, 0, "no failures yet, no timeouts");
+        assert_eq!(net.stats().timeout_msgs, 0);
+        // Kill half the network without repair: lookups now pay
+        // timeouts rerouting around dead fingers.
+        for i in (0..20u64).step_by(2) {
+            let _ = net.fail(id(i));
+        }
+        let mut paid = 0u64;
+        for k in 0..40u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            if let Ok(t) = net.find_successor_traced(net.node_ids()[0], key) {
+                paid += t.timeouts;
+                assert!(net.contains(t.owner));
+            }
+        }
+        assert!(paid > 0, "dead fingers must cost timeouts");
+        assert_eq!(net.stats().timeout_msgs >= paid, true);
+    }
+
+    #[test]
+    fn maint_stats_merge_and_total_cover_new_fields() {
+        let a = MaintStats {
+            lookup_msgs: 1,
+            join_msgs: 2,
+            stabilize_msgs: 3,
+            fix_finger_msgs: 4,
+            timeout_msgs: 5,
+            repair_msgs: 6,
+        };
+        assert_eq!(a.total(), 21);
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.total(), 42);
+        assert_eq!(b.timeout_msgs, 10);
+        assert_eq!(b.repair_msgs, 12);
     }
 
     #[test]

@@ -23,5 +23,5 @@
 mod dynamic;
 mod oracle;
 
-pub use dynamic::{DynChord, DynError, MaintStats};
+pub use dynamic::{DynChord, DynError, LookupTrace, MaintStats};
 pub use oracle::{ChordOracle, LookupPath, RingBuildError, RingView};

@@ -1,0 +1,116 @@
+//! Churn-experiment configuration.
+
+use hieras_core::HierasConfig;
+use hieras_rt::{Json, ToJson};
+use hieras_sim::{ChurnConfig, TopologyKind};
+
+/// A landmark death injected mid-run: after the given churn event the
+/// landmark is replaced by a backup measurement point, every live node
+/// re-measures its RTT vector, and nodes whose bin changed re-join the
+/// lower-layer rings the new order names (§2.2's landmark dependency,
+/// exercised as a failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LandmarkFail {
+    /// The landmark dies once this many churn events have fired.
+    pub after_event: u32,
+    /// Index into the landmark set (taken modulo its length).
+    pub landmark: u32,
+}
+
+impl ToJson for LandmarkFail {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("after_event", self.after_event.to_json()),
+            ("landmark", self.landmark.to_json()),
+        ])
+    }
+}
+
+/// Full description of one churn experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnExperimentConfig {
+    /// Network model peers are placed on.
+    pub kind: TopologyKind,
+    /// HIERAS parameters (depth, landmarks, binning).
+    pub hieras: HierasConfig,
+    /// Membership dynamics: initial population, arrival process,
+    /// lifetimes, graceful fraction, horizon and master seed.
+    pub churn: ChurnConfig,
+    /// Application lookups injected after every churn event (each is
+    /// run through both algorithms against the same ground truth).
+    pub lookups_per_event: u32,
+    /// Maintenance cadence: run one full round (failure-detection
+    /// pings, stabilize, fix-fingers — per layer for HIERAS, global
+    /// for Chord) every this many churn events. 0 disables maintenance.
+    pub maintenance_every: u32,
+    /// Retransmission timeout charged for every RPC against a dead
+    /// node, ms.
+    pub rto_ms: u64,
+    /// Hop TTL for routed messages (bounds transient routing loops
+    /// while pointers heal).
+    pub ttl: u32,
+    /// Lookup retry budget: attempts per lookup before it is declared
+    /// failed.
+    pub lookup_attempts: u32,
+    /// Backoff between lookup attempts, ms (inflates the measured
+    /// latency of retried lookups).
+    pub backoff_ms: u64,
+    /// Successor-list length of the Chord baseline.
+    pub succ_list_len: usize,
+    /// Optional landmark death injected mid-run.
+    pub landmark_fail: Option<LandmarkFail>,
+}
+
+impl ChurnExperimentConfig {
+    /// The standard setup around a given churn scenario: TS topology,
+    /// paper HIERAS config, 250 ms RTO, 4 lookup attempts with 400 ms
+    /// backoff, maintenance after every event.
+    #[must_use]
+    pub fn standard(churn: ChurnConfig) -> Self {
+        ChurnExperimentConfig {
+            kind: TopologyKind::TransitStub,
+            hieras: HierasConfig::paper(),
+            churn,
+            lookups_per_event: 4,
+            maintenance_every: 1,
+            rto_ms: 250,
+            ttl: 96,
+            lookup_attempts: 4,
+            backoff_ms: 400,
+            succ_list_len: 8,
+            landmark_fail: None,
+        }
+    }
+}
+
+impl ToJson for ChurnExperimentConfig {
+    fn to_json(&self) -> Json {
+        // ChurnConfig lives in hieras-sim without a ToJson impl of its
+        // own; serialize its public fields here.
+        let churn = Json::obj([
+            ("initial_nodes", self.churn.initial_nodes.to_json()),
+            ("arrivals", self.churn.arrivals.to_json()),
+            ("inter_arrival", self.churn.inter_arrival.to_json()),
+            ("lifetime", self.churn.lifetime.to_json()),
+            ("graceful_fraction", self.churn.graceful_fraction.to_json()),
+            ("horizon_ms", self.churn.horizon_ms.to_json()),
+            ("seed", self.churn.seed.to_json()),
+        ]);
+        Json::obj([
+            ("kind", self.kind.to_json()),
+            ("hieras", self.hieras.to_json()),
+            ("churn", churn),
+            ("lookups_per_event", self.lookups_per_event.to_json()),
+            ("maintenance_every", self.maintenance_every.to_json()),
+            ("rto_ms", self.rto_ms.to_json()),
+            ("ttl", self.ttl.to_json()),
+            ("lookup_attempts", self.lookup_attempts.to_json()),
+            ("backoff_ms", self.backoff_ms.to_json()),
+            ("succ_list_len", self.succ_list_len.to_json()),
+            ("landmark_fail", match self.landmark_fail {
+                Some(lf) => lf.to_json(),
+                None => Json::Null,
+            }),
+        ])
+    }
+}

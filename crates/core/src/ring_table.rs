@@ -106,6 +106,37 @@ impl RingTable {
         }
     }
 
+    /// Failure repair, step 1 (§3.1's failure note): drops every
+    /// recorded member `alive` rejects, returning the dead ids so the
+    /// holder can count repair traffic and notify interested parties.
+    pub fn purge(&mut self, alive: impl Fn(Id) -> bool) -> Vec<Id> {
+        let mut dead = Vec::new();
+        self.members.retain(|&m| {
+            let keep = alive(m);
+            if !keep {
+                dead.push(m);
+            }
+            keep
+        });
+        dead
+    }
+
+    /// Failure repair, step 2: re-populates the freed slots from
+    /// surviving ring members (the holder learns them by routing a new
+    /// lookup into the ring). Just a bulk [`RingTable::observe`].
+    pub fn repair_from(&mut self, survivors: impl IntoIterator<Item = Id>) {
+        for s in survivors {
+            self.observe(s);
+        }
+    }
+
+    /// True if the table has free slots a repair could fill (fewer than
+    /// the four slots of the paper's Table 3).
+    #[must_use]
+    pub fn needs_repair(&self) -> bool {
+        self.members.len() < 4
+    }
+
     /// Number of recorded members (0–4).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -208,6 +239,25 @@ mod tests {
         assert_eq!(t.len(), 3);
         t.observe(Id(15));
         assert_eq!(t.second_smallest(), Some(Id(15)));
+    }
+
+    #[test]
+    fn purge_and_repair_cycle() {
+        let mut t = RingTable::new(&order());
+        for id in [10u64, 20, 80, 90] {
+            t.observe(Id(id));
+        }
+        // Nodes 20 and 90 die.
+        let dead = t.purge(|id| id != Id(20) && id != Id(90));
+        assert_eq!(dead, vec![Id(20), Id(90)]);
+        assert_eq!(t.len(), 2);
+        assert!(t.needs_repair());
+        // The holder re-learns survivors by routing into the ring.
+        t.repair_from([Id(15), Id(85), Id(10)]);
+        assert_eq!(t.entry_points(), &[Id(10), Id(15), Id(80), Id(85)]);
+        assert!(!t.needs_repair());
+        // Nothing to purge when everyone is alive.
+        assert!(t.purge(|_| true).is_empty());
     }
 
     #[test]

@@ -33,6 +33,6 @@ mod thread_net;
 pub mod wire;
 
 pub use messages::Payload;
-pub use sim_net::{JoinOutcome, LookupOutcome, SimNet, TrafficStats};
+pub use sim_net::{JoinOutcome, LookupOutcome, RetriedLookup, SimNet, TrafficStats};
 pub use state::{LayerState, NodeState};
 pub use thread_net::ThreadNet;

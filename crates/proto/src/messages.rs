@@ -140,6 +140,74 @@ pub enum Payload {
         /// Request correlation id.
         req: u64,
     },
+    /// Liveness probe (check-predecessor and failure detection).
+    Ping {
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::Ping`].
+    Pong {
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Graceful-leave pointer patch: the sender is departing `layer`
+    /// and tells the receiver its replacement neighbours. `new_succ`
+    /// is set when the receiver was the leaver's predecessor,
+    /// `new_pred` when it was the successor.
+    LeaveUpdate {
+        /// Ring layer.
+        layer: u8,
+        /// The receiver's new successor, if it changes.
+        new_succ: Option<Id>,
+        /// The receiver's new predecessor, if it changes.
+        new_pred: Option<Id>,
+    },
+    /// Tells a ring-table holder that `node` left or died; the holder
+    /// removes it and starts a repair probe (§3.1's failure note).
+    RingTableRemove {
+        /// Ring name.
+        ring_name: String,
+        /// The departed node.
+        node: Id,
+    },
+    /// Holder repair probe: asks a surviving ring member for its
+    /// ring-local neighbours so freed table slots can be refilled.
+    GetRingNeighbors {
+        /// Ring name the receiver is expected to be a member of.
+        ring_name: String,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Response to [`Payload::GetRingNeighbors`]: the sender's
+    /// in-ring successor and predecessor. Consumed by the holder's
+    /// message handler, not a driver.
+    RingNeighborsAre {
+        /// Ring name.
+        ring_name: String,
+        /// The member's ring successor.
+        succ: Id,
+        /// The member's ring predecessor, if known.
+        pred: Option<Id>,
+        /// Request correlation id.
+        req: u64,
+    },
+    /// Graceful leave of a ring-table holder: the stored table moves
+    /// to the sender's global-ring successor (the new id closest to
+    /// `SHA-1(ringname)`).
+    RingTableHandoff {
+        /// The table being handed over.
+        table: RingTable,
+    },
+    /// Transport-generated timer: a message the receiver previously
+    /// sent to `dead` was never acknowledged (the destination failed).
+    /// Fires one RTO after the send; the receiver marks `dead` as
+    /// suspect, scrubs its tables and reroutes `original`.
+    Timeout {
+        /// The unresponsive destination.
+        dead: Id,
+        /// The payload whose delivery timed out.
+        original: Box<Payload>,
+    },
 }
 
 impl Payload {
@@ -161,7 +229,24 @@ impl Payload {
             Payload::FingersAre { .. } => "fingers_are",
             Payload::GetLandmarks { .. } => "get_landmarks",
             Payload::LandmarksAre { .. } => "landmarks_are",
+            Payload::Ping { .. } => "ping",
+            Payload::Pong { .. } => "pong",
+            Payload::LeaveUpdate { .. } => "leave_update",
+            Payload::RingTableRemove { .. } => "ring_table_remove",
+            Payload::GetRingNeighbors { .. } => "get_ring_neighbors",
+            Payload::RingNeighborsAre { .. } => "ring_neighbors_are",
+            Payload::RingTableHandoff { .. } => "ring_table_handoff",
+            Payload::Timeout { .. } => "timeout",
         }
+    }
+
+    /// True for messages routed hop-by-hop through finger tables —
+    /// the ones whose loss the transport converts into a
+    /// [`Payload::Timeout`] at the sender (dead-node delivery
+    /// semantics); everything else is dropped silently.
+    #[must_use]
+    pub fn is_routed(&self) -> bool {
+        matches!(self, Payload::FindSucc { .. } | Payload::FindRingSucc { .. })
     }
 }
 
@@ -231,6 +316,39 @@ impl ToJson for Payload {
                 ("landmarks", landmarks.to_json()),
                 ("req", req.to_json()),
             ]),
+            Payload::Ping { req } => Json::obj([kind, ("req", req.to_json())]),
+            Payload::Pong { req } => Json::obj([kind, ("req", req.to_json())]),
+            Payload::LeaveUpdate { layer, new_succ, new_pred } => Json::obj([
+                kind,
+                ("layer", layer.to_json()),
+                ("new_succ", new_succ.to_json()),
+                ("new_pred", new_pred.to_json()),
+            ]),
+            Payload::RingTableRemove { ring_name, node } => Json::obj([
+                kind,
+                ("ring_name", ring_name.to_json()),
+                ("node", node.to_json()),
+            ]),
+            Payload::GetRingNeighbors { ring_name, req } => Json::obj([
+                kind,
+                ("ring_name", ring_name.to_json()),
+                ("req", req.to_json()),
+            ]),
+            Payload::RingNeighborsAre { ring_name, succ, pred, req } => Json::obj([
+                kind,
+                ("ring_name", ring_name.to_json()),
+                ("succ", succ.to_json()),
+                ("pred", pred.to_json()),
+                ("req", req.to_json()),
+            ]),
+            Payload::RingTableHandoff { table } => {
+                Json::obj([kind, ("table", table.to_json())])
+            }
+            Payload::Timeout { dead, original } => Json::obj([
+                kind,
+                ("dead", dead.to_json()),
+                ("original", original.to_json()),
+            ]),
         }
     }
 }
@@ -291,6 +409,34 @@ impl FromJson for Payload {
                 landmarks: v.field("landmarks")?,
                 req: v.field("req")?,
             }),
+            "ping" => Ok(Payload::Ping { req: v.field("req")? }),
+            "pong" => Ok(Payload::Pong { req: v.field("req")? }),
+            "leave_update" => Ok(Payload::LeaveUpdate {
+                layer: v.field("layer")?,
+                new_succ: v.field("new_succ")?,
+                new_pred: v.field("new_pred")?,
+            }),
+            "ring_table_remove" => Ok(Payload::RingTableRemove {
+                ring_name: v.field("ring_name")?,
+                node: v.field("node")?,
+            }),
+            "get_ring_neighbors" => Ok(Payload::GetRingNeighbors {
+                ring_name: v.field("ring_name")?,
+                req: v.field("req")?,
+            }),
+            "ring_neighbors_are" => Ok(Payload::RingNeighborsAre {
+                ring_name: v.field("ring_name")?,
+                succ: v.field("succ")?,
+                pred: v.field("pred")?,
+                req: v.field("req")?,
+            }),
+            "ring_table_handoff" => {
+                Ok(Payload::RingTableHandoff { table: v.field("table")? })
+            }
+            "timeout" => Ok(Payload::Timeout {
+                dead: v.field("dead")?,
+                original: Box::new(v.field("original")?),
+            }),
             other => Err(JsonError(format!("unknown payload kind `{other}`"))),
         }
     }
@@ -317,6 +463,25 @@ mod tests {
             Payload::FingersAre { layer: 2, fingers: vec![], req: 0 },
             Payload::GetLandmarks { req: 0 },
             Payload::LandmarksAre { landmarks: vec![1, 2], req: 0 },
+            Payload::Ping { req: 0 },
+            Payload::Pong { req: 0 },
+            Payload::LeaveUpdate { layer: 2, new_succ: Some(Id(4)), new_pred: None },
+            Payload::RingTableRemove { ring_name: "01".into(), node: Id(3) },
+            Payload::GetRingNeighbors { ring_name: "01".into(), req: 0 },
+            Payload::RingNeighborsAre { ring_name: "01".into(), succ: Id(4), pred: None, req: 0 },
+            Payload::RingTableHandoff {
+                table: RingTable::new(&hieras_core::LandmarkOrder(vec![0, 1])),
+            },
+            Payload::Timeout {
+                dead: Id(9),
+                original: Box::new(Payload::FindSucc {
+                    key: Id(1),
+                    layer: 1,
+                    origin: Id(2),
+                    req: 0,
+                    hops: 0,
+                }),
+            },
         ];
         let mut kinds: Vec<&str> = msgs.iter().map(Payload::kind).collect();
         kinds.sort_unstable();

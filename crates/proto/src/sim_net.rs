@@ -18,7 +18,7 @@ use crate::{LayerState, NodeState, Payload};
 use hieras_core::{HierasConfig, HierasOracle};
 use hieras_id::{Id, Key};
 use hieras_sim::EventQueue;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Message-traffic counters by purpose.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -27,6 +27,12 @@ pub struct TrafficStats {
     pub by_kind: HashMap<&'static str, u64>,
     /// Total messages delivered.
     pub total: u64,
+    /// Sends whose destination was dead and that cost the sender an
+    /// RTO (routed payloads, plus driver RPCs against dead peers).
+    pub timeouts: u64,
+    /// Messages silently discarded: non-routed payloads to dead nodes
+    /// and routed payloads whose hop count exceeded the TTL.
+    pub drops: u64,
 }
 
 impl TrafficStats {
@@ -45,6 +51,17 @@ pub struct LookupOutcome {
     pub hops: u32,
     /// Simulated time from injection until the owner answered, ms.
     pub latency_ms: u64,
+}
+
+/// Result of a [`SimNet::try_lookup`] under churn: the attempt may
+/// fail (every retry lost to dead nodes) and latency includes the
+/// timeouts and backoffs spent getting an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetriedLookup {
+    /// The successful resolution, if any attempt got through.
+    pub outcome: Option<LookupOutcome>,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
 }
 
 /// Result of one §3.3 join.
@@ -81,6 +98,12 @@ pub struct SimNet<'a> {
     next_req: u64,
     stats: TrafficStats,
     config: HierasConfig,
+    /// Retransmission timeout: how long a sender waits before declaring
+    /// a routed message's destination dead (ms).
+    rto_ms: u64,
+    /// Hop budget for routed messages; exceeding it drops the message
+    /// (bounds transient routing loops while pointers heal).
+    ttl: u32,
 }
 
 impl<'a> SimNet<'a> {
@@ -104,7 +127,38 @@ impl<'a> SimNet<'a> {
             next_req: 0,
             stats: TrafficStats::default(),
             config: oracle.config().clone(),
+            rto_ms: 250,
+            ttl: 96,
         }
+    }
+
+    /// Overrides the failure-detection parameters (RTO in ms, routed
+    /// hop TTL). The defaults — 250 ms, 96 hops — suit the paper-scale
+    /// topologies.
+    pub fn set_churn_params(&mut self, rto_ms: u64, ttl: u32) {
+        self.rto_ms = rto_ms;
+        self.ttl = ttl.max(1);
+    }
+
+    /// The hierarchy configuration this network was built with.
+    #[must_use]
+    pub fn config(&self) -> &HierasConfig {
+        &self.config
+    }
+
+    /// True if `id` is currently a member (has not left or failed).
+    #[must_use]
+    pub fn alive(&self, id: Id) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// All current member ids, ascending — the deterministic iteration
+    /// order every maintenance driver uses.
+    #[must_use]
+    pub fn sorted_ids(&self) -> Vec<Id> {
+        let mut ids: Vec<Id> = self.nodes.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Number of nodes.
@@ -150,6 +204,40 @@ impl<'a> SimNet<'a> {
         self.queue.schedule_in(d, Envelope { from, to, msg_seq: seq });
     }
 
+    /// Delivers one popped message: normal handling when the
+    /// destination is alive (routed payloads over the TTL are
+    /// dropped); a routed payload to a dead node becomes a
+    /// [`Payload::Timeout`] fired back at the sender one RTO later;
+    /// anything else to a dead node is silently dropped.
+    fn deliver(&mut self, env: Envelope, msg: Payload) {
+        if let Some(node) = self.nodes.get_mut(&env.to) {
+            if let Payload::FindSucc { hops, .. } | Payload::FindRingSucc { hops, .. } = msg {
+                if hops >= self.ttl {
+                    self.stats.drops += 1;
+                    return;
+                }
+            }
+            for (dest, out) in node.handle(env.from, msg) {
+                self.post(env.to, dest, out);
+            }
+        } else if msg.is_routed() && env.from != env.to && self.nodes.contains_key(&env.from) {
+            self.stats.timeouts += 1;
+            let timeout = Payload::Timeout { dead: env.to, original: Box::new(msg) };
+            let seq = self.next_msg;
+            self.next_msg += 1;
+            self.payloads.insert(seq, timeout);
+            // Self-addressed so the sender's handler scrubs and
+            // reroutes; delay = RTO, not the link latency.
+            self.queue.schedule_in(self.rto_ms, Envelope {
+                from: env.from,
+                to: env.from,
+                msg_seq: seq,
+            });
+        } else {
+            self.stats.drops += 1;
+        }
+    }
+
     /// Runs the queue until a message matching `stop` arrives at
     /// `watch_node` (that message is consumed and returned), or the
     /// queue drains (returns `None`).
@@ -164,12 +252,7 @@ impl<'a> SimNet<'a> {
             if env.to == watch_node && stop(&msg) {
                 return Some((env.from, msg, at));
             }
-            let Some(node) = self.nodes.get_mut(&env.to) else {
-                continue; // message to a vanished node: dropped
-            };
-            for (dest, out) in node.handle(env.from, msg) {
-                self.post(env.to, dest, out);
-            }
+            self.deliver(env, msg);
         }
         None
     }
@@ -202,34 +285,90 @@ impl<'a> SimNet<'a> {
         }
     }
 
+    /// Lookup with the churn-era failure path: each attempt that dies
+    /// in the network (TTL drop, or a timeout chain that hit another
+    /// dead node) costs `backoff_ms` of simulated time before the next
+    /// try. Latency is measured from the *first* injection, so RTOs
+    /// and backoffs inflate it — the metric the churn experiments
+    /// report.
+    ///
+    /// # Panics
+    /// Panics if `origin` is not a live member or `max_attempts == 0`.
+    pub fn try_lookup(
+        &mut self,
+        origin: Id,
+        key: Key,
+        max_attempts: u32,
+        backoff_ms: u64,
+    ) -> RetriedLookup {
+        assert!(max_attempts > 0, "need at least one attempt");
+        let depth = self.nodes.get(&origin).expect("origin must exist").depth() as u8;
+        let start = self.queue.now();
+        for attempt in 1..=max_attempts {
+            let req = self.fresh_req();
+            self.post(origin, origin, Payload::FindSucc {
+                key,
+                layer: depth,
+                origin,
+                req,
+                hops: 0,
+            });
+            let reply = self.run_until(origin, |m| {
+                matches!(m, Payload::FoundSucc { req: r, .. } if *r == req)
+            });
+            match reply {
+                Some((_, Payload::FoundSucc { owner, hops, .. }, at)) => {
+                    let response_leg =
+                        if owner == origin { 0 } else { (self.delay)(owner, origin) };
+                    return RetriedLookup {
+                        outcome: Some(LookupOutcome {
+                            owner,
+                            hops,
+                            latency_ms: (at - start).saturating_sub(response_leg),
+                        }),
+                        attempts: attempt,
+                    };
+                }
+                _ => {
+                    // Lost: wait out the backoff, then retry against the
+                    // (hopefully scrubbed) tables.
+                    let t = self.queue.now() + backoff_ms;
+                    self.queue.advance_to(t);
+                }
+            }
+        }
+        RetriedLookup { outcome: None, attempts: max_attempts }
+    }
+
     /// RPC helper for drivers: send `msg` to `to` on behalf of
     /// `driver`, then run until the matching reply arrives back.
-    fn rpc(
+    /// `None` when the reply is lost (dead peer, TTL drop) — the
+    /// queue has drained by then.
+    fn try_rpc(
         &mut self,
         driver: Id,
         to: Id,
         msg: Payload,
         matches: impl Fn(&Payload) -> bool,
-    ) -> Payload {
+    ) -> Option<Payload> {
         self.post(driver, to, msg);
-        let (_, reply, _) =
-            self.run_until(driver, matches).expect("rpc reply lost in the network");
-        reply
+        self.run_until(driver, matches).map(|(_, reply, _)| reply)
     }
 
     /// Resolves the ring-local owner of `key` in `layer` by routing
     /// from `via` (an existing ring member) — the "ordinary Chord
     /// routing procedure" §3.3 uses for join-time successors and
     /// ring-table requests. Driver-initiated, so usable before the
-    /// driver has joined.
-    fn resolve_via(&mut self, driver: Id, via: Id, key: Key, layer: u8) -> (Id, u32) {
+    /// driver has joined. `None` when the request died in the network
+    /// (only possible under churn).
+    fn resolve_via(&mut self, driver: Id, via: Id, key: Key, layer: u8) -> Option<(Id, u32)> {
         let req = self.fresh_req();
         let msg = Payload::FindRingSucc { key, layer, origin: driver, req, hops: 0 };
-        let reply = self.rpc(driver, via, msg, |m| {
+        let reply = self.try_rpc(driver, via, msg, |m| {
             matches!(m, Payload::FoundSucc { req: r, .. } if *r == req)
-        });
+        })?;
         match reply {
-            Payload::FoundSucc { owner, hops, .. } => (owner, hops),
+            Payload::FoundSucc { owner, hops, .. } => Some((owner, hops)),
             _ => unreachable!(),
         }
     }
@@ -252,8 +391,20 @@ impl<'a> SimNet<'a> {
     ///    table (founding the ring if it did not exist).
     ///
     /// # Panics
-    /// Panics if `new_id` already exists or `bootstrap` does not.
+    /// Panics if `new_id` already exists, `bootstrap` does not, or the
+    /// join's messages are lost (impossible in a churn-free network).
     pub fn join(&mut self, new_id: Id, bootstrap: Id, rtts: &[u16]) -> JoinOutcome {
+        self.try_join(new_id, bootstrap, rtts).expect("join lost in the network")
+    }
+
+    /// Churn-safe [`SimNet::join`]: returns `None` when one of the
+    /// choreography's exchanges dies in the network (the caller
+    /// retries later through another bootstrap; pointers half-spliced
+    /// by the aborted attempt heal through timeouts and stabilization).
+    ///
+    /// # Panics
+    /// Panics if `new_id` already exists or `bootstrap` does not.
+    pub fn try_join(&mut self, new_id: Id, bootstrap: Id, rtts: &[u16]) -> Option<JoinOutcome> {
         assert!(!self.nodes.contains_key(&new_id), "node already joined");
         assert!(self.nodes.contains_key(&bootstrap), "bootstrap unknown");
         let start_total = self.stats.total;
@@ -264,9 +415,9 @@ impl<'a> SimNet<'a> {
 
         // Step 1: landmark table from n'.
         let req = self.fresh_req();
-        let reply = self.rpc(new_id, bootstrap, Payload::GetLandmarks { req }, |m| {
+        let reply = self.try_rpc(new_id, bootstrap, Payload::GetLandmarks { req }, |m| {
             matches!(m, Payload::LandmarksAre { req: r, .. } if *r == req)
-        });
+        })?;
         let landmarks = match reply {
             Payload::LandmarksAre { landmarks, .. } => landmarks,
             _ => unreachable!(),
@@ -278,73 +429,103 @@ impl<'a> SimNet<'a> {
         let mut founded = 0usize;
 
         // Step 3: global ring (layer 1) through n'.
-        let (g_succ, _) = self.resolve_via(new_id, bootstrap, new_id, 1);
-        layers.push(self.splice_layer(new_id, 1, String::new(), g_succ, bits));
+        let (g_succ, _) = self.resolve_via(new_id, bootstrap, new_id, 1)?;
+        layers.push(self.splice_layer(new_id, 1, String::new(), g_succ, bits)?);
 
         // Step 4: lower layers.
         for layer_no in 2..=depth as u8 {
             let plen = self.config.prefix_len(layer_no as usize);
             let ring_name = order.prefix(plen).name();
-            let ring_id = order_from_name(&ring_name).ring_id();
-            // Ring-table request routed over the global ring (ordinary
-            // Chord lookup, §3.3).
-            let (holder, _) = self.resolve_via(new_id, bootstrap, ring_id, 1);
-            let req = self.fresh_req();
-            let reply = self.rpc(
-                new_id,
-                holder,
-                Payload::GetRingTable { ring_name: ring_name.clone(), req },
-                |m| matches!(m, Payload::RingTableIs { req: r, .. } if *r == req),
-            );
-            let table = match reply {
-                Payload::RingTableIs { table, .. } => table,
-                _ => unreachable!(),
-            };
-            let entry = table.as_ref().and_then(|t| t.entry_points().first().copied());
-            let ls = match entry {
-                Some(p) if self.nodes.contains_key(&p) => {
-                    // Resolve our in-ring successor through entry point p.
-                    let (succ, _) = self.resolve_via(new_id, p, new_id, layer_no);
-                    let mut ls = self.splice_layer(new_id, layer_no, ring_name.clone(), succ, bits);
-                    // Initial finger approximation: copy p's table (§3.3's
-                    // "p generates the finger table of n and sends it back").
-                    let req = self.fresh_req();
-                    let reply = self.rpc(new_id, p, Payload::GetFingers { layer: layer_no, req }, |m| {
-                        matches!(m, Payload::FingersAre { req: r, .. } if *r == req)
-                    });
-                    if let Payload::FingersAre { fingers, .. } = reply {
-                        ls.fingers = fingers;
-                    }
-                    ls
-                }
-                _ => {
-                    // First member of this ring: found it.
-                    founded += 1;
-                    LayerState::solo(ring_name.clone(), new_id, bits)
-                }
-            };
+            let (ls, was_founded) =
+                self.join_lower_layer(new_id, layer_no, ring_name, bootstrap, bits)?;
+            founded += usize::from(was_founded);
             layers.push(ls);
-            // Ring-table modification message (§3.3) — also what creates
-            // the table at the holder for a founded ring.
-            self.post(new_id, holder, Payload::RingTableUpdate { ring_name, node: new_id });
-            self.drain();
         }
 
         self.nodes.insert(
             new_id,
-            NodeState { id: new_id, space, layers, ring_tables: HashMap::new(), landmarks },
+            NodeState {
+                id: new_id,
+                space,
+                layers,
+                ring_tables: HashMap::new(),
+                landmarks,
+                suspects: HashSet::new(),
+            },
         );
-        JoinOutcome {
+        Some(JoinOutcome {
             messages: self.stats.total - start_total,
             duration_ms: self.queue.now() - start_time,
             rings_joined: depth,
             rings_founded: founded,
-        }
+        })
+    }
+
+    /// The §3.3 lower-layer entry sequence, shared by joins and
+    /// re-binning: route the ring-table request to the holder over the
+    /// global ring, enter through a recorded live member (splice +
+    /// finger copy) or found the ring, then send the ring-table
+    /// modification message. Returns the built layer state and whether
+    /// the ring was founded.
+    fn join_lower_layer(
+        &mut self,
+        node: Id,
+        layer_no: u8,
+        ring_name: String,
+        via: Id,
+        bits: u32,
+    ) -> Option<(LayerState, bool)> {
+        let ring_id = order_from_name(&ring_name).ring_id();
+        let (holder, _) = self.resolve_via(node, via, ring_id, 1)?;
+        let req = self.fresh_req();
+        let reply = self.try_rpc(
+            node,
+            holder,
+            Payload::GetRingTable { ring_name: ring_name.clone(), req },
+            |m| matches!(m, Payload::RingTableIs { req: r, .. } if *r == req),
+        )?;
+        let table = match reply {
+            Payload::RingTableIs { table, .. } => table,
+            _ => unreachable!(),
+        };
+        // First *live* recorded member; dead entries are stale table
+        // slots awaiting repair.
+        let entry = table.as_ref().and_then(|t| {
+            t.entry_points().iter().copied().find(|p| *p != node && self.nodes.contains_key(p))
+        });
+        let (ls, founded) = match entry {
+            Some(p) => {
+                // Resolve our in-ring successor through entry point p.
+                let (succ, _) = self.resolve_via(node, p, node, layer_no)?;
+                let mut ls = self.splice_layer(node, layer_no, ring_name.clone(), succ, bits)?;
+                // Initial finger approximation: copy p's table (§3.3's
+                // "p generates the finger table of n and sends it back").
+                let req = self.fresh_req();
+                let reply =
+                    self.try_rpc(node, p, Payload::GetFingers { layer: layer_no, req }, |m| {
+                        matches!(m, Payload::FingersAre { req: r, .. } if *r == req)
+                    })?;
+                if let Payload::FingersAre { fingers, .. } = reply {
+                    ls.fingers = fingers;
+                }
+                (ls, false)
+            }
+            None => {
+                // First member of this ring: found it.
+                (LayerState::solo(ring_name.clone(), node, bits), true)
+            }
+        };
+        // Ring-table modification message (§3.3) — also what creates
+        // the table at the holder for a founded ring.
+        self.post(node, holder, Payload::RingTableUpdate { ring_name, node });
+        self.drain();
+        Some((ls, founded))
     }
 
     /// Splices the joining node between `succ` and `succ`'s current
     /// predecessor in `layer`: GetPred(succ) → adopt pred →
-    /// Notify(succ) → UpdateSucc(pred). Returns the new layer state.
+    /// Notify(succ) → UpdateSucc(pred). Returns the new layer state,
+    /// or `None` when `succ` died before answering.
     fn splice_layer(
         &mut self,
         new_id: Id,
@@ -352,14 +533,14 @@ impl<'a> SimNet<'a> {
         ring_name: String,
         succ: Id,
         bits: u32,
-    ) -> LayerState {
+    ) -> Option<LayerState> {
         if succ == new_id {
-            return LayerState::solo(ring_name, new_id, bits);
+            return Some(LayerState::solo(ring_name, new_id, bits));
         }
         let req = self.fresh_req();
-        let reply = self.rpc(new_id, succ, Payload::GetPred { layer, req }, |m| {
+        let reply = self.try_rpc(new_id, succ, Payload::GetPred { layer, req }, |m| {
             matches!(m, Payload::PredIs { req: r, .. } if *r == req)
-        });
+        })?;
         let pred = match reply {
             Payload::PredIs { pred, .. } => pred,
             _ => unreachable!(),
@@ -369,13 +550,225 @@ impl<'a> SimNet<'a> {
             self.post(new_id, p, Payload::UpdateSucc { layer });
         }
         self.drain();
-        LayerState {
+        Some(LayerState {
             ring_name,
             succ,
             // Until told otherwise we sit between succ's old pred and succ.
             pred: pred.or(Some(succ)),
             fingers: vec![None; bits as usize],
+        })
+    }
+
+    /// Removes a node abruptly — a silent fail. No goodbye messages:
+    /// the rest of the network discovers the death through RTO
+    /// timeouts and failure-detection pings. Returns false if the node
+    /// was already gone.
+    pub fn fail_node(&mut self, id: Id) -> bool {
+        self.nodes.remove(&id).is_some()
+    }
+
+    /// Graceful departure. The leaver patches its ring neighbours'
+    /// pointers in every layer (`LeaveUpdate`), delists itself from
+    /// each lower-layer ring table (`RingTableRemove` routed to the
+    /// holder), hands any ring tables *it* holds to its global
+    /// successor (`RingTableHandoff`) — then vanishes. Returns false
+    /// if the node was already gone.
+    pub fn leave_node(&mut self, id: Id) -> bool {
+        let Some(state) = self.nodes.get(&id).cloned() else { return false };
+        // Phase 1: neighbour pointer patches, all layers, fully
+        // delivered before the table maintenance below routes anything
+        // (so repair probes never re-learn the leaver).
+        for (i, ls) in state.layers.iter().enumerate() {
+            let layer = u8::try_from(i + 1).expect("depth fits u8");
+            if ls.succ == id {
+                continue; // solo ring: nobody to patch
+            }
+            let pred = ls.pred.filter(|&p| p != id);
+            if let Some(p) = pred {
+                self.post(id, p, Payload::LeaveUpdate {
+                    layer,
+                    new_succ: Some(ls.succ),
+                    new_pred: None,
+                });
+            }
+            self.post(id, ls.succ, Payload::LeaveUpdate {
+                layer,
+                new_succ: None,
+                new_pred: pred,
+            });
         }
+        self.drain();
+        // Phase 2: delist from lower-layer ring tables while the
+        // leaver can still route, and hand off held tables.
+        for ls in state.layers.iter().skip(1) {
+            let ring_id = order_from_name(&ls.ring_name).ring_id();
+            if let Some((holder, _)) = self.resolve_via(id, id, ring_id, 1) {
+                self.post(id, holder, Payload::RingTableRemove {
+                    ring_name: ls.ring_name.clone(),
+                    node: id,
+                });
+            }
+        }
+        let heir = state.layers[0].succ;
+        if heir != id {
+            let mut names: Vec<&String> = state.ring_tables.keys().collect();
+            names.sort_unstable();
+            for name in names {
+                self.post(id, heir, Payload::RingTableHandoff {
+                    table: state.ring_tables[name].clone(),
+                });
+            }
+        }
+        self.drain();
+        self.nodes.remove(&id);
+        true
+    }
+
+    /// One stabilization round over `layer`, members visited in
+    /// ascending id order (the deterministic schedule). Each member
+    /// scrubs dead successors (one RTO each), asks the live successor
+    /// for its predecessor, adopts a closer live one, and notifies.
+    pub fn stabilize_layer(&mut self, layer: u8) {
+        for n in self.sorted_ids() {
+            if self.nodes[&n].depth() < layer as usize {
+                continue;
+            }
+            // A dead successor costs an RTO before it is scrubbed;
+            // note_dead promotes the best alive finger.
+            loop {
+                let succ = self.nodes[&n].layer(layer).succ;
+                if succ == n || self.nodes.contains_key(&succ) {
+                    break;
+                }
+                self.stats.timeouts += 1;
+                let t = self.queue.now() + self.rto_ms;
+                self.queue.advance_to(t);
+                self.nodes.get_mut(&n).expect("alive").note_dead(succ);
+            }
+            let succ = self.nodes[&n].layer(layer).succ;
+            if succ == n {
+                continue;
+            }
+            let req = self.fresh_req();
+            let reply = self.try_rpc(n, succ, Payload::GetPred { layer, req }, |m| {
+                matches!(m, Payload::PredIs { req: r, .. } if *r == req)
+            });
+            let Some(Payload::PredIs { pred, .. }) = reply else { continue };
+            let space = self.nodes[&n].space;
+            let target = match pred {
+                Some(x) if x != n && self.nodes.contains_key(&x) && space.in_open(n, succ, x) => {
+                    self.nodes.get_mut(&n).expect("alive").layer_mut(layer).succ = x;
+                    x
+                }
+                _ => succ,
+            };
+            self.post(n, target, Payload::Notify { layer });
+            self.drain();
+        }
+    }
+
+    /// One failure-detection round over `layer`: every member pings
+    /// its predecessor. A dead predecessor costs an RTO and is marked
+    /// suspect; the pointer itself stays (stale but safe) until the
+    /// next live claimant notifies.
+    pub fn check_predecessors_layer(&mut self, layer: u8) {
+        for n in self.sorted_ids() {
+            if self.nodes[&n].depth() < layer as usize {
+                continue;
+            }
+            let Some(p) = self.nodes[&n].layer(layer).pred.filter(|&p| p != n) else {
+                continue;
+            };
+            if self.nodes.contains_key(&p) {
+                let req = self.fresh_req();
+                let _ = self.try_rpc(n, p, Payload::Ping { req }, |m| {
+                    matches!(m, Payload::Pong { req: r } if *r == req)
+                });
+            } else {
+                self.stats.timeouts += 1;
+                let t = self.queue.now() + self.rto_ms;
+                self.queue.advance_to(t);
+                self.nodes.get_mut(&n).expect("alive").note_dead(p);
+            }
+        }
+    }
+
+    /// One fix-fingers round over `layer`: every member re-resolves
+    /// finger index `round % bits` with a ring-confined lookup from
+    /// itself. Dead fingers cost timeouts inside the lookup; a lost
+    /// lookup leaves the entry for the next round.
+    pub fn fix_fingers_layer(&mut self, layer: u8, round: u64) {
+        for n in self.sorted_ids() {
+            if self.nodes[&n].depth() < layer as usize {
+                continue;
+            }
+            let space = self.nodes[&n].space;
+            let i = (round % u64::from(space.bits())) as u32;
+            let start = space.finger_start(n, i);
+            let req = self.fresh_req();
+            self.post(n, n, Payload::FindRingSucc { key: start, layer, origin: n, req, hops: 0 });
+            let reply = self.run_until(n, |m| {
+                matches!(m, Payload::FoundSucc { req: r, .. } if *r == req)
+            });
+            if let Some((_, Payload::FoundSucc { owner, .. }, _)) = reply {
+                let ls = self.nodes.get_mut(&n).expect("alive").layer_mut(layer);
+                ls.fingers[i as usize] = (owner != n).then_some(owner);
+            }
+        }
+    }
+
+    /// Landmark-loss recovery: re-bins `id` against freshly measured
+    /// RTTs (a surviving/replacement landmark set) and moves it to the
+    /// lower-layer rings the new bin names, leaving the old ones
+    /// gracefully. Unchanged layers are untouched. Returns how many
+    /// layers the node moved.
+    pub fn rebin_node(&mut self, id: Id, rtts: &[u16]) -> usize {
+        let Some(state) = self.nodes.get(&id) else { return 0 };
+        let bits = state.space.bits();
+        let depth = self.config.depth;
+        let order = self.config.binning.order(rtts);
+        let mut moved = 0usize;
+        for layer_no in 2..=depth as u8 {
+            let plen = self.config.prefix_len(layer_no as usize);
+            let new_name = order.prefix(plen).name();
+            let old = self.nodes[&id].layer(layer_no).clone();
+            if old.ring_name == new_name {
+                continue;
+            }
+            // Leave the old ring: patch its neighbours, delist from its
+            // table.
+            if old.succ != id {
+                let pred = old.pred.filter(|&p| p != id);
+                if let Some(p) = pred {
+                    self.post(id, p, Payload::LeaveUpdate {
+                        layer: layer_no,
+                        new_succ: Some(old.succ),
+                        new_pred: None,
+                    });
+                }
+                self.post(id, old.succ, Payload::LeaveUpdate {
+                    layer: layer_no,
+                    new_succ: None,
+                    new_pred: pred,
+                });
+            }
+            self.drain();
+            let old_ring_id = order_from_name(&old.ring_name).ring_id();
+            if let Some((holder, _)) = self.resolve_via(id, id, old_ring_id, 1) {
+                self.post(id, holder, Payload::RingTableRemove {
+                    ring_name: old.ring_name.clone(),
+                    node: id,
+                });
+            }
+            self.drain();
+            // Join the new ring through ourselves — we still route over
+            // the global ring.
+            if let Some((ls, _)) = self.join_lower_layer(id, layer_no, new_name, id, bits) {
+                *self.nodes.get_mut(&id).expect("alive").layer_mut(layer_no) = ls;
+                moved += 1;
+            }
+        }
+        moved
     }
 
     /// Delivers everything currently in flight.
@@ -383,10 +776,7 @@ impl<'a> SimNet<'a> {
         while let Some((_, env)) = self.queue.pop() {
             let msg = self.payloads.remove(&env.msg_seq).expect("payload stored");
             self.stats.count(msg.kind());
-            let Some(node) = self.nodes.get_mut(&env.to) else { continue };
-            for (dest, out) in node.handle(env.from, msg) {
-                self.post(env.to, dest, out);
-            }
+            self.deliver(env, msg);
         }
     }
 }
@@ -532,6 +922,151 @@ mod tests {
         assert!(net.stats().by_kind.contains_key("get_ring_table"));
         assert!(net.stats().by_kind.contains_key("ring_table_update"));
         assert!(net.stats().by_kind.contains_key("get_landmarks"));
+    }
+
+    #[test]
+    fn graceful_leave_patches_pointers_and_keeps_lookups_exact() {
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let leaver = o.id_of(7);
+        let old_succ = net.node(leaver).unwrap().layer(1).succ;
+        let old_pred = net.node(leaver).unwrap().layer(1).pred.unwrap();
+        assert!(net.leave_node(leaver));
+        assert!(!net.alive(leaver));
+        assert!(!net.leave_node(leaver), "second leave is a no-op");
+        // Neighbours were patched synchronously: no timeouts needed.
+        assert_eq!(net.stats().timeouts, 0);
+        assert_eq!(net.node(old_pred).unwrap().layer(1).succ, old_succ);
+        assert_eq!(net.node(old_succ).unwrap().layer(1).pred, Some(old_pred));
+        // Keys the leaver owned now resolve to its old successor, first try.
+        let got = net.try_lookup(old_pred, leaver, 3, 500);
+        assert_eq!(got.attempts, 1);
+        assert_eq!(got.outcome.unwrap().owner, old_succ);
+    }
+
+    #[test]
+    fn silent_fail_costs_timeouts_then_maintenance_heals() {
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let dead = o.id_of(11);
+        let old_succ = net.node(dead).unwrap().layer(1).succ;
+        assert!(net.fail_node(dead));
+        assert!(!net.fail_node(dead));
+        // Failure detection + stabilization over both layers.
+        for layer in 1..=2u8 {
+            net.check_predecessors_layer(layer);
+            net.stabilize_layer(layer);
+        }
+        for round in 0..64u64 {
+            net.fix_fingers_layer(1, round);
+        }
+        assert!(net.stats().timeouts > 0, "a silent fail must cost timeouts");
+        // The dead node's range was absorbed by its successor.
+        let probe = net.try_lookup(o.id_of(0), dead, 5, 500);
+        let out = probe.outcome.expect("lookup must succeed after maintenance");
+        assert_eq!(out.owner, old_succ);
+        // The successor's neighbours now list it as suspect.
+        assert!(net.node(old_succ).unwrap().suspects.contains(&dead));
+    }
+
+    #[test]
+    fn routed_message_into_dead_node_reroutes_via_timeout() {
+        // Depth 1 = pure global routing, so the forwarding choice is
+        // fully predictable: the dead node's predecessor must forward a
+        // lookup for the dead node's successor straight into the corpse.
+        let (o, _) = build(30, 1);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let dead = o.id_of(5);
+        let p = net.node(dead).unwrap().layer(1).pred.unwrap();
+        let s = net.node(dead).unwrap().layer(1).succ;
+        net.fail_node(dead);
+        let timeouts_before = net.stats().timeouts;
+        let got = net.try_lookup(p, s, 8, 1000);
+        let out = got.outcome.expect("timeout path must eventually resolve");
+        assert_eq!(out.owner, s, "the successor owns its own id");
+        assert!(
+            net.stats().timeouts > timeouts_before,
+            "the first hop was into a dead node — it must cost a timeout"
+        );
+        // Timeout-inflated latency: at least one RTO on a first-attempt win.
+        if got.attempts == 1 {
+            assert!(out.latency_ms >= 250);
+        }
+        // The rerouting sender has marked the corpse as suspect.
+        assert!(net.node(p).unwrap().suspects.contains(&dead));
+    }
+
+    #[test]
+    fn lookup_survives_dead_lower_layer_predecessor() {
+        // Regression: a ring-local owner used to bounce an overshooting
+        // FindSucc to its layer-2 predecessor unconditionally. With
+        // that predecessor silently dead, the RTO re-handle bounced to
+        // the same corpse again — an infinite timeout loop, because
+        // note_dead deliberately leaves pred pointers stale.
+        let (o, _) = build(40, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let space = IdSpace::full();
+        // A node whose ring-2 predecessor sits strictly behind its
+        // global predecessor: keys in between are ring-locally owned
+        // by it but globally owned by someone else — the bounce path.
+        let (owner, ring_pred, global_pred) = net
+            .sorted_ids()
+            .iter()
+            .find_map(|&n| {
+                let s = net.node(n).unwrap();
+                let rp = s.layer(2).pred.filter(|&p| p != n)?;
+                let gp = s.layer(1).pred.filter(|&p| p != n && p != rp)?;
+                space.in_open(rp, n, gp).then_some((n, rp, gp))
+            })
+            .expect("a 40-node two-layer fixture has an interleaved ring");
+        net.fail_node(ring_pred);
+        // The global predecessor's own id: ring-2-owned by `owner`,
+        // globally owned by `global_pred` itself.
+        let got = net.try_lookup(owner, global_pred, 3, 500);
+        let out = got.outcome.expect("bounce into the corpse must reroute, not loop");
+        assert_eq!(out.owner, global_pred);
+        assert!(net.stats().timeouts >= 1, "the dead pred costs one RTO");
+        assert!(net.node(owner).unwrap().suspects.contains(&ring_pred));
+    }
+
+    #[test]
+    fn leave_hands_ring_tables_to_global_successor() {
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        let holder = *net
+            .sorted_ids()
+            .iter()
+            .find(|id| !net.node(**id).unwrap().ring_tables.is_empty())
+            .expect("some node holds a ring table");
+        let names: Vec<String> =
+            net.node(holder).unwrap().ring_tables.keys().cloned().collect();
+        let heir = net.node(holder).unwrap().layer(1).succ;
+        net.leave_node(holder);
+        for name in &names {
+            assert!(
+                net.node(heir).unwrap().ring_tables.contains_key(name),
+                "table {name} must move to the heir"
+            );
+        }
+    }
+
+    #[test]
+    fn rebin_moves_node_to_new_lower_ring() {
+        let (o, _) = build(40, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        // Node 0 has RTTs [5, 10] → ring "00"; re-measure as [150, 130]
+        // → ring "22" (both occupied by fixture nodes).
+        let id = o.id_of(0);
+        assert_eq!(net.node(id).unwrap().layer(2).ring_name, "00");
+        let moved = net.rebin_node(id, &[150, 130]);
+        assert_eq!(moved, 1);
+        let s = net.node(id).unwrap();
+        assert_eq!(s.layer(2).ring_name, "22");
+        // Still resolves hierarchical lookups from its new ring.
+        let out = net.try_lookup(id, Id(0xfeed_f00d), 3, 500);
+        assert!(out.outcome.is_some());
+        // And unchanged RTTs are a no-op.
+        assert_eq!(net.rebin_node(id, &[150, 130]), 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::Payload;
 use hieras_core::{HierasOracle, RingTable};
 use hieras_id::{Id, IdSpace, Key};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One ring membership: the node's routing state in a single layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +40,9 @@ pub struct NodeState {
     pub ring_tables: HashMap<String, RingTable>,
     /// Landmark router ids (the landmark table of §3.1).
     pub landmarks: Vec<u32>,
+    /// Nodes this node has observed to be dead (a send to them timed
+    /// out). Suspects are never routed to or re-adopted as neighbours.
+    pub suspects: HashSet<Id>,
 }
 
 impl NodeState {
@@ -76,14 +79,17 @@ impl NodeState {
     }
 
     /// Chord forwarding choice within one layer: the closest preceding
-    /// candidate for `key` among fingers and the successor; falls back
-    /// to the successor.
+    /// candidate for `key` among fingers and the successor (suspects
+    /// are never chosen); falls back to the successor.
     #[must_use]
     pub fn next_hop_in_layer(&self, layer: u8, key: Key) -> Id {
         let ls = self.layer(layer);
         let mut best: Option<Id> = None;
         let mut consider = |cand: Id| {
-            if cand != self.id && self.space.in_open(self.id, key, cand) {
+            if cand != self.id
+                && !self.suspects.contains(&cand)
+                && self.space.in_open(self.id, key, cand)
+            {
                 best = Some(match best {
                     None => cand,
                     Some(b) => self.space.closer_predecessor(key, cand, b),
@@ -95,6 +101,52 @@ impl NodeState {
         }
         consider(ls.succ);
         best.unwrap_or(ls.succ)
+    }
+
+    /// Failure-detection bookkeeping: marks `dead` as a suspect and
+    /// scrubs it out of every layer's routing state. Fingers pointing
+    /// at it are nulled (fix-fingers re-resolves them); a successor
+    /// pointing at it is replaced by the closest alive clockwise finger
+    /// (self when none is known — stabilization then repairs it). The
+    /// predecessor pointer is deliberately left stale: a suspect pred
+    /// keeps the ownership range a safe subset until a live predecessor
+    /// notifies, at which point the suspect check in the notify rule
+    /// lets the replacement through.
+    pub fn note_dead(&mut self, dead: Id) {
+        if dead == self.id {
+            return;
+        }
+        self.suspects.insert(dead);
+        let me = self.id;
+        let space = self.space;
+        for ls in &mut self.layers {
+            for f in &mut ls.fingers {
+                if *f == Some(dead) {
+                    *f = None;
+                }
+            }
+            if ls.succ == dead {
+                let mut best: Option<Id> = None;
+                for &f in ls.fingers.iter().flatten() {
+                    if f == me {
+                        continue;
+                    }
+                    best = Some(match best {
+                        None => f,
+                        // Closest clockwise after me = the one the other
+                        // precedes on the arc (me, best].
+                        Some(b) => {
+                            if space.in_open(me, b, f) {
+                                f
+                            } else {
+                                b
+                            }
+                        }
+                    });
+                }
+                ls.succ = best.unwrap_or(me);
+            }
+        }
     }
 
     /// The §3.2 routing step for an incoming [`Payload::FindSucc`].
@@ -118,8 +170,22 @@ impl NodeState {
                 // solo ring): ascend toward the global ring.
                 layer -= 1;
             } else if self.owns_in_layer(layer, key) {
-                let pred = ls.pred.expect("ring-local owner knows its predecessor");
-                return vec![(pred, Payload::FindSucc { key, layer, origin, req, hops: hops + 1 })];
+                // Overshoot bounce: hand the key back to the ring-local
+                // predecessor. Only to one believed alive — bouncing to
+                // a suspect pred would RTO, re-handle, and bounce again
+                // forever, since note_dead leaves pred pointers stale.
+                let pred = ls.pred.filter(|p| *p != self.id && !self.suspects.contains(p));
+                match pred {
+                    Some(p) => {
+                        return vec![(
+                            p,
+                            Payload::FindSucc { key, layer, origin, req, hops: hops + 1 },
+                        )];
+                    }
+                    // Hand-off point unknown or dead: ascend — the
+                    // upper layers still reach the global owner.
+                    None => layer -= 1,
+                }
             } else {
                 break;
             }
@@ -167,24 +233,31 @@ impl NodeState {
             Payload::Notify { layer } => {
                 let me = self.id;
                 let space = self.space;
-                let ls = self.layer_mut(layer);
-                let adopt = match ls.pred {
+                let adopt = match self.layer(layer).pred {
                     None => true,
-                    Some(p) => p == me || space.in_open(p, me, from),
+                    // A suspect predecessor is replaced by any live
+                    // claimant — this is how the successor of a failed
+                    // node absorbs its key range.
+                    Some(p) => {
+                        p == me || self.suspects.contains(&p) || space.in_open(p, me, from)
+                    }
                 };
-                if adopt && from != me {
-                    ls.pred = Some(from);
+                if adopt && from != me && !self.suspects.contains(&from) {
+                    self.layer_mut(layer).pred = Some(from);
                 }
                 Vec::new()
             }
             Payload::UpdateSucc { layer } => {
                 let me = self.id;
                 let space = self.space;
-                let ls = self.layer_mut(layer);
+                let succ = self.layer(layer).succ;
                 // Accept only if the sender actually sits between us and
                 // our current successor (or we are solo).
-                if from != me && (ls.succ == me || space.in_open(me, ls.succ, from)) {
-                    ls.succ = from;
+                if from != me
+                    && !self.suspects.contains(&from)
+                    && (succ == me || space.in_open(me, succ, from))
+                {
+                    self.layer_mut(layer).succ = from;
                 }
                 Vec::new()
             }
@@ -212,6 +285,99 @@ impl NodeState {
                 vec![(from, Payload::LandmarksAre { landmarks: self.landmarks.clone(), req })]
             }
             Payload::LandmarksAre { .. } => Vec::new(), // consumed by drivers
+            Payload::Ping { req } => vec![(from, Payload::Pong { req })],
+            Payload::Pong { .. } => Vec::new(), // consumed by drivers
+            Payload::LeaveUpdate { layer, new_succ, new_pred } => {
+                let me = self.id;
+                let ls = self.layer_mut(layer);
+                for f in &mut ls.fingers {
+                    if *f == Some(from) {
+                        *f = None;
+                    }
+                }
+                if let Some(s) = new_succ {
+                    if ls.succ == from {
+                        // A leaver pointing at itself means the ring
+                        // collapses to the receiver alone.
+                        ls.succ = if s == from { me } else { s };
+                    }
+                }
+                if let Some(p) = new_pred {
+                    if ls.pred == Some(from) {
+                        ls.pred = Some(if p == from { me } else { p });
+                    }
+                }
+                Vec::new()
+            }
+            Payload::RingTableRemove { ring_name, node } => {
+                let probe = match self.ring_tables.get_mut(&ring_name) {
+                    Some(t) => {
+                        t.remove(node);
+                        if t.needs_repair() {
+                            // §3.1 failure repair: ask a surviving member
+                            // for its ring neighbours to refill the slots.
+                            t.entry_points().first().copied()
+                        } else {
+                            None
+                        }
+                    }
+                    None => None,
+                };
+                match probe {
+                    Some(p) => vec![(p, Payload::GetRingNeighbors { ring_name, req: 0 })],
+                    None => Vec::new(),
+                }
+            }
+            Payload::GetRingNeighbors { ring_name, req } => {
+                match self.layers.iter().find(|l| l.ring_name == ring_name) {
+                    Some(ls) => vec![(
+                        from,
+                        Payload::RingNeighborsAre {
+                            ring_name,
+                            succ: ls.succ,
+                            pred: ls.pred,
+                            req,
+                        },
+                    )],
+                    None => Vec::new(), // not a member — probe went stale
+                }
+            }
+            Payload::RingNeighborsAre { ring_name, succ, pred, .. } => {
+                if let Some(t) = self.ring_tables.get_mut(&ring_name) {
+                    for m in [Some(from), Some(succ), pred].into_iter().flatten() {
+                        if !self.suspects.contains(&m) {
+                            t.observe(m);
+                        }
+                    }
+                }
+                Vec::new()
+            }
+            Payload::RingTableHandoff { table } => {
+                match self.ring_tables.get_mut(&table.ring_name) {
+                    Some(existing) => {
+                        existing.repair_from(table.entry_points().iter().copied());
+                    }
+                    None => {
+                        self.ring_tables.insert(table.ring_name.clone(), table);
+                    }
+                }
+                Vec::new()
+            }
+            Payload::Timeout { dead, original } => {
+                self.note_dead(dead);
+                // Reroute with the failed forward refunded: the re-handle
+                // below re-increments the hop count, so net hops stay
+                // honest while the timeout cost shows up in latency.
+                match *original {
+                    Payload::FindSucc { key, layer, origin, req, hops } => {
+                        self.on_find_succ(key, layer, origin, req, hops.saturating_sub(1))
+                    }
+                    Payload::FindRingSucc { key, layer, origin, req, hops } => {
+                        self.on_find_ring_succ(key, layer, origin, req, hops.saturating_sub(1))
+                    }
+                    _ => Vec::new(),
+                }
+            }
         }
     }
 }
@@ -238,6 +404,7 @@ pub fn states_from_oracle(oracle: &HierasOracle, landmarks: &[u32]) -> Vec<NodeS
             layers: Vec::with_capacity(oracle.layers().len()),
             ring_tables: HashMap::new(),
             landmarks: landmarks.to_vec(),
+            suspects: HashSet::new(),
         })
         .collect();
     for layer in oracle.layers() {

@@ -78,6 +78,30 @@ mod tests {
             Payload::FingersAre { layer: 2, fingers: vec![None, Some(Id(3))], req: 9 },
             Payload::GetLandmarks { req: 2 },
             Payload::LandmarksAre { landmarks: vec![10, 20], req: 2 },
+            Payload::Ping { req: 4 },
+            Payload::Pong { req: 4 },
+            Payload::LeaveUpdate { layer: 2, new_succ: Some(Id(6)), new_pred: None },
+            Payload::RingTableRemove { ring_name: "012".into(), node: Id(11) },
+            Payload::GetRingNeighbors { ring_name: "012".into(), req: 5 },
+            Payload::RingNeighborsAre {
+                ring_name: "012".into(),
+                succ: Id(13),
+                pred: Some(Id(12)),
+                req: 5,
+            },
+            Payload::RingTableHandoff {
+                table: hieras_core::RingTable::new(&hieras_core::LandmarkOrder(vec![0, 1, 2])),
+            },
+            Payload::Timeout {
+                dead: Id(99),
+                original: Box::new(Payload::FindSucc {
+                    key: Id(7),
+                    layer: 1,
+                    origin: Id(1),
+                    req: 3,
+                    hops: 2,
+                }),
+            },
         ];
         for payload in frames {
             let f = Frame { from: Id(100), to: Id(200), payload };

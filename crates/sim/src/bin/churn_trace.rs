@@ -1,0 +1,78 @@
+//! Dumps a small churn schedule as JSON — a determinism-debugging aid.
+//!
+//! ```text
+//! cargo run -p hieras-sim --bin churn_trace [-- seed [initial arrivals horizon_ms]]
+//! ```
+//!
+//! Prints the configuration, every per-node fate (birth, departure,
+//! graceful?), and the materialized event log. Two runs with the same
+//! arguments must emit byte-identical output; diffing two seeds shows
+//! exactly which sampled quantity moved.
+
+use hieras_sim::{ChurnConfig, ChurnEventKind, Lifetime};
+use hieras_rt::{Json, ToJson};
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().unwrap_or_else(|_| usage(&a)))
+        .collect();
+    let seed = args.first().copied().unwrap_or(1);
+    let initial = args.get(1).copied().unwrap_or(20) as u32;
+    let arrivals = args.get(2).copied().unwrap_or(10) as u32;
+    let horizon_ms = args.get(3).copied().unwrap_or(60_000);
+
+    let cfg = ChurnConfig {
+        initial_nodes: initial,
+        arrivals,
+        inter_arrival: Lifetime::Exponential { mean_ms: horizon_ms as f64 / (arrivals.max(1) as f64) },
+        lifetime: Lifetime::Exponential { mean_ms: horizon_ms as f64 / 2.0 },
+        graceful_fraction: 0.5,
+        horizon_ms,
+        seed,
+    };
+    let schedule = cfg.schedule();
+
+    let fates: Vec<Json> = (0..schedule.nodes_total)
+        .map(|i| {
+            let (birth, departure, graceful) = cfg.node_fate(i);
+            Json::obj([
+                ("node", i.to_json()),
+                ("birth_ms", birth.to_json()),
+                ("departure_ms", departure.to_json()),
+                ("graceful", graceful.to_json()),
+            ])
+        })
+        .collect();
+    let events: Vec<Json> = schedule.events.iter().map(ToJson::to_json).collect();
+    let counts = |k: &str| {
+        schedule.events.iter().filter(|e| e.kind.label() == k).count()
+    };
+    let fails = schedule
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, ChurnEventKind::Fail { .. }))
+        .count();
+
+    let out = Json::obj([
+        ("seed", seed.to_json()),
+        ("initial_nodes", initial.to_json()),
+        ("arrivals", arrivals.to_json()),
+        ("horizon_ms", horizon_ms.to_json()),
+        ("inter_arrival", cfg.inter_arrival.to_json()),
+        ("lifetime", cfg.lifetime.to_json()),
+        ("joins", counts("join").to_json()),
+        ("leaves", counts("leave").to_json()),
+        ("fails", fails.to_json()),
+        ("turnover", schedule.turnover(initial).to_json()),
+        ("fates", Json::Arr(fates)),
+        ("events", Json::Arr(events)),
+    ]);
+    println!("{}", out.dump_pretty());
+}
+
+fn usage(bad: &str) -> ! {
+    eprintln!("invalid argument `{bad}`");
+    eprintln!("usage: churn_trace [seed [initial arrivals horizon_ms]]");
+    std::process::exit(2);
+}

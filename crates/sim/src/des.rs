@@ -6,10 +6,16 @@
 //! reproducible bit-for-bit.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Simulated time in milliseconds since simulation start.
 pub type SimClock = u64;
+
+/// Handle for a pending event scheduled with
+/// [`EventQueue::schedule_cancellable`]; pass it to
+/// [`EventQueue::cancel`] to revoke the event before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CancelToken(u64);
 
 /// An event scheduled at a point in simulated time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +58,12 @@ pub struct EventQueue<E: Eq> {
     heap: BinaryHeap<Reverse<TimedEvent<E>>>,
     next_seq: u64,
     now: SimClock,
+    /// Seqs of pending cancellable events (removed when fired or
+    /// cancelled); membership answers "can this still be revoked?".
+    cancellable: HashSet<u64>,
+    /// Seqs revoked before firing; their heap entries are skipped and
+    /// discarded lazily on pop.
+    cancelled: HashSet<u64>,
 }
 
 impl<E: Eq> Default for EventQueue<E> {
@@ -64,7 +76,13 @@ impl<E: Eq> EventQueue<E> {
     /// An empty queue at time 0.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+            cancellable: HashSet::new(),
+            cancelled: HashSet::new(),
+        }
     }
 
     /// Current simulated time: the firing time of the last popped
@@ -72,6 +90,16 @@ impl<E: Eq> EventQueue<E> {
     #[must_use]
     pub fn now(&self) -> SimClock {
         self.now
+    }
+
+    /// Advances the clock to `t` without popping anything — models a
+    /// driver waiting out a retry backoff with the queue drained.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past.
+    pub fn advance_to(&mut self, t: SimClock) {
+        assert!(t >= self.now, "cannot rewind the clock: {t} < {}", self.now);
+        self.now = t;
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -91,23 +119,71 @@ impl<E: Eq> EventQueue<E> {
         self.schedule(self.now + delay, event);
     }
 
-    /// Pops the earliest event, advancing the clock to its time.
-    pub fn pop(&mut self) -> Option<(SimClock, E)> {
-        let Reverse(te) = self.heap.pop()?;
-        self.now = te.at;
-        Some((te.at, te.event))
+    /// Schedules `event` at absolute time `at` and returns a token that
+    /// can revoke it before it fires — the timer pattern: schedule a
+    /// timeout, cancel it when the reply arrives first.
+    ///
+    /// ```
+    /// use hieras_sim::EventQueue;
+    /// let mut q = EventQueue::new();
+    /// let timeout = q.schedule_cancellable(50, "timeout");
+    /// q.schedule(10, "reply");
+    /// assert_eq!(q.pop(), Some((10, "reply")));
+    /// assert!(q.cancel(timeout));      // reply beat the timer: revoke it
+    /// assert_eq!(q.pop(), None);       // the timeout never fires
+    /// assert!(!q.cancel(timeout));     // second cancel is a no-op
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past, like [`EventQueue::schedule`].
+    pub fn schedule_cancellable(&mut self, at: SimClock, event: E) -> CancelToken {
+        let token = CancelToken(self.next_seq);
+        self.schedule(at, event);
+        self.cancellable.insert(token.0);
+        token
     }
 
-    /// Number of pending events.
+    /// Like [`EventQueue::schedule_cancellable`] with a relative delay.
+    pub fn schedule_in_cancellable(&mut self, delay: SimClock, event: E) -> CancelToken {
+        self.schedule_cancellable(self.now + delay, event)
+    }
+
+    /// Revokes a pending cancellable event. Returns `true` if the event
+    /// was still pending (it will never fire); `false` if it already
+    /// fired or was already cancelled.
+    pub fn cancel(&mut self, token: CancelToken) -> bool {
+        if self.cancellable.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest event, advancing the clock to its time.
+    /// Cancelled events are skipped (and discarded) transparently.
+    pub fn pop(&mut self) -> Option<(SimClock, E)> {
+        loop {
+            let Reverse(te) = self.heap.pop()?;
+            if self.cancelled.remove(&te.seq) {
+                continue;
+            }
+            self.cancellable.remove(&te.seq);
+            self.now = te.at;
+            return Some((te.at, te.event));
+        }
+    }
+
+    /// Number of pending (non-cancelled) events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() - self.cancelled.len()
     }
 
     /// True if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -156,6 +232,57 @@ mod tests {
         q.schedule(10, 1);
         let _ = q.pop();
         q.schedule(5, 2);
+    }
+
+    #[test]
+    fn cancel_before_fire_revokes_the_event() {
+        let mut q = EventQueue::new();
+        let t = q.schedule_cancellable(20, "timeout");
+        q.schedule(10, "reply");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(t));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((10, "reply")));
+        assert_eq!(q.pop(), None, "cancelled event must never fire");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let mut q = EventQueue::new();
+        let t = q.schedule_cancellable(5, "timer");
+        assert_eq!(q.pop(), Some((5, "timer")));
+        assert!(!q.cancel(t), "firing consumes the token");
+        // Double-cancel is also a no-op.
+        let t2 = q.schedule_in_cancellable(3, "again");
+        assert!(q.cancel(t2));
+        assert!(!q.cancel(t2));
+    }
+
+    #[test]
+    fn cancellation_does_not_disturb_ordering_or_clock() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(10, 'a');
+        q.schedule(20, 'b');
+        let c = q.schedule_cancellable(30, 'c');
+        q.cancel(a);
+        assert_eq!(q.pop(), Some((20, 'b')));
+        assert_eq!(q.now(), 20);
+        q.cancel(c);
+        assert_eq!(q.pop(), None);
+        // The clock never advanced to a cancelled event's time.
+        assert_eq!(q.now(), 20);
+    }
+
+    #[test]
+    fn cancellable_and_plain_events_interleave() {
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = (0..10).map(|i| q.schedule_cancellable(i, i)).collect();
+        for t in tokens.iter().step_by(2) {
+            assert!(q.cancel(*t));
+        }
+        let fired: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(fired, vec![1, 3, 5, 7, 9]);
     }
 
     #[test]

@@ -24,14 +24,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod des;
 mod experiment;
 mod metrics;
 mod workload;
 
-pub use des::{EventQueue, SimClock, TimedEvent};
+pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnSchedule, Lifetime};
+pub use des::{CancelToken, EventQueue, SimClock, TimedEvent};
 pub use experiment::{
     AlgoStats, ComparisonResult, Experiment, ExperimentConfig, TopologyKind,
 };
-pub use metrics::{Cdf, Histogram, Metrics, Summary};
+pub use metrics::{Cdf, Histogram, Metrics, Sample, Summary};
 pub use workload::Workload;

@@ -1,22 +1,26 @@
 #!/usr/bin/env sh
-# Canonical CI entry point: builds the workspace, runs every test, and
-# exercises the replay benchmark end to end — all offline, no network,
-# no external crates. Run from the repository root:
+# Canonical CI entry point: builds the workspace (warnings are
+# errors), runs every test, and exercises both benchmark harnesses end
+# to end — all offline, no network, no external crates. Run from the
+# repository root:
 #
 #   scripts/verify.sh
 #
-# HIERAS_THREADS=n pins the executor width for the bench step.
+# HIERAS_THREADS=n pins the executor width for the bench steps.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> tier 1: release build"
-cargo build --workspace --release
+echo "==> tier 1: release build (deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --workspace --release
 
 echo "==> tier 1: workspace tests"
 cargo test -q --workspace
 
-echo "==> bench smoke: 500 peers, 2000 requests"
+echo "==> bench smoke: replay, 500 peers, 2000 requests"
 ./target/release/bench_replay --smoke
+
+echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
+./target/release/churn --smoke
 
 echo "==> verify OK"

@@ -13,6 +13,10 @@
 //! * [`sim`] — workload generation, metrics, experiment runners.
 //! * [`proto`] — message-level protocol engine with pluggable
 //!   transports (simulated-delay and real std-mpsc threads).
+//! * [`churn`] — deterministic churn engine: joins, graceful leaves
+//!   and silent fails replayed through the message engine and the
+//!   dynamic Chord baseline, with timeout/retry lookups and
+//!   failure-rate metrics.
 //! * [`can`] — CAN underlay and hierarchical CAN (the paper's §3.2
 //!   extension claim, implemented).
 //! * [`rt`] — the zero-dependency runtime: deterministic parallel
@@ -28,6 +32,7 @@
 
 pub use hieras_can as can;
 pub use hieras_chord as chord;
+pub use hieras_churn as churn;
 pub use hieras_core as core;
 pub use hieras_id as id;
 pub use hieras_pastry as pastry;
@@ -39,6 +44,7 @@ pub use hieras_topology as topology;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use hieras_chord::ChordOracle;
+    pub use hieras_churn::{run_churn, ChurnExperimentConfig, ChurnReport};
     pub use hieras_core::{Binning, HierasConfig, HierasOracle};
     pub use hieras_id::{Id, IdSpace, Key, Sha1};
     pub use hieras_sim::{Experiment, ExperimentConfig, Metrics, TopologyKind, Workload};
