@@ -13,10 +13,22 @@
 //!
 //! Output goes to `BENCH_replay.json` (and stdout): one record per
 //! network size with the timing plus the replayed Chord/HIERAS routing
-//! summaries, the executor thread count, and the config. Run with
-//! `--smoke` for the CI-sized run (500 peers, 2000 requests);
-//! `HIERAS_THREADS=n` pins the executor width.
+//! summaries (including p50/p95/p99 tail latency), the executor thread
+//! count, and the config. Run with `--smoke` for the CI-sized run
+//! (500 peers, 2000 requests); `HIERAS_THREADS=n` pins the executor
+//! width.
+//!
+//! `--obs` adds an observability section per size point: the
+//! per-phase wall-clock tree of the build, a merged replay registry
+//! (hop/latency histograms per algorithm), and a message-level probe
+//! whose `net.send.*` / `net.deliver.*` counters break the traffic
+//! down by payload kind. The timed repetitions stay on the untraced
+//! path, so `--obs` does not perturb the reported ns/lookup.
+//! `--trace-out <path.jsonl>` additionally writes the probe's
+//! per-lookup spans (with per-hop instants) as JSONL.
 
+use hieras_bench::message_probe;
+use hieras_obs::Profiler;
 use hieras_rt::{Executor, Json, ToJson};
 use hieras_sim::{Experiment, ExperimentConfig};
 use std::time::Instant;
@@ -28,17 +40,30 @@ const SEED: u64 = 20030415;
 /// scheduler warm-up without needing criterion's statistics.
 const REPS: usize = 5;
 
+/// Lookups driven through the message-level probe under `--obs`.
+const PROBE_LOOKUPS: usize = 200;
+
+/// Ring-buffer capacity of the probe tracer: comfortably holds every
+/// open/hop/close event of the probe sample.
+const PROBE_TRACE_CAP: usize = 1 << 16;
+
 struct SizePoint {
     nodes: usize,
     requests: usize,
 }
 
-fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
+struct ObsOpts<'a> {
+    enabled: bool,
+    trace_out: Option<&'a str>,
+}
+
+fn bench_one(exec: &Executor, point: &SizePoint, obs: &ObsOpts) -> Json {
     let mut config = ExperimentConfig::paper(point.nodes, SEED);
     config.requests = point.requests;
 
+    let mut prof = Profiler::new();
     let t0 = Instant::now();
-    let e = Experiment::build(config.clone());
+    let e = Experiment::build_profiled(config.clone(), &mut prof);
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     // One warm-up repetition, timed but *discarded* from the stats —
@@ -48,7 +73,8 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
     let mut result = e.run_requests_on(exec, point.requests);
     let warmup_ns = t.elapsed().as_secs_f64() * 1e9 / point.requests as f64;
 
-    // Then REPS timed repetitions.
+    // Then REPS timed repetitions, always on the untraced path.
+    prof.start("timed_replay");
     let mut per_lookup_ns: Vec<f64> = (0..REPS)
         .map(|_| {
             let t = Instant::now();
@@ -56,6 +82,7 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
             t.elapsed().as_secs_f64() * 1e9 / point.requests as f64
         })
         .collect();
+    prof.end();
     per_lookup_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
     let min_ns = per_lookup_ns[0];
     let median_ns = per_lookup_ns[per_lookup_ns.len() / 2];
@@ -70,7 +97,7 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
         hs.avg_latency_ms
     );
 
-    Json::obj([
+    let mut fields = vec![
         ("nodes", point.nodes.to_json()),
         ("requests", point.requests.to_json()),
         ("build_ms", build_ms.to_json()),
@@ -81,19 +108,67 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
         ("ns_per_lookup", per_lookup_ns.to_json()),
         ("chord", cs.to_json()),
         ("hieras", hs.to_json()),
-    ])
+    ];
+
+    if obs.enabled {
+        // One instrumented replay for the per-algorithm registry, and a
+        // message-level probe for the per-message-type breakdown. Both
+        // run after the timed reps and do not touch their figures.
+        prof.start("obs_replay");
+        let (_, replay_reg) = e.run_requests_traced(exec, point.requests);
+        prof.end();
+        prof.start("obs_probe");
+        let probe = message_probe(&e, PROBE_LOOKUPS, PROBE_TRACE_CAP);
+        prof.end();
+        if let Some(path) = obs.trace_out {
+            if let Err(err) = std::fs::write(path, probe.tracer.to_jsonl()) {
+                eprintln!("cannot write trace to `{path}`: {err}");
+                std::process::exit(1);
+            }
+            println!("wrote {path} ({} events)", probe.tracer.len());
+        }
+        fields.push((
+            "obs",
+            Json::obj([
+                ("phases", prof.report().to_json()),
+                ("replay_registry", replay_reg.to_json()),
+                ("probe_lookups", probe.lookups.to_json()),
+                ("probe_hops", probe.total_hops.to_json()),
+                ("probe_registry", probe.registry.to_json()),
+            ]),
+        ));
+    }
+    Json::obj(fields)
 }
 
 fn main() {
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut obs = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--obs" => obs = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a path argument");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}` (usage: bench_replay [--smoke])");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: bench_replay [--smoke] [--obs] [--trace-out <path.jsonl>])"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    // A trace needs the instrumented probe to exist.
+    if trace_out.is_some() {
+        obs = true;
     }
     let points: Vec<SizePoint> = if smoke {
         vec![SizePoint { nodes: 500, requests: 2000 }]
@@ -106,18 +181,23 @@ fn main() {
 
     let exec = Executor::default();
     println!(
-        "replay bench: {} thread(s), {} size point(s){}",
+        "replay bench: {} thread(s), {} size point(s){}{}",
         exec.threads(),
         points.len(),
-        if smoke { " [smoke]" } else { "" }
+        if smoke { " [smoke]" } else { "" },
+        if obs { " [obs]" } else { "" }
     );
 
-    let sizes: Vec<Json> = points.iter().map(|p| bench_one(&exec, p)).collect();
+    let sizes: Vec<Json> = points
+        .iter()
+        .map(|p| bench_one(&exec, p, &ObsOpts { enabled: obs, trace_out: trace_out.as_deref() }))
+        .collect();
     let out = Json::obj([
         ("bench", "replay".to_json()),
         ("seed", SEED.to_json()),
         ("threads", exec.threads().to_json()),
         ("smoke", smoke.to_json()),
+        ("obs", obs.to_json()),
         ("reps", REPS.to_json()),
         ("sizes", Json::Arr(sizes)),
     ]);

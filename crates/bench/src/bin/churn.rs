@@ -11,24 +11,55 @@
 //! turnover). `HIERAS_THREADS=n` pins the executor width — the
 //! engine is strictly sequential per scenario, so the JSON is
 //! bit-identical at any thread count.
+//!
+//! `--obs` swaps in the instrumented engine: each scenario record
+//! gains a registry snapshot (per-message-type `net.*` counters,
+//! `lookup.*` / `join.*` histograms, `churn.*` event counters). The
+//! reports themselves are bit-identical to an uninstrumented run.
+//! `--trace-out <path.jsonl>` additionally writes every scenario's
+//! span/instant stream (`churn.join`, `churn.leave`, `churn.repair`
+//! spans with transport-level lookup/join spans nested beneath) as
+//! one concatenated JSONL file, in scenario order.
 
-use hieras_bench::churn_sweep;
+use hieras_bench::{churn_sweep, churn_sweep_traced, ChurnRow};
+use hieras_churn::ChurnObs;
 use hieras_rt::{Executor, Json, ToJson};
 use std::time::Instant;
 
 /// Master seed shared with the figure harness (paper publication date).
 const SEED: u64 = 20030415;
 
+/// Per-scenario tracer capacity under `--trace-out`: large enough for
+/// the smoke and full sweeps without unbounded growth.
+const TRACE_CAP: usize = 1 << 18;
+
 fn main() {
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut obs = false;
+    let mut trace_out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--obs" => obs = true,
+            "--trace-out" => match args.next() {
+                Some(path) => trace_out = Some(path),
+                None => {
+                    eprintln!("--trace-out needs a path argument");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("unknown argument `{other}` (usage: churn [--smoke])");
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: churn [--smoke] [--obs] [--trace-out <path.jsonl>])"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if trace_out.is_some() {
+        obs = true;
     }
     // (initial nodes, arrivals, horizon ms): smoke is CI-sized; the
     // full run matches the acceptance floor of ≥ 300 nodes and ≥ 5 %
@@ -38,14 +69,26 @@ fn main() {
 
     let exec = Executor::default();
     println!(
-        "churn bench: {} thread(s), {} initial nodes{}",
+        "churn bench: {} thread(s), {} initial nodes{}{}",
         exec.threads(),
         initial,
-        if smoke { " [smoke]" } else { "" }
+        if smoke { " [smoke]" } else { "" },
+        if obs { " [obs]" } else { "" }
     );
 
     let t0 = Instant::now();
-    let rows = churn_sweep(&exec, initial, arrivals, horizon_ms, SEED);
+    let (rows, scenario_obs): (Vec<ChurnRow>, Vec<Option<ChurnObs>>) = if obs {
+        let cap = if trace_out.is_some() { TRACE_CAP } else { 0 };
+        churn_sweep_traced(&exec, initial, arrivals, horizon_ms, SEED, cap)
+            .into_iter()
+            .map(|(row, o)| (row, Some(o)))
+            .unzip()
+    } else {
+        churn_sweep(&exec, initial, arrivals, horizon_ms, SEED)
+            .into_iter()
+            .map(|row| (row, None))
+            .unzip()
+    };
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     for r in &rows {
@@ -66,16 +109,48 @@ fn main() {
         );
     }
 
+    if let Some(path) = trace_out.as_deref() {
+        let mut jsonl = String::new();
+        let mut events = 0usize;
+        for o in scenario_obs.iter().flatten() {
+            if let Some(t) = &o.tracer {
+                jsonl.push_str(&t.to_jsonl());
+                events += t.len();
+            }
+        }
+        if let Err(err) = std::fs::write(path, jsonl) {
+            eprintln!("cannot write trace to `{path}`: {err}");
+            std::process::exit(1);
+        }
+        println!("wrote {path} ({events} events)");
+    }
+
+    let scenarios: Vec<Json> = rows
+        .iter()
+        .zip(scenario_obs.iter())
+        .map(|(row, o)| match o {
+            Some(o) => {
+                let Json::Obj(mut fields) = row.to_json() else {
+                    unreachable!("ChurnRow serializes as an object")
+                };
+                fields.push(("registry".to_owned(), o.registry.to_json()));
+                Json::Obj(fields)
+            }
+            None => row.to_json(),
+        })
+        .collect();
+
     let out = Json::obj([
         ("bench", "churn".to_json()),
         ("seed", SEED.to_json()),
         ("threads", exec.threads().to_json()),
         ("smoke", smoke.to_json()),
+        ("obs", obs.to_json()),
         ("initial_nodes", initial.to_json()),
         ("arrivals", arrivals.to_json()),
         ("horizon_ms", horizon_ms.to_json()),
         ("wall_ms", wall_ms.to_json()),
-        ("scenarios", rows.to_json()),
+        ("scenarios", Json::Arr(scenarios)),
     ]);
 
     let path = "BENCH_churn.json";

@@ -1,0 +1,104 @@
+//! Message-level observability probe.
+//!
+//! The timed replay path evaluates lookups against the *oracles*
+//! (pure table walks — no messages), so it can say how many hops a
+//! lookup takes but not which message types carried it. This module
+//! drives a sample of the same workload through the message-level
+//! [`SimNet`] with the [`Registry`] and [`Tracer`] enabled, producing
+//! the per-message-type `net.send.*` / `net.deliver.*` counters,
+//! `lookup.*` histograms, and per-lookup spans (with per-hop instants
+//! exposing layer transitions) that the `--obs` / `--trace-out` bench
+//! flags export.
+//!
+//! The probe network is churn-free, so every per-span `hops` close
+//! field reconciles exactly with the aggregate `lookup.hops`
+//! histogram — a property the bench integration tests assert.
+
+use hieras_id::Id;
+use hieras_obs::{Registry, TraceKind, Tracer};
+use hieras_proto::SimNet;
+use hieras_sim::{Experiment, Workload};
+use std::collections::HashMap;
+
+/// What one probe run captured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsProbe {
+    /// Lookups driven through the message network.
+    pub lookups: usize,
+    /// Total routing hops those lookups took.
+    pub total_hops: u64,
+    /// Counters and histograms recorded by the transport.
+    pub registry: Registry,
+    /// Per-lookup spans and per-hop instants.
+    pub tracer: Tracer,
+}
+
+impl ObsProbe {
+    /// Sums the `hops` close-field across all spans in the trace —
+    /// the per-span view of [`ObsProbe::total_hops`]. The two agree
+    /// exactly on a churn-free probe network.
+    #[must_use]
+    pub fn span_hops(&self) -> u64 {
+        self.tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Close)
+            .flat_map(|e| e.fields.iter())
+            .filter(|(k, _)| k == "hops")
+            .map(|&(_, v)| v)
+            .sum()
+    }
+}
+
+/// Replays `lookups` workload requests through a stabilized [`SimNet`]
+/// built from the experiment's HIERAS oracle, with full
+/// instrumentation on. Deterministic in the experiment seed.
+///
+/// # Panics
+/// Panics if the experiment is empty or a lookup is lost (impossible
+/// in a churn-free network).
+#[must_use]
+pub fn message_probe(e: &Experiment, lookups: usize, trace_capacity: usize) -> ObsProbe {
+    let index_of: HashMap<Id, u32> =
+        e.ids.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+    let mut net = SimNet::from_oracle(&e.hieras, &e.landmarks, |a, b| {
+        u64::from(e.peer_latency(index_of[&a], index_of[&b]))
+    });
+    net.enable_registry();
+    net.set_tracer(Tracer::bounded(trace_capacity));
+    // The probe workload reuses the replay generator under a distinct
+    // salt so it is the same at any sample size prefix.
+    let w = Workload::new(e.config.nodes as u32, lookups, e.config.seed ^ 0x0b5e_7a11);
+    let mut total_hops = 0u64;
+    for (src, key) in w.iter() {
+        let out = net.lookup(e.ids[src as usize], key);
+        total_hops += u64::from(out.hops);
+    }
+    ObsProbe {
+        lookups,
+        total_hops,
+        registry: net.take_registry().expect("registry enabled"),
+        tracer: net.take_tracer().expect("tracer installed"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hieras_sim::ExperimentConfig;
+
+    #[test]
+    fn probe_is_deterministic_and_reconciles() {
+        let e = Experiment::build(ExperimentConfig {
+            requests: 0,
+            ..ExperimentConfig::paper(150, 77)
+        });
+        let a = message_probe(&e, 60, 1 << 14);
+        let b = message_probe(&e, 60, 1 << 14);
+        assert_eq!(a, b, "probe must be a pure function of the experiment");
+        assert_eq!(a.registry.counter("lookup.count"), 60);
+        assert_eq!(a.registry.hist("lookup.hops").unwrap().sum(), a.total_hops);
+        assert_eq!(a.span_hops(), a.total_hops, "spans reconcile with aggregates");
+        assert!(a.registry.counter("net.deliver.find_succ") > 0);
+    }
+}

@@ -141,6 +141,11 @@ mod tests {
             lower_latency_share: 0.3,
             avg_link_delay_top_ms: 80.0,
             avg_link_delay_lower_ms: 25.0,
+            latency_tail: hieras_sim::TailLatency {
+                p50_ms: ms as u32,
+                p95_ms: ms as u32,
+                p99_ms: ms as u32,
+            },
         }
     }
 

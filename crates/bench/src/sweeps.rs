@@ -1,6 +1,6 @@
 //! Parameter sweeps behind the paper's figures.
 
-use hieras_churn::{run_churn, ChurnExperimentConfig, ChurnReport};
+use hieras_churn::{run_churn, run_churn_traced, ChurnExperimentConfig, ChurnObs, ChurnReport};
 use hieras_core::{Binning, HierasConfig};
 use hieras_rt::{Executor, Json, ToJson};
 use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime, Summary, TopologyKind};
@@ -172,11 +172,44 @@ pub fn churn_sweep(
     horizon_ms: u64,
     seed: u64,
 ) -> Vec<ChurnRow> {
+    churn_sweep_impl(exec, initial_nodes, arrivals, horizon_ms, seed, None)
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
+}
+
+/// [`churn_sweep`] with observability on: each scenario additionally
+/// returns its [`ChurnObs`] — the transport registry plus (when
+/// `trace_capacity > 0`) the structured event stream. The rows are
+/// bit-identical to what [`churn_sweep`] produces for the same inputs.
+#[must_use]
+pub fn churn_sweep_traced(
+    exec: &Executor,
+    initial_nodes: u32,
+    arrivals: u32,
+    horizon_ms: u64,
+    seed: u64,
+    trace_capacity: usize,
+) -> Vec<(ChurnRow, ChurnObs)> {
+    churn_sweep_impl(exec, initial_nodes, arrivals, horizon_ms, seed, Some(trace_capacity))
+        .into_iter()
+        .map(|(row, obs)| (row, obs.expect("obs requested")))
+        .collect()
+}
+
+fn churn_sweep_impl(
+    exec: &Executor,
+    initial_nodes: u32,
+    arrivals: u32,
+    horizon_ms: u64,
+    seed: u64,
+    obs: Option<usize>,
+) -> Vec<(ChurnRow, Option<ChurnObs>)> {
     exec.par_fold(
         CHURN_SCENARIOS.len(),
         1,
         Vec::new,
-        |acc: &mut Vec<ChurnRow>, i| {
+        |acc: &mut Vec<(ChurnRow, Option<ChurnObs>)>, i| {
             let (scenario, graceful_fraction) = CHURN_SCENARIOS[i];
             let churn = ChurnConfig {
                 initial_nodes,
@@ -196,7 +229,14 @@ pub fn churn_sweep(
                 cfg.lookups_per_event = 12;
                 cfg.maintenance_every = 4;
             }
-            acc.push(ChurnRow { scenario, graceful_fraction, report: run_churn(&cfg) });
+            let (report, row_obs) = match obs {
+                Some(cap) => {
+                    let (report, o) = run_churn_traced(&cfg, cap);
+                    (report, Some(o))
+                }
+                None => (run_churn(&cfg), None),
+            };
+            acc.push((ChurnRow { scenario, graceful_fraction, report }, row_obs));
         },
         |mut a, b| {
             a.extend(b);
@@ -288,6 +328,19 @@ mod tests {
         // The departure mix actually differs across scenarios.
         assert_eq!(rows[0].report.events.fails, 0, "graceful scenario saw silent fails");
         assert_eq!(rows[2].report.events.leaves, 0, "silent scenario saw graceful leaves");
+    }
+
+    #[test]
+    fn traced_churn_sweep_matches_plain() {
+        let exec = Executor::new(2);
+        let plain = churn_sweep(&exec, 40, 4, 3000, 11);
+        let traced = churn_sweep_traced(&exec, 40, 4, 3000, 11, 0);
+        assert_eq!(plain.len(), traced.len());
+        for (p, (t, obs)) in plain.iter().zip(traced.iter()) {
+            assert_eq!(p, t, "{}: obs must not perturb the report", p.scenario);
+            assert!(!obs.registry.is_empty());
+            assert!(obs.tracer.is_none(), "capacity 0 → no tracer");
+        }
     }
 
     #[test]

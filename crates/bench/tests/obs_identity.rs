@@ -1,0 +1,116 @@
+//! Observability acceptance tests:
+//!
+//! * the registry folded by the parallel replay must be **byte-
+//!   identical** at any executor width (mirroring `churn_identity`);
+//! * the traced churn sweep's registries must match across thread
+//!   counts too, and must not perturb the reports;
+//! * the message probe's JSONL trace must reconcile **exactly** with
+//!   the aggregate hop counters — per-span close fields, per-hop
+//!   instants, and the registry histogram all tell the same story.
+
+use hieras_bench::{churn_sweep, churn_sweep_traced, message_probe};
+use hieras_obs::{TraceKind, Tracer};
+use hieras_rt::Executor;
+use hieras_sim::{Experiment, ExperimentConfig};
+use std::collections::HashMap;
+
+fn experiment() -> Experiment {
+    Experiment::build(ExperimentConfig { requests: 0, ..ExperimentConfig::paper(200, 20030415) })
+}
+
+#[test]
+fn replay_registry_is_byte_identical_across_thread_counts() {
+    let e = experiment();
+    let (base_result, base_reg) = e.run_requests_traced(&Executor::new(1), 2000);
+    let base = base_reg.snapshot();
+    for threads in [2, 8] {
+        let (result, reg) = e.run_requests_traced(&Executor::new(threads), 2000);
+        assert_eq!(result, base_result, "metrics diverge at {threads} threads");
+        assert_eq!(reg.snapshot(), base, "registry snapshot diverges at {threads} threads");
+    }
+}
+
+#[test]
+fn traced_churn_sweep_is_identical_across_thread_counts() {
+    let run = |threads: usize| churn_sweep_traced(&Executor::new(threads), 50, 5, 3_000, 7, 0);
+    let base = run(1);
+    for threads in [2, 8] {
+        let got = run(threads);
+        assert_eq!(got.len(), base.len());
+        for ((row, obs), (brow, bobs)) in got.iter().zip(base.iter()) {
+            assert_eq!(row, brow, "{}: report diverges at {threads} threads", row.scenario);
+            assert_eq!(
+                obs.registry.snapshot(),
+                bobs.registry.snapshot(),
+                "{}: registry diverges at {threads} threads",
+                row.scenario
+            );
+        }
+    }
+    // And the traced rows equal the untraced sweep's rows.
+    let plain = churn_sweep(&Executor::new(2), 50, 5, 3_000, 7);
+    for (p, (t, _)) in plain.iter().zip(base.iter()) {
+        assert_eq!(p, t, "{}: tracing perturbed the report", p.scenario);
+    }
+}
+
+#[test]
+fn trace_jsonl_reconciles_with_aggregate_hop_counters() {
+    let e = experiment();
+    let probe = message_probe(&e, 120, 1 << 15);
+    assert_eq!(probe.tracer.dropped, 0, "probe trace must not evict events");
+
+    // Round-trip the trace through its JSONL wire format.
+    let events = Tracer::parse_jsonl(&probe.tracer.to_jsonl()).expect("trace parses back");
+    assert_eq!(events.len(), probe.tracer.len());
+
+    // Per-span accounting: open events carry the inputs, close events
+    // the outcome, hop instants attach to the owning span.
+    let mut close_hops: HashMap<u64, u64> = HashMap::new();
+    let mut hop_instants: HashMap<u64, u64> = HashMap::new();
+    let mut opens = 0u64;
+    for ev in &events {
+        match ev.kind {
+            TraceKind::Open => {
+                assert_eq!(ev.name, "lookup");
+                opens += 1;
+            }
+            TraceKind::Close => {
+                let hops = ev
+                    .fields
+                    .iter()
+                    .find(|(k, _)| k == "hops")
+                    .expect("lookup close carries hops")
+                    .1;
+                close_hops.insert(ev.span, hops);
+            }
+            TraceKind::Instant => {
+                assert_eq!(ev.name, "hop");
+                *hop_instants.entry(ev.span).or_insert(0) += 1;
+            }
+        }
+    }
+    assert_eq!(opens, 120, "one span per probe lookup");
+    assert_eq!(close_hops.len(), 120, "every span closed");
+
+    // Reconciliation 1: summed per-span close hops == aggregate.
+    let span_total: u64 = close_hops.values().sum();
+    assert_eq!(span_total, probe.total_hops);
+    assert_eq!(span_total, probe.registry.hist("lookup.hops").expect("histogram").sum());
+
+    // Reconciliation 2: each span's hop instants equal its close
+    // count — the per-hop stream is complete, not sampled. (The
+    // injection delivery at hops=0 counts as one instant; a k-hop
+    // lookup delivers k+1 FindSucc messages.)
+    for (span, &hops) in &close_hops {
+        let instants = hop_instants.get(span).copied().unwrap_or(0);
+        assert_eq!(instants, hops + 1, "span {span}: instants vs close hops");
+    }
+
+    // Reconciliation 3: delivered FindSucc messages == all hop
+    // instants (churn-free probe: nothing dropped or timed out).
+    let find_succ = probe.registry.counter("net.deliver.find_succ");
+    assert_eq!(find_succ, hop_instants.values().sum::<u64>());
+    assert_eq!(probe.registry.counter("net.drop.ttl"), 0);
+    assert_eq!(probe.registry.counter("net.timeout"), 0);
+}

@@ -33,11 +33,24 @@ use crate::report::AlgoChurnStats;
 use hieras_chord::{DynChord, DynError};
 use hieras_core::HierasOracle;
 use hieras_id::{Id, IdSpace};
+use hieras_obs::{Registry, Tracer};
 use hieras_proto::SimNet;
 use hieras_rt::splitmix64;
 use hieras_sim::{ChurnEventKind, Experiment, ExperimentConfig, Sample};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Observability artifacts captured by [`run_churn_traced`]: the
+/// network's metric registry (per-message-type counters, lookup/join
+/// histograms, `churn.*` event counters) and — when a trace capacity
+/// was requested — the structured event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnObs {
+    /// Merged counters / gauges / histograms for the whole run.
+    pub registry: Registry,
+    /// The span/instant event buffer, `None` when tracing was off.
+    pub tracer: Option<Tracer>,
+}
 
 /// Message counters captured before a driver call; the difference
 /// afterwards is the call's traffic.
@@ -76,8 +89,35 @@ fn owner_of(members: &[Id], key: Id) -> Id {
 /// initial nodes, a schedule that drains the network below two
 /// members, or internal protocol invariants breaking.
 #[must_use]
-#[allow(clippy::too_many_lines)] // one linear replay loop reads better unsplit
 pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
+    run_churn_impl(cfg, None).0
+}
+
+/// [`run_churn`] with observability on: the network's metric registry
+/// is enabled for the whole run and — when `trace_capacity > 0` — a
+/// bounded [`Tracer`] records per-event spans (`churn.join`,
+/// `churn.leave`, `churn.repair`, …) with the per-lookup / per-join
+/// spans from the transport nested beneath them.
+///
+/// The returned [`ChurnReport`] is bit-identical to what [`run_churn`]
+/// produces for the same configuration — instrumentation only reads.
+///
+/// # Panics
+/// As [`run_churn`].
+#[must_use]
+pub fn run_churn_traced(
+    cfg: &ChurnExperimentConfig,
+    trace_capacity: usize,
+) -> (ChurnReport, ChurnObs) {
+    let (report, obs) = run_churn_impl(cfg, Some(trace_capacity));
+    (report, obs.expect("obs requested"))
+}
+
+#[allow(clippy::too_many_lines)] // one linear replay loop reads better unsplit
+fn run_churn_impl(
+    cfg: &ChurnExperimentConfig,
+    obs: Option<usize>,
+) -> (ChurnReport, Option<ChurnObs>) {
     let churn = cfg.churn;
     let initial = churn.initial_nodes as usize;
     let pool = initial + churn.arrivals as usize;
@@ -107,6 +147,12 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
         u64::from(exp.peer_latency(index_of[&a], index_of[&b]))
     });
     net.set_churn_params(cfg.rto_ms, cfg.ttl);
+    if let Some(cap) = obs {
+        net.enable_registry();
+        if cap > 0 {
+            net.set_tracer(Tracer::bounded(cap));
+        }
+    }
 
     // Chord baseline over the same membership, converged through its
     // own protocol (the TR completes joins via stabilization).
@@ -141,6 +187,10 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
             ChurnEventKind::Join { node } => {
                 let id = exp.ids[node as usize];
                 let rtts = measure(&landmarks, node as usize);
+                let t_now = net.now();
+                let span = net.tracer_mut().map(|t| {
+                    t.open(t_now, "churn.join", &[("ev", ev_no as u64), ("node", id.raw())])
+                });
                 let mut joined_via = None;
                 for attempt in 0..3u64 {
                     let members = net.sorted_ids();
@@ -156,6 +206,9 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
                         break;
                     }
                     counts.join_retries += 1;
+                    if let Some(r) = net.registry_mut() {
+                        r.inc("churn.join.retry");
+                    }
                 }
                 match joined_via {
                     Some(bootstrap) => {
@@ -190,15 +243,38 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
                     }
                     None => counts.join_aborts += 1,
                 }
+                let joined = u64::from(joined_via.is_some());
+                let t_now = net.now();
+                if let Some(t) = net.tracer_mut() {
+                    if let Some(s) = span {
+                        t.close(t_now, s, &[("joined", joined)]);
+                    }
+                }
+                if let Some(r) = net.registry_mut() {
+                    r.inc(if joined == 1 { "churn.join.ok" } else { "churn.join.abort" });
+                }
             }
             ChurnEventKind::Leave { node } => {
                 let id = exp.ids[node as usize];
                 if net.alive(id) {
+                    let t_now = net.now();
+                    let span = net.tracer_mut().map(|t| {
+                        t.open(t_now, "churn.leave", &[("ev", ev_no as u64), ("node", id.raw())])
+                    });
                     let before = snap(&net);
                     net.leave_node(id);
                     let d = delta(&net, before);
                     h.maint[0].repair_msgs += d.total;
                     h.maint[0].timeout_msgs += d.timeouts;
+                    let t_now = net.now();
+                    if let Some(t) = net.tracer_mut() {
+                        if let Some(s) = span {
+                            t.close(t_now, s, &[("messages", d.total)]);
+                        }
+                    }
+                    if let Some(r) = net.registry_mut() {
+                        r.inc("churn.leave");
+                    }
                     chord.leave(id).expect("memberships are mirrored");
                     counts.leaves += 1;
                 } else {
@@ -209,6 +285,16 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
                 let id = exp.ids[node as usize];
                 if net.alive(id) {
                     net.fail_node(id);
+                    let t_now = net.now();
+                    if let Some(t) = net.tracer_mut() {
+                        t.instant(t_now, "churn.fail", &[
+                            ("ev", ev_no as u64),
+                            ("node", id.raw()),
+                        ]);
+                    }
+                    if let Some(r) = net.registry_mut() {
+                        r.inc("churn.fail");
+                    }
                     chord.fail(id).expect("memberships are mirrored");
                     counts.fails += 1;
                 } else {
@@ -271,6 +357,11 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
         if cfg.maintenance_every > 0
             && (ev_no as u64 + 1) % u64::from(cfg.maintenance_every) == 0
         {
+            let t_now = net.now();
+            let repair_span = net.tracer_mut().map(|t| {
+                t.open(t_now, "churn.repair", &[("ev", ev_no as u64)])
+            });
+            let repair_before = snap(&net);
             for layer in 1..=depth as u8 {
                 let li = layer as usize - 1;
                 let before = snap(&net);
@@ -287,6 +378,16 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
                 h.maint[li].fix_finger_msgs += d.total;
                 h.maint[li].timeout_msgs += d.timeouts;
             }
+            let d = delta(&net, repair_before);
+            let t_now = net.now();
+            if let Some(t) = net.tracer_mut() {
+                if let Some(s) = repair_span {
+                    t.close(t_now, s, &[("messages", d.total), ("timeouts", d.timeouts)]);
+                }
+            }
+            if let Some(r) = net.registry_mut() {
+                r.inc("churn.repair.rounds");
+            }
             chord.stabilize_round();
             chord.fix_fingers_round();
         }
@@ -297,6 +398,11 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
             if ev_no as u64 + 1 == u64::from(lf.after_event) && !landmarks.is_empty() {
                 let li = lf.landmark as usize % landmarks.len();
                 landmarks[li] = exp.router_of[pool - 1];
+                let t_now = net.now();
+                let rebin_span = net.tracer_mut().map(|t| {
+                    t.open(t_now, "churn.rebin", &[("ev", ev_no as u64)])
+                });
+                let rebinned_before = counts.rebinned;
                 let before = snap(&net);
                 for id in net.sorted_ids() {
                     let peer = index_of[&id] as usize;
@@ -307,23 +413,43 @@ pub fn run_churn(cfg: &ChurnExperimentConfig) -> ChurnReport {
                 let lowest = depth.saturating_sub(1);
                 h.maint[lowest].repair_msgs += d.total;
                 h.maint[lowest].timeout_msgs += d.timeouts;
+                let moved = counts.rebinned - rebinned_before;
+                let t_now = net.now();
+                if let Some(t) = net.tracer_mut() {
+                    if let Some(s) = rebin_span {
+                        t.close(t_now, s, &[("moved", moved), ("messages", d.total)]);
+                    }
+                }
+                if let Some(r) = net.registry_mut() {
+                    r.inc_by("churn.rebinned", moved);
+                }
             }
         }
     }
 
     c.maint = vec![chord.stats()];
+    let pop_end = net.len();
+    if let Some(r) = net.registry_mut() {
+        r.gauge_set("churn.population.start", initial as i64);
+        r.gauge_set("churn.population.end", pop_end as i64);
+    }
     let traffic = net.stats();
-    ChurnReport {
+    let report = ChurnReport {
         turnover: schedule.turnover(churn.initial_nodes),
         events: counts,
         population_start: initial,
-        population_end: net.len(),
+        population_end: pop_end,
         messages_total: traffic.total,
         timeouts_total: traffic.timeouts,
         drops_total: traffic.drops,
         hieras: h,
         chord: c,
-    }
+    };
+    let obs_out = obs.map(|_| ChurnObs {
+        registry: net.take_registry().expect("registry enabled when obs requested"),
+        tracer: net.take_tracer(),
+    });
+    (report, obs_out)
 }
 
 #[cfg(test)]
@@ -378,6 +504,40 @@ mod tests {
             r.messages_total + r.timeouts_total,
             "per-layer attribution must account for all traffic"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_reconciles() {
+        let cfg = small_cfg(0.5, 11);
+        let plain = run_churn(&cfg);
+        let (traced, obs) = run_churn_traced(&cfg, 1 << 16);
+        assert_eq!(plain, traced, "instrumentation must not perturb the run");
+        let r = &obs.registry;
+        // Event counters mirror the report's accounting.
+        assert_eq!(r.counter("churn.join.ok"), traced.events.joins);
+        assert_eq!(r.counter("churn.join.abort"), traced.events.join_aborts);
+        assert_eq!(r.counter("churn.leave"), traced.events.leaves);
+        assert_eq!(r.counter("churn.fail"), traced.events.fails);
+        assert_eq!(r.counter("churn.join.retry"), traced.events.join_retries);
+        // Every delivered message was counted by kind.
+        let delivered: u64 = r
+            .counters()
+            .filter(|(k, _)| k.starts_with("net.deliver."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(delivered, traced.messages_total);
+        // Timeouts too — including the maintenance-path RTOs charged
+        // by the dead-successor scrub and predecessor checks.
+        assert_eq!(r.counter("net.timeout"), traced.timeouts_total);
+        assert_eq!(r.gauge("churn.population.end"), Some(traced.population_end as i64));
+        // Lookup histogram covers every application lookup.
+        assert_eq!(
+            r.hist("lookup.latency_ms").expect("lookups ran").total()
+                + r.counter("lookup.unresolved"),
+            traced.hieras.lookups
+        );
+        let t = obs.tracer.expect("tracing was on");
+        assert!(!t.is_empty());
     }
 
     #[test]

@@ -32,5 +32,5 @@ mod engine;
 mod report;
 
 pub use config::{ChurnExperimentConfig, LandmarkFail};
-pub use engine::run_churn;
+pub use engine::{run_churn, run_churn_traced, ChurnObs};
 pub use report::{AlgoChurnStats, ChurnReport, EventCounts};

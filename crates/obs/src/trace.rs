@@ -1,0 +1,314 @@
+//! Structured event tracing: a bounded ring-buffer of sim-time-stamped
+//! span and instant events.
+//!
+//! A [`Tracer`] records three event shapes:
+//!
+//! * **span open** — a named scope starts (a lookup, a join, a repair
+//!   storm); gets a fresh span id and inherits the innermost open span
+//!   as its parent;
+//! * **span close** — the scope ends;
+//! * **instant** — a point event (a routing hop, a retry) attributed
+//!   to the innermost open span.
+//!
+//! Every event carries the simulated-time stamp its producer passes in
+//! and a flat list of `(key, u64)` fields. The buffer is bounded: once
+//! `capacity` events are held, the oldest is evicted and counted in
+//! [`Tracer::dropped`], so a tracer can ride along an arbitrarily long
+//! run in constant memory.
+//!
+//! The *disabled* path costs nothing: producers hold an
+//! `Option<Tracer>` and skip every call when it is `None` — no
+//! allocation, no branch deeper than the `Option` check.
+//!
+//! Export is JSONL via [`Tracer::to_jsonl`] — one [`TraceEvent`] per
+//! line, parseable back with [`TraceEvent::from_json`] for offline
+//! reconciliation against the aggregate counters.
+
+use hieras_rt::{FromJson, Json, JsonError, ToJson};
+use std::collections::VecDeque;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span begins.
+    Open,
+    /// A span ends.
+    Close,
+    /// A point event inside the innermost open span.
+    Instant,
+}
+
+impl TraceKind {
+    /// Short wire tag (`open` / `close` / `instant`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceKind::Open => "open",
+            TraceKind::Close => "close",
+            TraceKind::Instant => "instant",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time stamp (ms) supplied by the producer.
+    pub t_ms: u64,
+    /// Open, close, or instant.
+    pub kind: TraceKind,
+    /// Span id: the opened/closed span, or the span an instant belongs
+    /// to (0 = outside any span).
+    pub span: u64,
+    /// Parent span id at open time (0 = root). Always 0 for close and
+    /// instant events — the open event carries the ancestry.
+    pub parent: u64,
+    /// Event name (`lookup`, `hop`, `churn.join`, …).
+    pub name: String,
+    /// Flat numeric payload, in producer order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl ToJson for TraceEvent {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("t", self.t_ms.to_json()),
+            ("e", self.kind.label().to_json()),
+            ("span", self.span.to_json()),
+            ("parent", self.parent.to_json()),
+            ("name", self.name.to_json()),
+            ("f", Json::obj(self.fields.iter().map(|(k, v)| (k.clone(), v.to_json())))),
+        ])
+    }
+}
+
+impl FromJson for TraceEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind = match v.field::<String>("e")?.as_str() {
+            "open" => TraceKind::Open,
+            "close" => TraceKind::Close,
+            "instant" => TraceKind::Instant,
+            other => return Err(JsonError(format!("unknown event kind `{other}`"))),
+        };
+        let fields = match v.get("f") {
+            Some(Json::Obj(fs)) => fs
+                .iter()
+                .map(|(k, f)| Ok((k.clone(), u64::from_json(f)?)))
+                .collect::<Result<_, JsonError>>()?,
+            Some(_) => return Err(JsonError("field `f`: expected object".into())),
+            None => Vec::new(),
+        };
+        Ok(TraceEvent {
+            t_ms: v.field("t")?,
+            kind,
+            span: v.field("span")?,
+            parent: v.field("parent")?,
+            name: v.field("name")?,
+            fields,
+        })
+    }
+}
+
+/// A bounded ring-buffer event sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    next_span: u64,
+    stack: Vec<u64>,
+    /// Events evicted because the buffer was full.
+    pub dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events (clamped to ≥ 1).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        Tracer {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_span: 0,
+            stack: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Opens a span named `name` under the innermost open span and
+    /// returns its id (ids start at 1; 0 means "no span").
+    pub fn open(&mut self, t_ms: u64, name: &str, fields: &[(&str, u64)]) -> u64 {
+        self.next_span += 1;
+        let span = self.next_span;
+        let parent = self.stack.last().copied().unwrap_or(0);
+        self.stack.push(span);
+        self.push(TraceEvent {
+            t_ms,
+            kind: TraceKind::Open,
+            span,
+            parent,
+            name: name.to_owned(),
+            fields: fields.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        });
+        span
+    }
+
+    /// Closes span `span`. Also pops any younger spans left open on
+    /// the stack (a crash-safe close for early returns).
+    pub fn close(&mut self, t_ms: u64, span: u64, fields: &[(&str, u64)]) {
+        while let Some(top) = self.stack.pop() {
+            if top == span {
+                break;
+            }
+        }
+        self.push(TraceEvent {
+            t_ms,
+            kind: TraceKind::Close,
+            span,
+            parent: 0,
+            name: String::new(),
+            fields: fields.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        });
+    }
+
+    /// Records a point event inside the innermost open span.
+    pub fn instant(&mut self, t_ms: u64, name: &str, fields: &[(&str, u64)]) {
+        let span = self.stack.last().copied().unwrap_or(0);
+        self.push(TraceEvent {
+            t_ms,
+            kind: TraceKind::Instant,
+            span,
+            parent: 0,
+            name: name.to_owned(),
+            fields: fields.iter().map(|&(k, v)| (k.to_owned(), v)).collect(),
+        });
+    }
+
+    /// Events currently held, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &VecDeque<TraceEvent> {
+        &self.events
+    }
+
+    /// Number of events currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serializes the buffer as JSONL: one compact event per line.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_json().dump());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL document produced by [`Tracer::to_jsonl`].
+    ///
+    /// # Errors
+    /// On any malformed line, naming its 1-based number.
+    pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, JsonError> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| {
+                hieras_rt::from_str(l)
+                    .map_err(|e| JsonError(format!("line {}: {}", i + 1, e.0)))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_parent() {
+        let mut t = Tracer::bounded(16);
+        let outer = t.open(0, "outer", &[]);
+        let inner = t.open(5, "inner", &[("k", 1)]);
+        t.instant(6, "tick", &[("v", 9)]);
+        t.close(7, inner, &[]);
+        t.close(9, outer, &[("total", 2)]);
+        let evs: Vec<_> = t.events().iter().collect();
+        assert_eq!(evs.len(), 5);
+        assert_eq!(evs[0].parent, 0);
+        assert_eq!(evs[1].parent, outer);
+        assert_eq!(evs[2].span, inner, "instants attach to the innermost span");
+        assert_eq!(evs[3].kind, TraceKind::Close);
+        assert_eq!(evs[4].fields, vec![("total".to_owned(), 2)]);
+    }
+
+    #[test]
+    fn close_pops_abandoned_children() {
+        let mut t = Tracer::bounded(16);
+        let outer = t.open(0, "outer", &[]);
+        let _abandoned = t.open(1, "inner", &[]);
+        t.close(2, outer, &[]); // inner never closed explicitly
+        let s = t.open(3, "next", &[]);
+        assert_eq!(
+            t.events().back().unwrap().parent,
+            0,
+            "the stack must be clean after closing an outer span"
+        );
+        t.close(4, s, &[]);
+    }
+
+    #[test]
+    fn ring_buffer_bounds_memory() {
+        let mut t = Tracer::bounded(3);
+        for i in 0..10u64 {
+            t.instant(i, "e", &[("i", i)]);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped, 7);
+        assert_eq!(t.events()[0].fields[0].1, 7, "oldest events evicted first");
+        assert_eq!(t.capacity(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut t = Tracer::bounded(8);
+        let s = t.open(10, "lookup", &[("origin", 42), ("key", 7)]);
+        t.instant(15, "hop", &[("layer", 2), ("hops", 1)]);
+        t.close(20, s, &[("hops", 3)]);
+        let text = t.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        let back = Tracer::parse_jsonl(&text).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in t.events().iter().zip(back.iter()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn malformed_jsonl_names_the_line() {
+        let err = Tracer::parse_jsonl("{\"t\":1,\"e\":\"open\",\"span\":1,\"parent\":0,\"name\":\"x\",\"f\":{}}\nnot json\n")
+            .unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
+    }
+}

@@ -17,6 +17,7 @@ use crate::state::{order_from_name, states_from_oracle};
 use crate::{LayerState, NodeState, Payload};
 use hieras_core::{HierasConfig, HierasOracle};
 use hieras_id::{Id, Key};
+use hieras_obs::{Registry, Tracer};
 use hieras_sim::EventQueue;
 use std::collections::{HashMap, HashSet};
 
@@ -104,6 +105,12 @@ pub struct SimNet<'a> {
     /// Hop budget for routed messages; exceeding it drops the message
     /// (bounds transient routing loops while pointers heal).
     ttl: u32,
+    /// Optional per-message-type counter / latency-histogram registry.
+    /// `None` (the default) costs one branch per message.
+    registry: Option<Box<Registry>>,
+    /// Optional structured event sink: per-lookup and per-join spans,
+    /// per-hop instants. `None` (the default) costs one branch.
+    tracer: Option<Box<Tracer>>,
 }
 
 impl<'a> SimNet<'a> {
@@ -129,7 +136,50 @@ impl<'a> SimNet<'a> {
             config: oracle.config().clone(),
             rto_ms: 250,
             ttl: 96,
+            registry: None,
+            tracer: None,
         }
+    }
+
+    /// Turns on the metric registry: per-message-type
+    /// `net.send.*` / `net.deliver.*` counters, `net.drop.*` /
+    /// `net.timeout` totals, and `lookup.*` / `join.*` histograms.
+    pub fn enable_registry(&mut self) {
+        if self.registry.is_none() {
+            self.registry = Some(Box::default());
+        }
+    }
+
+    /// Installs a structured event tracer (replacing any previous one).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(Box::new(tracer));
+    }
+
+    /// The registry, if enabled.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Registry> {
+        self.registry.as_deref()
+    }
+
+    /// Mutable registry access for drivers layering their own counters
+    /// (e.g. the churn engine's per-event accounting).
+    pub fn registry_mut(&mut self) -> Option<&mut Registry> {
+        self.registry.as_deref_mut()
+    }
+
+    /// Mutable tracer access for drivers opening their own spans.
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// Removes and returns the registry.
+    pub fn take_registry(&mut self) -> Option<Registry> {
+        self.registry.take().map(|b| *b)
+    }
+
+    /// Removes and returns the tracer.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|b| *b)
     }
 
     /// Overrides the failure-detection parameters (RTO in ms, routed
@@ -197,6 +247,9 @@ impl<'a> SimNet<'a> {
     }
 
     fn post(&mut self, from: Id, to: Id, msg: Payload) {
+        if let Some(r) = self.registry.as_deref_mut() {
+            r.inc(&["net.send.", msg.kind()].concat());
+        }
         let d = if from == to { 0 } else { (self.delay)(from, to) };
         let seq = self.next_msg;
         self.next_msg += 1;
@@ -210,18 +263,37 @@ impl<'a> SimNet<'a> {
     /// [`Payload::Timeout`] fired back at the sender one RTO later;
     /// anything else to a dead node is silently dropped.
     fn deliver(&mut self, env: Envelope, msg: Payload) {
-        if let Some(node) = self.nodes.get_mut(&env.to) {
-            if let Payload::FindSucc { hops, .. } | Payload::FindRingSucc { hops, .. } = msg {
+        if self.nodes.contains_key(&env.to) {
+            if let Payload::FindSucc { hops, layer, .. }
+            | Payload::FindRingSucc { hops, layer, .. } = msg
+            {
                 if hops >= self.ttl {
                     self.stats.drops += 1;
+                    if let Some(r) = self.registry.as_deref_mut() {
+                        r.inc("net.drop.ttl");
+                    }
                     return;
                 }
+                // Each delivered routed message is one step of a lookup
+                // chain: the layer field exposes ring transitions, the
+                // hops field the chain position.
+                if let Some(t) = self.tracer.as_deref_mut() {
+                    t.instant(self.queue.now(), "hop", &[
+                        ("layer", u64::from(layer)),
+                        ("hops", u64::from(hops)),
+                        ("at", env.to.raw()),
+                    ]);
+                }
             }
+            let node = self.nodes.get_mut(&env.to).expect("checked above");
             for (dest, out) in node.handle(env.from, msg) {
                 self.post(env.to, dest, out);
             }
         } else if msg.is_routed() && env.from != env.to && self.nodes.contains_key(&env.from) {
             self.stats.timeouts += 1;
+            if let Some(r) = self.registry.as_deref_mut() {
+                r.inc("net.timeout");
+            }
             let timeout = Payload::Timeout { dead: env.to, original: Box::new(msg) };
             let seq = self.next_msg;
             self.next_msg += 1;
@@ -235,6 +307,9 @@ impl<'a> SimNet<'a> {
             });
         } else {
             self.stats.drops += 1;
+            if let Some(r) = self.registry.as_deref_mut() {
+                r.inc("net.drop.dead");
+            }
         }
     }
 
@@ -249,6 +324,9 @@ impl<'a> SimNet<'a> {
         while let Some((at, env)) = self.queue.pop() {
             let msg = self.payloads.remove(&env.msg_seq).expect("payload stored at post");
             self.stats.count(msg.kind());
+            if let Some(r) = self.registry.as_deref_mut() {
+                r.inc(&["net.deliver.", msg.kind()].concat());
+            }
             if env.to == watch_node && stop(&msg) {
                 return Some((env.from, msg, at));
             }
@@ -267,6 +345,13 @@ impl<'a> SimNet<'a> {
         let depth = self.nodes.get(&origin).expect("origin must exist").depth() as u8;
         let req = self.fresh_req();
         let start = self.queue.now();
+        let span = self.tracer.as_deref_mut().map(|t| {
+            t.open(start, "lookup", &[
+                ("origin", origin.raw()),
+                ("key", key.raw()),
+                ("start_layer", u64::from(depth)),
+            ])
+        });
         // The originator processes the FindSucc locally first.
         self.post(origin, origin, Payload::FindSucc { key, layer: depth, origin, req, hops: 0 });
         let (_, msg, at) = self
@@ -279,9 +364,36 @@ impl<'a> SimNet<'a> {
                 // response leg (owner == origin ⇔ zero hops, no leg).
                 let response_leg =
                     if owner == origin { 0 } else { (self.delay)(owner, origin) };
-                LookupOutcome { owner, hops, latency_ms: at - start - response_leg }
+                let out = LookupOutcome { owner, hops, latency_ms: at - start - response_leg };
+                self.record_lookup(span, &out, 1);
+                out
             }
             _ => unreachable!("run_until matched FoundSucc"),
+        }
+    }
+
+    /// Folds a finished lookup into the obs sinks: closes its span
+    /// (fields reconcile with the aggregate metrics) and records the
+    /// registry histograms.
+    fn record_lookup(&mut self, span: Option<u64>, out: &LookupOutcome, attempts: u32) {
+        let now = self.queue.now();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            if let Some(span) = span {
+                t.close(now, span, &[
+                    ("owner", out.owner.raw()),
+                    ("hops", u64::from(out.hops)),
+                    ("latency_ms", out.latency_ms),
+                    ("attempts", u64::from(attempts)),
+                ]);
+            }
+        }
+        if let Some(r) = self.registry.as_deref_mut() {
+            r.inc("lookup.count");
+            r.observe("lookup.hops", u64::from(out.hops));
+            r.observe("lookup.latency_ms", out.latency_ms);
+            if attempts > 1 {
+                r.inc_by("lookup.retries", u64::from(attempts - 1));
+            }
         }
     }
 
@@ -304,6 +416,13 @@ impl<'a> SimNet<'a> {
         assert!(max_attempts > 0, "need at least one attempt");
         let depth = self.nodes.get(&origin).expect("origin must exist").depth() as u8;
         let start = self.queue.now();
+        let span = self.tracer.as_deref_mut().map(|t| {
+            t.open(start, "lookup", &[
+                ("origin", origin.raw()),
+                ("key", key.raw()),
+                ("start_layer", u64::from(depth)),
+            ])
+        });
         for attempt in 1..=max_attempts {
             let req = self.fresh_req();
             self.post(origin, origin, Payload::FindSucc {
@@ -320,22 +439,37 @@ impl<'a> SimNet<'a> {
                 Some((_, Payload::FoundSucc { owner, hops, .. }, at)) => {
                     let response_leg =
                         if owner == origin { 0 } else { (self.delay)(owner, origin) };
-                    return RetriedLookup {
-                        outcome: Some(LookupOutcome {
-                            owner,
-                            hops,
-                            latency_ms: (at - start).saturating_sub(response_leg),
-                        }),
-                        attempts: attempt,
+                    let out = LookupOutcome {
+                        owner,
+                        hops,
+                        latency_ms: (at - start).saturating_sub(response_leg),
                     };
+                    self.record_lookup(span, &out, attempt);
+                    return RetriedLookup { outcome: Some(out), attempts: attempt };
                 }
                 _ => {
                     // Lost: wait out the backoff, then retry against the
                     // (hopefully scrubbed) tables.
+                    if let Some(t) = self.tracer.as_deref_mut() {
+                        t.instant(self.queue.now(), "retry", &[("attempt", u64::from(attempt))]);
+                    }
                     let t = self.queue.now() + backoff_ms;
                     self.queue.advance_to(t);
                 }
             }
+        }
+        let now = self.queue.now();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            if let Some(span) = span {
+                t.close(now, span, &[
+                    ("unresolved", 1),
+                    ("attempts", u64::from(max_attempts)),
+                ]);
+            }
+        }
+        if let Some(r) = self.registry.as_deref_mut() {
+            r.inc("lookup.unresolved");
+            r.inc_by("lookup.retries", u64::from(max_attempts - 1));
         }
         RetriedLookup { outcome: None, attempts: max_attempts }
     }
@@ -405,6 +539,40 @@ impl<'a> SimNet<'a> {
     /// # Panics
     /// Panics if `new_id` already exists or `bootstrap` does not.
     pub fn try_join(&mut self, new_id: Id, bootstrap: Id, rtts: &[u16]) -> Option<JoinOutcome> {
+        let start = self.queue.now();
+        let span = self.tracer.as_deref_mut().map(|t| {
+            t.open(start, "join", &[("node", new_id.raw()), ("bootstrap", bootstrap.raw())])
+        });
+        let outcome = self.try_join_inner(new_id, bootstrap, rtts);
+        let now = self.queue.now();
+        if let Some(t) = self.tracer.as_deref_mut() {
+            if let Some(span) = span {
+                match &outcome {
+                    Some(o) => t.close(now, span, &[
+                        ("messages", o.messages),
+                        ("duration_ms", o.duration_ms),
+                        ("rings_founded", o.rings_founded as u64),
+                    ]),
+                    None => t.close(now, span, &[("abort", 1)]),
+                }
+            }
+        }
+        if let Some(r) = self.registry.as_deref_mut() {
+            match &outcome {
+                Some(o) => {
+                    r.inc("join.count");
+                    r.observe("join.messages", o.messages);
+                    r.observe("join.duration_ms", o.duration_ms);
+                }
+                None => r.inc("join.abort"),
+            }
+        }
+        outcome
+    }
+
+    /// The §3.3 choreography proper; split out so [`SimNet::try_join`]
+    /// can close its span on every early-exit path.
+    fn try_join_inner(&mut self, new_id: Id, bootstrap: Id, rtts: &[u16]) -> Option<JoinOutcome> {
         assert!(!self.nodes.contains_key(&new_id), "node already joined");
         assert!(self.nodes.contains_key(&bootstrap), "bootstrap unknown");
         let start_total = self.stats.total;
@@ -641,6 +809,9 @@ impl<'a> SimNet<'a> {
                     break;
                 }
                 self.stats.timeouts += 1;
+                if let Some(r) = self.registry.as_deref_mut() {
+                    r.inc("net.timeout");
+                }
                 let t = self.queue.now() + self.rto_ms;
                 self.queue.advance_to(t);
                 self.nodes.get_mut(&n).expect("alive").note_dead(succ);
@@ -686,6 +857,9 @@ impl<'a> SimNet<'a> {
                 });
             } else {
                 self.stats.timeouts += 1;
+                if let Some(r) = self.registry.as_deref_mut() {
+                    r.inc("net.timeout");
+                }
                 let t = self.queue.now() + self.rto_ms;
                 self.queue.advance_to(t);
                 self.nodes.get_mut(&n).expect("alive").note_dead(p);
@@ -776,6 +950,9 @@ impl<'a> SimNet<'a> {
         while let Some((_, env)) = self.queue.pop() {
             let msg = self.payloads.remove(&env.msg_seq).expect("payload stored");
             self.stats.count(msg.kind());
+            if let Some(r) = self.registry.as_deref_mut() {
+                r.inc(&["net.deliver.", msg.kind()].concat());
+            }
             self.deliver(env, msg);
         }
     }
@@ -1067,6 +1244,50 @@ mod tests {
         assert!(out.outcome.is_some());
         // And unchanged RTTs are a no-op.
         assert_eq!(net.rebin_node(id, &[150, 130]), 0);
+    }
+
+    #[test]
+    fn obs_counters_and_spans_reconcile_with_stats() {
+        use hieras_obs::{TraceKind, Tracer};
+        let (o, _) = build(30, 2);
+        let mut net = SimNet::from_oracle(&o, &[1, 2], delay);
+        net.enable_registry();
+        net.set_tracer(Tracer::bounded(4096));
+        let mut total_hops = 0u64;
+        for k in 0..25u64 {
+            let out = net.lookup(o.id_of((k % 30) as u32), Id(k.wrapping_mul(0x9e37)));
+            total_hops += u64::from(out.hops);
+        }
+        let _ = net.join(Id(0x5151_5151_5151_5151), o.id_of(0), &[5, 10]);
+        let r = net.take_registry().unwrap();
+        // Deliver counters mirror TrafficStats exactly, kind by kind.
+        for (kind, n) in &net.stats().by_kind {
+            assert_eq!(r.counter(&["net.deliver.", kind].concat()), *n, "kind {kind}");
+        }
+        assert_eq!(r.counter("lookup.count"), 25);
+        assert_eq!(r.counter("join.count"), 1);
+        assert_eq!(r.hist("lookup.hops").unwrap().sum(), total_hops);
+        // Every lookup span's closing hops field reconciles with the
+        // aggregate: summed per-span hops == histogram sum.
+        let t = net.take_tracer().unwrap();
+        assert_eq!(t.dropped, 0);
+        // Close events carry no name — join them to their open by span id.
+        let lookup_spans: std::collections::HashSet<u64> = t
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Open && e.name == "lookup")
+            .map(|e| e.span)
+            .collect();
+        let mut span_hops = 0u64;
+        let mut closes = 0u64;
+        for e in t.events() {
+            if e.kind == TraceKind::Close && lookup_spans.contains(&e.span) {
+                closes += 1;
+                span_hops += e.fields.iter().find(|(k, _)| k == "hops").unwrap().1;
+            }
+        }
+        assert_eq!(closes, 25);
+        assert_eq!(span_hops, total_hops);
     }
 
     #[test]

@@ -1,26 +1,40 @@
 //! Dumps a small churn schedule as JSON — a determinism-debugging aid.
 //!
 //! ```text
-//! cargo run -p hieras-sim --bin churn_trace [-- seed [initial arrivals horizon_ms]]
+//! cargo run -p hieras-sim --bin churn_trace [-- seed [initial arrivals horizon_ms]] \
+//!     [--out <path>]
 //! ```
 //!
 //! Prints the configuration, every per-node fate (birth, departure,
 //! graceful?), and the materialized event log. Two runs with the same
 //! arguments must emit byte-identical output; diffing two seeds shows
-//! exactly which sampled quantity moved.
+//! exactly which sampled quantity moved. With `--out <path>` the JSON
+//! goes to a file instead of stdout; a failed write exits non-zero.
 
 use hieras_sim::{ChurnConfig, ChurnEventKind, Lifetime};
 use hieras_rt::{Json, ToJson};
 
 fn main() {
-    let args: Vec<u64> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().unwrap_or_else(|_| usage(&a)))
-        .collect();
-    let seed = args.first().copied().unwrap_or(1);
-    let initial = args.get(1).copied().unwrap_or(20) as u32;
-    let arrivals = args.get(2).copied().unwrap_or(10) as u32;
-    let horizon_ms = args.get(3).copied().unwrap_or(60_000);
+    let mut out_path: Option<String> = None;
+    let mut nums: Vec<u64> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--out" {
+            match raw.next() {
+                Some(p) => out_path = Some(p),
+                None => {
+                    eprintln!("--out needs a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            nums.push(a.parse().unwrap_or_else(|_| usage(&a)));
+        }
+    }
+    let seed = nums.first().copied().unwrap_or(1);
+    let initial = nums.get(1).copied().unwrap_or(20) as u32;
+    let arrivals = nums.get(2).copied().unwrap_or(10) as u32;
+    let horizon_ms = nums.get(3).copied().unwrap_or(60_000);
 
     let cfg = ChurnConfig {
         initial_nodes: initial,
@@ -68,11 +82,21 @@ fn main() {
         ("fates", Json::Arr(fates)),
         ("events", Json::Arr(events)),
     ]);
-    println!("{}", out.dump_pretty());
+    let text = out.dump_pretty();
+    match out_path {
+        Some(path) => {
+            if let Err(err) = std::fs::write(&path, &text) {
+                eprintln!("cannot write `{path}`: {err}");
+                std::process::exit(1);
+            }
+            println!("wrote {path}");
+        }
+        None => println!("{text}"),
+    }
 }
 
 fn usage(bad: &str) -> ! {
     eprintln!("invalid argument `{bad}`");
-    eprintln!("usage: churn_trace [seed [initial arrivals horizon_ms]]");
+    eprintln!("usage: churn_trace [seed [initial arrivals horizon_ms]] [--out <path>]");
     std::process::exit(2);
 }

@@ -5,6 +5,7 @@ use crate::Workload;
 use hieras_chord::ChordOracle;
 use hieras_core::{HierasConfig, HierasOracle, LandmarkOrder};
 use hieras_id::{Id, IdSpace};
+use hieras_obs::{Profiler, Registry};
 use hieras_topology::{BriteConfig, InetConfig, LatencyOracle, Topology, TransitStubConfig};
 use hieras_rt::{Executor, FromJson, Json, JsonError, Rng, ToJson};
 use std::collections::HashSet;
@@ -182,6 +183,11 @@ pub struct Experiment {
 }
 
 impl Experiment {
+    /// Requests per work chunk. Each request is a pair of table
+    /// lookups (microseconds), so a few hundred per claim amortizes
+    /// the atomic increment without starving the workers.
+    const REPLAY_CHUNK: usize = 256;
+
     /// Assembles the experiment: generates the topology, places peers,
     /// measures landmark RTTs, bins, and builds both DHTs.
     ///
@@ -194,21 +200,43 @@ impl Experiment {
     /// astronomically unlikely failure to find distinct 64-bit ids.
     #[must_use]
     pub fn build(config: ExperimentConfig) -> Self {
+        Self::build_profiled(config, &mut Profiler::new())
+    }
+
+    /// [`Experiment::build`] with every assembly phase timed into
+    /// `prof` as a `build` scope (topology generation, peer placement,
+    /// landmark selection, binning, id generation, both DHT builds,
+    /// and the parallel latency precompute). The built experiment is
+    /// identical to an unprofiled build.
+    ///
+    /// # Panics
+    /// As [`Experiment::build`].
+    #[must_use]
+    #[allow(clippy::too_many_lines)] // linear phase sequence, one scope per step
+    pub fn build_profiled(config: ExperimentConfig, prof: &mut Profiler) -> Self {
         assert!(config.nodes > 0, "experiment needs at least one peer");
         config.hieras.validate().expect("invalid HIERAS config");
+        prof.start("build");
+        prof.start("topology");
         let topo = config.kind.generate(config.nodes, config.seed);
+        prof.end();
         let mut rng = Rng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
+        prof.start("place_peers");
         let router_of = topo.place_peers(config.nodes, &mut rng);
         let lat = LatencyOracle::new(topo.graph.clone());
+        prof.end();
 
         // Landmarks + per-peer RTT measurement. Only the landmark rows
         // are needed here (cheap: L Dijkstras).
+        prof.start("landmarks");
         let lm_count = config.hieras.landmarks;
         let landmarks = if lm_count > 0 {
             topo.pick_landmarks(lm_count, &lat, &mut rng)
         } else {
             Vec::new()
         };
+        prof.end();
+        prof.start("binning");
         let mut orders = Vec::with_capacity(config.nodes);
         let binning = &config.hieras.binning;
         for &r in &router_of {
@@ -222,8 +250,10 @@ impl Experiment {
                 orders.push(binning.order(&rtts));
             }
         }
+        prof.end();
 
         // Unique node identifiers (production path: SHA-1 of a name).
+        prof.start("ids");
         let mut seen = HashSet::with_capacity(config.nodes);
         let mut ids = Vec::with_capacity(config.nodes);
         for i in 0..config.nodes {
@@ -240,17 +270,25 @@ impl Experiment {
             }
         }
         let ids: Arc<[Id]> = ids.into();
+        prof.end();
         let space = IdSpace::full();
+        prof.start("chord_build");
         let chord = ChordOracle::build(space, Arc::clone(&ids)).expect("ids are distinct");
+        prof.end();
+        prof.start("hieras_build");
         let hieras =
             HierasOracle::build(space, Arc::clone(&ids), orders.clone(), config.hieras.clone())
                 .expect("validated config and matching orders");
+        prof.end();
 
         // Warm the latency rows every replay hop can touch, in parallel.
+        prof.start("latency_precompute");
         let mut distinct: Vec<u32> = router_of.clone();
         distinct.sort_unstable();
         distinct.dedup();
         lat.precompute(&distinct);
+        prof.end();
+        prof.end(); // build
 
         Experiment { config, topo, lat, router_of, ids, landmarks, orders, chord, hieras }
     }
@@ -277,14 +315,10 @@ impl Experiment {
     /// `latency_samples` — are bit-identical at any parallelism level.
     #[must_use]
     pub fn run_requests_on(&self, exec: &Executor, requests: usize) -> ComparisonResult {
-        /// Requests per work chunk. Each request is a pair of table
-        /// lookups (microseconds), so a few hundred per claim amortizes
-        /// the atomic increment without starving the workers.
-        const REPLAY_CHUNK: usize = 256;
         let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
         let (chord, hieras) = exec.par_fold(
             requests,
-            REPLAY_CHUNK,
+            Self::REPLAY_CHUNK,
             || (Metrics::default(), Metrics::default()),
             |acc, i| {
                 let (src, key) = w.request(i);
@@ -300,6 +334,41 @@ impl Experiment {
     #[must_use]
     pub fn run(&self) -> ComparisonResult {
         self.run_requests(self.config.requests)
+    }
+
+    /// Like [`Experiment::run_requests_on`] but additionally folds a
+    /// per-chunk [`Registry`] (hop / latency histograms per algorithm,
+    /// a request counter) alongside the metrics. Chunks merge in
+    /// deterministic chunk order and the registry itself is
+    /// merge-order-invariant, so the merged snapshot — like the
+    /// metrics — is byte-identical at any thread count.
+    #[must_use]
+    pub fn run_requests_traced(
+        &self,
+        exec: &Executor,
+        requests: usize,
+    ) -> (ComparisonResult, Registry) {
+        let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
+        let (chord, hieras, reg) = exec.par_fold(
+            requests,
+            Self::REPLAY_CHUNK,
+            || (Metrics::default(), Metrics::default(), Registry::new()),
+            |acc, i| {
+                let (src, key) = w.request(i);
+                let cs = self.eval_chord(src, key);
+                let hs = self.eval_hieras(src, key);
+                acc.2.inc("replay.requests");
+                acc.2.observe("replay.chord.hops", u64::from(cs.hops));
+                acc.2.observe("replay.chord.latency_ms", u64::from(cs.latency_ms));
+                acc.2.observe("replay.hieras.hops", u64::from(hs.hops));
+                acc.2.observe("replay.hieras.lower_hops", u64::from(hs.lower_hops));
+                acc.2.observe("replay.hieras.latency_ms", u64::from(hs.latency_ms));
+                acc.0.record(cs);
+                acc.1.record(hs);
+            },
+            |a, b| (a.0.merged(b.0), a.1.merged(b.1), a.2.merged(b.2)),
+        );
+        (ComparisonResult { chord, hieras }, reg)
     }
 
     fn eval_chord(&self, src: u32, key: Id) -> Sample {
@@ -381,6 +450,47 @@ mod tests {
             let r = e.run_requests_on(&Executor::new(threads), 1500);
             assert_eq!(r, base, "metrics diverge at {threads} threads");
         }
+    }
+
+    #[test]
+    fn traced_replay_matches_plain_and_is_thread_invariant() {
+        let e = Experiment::build(ExperimentConfig { nodes: 200, ..small_cfg() });
+        let plain = e.run_requests_on(&Executor::new(2), 1500);
+        let (traced, reg) = e.run_requests_traced(&Executor::new(1), 1500);
+        assert_eq!(traced, plain, "the registry fold must not perturb the metrics");
+        assert_eq!(reg.counter("replay.requests"), 1500);
+        assert_eq!(
+            reg.hist("replay.hieras.hops").unwrap().sum(),
+            traced.hieras.total_hops,
+            "histogram sum reconciles with the metric totals"
+        );
+        let snap = reg.snapshot();
+        for threads in [2, 8] {
+            let (_, r) = e.run_requests_traced(&Executor::new(threads), 1500);
+            assert_eq!(r.snapshot(), snap, "registry snapshot diverges at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn profiled_build_records_every_phase() {
+        let mut prof = Profiler::new();
+        let e = Experiment::build_profiled(
+            ExperimentConfig { nodes: 120, ..small_cfg() },
+            &mut prof,
+        );
+        assert_eq!(e.ids.len(), 120);
+        let report = prof.report();
+        assert_eq!(report.phases.len(), 1);
+        assert_eq!(report.phases[0].name, "build");
+        let children: Vec<&str> =
+            report.phases[0].children.iter().map(|p| p.name.as_str()).collect();
+        for want in
+            ["topology", "place_peers", "landmarks", "binning", "ids", "chord_build",
+             "hieras_build", "latency_precompute"]
+        {
+            assert!(children.contains(&want), "phase {want} missing from {children:?}");
+        }
+        assert!(report.render().contains("hieras_build"));
     }
 
     #[test]

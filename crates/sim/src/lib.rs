@@ -35,5 +35,5 @@ pub use des::{CancelToken, EventQueue, SimClock, TimedEvent};
 pub use experiment::{
     AlgoStats, ComparisonResult, Experiment, ExperimentConfig, TopologyKind,
 };
-pub use metrics::{Cdf, Histogram, Metrics, Sample, Summary};
+pub use metrics::{Cdf, Histogram, Metrics, Sample, Summary, TailLatency};
 pub use workload::Workload;

@@ -67,6 +67,31 @@ impl Histogram {
         self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
     }
 
+    /// The nearest-rank `q`-quantile (0.0 ≤ q ≤ 1.0): the smallest
+    /// observed value such that at least `ceil(q·N)` observations are
+    /// ≤ it. Returns 0 for an empty histogram; `q = 0` yields the
+    /// smallest observed value.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> usize {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (v, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return v;
+            }
+        }
+        self.counts.len() - 1
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         if self.counts.len() < other.counts.len() {
@@ -222,7 +247,15 @@ impl Metrics {
         let avg_lower_hops = self.lower_hops as f64 / req;
         let top_hops = self.total_hops - self.lower_hops;
         let top_latency = self.total_latency_ms - self.lower_latency_ms;
+        let mut sorted = self.latency_samples.clone();
+        sorted.sort_unstable();
+        let latency_tail = TailLatency {
+            p50_ms: nearest_rank(&sorted, 0.50),
+            p95_ms: nearest_rank(&sorted, 0.95),
+            p99_ms: nearest_rank(&sorted, 0.99),
+        };
         Summary {
+            latency_tail,
             requests: self.requests,
             avg_hops,
             avg_latency_ms: self.total_latency_ms as f64 / req,
@@ -257,6 +290,48 @@ impl Metrics {
     }
 }
 
+/// The nearest-rank `q`-quantile of pre-sorted samples: the value at
+/// rank `ceil(q·N)` (1-based). 0 for an empty slice.
+fn nearest_rank(sorted: &[u32], q: f64) -> u32 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Nearest-rank tail latencies (ms) — the CDF's headline points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailLatency {
+    /// Median latency.
+    pub p50_ms: u32,
+    /// 95th-percentile latency.
+    pub p95_ms: u32,
+    /// 99th-percentile latency.
+    pub p99_ms: u32,
+}
+
+impl ToJson for TailLatency {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("p50_ms", self.p50_ms.to_json()),
+            ("p95_ms", self.p95_ms.to_json()),
+            ("p99_ms", self.p99_ms.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TailLatency {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(TailLatency {
+            p50_ms: v.field("p50_ms")?,
+            p95_ms: v.field("p95_ms")?,
+            p99_ms: v.field("p99_ms")?,
+        })
+    }
+}
+
 /// Headline statistics for one algorithm on one experiment — the
 /// numbers the paper's figures plot.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -277,6 +352,8 @@ pub struct Summary {
     pub avg_link_delay_top_ms: f64,
     /// Mean per-hop link delay in lower rings (§4.3: 27.758 ms).
     pub avg_link_delay_lower_ms: f64,
+    /// Nearest-rank latency tail (p50 / p95 / p99).
+    pub latency_tail: TailLatency,
 }
 
 impl ToJson for Histogram {
@@ -353,6 +430,7 @@ impl ToJson for Summary {
             ("lower_latency_share", self.lower_latency_share.to_json()),
             ("avg_link_delay_top_ms", self.avg_link_delay_top_ms.to_json()),
             ("avg_link_delay_lower_ms", self.avg_link_delay_lower_ms.to_json()),
+            ("latency_tail", self.latency_tail.to_json()),
         ])
     }
 }
@@ -368,6 +446,7 @@ impl FromJson for Summary {
             lower_latency_share: v.field("lower_latency_share")?,
             avg_link_delay_top_ms: v.field("avg_link_delay_top_ms")?,
             avg_link_delay_lower_ms: v.field("avg_link_delay_lower_ms")?,
+            latency_tail: v.field("latency_tail")?,
         })
     }
 }
@@ -442,6 +521,76 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn cdf_quantile_empty_panics() {
         let _ = Cdf::from_samples(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn histogram_quantile_nearest_rank() {
+        // Empty → 0 at every q.
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+        // Single observation → that value at every q.
+        let mut one = Histogram::new();
+        one.record(7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 7, "q={q}");
+        }
+        // All ties → the tied value at every q.
+        let mut ties = Histogram::new();
+        for _ in 0..10 {
+            ties.record(4);
+        }
+        assert_eq!(ties.quantile(0.01), 4);
+        assert_eq!(ties.quantile(0.99), 4);
+        // Nearest rank on a known distribution: 1..=10, one each.
+        let mut h = Histogram::new();
+        for v in 1..=10usize {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 1, "q=0 is the minimum");
+        assert_eq!(h.quantile(0.5), 5, "rank ceil(0.5*10)=5");
+        assert_eq!(h.quantile(0.51), 6, "rank ceil(0.51*10)=6");
+        assert_eq!(h.quantile(0.95), 10);
+        assert_eq!(h.quantile(1.0), 10);
+    }
+
+    #[test]
+    fn summary_tail_latency_is_nearest_rank() {
+        let mut m = Metrics::default();
+        for ms in [10u32, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            m.record(Sample { hops: 1, lower_hops: 0, latency_ms: ms, lower_latency_ms: 0 });
+        }
+        let t = m.summary().latency_tail;
+        assert_eq!(t.p50_ms, 50);
+        assert_eq!(t.p95_ms, 100, "rank ceil(0.95*10)=10");
+        assert_eq!(t.p99_ms, 100);
+        // Empty metrics: all-zero tail.
+        assert_eq!(Metrics::default().summary().latency_tail, TailLatency::default());
+        // Single sample: every percentile is that sample.
+        let mut one = Metrics::default();
+        one.record(Sample { hops: 1, lower_hops: 0, latency_ms: 42, lower_latency_ms: 0 });
+        let t = one.summary().latency_tail;
+        assert_eq!((t.p50_ms, t.p95_ms, t.p99_ms), (42, 42, 42));
+        // Ties: every percentile is the tied value.
+        let mut ties = Metrics::default();
+        for _ in 0..7 {
+            ties.record(Sample { hops: 1, lower_hops: 0, latency_ms: 9, lower_latency_ms: 0 });
+        }
+        let t = ties.summary().latency_tail;
+        assert_eq!((t.p50_ms, t.p95_ms, t.p99_ms), (9, 9, 9));
+    }
+
+    #[test]
+    fn tail_latency_round_trips_in_summary_json() {
+        let mut m = Metrics::default();
+        for ms in [5u32, 15, 25] {
+            m.record(Sample { hops: 2, lower_hops: 1, latency_ms: ms, lower_latency_ms: 1 });
+        }
+        let s = m.summary();
+        let back = Summary::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.latency_tail.p50_ms, 15);
     }
 
     #[test]

@@ -11,14 +11,45 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "==> zero-dependency audit: crate manifests reference only workspace crates"
+# Every [dependencies]/[dev-dependencies] entry in every crate manifest
+# must be a workspace hieras-* crate (`foo.workspace = true` or
+# `foo = { workspace = true, ... }`). Anything else — a version
+# requirement, a git/registry source — is an external dependency and
+# fails CI before the build can try to touch the network.
+bad=$(awk '
+    /^\[/ {
+        in_deps = ($0 ~ /^\[(dev-|build-)?dependencies\]/)
+        in_wsdeps = ($0 ~ /^\[workspace\.dependencies\]/)
+    }
+    in_deps && /^[A-Za-z0-9_.-]+[[:space:]]*=/ {
+        name = $1
+        sub(/[[:space:]]*=.*/, "", name)
+        sub(/\..*/, "", name)  # hieras-rt.workspace = true
+        if (name !~ /^hieras-/ || $0 !~ /workspace[[:space:]]*=[[:space:]]*true/)
+            printf "%s: %s\n", FILENAME, $0
+    }
+    # The workspace table itself may only hold hieras-* path deps —
+    # no version, git, or registry sources to resolve remotely.
+    in_wsdeps && /^[A-Za-z0-9_.-]+[[:space:]]*=/ {
+        if ($1 !~ /^hieras-/ || $0 !~ /path[[:space:]]*=/ || $0 ~ /version|git|registry/)
+            printf "%s: %s\n", FILENAME, $0
+    }
+' Cargo.toml crates/*/Cargo.toml)
+if [ -n "$bad" ]; then
+    echo "external dependency detected:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+
 echo "==> tier 1: release build (deny warnings)"
 RUSTFLAGS="-D warnings" cargo build --workspace --release
 
 echo "==> tier 1: workspace tests"
 cargo test -q --workspace
 
-echo "==> bench smoke: replay, 500 peers, 2000 requests"
-./target/release/bench_replay --smoke
+echo "==> bench smoke: replay, 500 peers, 2000 requests, obs on"
+./target/release/bench_replay --smoke --obs
 
 echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
 ./target/release/churn --smoke
