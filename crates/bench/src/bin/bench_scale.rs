@@ -1,0 +1,208 @@
+//! Scale sweep — how far the replay engine stretches.
+//!
+//! Sweeps the experiment over {1k, 5k, 20k, 100k} peers and records,
+//! per size point:
+//!
+//! * **build_ms** — full assembly (topology → oracles → precompute);
+//! * **ns/lookup** — min/median/max over `REPS` timed repetitions of
+//!   the parallel replay, after one explicitly discarded warm-up rep
+//!   (each lookup evaluates *both* Chord and HIERAS allocation-free);
+//! * **peak_rss_mb** — the process high-water mark (`VmHWM` from
+//!   `/proc/self/status`), dominated by the latency-row cache;
+//! * **cache probe** — a second, memory-*bounded* latency oracle
+//!   ([`hieras_topology::LatencyOracle::with_row_budget`]) driven by a
+//!   sample of the same workload, reporting hit/miss/eviction counters
+//!   through a [`hieras_obs::Registry`] so the unbounded run's memory
+//!   cost can be traded against recomputation;
+//! * the replayed Chord/HIERAS routing summaries, including the
+//!   lower-layer hop and latency shares the paper's §4.3 tracks.
+//!
+//! Output goes to `BENCH_scale.json` (and stdout). `--smoke` runs the
+//! CI-sized point (500 peers, 2000 requests) only; `HIERAS_THREADS=n`
+//! pins the executor width.
+
+use hieras_chord::PathBuf;
+use hieras_obs::{Profiler, Registry};
+use hieras_rt::{Executor, Json, ToJson};
+use hieras_sim::{BuildOptions, Experiment, ExperimentConfig, Workload};
+use hieras_topology::LatencyOracle;
+use std::time::Instant;
+
+/// Master seed shared with the figure harness (paper publication date).
+const SEED: u64 = 20030415;
+
+/// Timed repetitions of the replay per size; the median filters out
+/// scheduler warm-up without needing criterion's statistics.
+const REPS: usize = 5;
+
+/// Requests driven through the bounded-cache probe. Small on purpose:
+/// every probe miss is a fresh Dijkstra.
+const PROBE_REQUESTS: usize = 500;
+
+struct SizePoint {
+    nodes: usize,
+    requests: usize,
+}
+
+/// `VmHWM` (peak resident set) of this process in MB, if the platform
+/// exposes `/proc/self/status`.
+fn peak_rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+/// Replays a workload sample against a *budget-bounded* latency oracle
+/// and reports the cache counters through a [`Registry`]. The probe
+/// shares the experiment's routing structures — only the link-cost
+/// source differs — so its hit pattern is the real workload's.
+fn cache_probe(e: &Experiment, requests: usize) -> Json {
+    let distinct = {
+        let mut r = e.router_of.clone();
+        r.sort_unstable();
+        r.dedup();
+        r.len()
+    };
+    let budget = (distinct / 8).max(32);
+    let bounded = LatencyOracle::with_row_budget(e.topo.graph.clone(), budget);
+    let w = Workload::new(e.config.nodes as u32, requests, e.config.seed ^ 0x517c_c1b7);
+    let mut scratch = PathBuf::new();
+    for i in 0..requests {
+        let (src, key) = w.request(i);
+        let _ = e.hieras.eval(src, key, &mut scratch, |a, b| {
+            bounded.latency(e.router_of[a as usize], e.router_of[b as usize])
+        });
+    }
+    let s = bounded.cache_stats();
+    let mut reg = Registry::new();
+    reg.inc_by("latency_cache.hits", s.hits);
+    reg.inc_by("latency_cache.misses", s.misses);
+    reg.inc_by("latency_cache.evictions", s.evictions);
+    reg.gauge_set("latency_cache.pinned_rows", s.pinned as i64);
+    reg.gauge_set("latency_cache.resident_rows", s.resident as i64);
+    reg.gauge_set("latency_cache.row_budget", budget as i64);
+    let hit_rate = if s.hits + s.misses > 0 {
+        s.hits as f64 / (s.hits + s.misses) as f64
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("requests", requests.to_json()),
+        ("distinct_routers", distinct.to_json()),
+        ("row_budget", budget.to_json()),
+        ("hit_rate", hit_rate.to_json()),
+        ("registry", reg.to_json()),
+    ])
+}
+
+fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
+    let mut config = ExperimentConfig::paper(point.nodes, SEED);
+    config.requests = point.requests;
+
+    let mut prof = Profiler::new();
+    let t0 = Instant::now();
+    let e = Experiment::build_with(
+        config.clone(),
+        &mut prof,
+        BuildOptions { exec: *exec, ..BuildOptions::default() },
+    );
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // One warm-up repetition, timed but *discarded* from the stats —
+    // it pays the page faults and scheduler spin-up, and its figure is
+    // reported separately so a cold-start regression is still visible.
+    let t = Instant::now();
+    let mut result = e.run_requests_on(exec, point.requests);
+    let warmup_ns = t.elapsed().as_secs_f64() * 1e9 / point.requests as f64;
+
+    let mut per_lookup_ns: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let t = Instant::now();
+            result = e.run_requests_on(exec, point.requests);
+            t.elapsed().as_secs_f64() * 1e9 / point.requests as f64
+        })
+        .collect();
+    per_lookup_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min_ns = per_lookup_ns[0];
+    let median_ns = per_lookup_ns[per_lookup_ns.len() / 2];
+    let max_ns = per_lookup_ns[per_lookup_ns.len() - 1];
+
+    let probe = cache_probe(&e, PROBE_REQUESTS);
+    let rss = peak_rss_mb();
+
+    let cs = result.chord.summary();
+    let hs = result.hieras.summary();
+    println!(
+        "{:>7} peers | build {:>9.1} ms | replay {:>9.1} ns/lookup | rss {:>8.1} MB | \
+         hieras {:.2} hops {:.0} ms ({:.1}% lower-layer latency)",
+        point.nodes,
+        build_ms,
+        median_ns,
+        rss.unwrap_or(0.0),
+        hs.avg_hops,
+        hs.avg_latency_ms,
+        hs.lower_latency_share * 100.0
+    );
+
+    Json::obj([
+        ("nodes", point.nodes.to_json()),
+        ("requests", point.requests.to_json()),
+        ("build_ms", build_ms.to_json()),
+        ("build_phases", prof.report().to_json()),
+        ("warmup_ns_per_lookup", warmup_ns.to_json()),
+        ("min_ns_per_lookup", min_ns.to_json()),
+        ("median_ns_per_lookup", median_ns.to_json()),
+        ("max_ns_per_lookup", max_ns.to_json()),
+        ("ns_per_lookup", per_lookup_ns.to_json()),
+        ("peak_rss_mb", rss.map_or(Json::Null, |m| m.to_json())),
+        ("cache_probe", probe),
+        ("chord", cs.to_json()),
+        ("hieras", hs.to_json()),
+    ])
+}
+
+fn main() {
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}` (usage: bench_scale [--smoke])");
+                std::process::exit(2);
+            }
+        }
+    }
+    let points: Vec<SizePoint> = if smoke {
+        vec![SizePoint { nodes: 500, requests: 2000 }]
+    } else {
+        vec![
+            SizePoint { nodes: 1000, requests: 20_000 },
+            SizePoint { nodes: 5000, requests: 20_000 },
+            SizePoint { nodes: 20_000, requests: 10_000 },
+            SizePoint { nodes: 100_000, requests: 5000 },
+        ]
+    };
+
+    let exec = Executor::default();
+    println!(
+        "scale bench: {} thread(s), {} size point(s){}",
+        exec.threads(),
+        points.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let sizes: Vec<Json> = points.iter().map(|p| bench_one(&exec, p)).collect();
+    let out = Json::obj([
+        ("bench", "scale".to_json()),
+        ("seed", SEED.to_json()),
+        ("threads", exec.threads().to_json()),
+        ("smoke", smoke.to_json()),
+        ("reps", REPS.to_json()),
+        ("sizes", Json::Arr(sizes)),
+    ]);
+
+    let path = "BENCH_scale.json";
+    std::fs::write(path, out.dump_pretty()).expect("write benchmark output");
+    println!("wrote {path}");
+}

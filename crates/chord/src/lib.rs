@@ -22,6 +22,8 @@
 
 mod dynamic;
 mod oracle;
+mod path;
 
 pub use dynamic::{DynChord, DynError, LookupTrace, MaintStats};
 pub use oracle::{ChordOracle, LookupPath, RingBuildError, RingView};
+pub use path::PathBuf;

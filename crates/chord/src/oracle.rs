@@ -6,7 +6,9 @@
 //! routes keys with the standard Chord iterative algorithm
 //! (`closest_preceding_finger` + final delivery hop to the successor).
 
+use crate::PathBuf;
 use hieras_id::{Id, IdSpace, Key};
+use hieras_rt::Executor;
 use std::sync::Arc;
 
 /// Errors constructing a ring.
@@ -77,11 +79,35 @@ pub struct RingView {
 }
 
 impl RingView {
+    /// Finger-table entries below which the build fills serially: a
+    /// single parallel dispatch costs more than computing this many
+    /// binary searches outright.
+    const PAR_FINGER_THRESHOLD: usize = 1 << 16;
+
+    /// Entries per parallel fill chunk (≈ a thousand binary searches —
+    /// enough to amortize the chunk claim, small enough to balance).
+    const PAR_FINGER_CHUNK: usize = 4096;
+
     /// Builds a ring over `members` (global indices into `ids`).
     ///
     /// # Errors
     /// See [`RingBuildError`].
     pub fn build(
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        members: &[u32],
+    ) -> Result<Self, RingBuildError> {
+        Self::build_on(&Executor::default(), space, ids, members)
+    }
+
+    /// [`RingView::build`] on a caller-supplied executor: large finger
+    /// tables are filled in parallel. Each entry is a pure function of
+    /// its index, so the tables are bit-identical at any thread count.
+    ///
+    /// # Errors
+    /// See [`RingBuildError`].
+    pub fn build_on(
+        exec: &Executor,
         space: IdSpace,
         ids: Arc<[Id]>,
         members: &[u32],
@@ -115,10 +141,18 @@ impl RingView {
                 Err(p) => (p % len) as u32,
             }
         };
-        for (pos, &m) in members.iter().enumerate() {
-            let me = ids[m as usize];
-            for i in 0..bits {
-                fingers[pos * bits + i] = succ_pos(space.finger_start(me, i as u32));
+        // `fingers[j]` for flat index `j = pos * bits + i` depends only
+        // on `j`, which is what makes the parallel fill deterministic.
+        let entry = |j: usize| -> u32 {
+            let (pos, i) = (j / bits, j % bits);
+            let me = ids[members[pos] as usize];
+            succ_pos(space.finger_start(me, i as u32))
+        };
+        if len * bits >= Self::PAR_FINGER_THRESHOLD && exec.threads() > 1 {
+            exec.par_fill(&mut fingers, Self::PAR_FINGER_CHUNK, entry);
+        } else {
+            for (j, f) in fingers.iter_mut().enumerate() {
+                *f = entry(j);
             }
         }
         Ok(RingView { space, ids, members, fingers })
@@ -228,32 +262,57 @@ impl RingView {
     /// `len + bits` hops guards against table-construction bugs.
     #[must_use]
     pub fn route(&self, start: u32, key: Key) -> Vec<u32> {
-        let mut path = Vec::with_capacity(12);
-        path.push(start);
+        let mut path = PathBuf::new();
+        self.route_into(start, key, &mut path);
+        path.to_vec()
+    }
+
+    /// Allocation-free form of [`RingView::route`]: clears `out` and
+    /// fills it with the visited positions. Reusing one [`PathBuf`]
+    /// across lookups keeps the replay hot path off the heap.
+    pub fn route_into(&self, start: u32, key: Key, out: &mut PathBuf) {
+        self.route_core(start, key, false, out);
+    }
+
+    /// The single iterative-routing core both public routes share.
+    ///
+    /// Both walk identically — forward to the closest preceding finger
+    /// until the key lands in the next interval — and differ only at
+    /// the stop: delivery (`to_predecessor == false`) takes the final
+    /// hop to the key's owner, hand-off (`to_predecessor == true`)
+    /// stops at (or steps back to) the owner's predecessor.
+    fn route_core(&self, start: u32, key: Key, to_predecessor: bool, out: &mut PathBuf) {
+        out.clear();
+        out.push(start);
         let mut cur = start;
         let cap = self.members.len() + self.space.bits() as usize + 2;
         loop {
-            assert!(path.len() <= cap, "routing did not terminate — finger tables corrupt");
+            assert!(out.len() <= cap, "routing did not terminate — finger tables corrupt");
             // Ownership check via the predecessor pointer (the paper notes
             // "predecessor and successor lists can be used to accelerate
             // the process"): if the current node already owns the key,
             // stop immediately instead of routing the long way around.
             let pred = self.predecessor(cur);
             if self.space.in_open_closed(self.id_at(pred), self.id_at(cur), key) {
-                return path;
+                // `cur` owns the key; `pred` closest-precedes it.
+                if to_predecessor && pred != cur {
+                    out.push(pred);
+                }
+                return;
             }
             let succ = self.successor(cur);
             if self.space.in_open_closed(self.id_at(cur), self.id_at(succ), key) {
                 // Key owned by our successor; deliver (unless we own it:
-                // a single-member ring has successor == self).
-                if succ != cur {
-                    path.push(succ);
+                // a single-member ring has successor == self), or stop
+                // here — `cur` is the closest preceding member.
+                if !to_predecessor && succ != cur {
+                    out.push(succ);
                 }
-                return path;
+                return;
             }
             let next = self.closest_preceding_finger(cur, key);
             let next = if next == cur { succ } else { next };
-            path.push(next);
+            out.push(next);
             cur = next;
         }
     }
@@ -272,29 +331,15 @@ impl RingView {
     /// answer in one backward hop.
     #[must_use]
     pub fn route_to_predecessor(&self, start: u32, key: Key) -> Vec<u32> {
-        let mut path = Vec::with_capacity(12);
-        path.push(start);
-        let mut cur = start;
-        let cap = self.members.len() + self.space.bits() as usize + 2;
-        loop {
-            assert!(path.len() <= cap, "routing did not terminate — finger tables corrupt");
-            let pred = self.predecessor(cur);
-            if self.space.in_open_closed(self.id_at(pred), self.id_at(cur), key) {
-                // `cur` owns the key, so `pred` closest-precedes it.
-                if pred != cur {
-                    path.push(pred);
-                }
-                return path;
-            }
-            let succ = self.successor(cur);
-            if self.space.in_open_closed(self.id_at(cur), self.id_at(succ), key) {
-                return path;
-            }
-            let next = self.closest_preceding_finger(cur, key);
-            let next = if next == cur { succ } else { next };
-            path.push(next);
-            cur = next;
-        }
+        let mut path = PathBuf::new();
+        self.route_to_predecessor_into(start, key, &mut path);
+        path.to_vec()
+    }
+
+    /// Allocation-free form of [`RingView::route_to_predecessor`]:
+    /// clears `out` and fills it with the visited positions.
+    pub fn route_to_predecessor_into(&self, start: u32, key: Key, out: &mut PathBuf) {
+        self.route_core(start, key, true, out);
     }
 
     /// Average number of distinct fingers per member — the table-size
@@ -330,8 +375,22 @@ impl ChordOracle {
     /// # Errors
     /// See [`RingBuildError`].
     pub fn build(space: IdSpace, ids: Arc<[Id]>) -> Result<Self, RingBuildError> {
+        Self::build_on(&Executor::default(), space, ids)
+    }
+
+    /// [`ChordOracle::build`] on a caller-supplied executor (parallel
+    /// finger-table fill for large memberships, bit-identical at any
+    /// thread count).
+    ///
+    /// # Errors
+    /// See [`RingBuildError`].
+    pub fn build_on(
+        exec: &Executor,
+        space: IdSpace,
+        ids: Arc<[Id]>,
+    ) -> Result<Self, RingBuildError> {
         let members: Vec<u32> = (0..ids.len() as u32).collect();
-        Ok(ChordOracle { ring: RingView::build(space, ids, &members)? })
+        Ok(ChordOracle { ring: RingView::build_on(exec, space, ids, &members)? })
     }
 
     /// The underlying ring view.
@@ -364,9 +423,23 @@ impl ChordOracle {
     /// Panics if `src` is not a valid node index.
     #[must_use]
     pub fn lookup(&self, src: u32, key: Key) -> LookupPath {
+        let mut scratch = PathBuf::new();
+        self.lookup_into(src, key, &mut scratch);
+        LookupPath { path: scratch.to_vec() }
+    }
+
+    /// Allocation-free form of [`ChordOracle::lookup`]: fills `scratch`
+    /// with the visited *global node indices* (origin first, owner
+    /// last). The replay hot loop reuses one scratch across requests.
+    ///
+    /// # Panics
+    /// Panics if `src` is not a valid node index.
+    pub fn lookup_into(&self, src: u32, key: Key, scratch: &mut PathBuf) {
         let start = self.ring.position_of(src).expect("src must be a member");
-        let positions = self.ring.route(start, key);
-        LookupPath { path: positions.into_iter().map(|p| self.ring.node_at(p)).collect() }
+        self.ring.route_into(start, key, scratch);
+        for p in scratch.as_mut_slice() {
+            *p = self.ring.node_at(*p);
+        }
     }
 }
 

@@ -1,0 +1,116 @@
+//! Equivalence properties behind the scale-out replay engine:
+//!
+//! * routing into a reused (dirty) [`PathBuf`] scratch yields exactly
+//!   the path the allocating `route()` wrappers return, and
+//! * parallel finger-table construction is bit-identical to serial at
+//!   every thread count.
+
+use hieras_chord::{ChordOracle, PathBuf, RingView};
+use hieras_id::{Id, IdSpace};
+use hieras_rt::{Executor, Rng};
+use std::sync::Arc;
+
+fn scrambled_ids(n: u64) -> Arc<[Id]> {
+    (0..n).map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)).collect::<Vec<_>>().into()
+}
+
+/// A ring over every node (positions == member indices).
+fn full_ring(n: u64) -> RingView {
+    let ids = scrambled_ids(n);
+    let members: Vec<u32> = (0..n as u32).collect();
+    RingView::build(IdSpace::full(), ids, &members).expect("valid ring")
+}
+
+#[test]
+fn route_into_reused_scratch_matches_route() {
+    let ring = full_ring(257);
+    let mut rng = Rng::seed_from_u64(0xfeed_beef);
+    let mut scratch = PathBuf::new();
+    // Pre-dirty the scratch so the test catches any state leaking
+    // between lookups.
+    for p in 0..40 {
+        scratch.push(p * 3 + 1);
+    }
+    for _ in 0..2000 {
+        let start = rng.next_u64_below(257) as u32;
+        let key = Id(rng.next_u64());
+        let fresh = ring.route(start, key);
+        ring.route_into(start, key, &mut scratch);
+        assert_eq!(scratch.as_slice(), &fresh[..], "start={start} key={key:?}");
+    }
+}
+
+#[test]
+fn route_to_predecessor_into_reused_scratch_matches_route_to_predecessor() {
+    let ring = full_ring(257);
+    let mut rng = Rng::seed_from_u64(0xdead_cafe);
+    let mut scratch = PathBuf::new();
+    for _ in 0..2000 {
+        let start = rng.next_u64_below(257) as u32;
+        let key = Id(rng.next_u64());
+        let fresh = ring.route_to_predecessor(start, key);
+        ring.route_to_predecessor_into(start, key, &mut scratch);
+        assert_eq!(scratch.as_slice(), &fresh[..], "start={start} key={key:?}");
+    }
+}
+
+#[test]
+fn lookup_into_reused_scratch_matches_lookup() {
+    let oracle = ChordOracle::build(IdSpace::full(), scrambled_ids(300)).expect("valid oracle");
+    let mut rng = Rng::seed_from_u64(0x1234_5678);
+    let mut scratch = PathBuf::new();
+    for _ in 0..1000 {
+        let src = rng.next_u64_below(300) as u32;
+        let key = Id(rng.next_u64());
+        let fresh = oracle.lookup(src, key);
+        oracle.lookup_into(src, key, &mut scratch);
+        assert_eq!(scratch.as_slice(), &fresh.path[..], "src={src} key={key:?}");
+    }
+}
+
+#[test]
+fn parallel_finger_build_is_bit_identical_across_thread_counts() {
+    // 2048 members × 64 bits = 131072 finger slots — well past the
+    // parallel-build threshold, so the multi-thread builds exercise
+    // the chunked par_fill path.
+    let ids = scrambled_ids(2048);
+    let members: Vec<u32> = (0..2048).collect();
+    let serial = RingView::build_on(&Executor::new(1), IdSpace::full(), Arc::clone(&ids), &members)
+        .expect("serial build");
+    for threads in [2, 8] {
+        let par =
+            RingView::build_on(&Executor::new(threads), IdSpace::full(), Arc::clone(&ids), &members)
+                .expect("parallel build");
+        for pos in 0..2048u32 {
+            for i in 0..64u32 {
+                assert_eq!(
+                    par.finger(pos, i),
+                    serial.finger(pos, i),
+                    "threads={threads} pos={pos} finger={i}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_build_routes_identically() {
+    let ids = scrambled_ids(2048);
+    let members: Vec<u32> = (0..2048).collect();
+    let rings: Vec<RingView> = [1, 2, 8]
+        .iter()
+        .map(|&t| {
+            RingView::build_on(&Executor::new(t), IdSpace::full(), Arc::clone(&ids), &members)
+                .expect("build")
+        })
+        .collect();
+    let mut rng = Rng::seed_from_u64(0xabcd_ef01);
+    for _ in 0..500 {
+        let start = rng.next_u64_below(2048) as u32;
+        let key = Id(rng.next_u64());
+        let base = rings[0].route(start, key);
+        for (ri, ring) in rings.iter().enumerate().skip(1) {
+            assert_eq!(ring.route(start, key), base, "ring {ri} diverged");
+        }
+    }
+}

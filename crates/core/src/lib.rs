@@ -40,5 +40,6 @@ pub use binning::{Binning, LandmarkOrder};
 pub use config::{ConfigError, HierasConfig};
 pub use cost::CostReport;
 pub use oracle::{FingerRow, HierasBuildError, HierasOracle, Layer};
+pub use hieras_chord::PathBuf;
 pub use ring_table::RingTable;
-pub use trace::{HopRecord, RouteTrace};
+pub use trace::{HopRecord, RouteCost, RouteTrace};

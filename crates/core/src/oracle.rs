@@ -8,9 +8,10 @@
 //! restricted to the ring's membership.
 
 use crate::{ConfigError, HierasConfig, LandmarkOrder, RingTable, RouteTrace};
-use crate::trace::HopRecord;
-use hieras_chord::{RingBuildError, RingView};
+use crate::trace::{HopRecord, RouteCost};
+use hieras_chord::{PathBuf, RingBuildError, RingView};
 use hieras_id::{Id, IdSpace, Key};
+use hieras_rt::Executor;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -150,6 +151,27 @@ impl HierasOracle {
         orders: Vec<LandmarkOrder>,
         config: HierasConfig,
     ) -> Result<Self, HierasBuildError> {
+        Self::build_on(&Executor::default(), space, ids, orders, config)
+    }
+
+    /// [`HierasOracle::build`] on a caller-supplied executor.
+    ///
+    /// The per-layer ring grouping runs in parallel across layers and
+    /// every ring's finger table builds in parallel across rings (the
+    /// global ring additionally fills its table in parallel inside
+    /// [`RingView::build_on`]). Each unit of work is a pure function
+    /// of the inputs and results merge in deterministic chunk order,
+    /// so the hierarchy is bit-identical at any thread count.
+    ///
+    /// # Errors
+    /// See [`HierasBuildError`].
+    pub fn build_on(
+        exec: &Executor,
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        orders: Vec<LandmarkOrder>,
+        config: HierasConfig,
+    ) -> Result<Self, HierasBuildError> {
         config.validate()?;
         if orders.len() != ids.len() {
             return Err(HierasBuildError::OrderCount { expected: ids.len(), got: orders.len() });
@@ -164,26 +186,82 @@ impl HierasOracle {
             }
         }
         let n = ids.len();
-        let mut layers = Vec::with_capacity(config.depth);
-        for layer_no in 1..=config.depth {
+        // Phase 1 — group nodes into rings, one independent job per
+        // layer (chunk = 1 layer; merged in ascending layer order).
+        struct LayerProto {
+            layer_no: usize,
+            names: Vec<LandmarkOrder>,
+            members: Vec<Vec<u32>>,
+            ring_of_node: Box<[u32]>,
+        }
+        let group_layer = |layer_no: usize| -> LayerProto {
             let plen = config.prefix_len(layer_no);
-            // Group nodes by order prefix.
             let mut groups: HashMap<LandmarkOrder, Vec<u32>> = HashMap::new();
             for (i, o) in orders.iter().enumerate() {
                 groups.entry(o.prefix(plen)).or_default().push(i as u32);
             }
             let mut names: Vec<LandmarkOrder> = groups.keys().cloned().collect();
             names.sort(); // deterministic ring numbering
-            let mut rings = Vec::with_capacity(names.len());
             let mut ring_of_node = vec![0u32; n].into_boxed_slice();
-            for (ri, name) in names.iter().enumerate() {
-                let members = &groups[name];
-                for &m in members {
-                    ring_of_node[m as usize] = ri as u32;
-                }
-                rings.push(RingView::build(space, Arc::clone(&ids), members)?);
+            let members: Vec<Vec<u32>> = names
+                .iter()
+                .enumerate()
+                .map(|(ri, name)| {
+                    let members = groups.remove(name).expect("name came from groups");
+                    for &m in &members {
+                        ring_of_node[m as usize] = ri as u32;
+                    }
+                    members
+                })
+                .collect();
+            LayerProto { layer_no, names, members, ring_of_node }
+        };
+        let protos: Vec<LayerProto> = exec.par_fold(
+            config.depth,
+            1,
+            Vec::new,
+            |acc, d| acc.push(group_layer(d + 1)),
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        // Phase 2 — build every ring of every layer. Rings are
+        // independent; one job per ring, merged in (layer, ring) order.
+        let jobs: Vec<(usize, usize)> = protos
+            .iter()
+            .enumerate()
+            .flat_map(|(li, p)| (0..p.names.len()).map(move |ri| (li, ri)))
+            .collect();
+        let built: Vec<Result<RingView, RingBuildError>> = exec.par_fold(
+            jobs.len(),
+            1,
+            Vec::new,
+            |acc, j| {
+                let (li, ri) = jobs[j];
+                // Inner parallelism only pays off for the big rings
+                // (the global ring); small rings build serially inside
+                // their own job.
+                acc.push(RingView::build_on(exec, space, Arc::clone(&ids), &protos[li].members[ri]));
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        let mut rings_by_job = built.into_iter();
+        let mut layers = Vec::with_capacity(config.depth);
+        for proto in protos {
+            let mut rings = Vec::with_capacity(proto.names.len());
+            for _ in 0..proto.names.len() {
+                rings.push(rings_by_job.next().expect("one result per job")?);
             }
-            layers.push(Layer { layer_no, rings, names, ring_of_node });
+            layers.push(Layer {
+                layer_no: proto.layer_no,
+                rings,
+                names: proto.names,
+                ring_of_node: proto.ring_of_node,
+            });
         }
         // Ring tables for every non-global ring (§3.1): record all
         // members; the table itself keeps only the four extreme ids.
@@ -306,34 +384,81 @@ impl HierasOracle {
     /// Panics if `src` is out of range.
     #[must_use]
     pub fn route(&self, src: u32, key: Key) -> RouteTrace {
+        let mut trace = RouteTrace { origin: src, hops: Vec::with_capacity(8) };
+        let mut scratch = PathBuf::new();
+        self.route_with(src, key, &mut scratch, |from, to, layer| {
+            trace.hops.push(HopRecord { from, to, layer });
+        });
+        trace
+    }
+
+    /// Visitor core of the m-loop procedure: walks the exact hop
+    /// sequence [`HierasOracle::route`] records, calling
+    /// `on_hop(from, to, layer)` per hop with global node indices, and
+    /// returns the node the key resolved to. Per-layer ring paths are
+    /// written into `scratch`, so a caller that reuses one scratch
+    /// across lookups routes without heap allocation in steady state.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    pub fn route_with<F>(&self, src: u32, key: Key, scratch: &mut PathBuf, mut on_hop: F) -> u32
+    where
+        F: FnMut(u32, u32, u8),
+    {
         assert!((src as usize) < self.ids.len(), "src out of range");
         let owner = self.owner_of(key);
-        let mut trace = RouteTrace { origin: src, hops: Vec::with_capacity(8) };
         let mut cur = src;
         // Lowest layer first: layers[depth-1] … layers[0].
         for layer in self.layers.iter().rev() {
             // The destination check that ends each loop early (§3.2).
             if cur == owner {
-                return trace;
+                return cur;
             }
             let ring = layer.ring_of(cur);
             let pos = ring.position_of(cur).expect("node is member of its own ring");
-            let path = if layer.layer_no == 1 {
-                ring.route(pos, key)
+            if layer.layer_no == 1 {
+                ring.route_into(pos, key, scratch);
             } else {
-                ring.route_to_predecessor(pos, key)
-            };
+                ring.route_to_predecessor_into(pos, key, scratch);
+            }
+            let path = scratch.as_slice();
             for w in path.windows(2) {
-                trace.hops.push(HopRecord {
-                    from: ring.node_at(w[0]),
-                    to: ring.node_at(w[1]),
-                    layer: layer.layer_no as u8,
-                });
+                on_hop(ring.node_at(w[0]), ring.node_at(w[1]), layer.layer_no as u8);
             }
             cur = ring.node_at(*path.last().expect("path never empty"));
         }
         debug_assert_eq!(cur, owner, "global loop must end at the key's owner");
-        trace
+        cur
+    }
+
+    /// Routes `key` from `src` and condenses the trace into a
+    /// [`RouteCost`] on the fly — the replay hot path. `link` supplies
+    /// per-hop latency (typically `LatencyOracle::latency` over
+    /// attachment routers). Produces exactly the quantities
+    /// [`HierasOracle::route`] + [`RouteTrace::latency_split`] would,
+    /// without materializing the trace.
+    ///
+    /// # Panics
+    /// Panics if `src` is out of range.
+    pub fn eval(
+        &self,
+        src: u32,
+        key: Key,
+        scratch: &mut PathBuf,
+        mut link: impl FnMut(u32, u32) -> u16,
+    ) -> RouteCost {
+        let mut cost = RouteCost::default();
+        let dest = self.route_with(src, key, scratch, |from, to, layer| {
+            let l = u64::from(link(from, to));
+            cost.hops += 1;
+            cost.latency_ms += l;
+            if layer > 1 {
+                cost.lower_hops += 1;
+                cost.lower_latency_ms += l;
+            }
+        });
+        cost.destination = dest;
+        cost
     }
 
     /// The multi-layer finger table of `node`, one [`FingerRow`] per

@@ -70,6 +70,23 @@ impl RouteTrace {
     }
 }
 
+/// Condensed result of one routing evaluation — what the replay hot
+/// loop needs from a lookup, computed without materializing a
+/// [`RouteTrace`] (no per-lookup heap allocation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCost {
+    /// Total hops.
+    pub hops: u32,
+    /// Hops taken in layers below the global ring.
+    pub lower_hops: u32,
+    /// Sum of link latencies over all hops, ms.
+    pub latency_ms: u64,
+    /// Portion of the latency spent in lower-layer hops, ms.
+    pub lower_latency_ms: u64,
+    /// The node the key resolved to.
+    pub destination: u32,
+}
+
 impl ToJson for HopRecord {
     fn to_json(&self) -> Json {
         Json::obj([

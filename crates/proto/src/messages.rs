@@ -210,34 +210,56 @@ pub enum Payload {
     },
 }
 
-impl Payload {
-    /// Short tag for traffic accounting.
-    #[must_use]
-    pub fn kind(&self) -> &'static str {
-        match self {
-            Payload::FindSucc { .. } => "find_succ",
-            Payload::FindRingSucc { .. } => "find_ring_succ",
-            Payload::FoundSucc { .. } => "found_succ",
-            Payload::GetPred { .. } => "get_pred",
-            Payload::PredIs { .. } => "pred_is",
-            Payload::Notify { .. } => "notify",
-            Payload::UpdateSucc { .. } => "update_succ",
-            Payload::GetRingTable { .. } => "get_ring_table",
-            Payload::RingTableIs { .. } => "ring_table_is",
-            Payload::RingTableUpdate { .. } => "ring_table_update",
-            Payload::GetFingers { .. } => "get_fingers",
-            Payload::FingersAre { .. } => "fingers_are",
-            Payload::GetLandmarks { .. } => "get_landmarks",
-            Payload::LandmarksAre { .. } => "landmarks_are",
-            Payload::Ping { .. } => "ping",
-            Payload::Pong { .. } => "pong",
-            Payload::LeaveUpdate { .. } => "leave_update",
-            Payload::RingTableRemove { .. } => "ring_table_remove",
-            Payload::GetRingNeighbors { .. } => "get_ring_neighbors",
-            Payload::RingNeighborsAre { .. } => "ring_neighbors_are",
-            Payload::RingTableHandoff { .. } => "ring_table_handoff",
-            Payload::Timeout { .. } => "timeout",
+/// Expands the payload→tag table into [`Payload::kind`] plus the
+/// precomposed `net.send.*` / `net.deliver.*` counter names, so the
+/// per-message accounting in the transport never builds a `String`
+/// (the names are `concat!`-assembled at compile time).
+macro_rules! payload_kinds {
+    ($($variant:ident => $tag:literal),+ $(,)?) => {
+        /// Short tag for traffic accounting.
+        #[must_use]
+        pub fn kind(&self) -> &'static str {
+            match self { $(Payload::$variant { .. } => $tag,)+ }
         }
+
+        /// The `net.send.<kind>` counter name for this payload.
+        #[must_use]
+        pub fn send_counter(&self) -> &'static str {
+            match self { $(Payload::$variant { .. } => concat!("net.send.", $tag),)+ }
+        }
+
+        /// The `net.deliver.<kind>` counter name for this payload.
+        #[must_use]
+        pub fn deliver_counter(&self) -> &'static str {
+            match self { $(Payload::$variant { .. } => concat!("net.deliver.", $tag),)+ }
+        }
+    };
+}
+
+impl Payload {
+    payload_kinds! {
+        FindSucc => "find_succ",
+        FindRingSucc => "find_ring_succ",
+        FoundSucc => "found_succ",
+        GetPred => "get_pred",
+        PredIs => "pred_is",
+        Notify => "notify",
+        UpdateSucc => "update_succ",
+        GetRingTable => "get_ring_table",
+        RingTableIs => "ring_table_is",
+        RingTableUpdate => "ring_table_update",
+        GetFingers => "get_fingers",
+        FingersAre => "fingers_are",
+        GetLandmarks => "get_landmarks",
+        LandmarksAre => "landmarks_are",
+        Ping => "ping",
+        Pong => "pong",
+        LeaveUpdate => "leave_update",
+        RingTableRemove => "ring_table_remove",
+        GetRingNeighbors => "get_ring_neighbors",
+        RingNeighborsAre => "ring_neighbors_are",
+        RingTableHandoff => "ring_table_handoff",
+        Timeout => "timeout",
     }
 
     /// True for messages routed hop-by-hop through finger tables —

@@ -248,7 +248,7 @@ impl<'a> SimNet<'a> {
 
     fn post(&mut self, from: Id, to: Id, msg: Payload) {
         if let Some(r) = self.registry.as_deref_mut() {
-            r.inc(&["net.send.", msg.kind()].concat());
+            r.inc(msg.send_counter());
         }
         let d = if from == to { 0 } else { (self.delay)(from, to) };
         let seq = self.next_msg;
@@ -325,7 +325,7 @@ impl<'a> SimNet<'a> {
             let msg = self.payloads.remove(&env.msg_seq).expect("payload stored at post");
             self.stats.count(msg.kind());
             if let Some(r) = self.registry.as_deref_mut() {
-                r.inc(&["net.deliver.", msg.kind()].concat());
+                r.inc(msg.deliver_counter());
             }
             if env.to == watch_node && stop(&msg) {
                 return Some((env.from, msg, at));
@@ -951,7 +951,7 @@ impl<'a> SimNet<'a> {
             let msg = self.payloads.remove(&env.msg_seq).expect("payload stored");
             self.stats.count(msg.kind());
             if let Some(r) = self.registry.as_deref_mut() {
-                r.inc(&["net.deliver.", msg.kind()].concat());
+                r.inc(msg.deliver_counter());
             }
             self.deliver(env, msg);
         }

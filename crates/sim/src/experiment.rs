@@ -2,7 +2,7 @@
 
 use crate::metrics::{Metrics, Sample};
 use crate::Workload;
-use hieras_chord::ChordOracle;
+use hieras_chord::{ChordOracle, PathBuf};
 use hieras_core::{HierasConfig, HierasOracle, LandmarkOrder};
 use hieras_id::{Id, IdSpace};
 use hieras_obs::{Profiler, Registry};
@@ -159,6 +159,30 @@ pub enum AlgoStats {
     Hieras,
 }
 
+/// Knobs for [`Experiment::build_with`] that change *how* (not what)
+/// an experiment is assembled: the executor every parallel build phase
+/// runs on, an optional latency-row budget, and whether to warm the
+/// latency cache up front. All combinations produce identical routing
+/// structures; with an unbounded cache the replay metrics are
+/// bit-identical too.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Executor for ring construction and latency precompute.
+    pub exec: Executor,
+    /// Cap on resident latency rows ([`LatencyOracle::with_row_budget`]);
+    /// `None` keeps every computed row.
+    pub row_budget: Option<usize>,
+    /// Warm the latency rows of every peer router during build. Skip
+    /// for memory-bounded runs where rows should fault in on demand.
+    pub precompute: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { exec: Executor::default(), row_budget: None, precompute: true }
+    }
+}
+
 /// A fully assembled experiment: topology, peer placement, landmark
 /// measurements, and both routing structures over one membership.
 pub struct Experiment {
@@ -212,8 +236,19 @@ impl Experiment {
     /// # Panics
     /// As [`Experiment::build`].
     #[must_use]
-    #[allow(clippy::too_many_lines)] // linear phase sequence, one scope per step
     pub fn build_profiled(config: ExperimentConfig, prof: &mut Profiler) -> Self {
+        Self::build_with(config, prof, BuildOptions::default())
+    }
+
+    /// [`Experiment::build_profiled`] with explicit [`BuildOptions`]:
+    /// the parallel phases (finger tables, latency precompute) run on
+    /// `opts.exec`, and the latency cache honours `opts.row_budget`.
+    ///
+    /// # Panics
+    /// As [`Experiment::build`].
+    #[must_use]
+    #[allow(clippy::too_many_lines)] // linear phase sequence, one scope per step
+    pub fn build_with(config: ExperimentConfig, prof: &mut Profiler, opts: BuildOptions) -> Self {
         assert!(config.nodes > 0, "experiment needs at least one peer");
         config.hieras.validate().expect("invalid HIERAS config");
         prof.start("build");
@@ -223,7 +258,10 @@ impl Experiment {
         let mut rng = Rng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
         prof.start("place_peers");
         let router_of = topo.place_peers(config.nodes, &mut rng);
-        let lat = LatencyOracle::new(topo.graph.clone());
+        let lat = match opts.row_budget {
+            Some(b) => LatencyOracle::with_row_budget(topo.graph.clone(), b),
+            None => LatencyOracle::new(topo.graph.clone()),
+        };
         prof.end();
 
         // Landmarks + per-peer RTT measurement. Only the landmark rows
@@ -273,20 +311,28 @@ impl Experiment {
         prof.end();
         let space = IdSpace::full();
         prof.start("chord_build");
-        let chord = ChordOracle::build(space, Arc::clone(&ids)).expect("ids are distinct");
+        let chord =
+            ChordOracle::build_on(&opts.exec, space, Arc::clone(&ids)).expect("ids are distinct");
         prof.end();
         prof.start("hieras_build");
-        let hieras =
-            HierasOracle::build(space, Arc::clone(&ids), orders.clone(), config.hieras.clone())
-                .expect("validated config and matching orders");
+        let hieras = HierasOracle::build_on(
+            &opts.exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            config.hieras.clone(),
+        )
+        .expect("validated config and matching orders");
         prof.end();
 
         // Warm the latency rows every replay hop can touch, in parallel.
         prof.start("latency_precompute");
-        let mut distinct: Vec<u32> = router_of.clone();
-        distinct.sort_unstable();
-        distinct.dedup();
-        lat.precompute(&distinct);
+        if opts.precompute {
+            let mut distinct: Vec<u32> = router_of.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            lat.precompute_on(&opts.exec, &distinct);
+        }
         prof.end();
         prof.end(); // build
 
@@ -316,16 +362,21 @@ impl Experiment {
     #[must_use]
     pub fn run_requests_on(&self, exec: &Executor, requests: usize) -> ComparisonResult {
         let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
-        let (chord, hieras) = exec.par_fold(
+        // Each chunk accumulator carries its own path scratch, so the
+        // hot loop never touches the heap; the scratch is dropped at
+        // merge time and cannot influence the metrics.
+        let (chord, hieras, _) = exec.par_fold(
             requests,
             Self::REPLAY_CHUNK,
-            || (Metrics::default(), Metrics::default()),
+            || (Metrics::default(), Metrics::default(), PathBuf::new()),
             |acc, i| {
                 let (src, key) = w.request(i);
-                acc.0.record(self.eval_chord(src, key));
-                acc.1.record(self.eval_hieras(src, key));
+                let cs = self.eval_chord(src, key, &mut acc.2);
+                let hs = self.eval_hieras(src, key, &mut acc.2);
+                acc.0.record(cs);
+                acc.1.record(hs);
             },
-            |a, b| (a.0.merged(b.0), a.1.merged(b.1)),
+            |a, b| (a.0.merged(b.0), a.1.merged(b.1), a.2),
         );
         ComparisonResult { chord, hieras }
     }
@@ -349,14 +400,14 @@ impl Experiment {
         requests: usize,
     ) -> (ComparisonResult, Registry) {
         let w = Workload::new(self.config.nodes as u32, requests, self.config.seed ^ 0x517c_c1b7);
-        let (chord, hieras, reg) = exec.par_fold(
+        let (chord, hieras, reg, _) = exec.par_fold(
             requests,
             Self::REPLAY_CHUNK,
-            || (Metrics::default(), Metrics::default(), Registry::new()),
+            || (Metrics::default(), Metrics::default(), Registry::new(), PathBuf::new()),
             |acc, i| {
                 let (src, key) = w.request(i);
-                let cs = self.eval_chord(src, key);
-                let hs = self.eval_hieras(src, key);
+                let cs = self.eval_chord(src, key, &mut acc.3);
+                let hs = self.eval_hieras(src, key, &mut acc.3);
                 acc.2.inc("replay.requests");
                 acc.2.observe("replay.chord.hops", u64::from(cs.hops));
                 acc.2.observe("replay.chord.latency_ms", u64::from(cs.latency_ms));
@@ -366,33 +417,51 @@ impl Experiment {
                 acc.0.record(cs);
                 acc.1.record(hs);
             },
-            |a, b| (a.0.merged(b.0), a.1.merged(b.1), a.2.merged(b.2)),
+            |a, b| (a.0.merged(b.0), a.1.merged(b.1), a.2.merged(b.2), a.3),
         );
         (ComparisonResult { chord, hieras }, reg)
     }
 
-    fn eval_chord(&self, src: u32, key: Id) -> Sample {
-        let p = self.chord.lookup(src, key);
+    /// One Chord lookup, evaluated allocation-free: the path lands in
+    /// `scratch` and is costed in place.
+    fn eval_chord(&self, src: u32, key: Id, scratch: &mut PathBuf) -> Sample {
+        self.chord.lookup_into(src, key, scratch);
+        let path = scratch.as_slice();
         let mut latency = 0u32;
-        for w in p.path.windows(2) {
+        for w in path.windows(2) {
             latency += u32::from(self.peer_latency(w[0], w[1]));
         }
         Sample {
-            hops: p.hops() as u32,
+            hops: (path.len() - 1) as u32,
             lower_hops: 0,
             latency_ms: latency,
             lower_latency_ms: 0,
         }
     }
 
-    fn eval_hieras(&self, src: u32, key: Id) -> Sample {
-        let t = self.hieras.route(src, key);
-        let (total, lower) = t.latency_split(|a, b| self.peer_latency(a, b));
+    /// One HIERAS route, evaluated allocation-free via
+    /// [`HierasOracle::eval`] — no `RouteTrace` is materialized.
+    fn eval_hieras(&self, src: u32, key: Id, scratch: &mut PathBuf) -> Sample {
+        let c = self.hieras.eval(src, key, scratch, |a, b| self.peer_latency(a, b));
         Sample {
-            hops: t.hop_count() as u32,
-            lower_hops: t.lower_layer_hops() as u32,
-            latency_ms: total as u32,
-            lower_latency_ms: lower as u32,
+            hops: c.hops,
+            lower_hops: c.lower_hops,
+            latency_ms: c.latency_ms as u32,
+            lower_latency_ms: c.lower_latency_ms as u32,
+        }
+    }
+
+    /// Publishes the latency cache's [`hieras_topology::CacheStats`]
+    /// into `reg` as `latency_cache.*` counters and gauges.
+    pub fn record_cache_stats(&self, reg: &mut Registry) {
+        let s = self.lat.cache_stats();
+        reg.inc_by("latency_cache.hits", s.hits);
+        reg.inc_by("latency_cache.misses", s.misses);
+        reg.inc_by("latency_cache.evictions", s.evictions);
+        reg.gauge_set("latency_cache.pinned_rows", s.pinned as i64);
+        reg.gauge_set("latency_cache.resident_rows", s.resident as i64);
+        if let Some(b) = s.budget {
+            reg.gauge_set("latency_cache.row_budget", b as i64);
         }
     }
 }
@@ -491,6 +560,46 @@ mod tests {
             assert!(children.contains(&want), "phase {want} missing from {children:?}");
         }
         assert!(report.render().contains("hieras_build"));
+    }
+
+    #[test]
+    fn build_is_bit_identical_across_thread_counts() {
+        let cfg = ExperimentConfig { nodes: 200, ..small_cfg() };
+        let base = Experiment::build_with(
+            cfg.clone(),
+            &mut Profiler::new(),
+            BuildOptions { exec: Executor::new(1), ..BuildOptions::default() },
+        )
+        .run_requests_on(&Executor::new(1), 1200);
+        for threads in [2, 8] {
+            let e = Experiment::build_with(
+                cfg.clone(),
+                &mut Profiler::new(),
+                BuildOptions { exec: Executor::new(threads), ..BuildOptions::default() },
+            );
+            let r = e.run_requests_on(&Executor::new(1), 1200);
+            assert_eq!(r, base, "a {threads}-thread build changed the replay metrics");
+        }
+    }
+
+    #[test]
+    fn bounded_latency_cache_leaves_metrics_unchanged() {
+        let cfg = ExperimentConfig { nodes: 200, ..small_cfg() };
+        let free = Experiment::build(cfg.clone()).run_requests(1000);
+        let tight = Experiment::build_with(
+            cfg,
+            &mut Profiler::new(),
+            BuildOptions { row_budget: Some(24), precompute: false, ..BuildOptions::default() },
+        );
+        // Single-threaded replay: a bounded cache is slower, not wrong.
+        assert_eq!(tight.run_requests_on(&Executor::new(1), 1000), free);
+        let mut reg = Registry::new();
+        tight.record_cache_stats(&mut reg);
+        let (hits, misses) =
+            (reg.counter("latency_cache.hits"), reg.counter("latency_cache.misses"));
+        assert!(hits > 0 && misses > 0, "a tight budget must both hit and miss");
+        assert!(reg.counter("latency_cache.evictions") <= misses);
+        assert_eq!(reg.gauge("latency_cache.row_budget"), Some(24));
     }
 
     #[test]

@@ -7,15 +7,162 @@
 //! rows are computed lazily — each row is one Dijkstra, memoized behind
 //! a `OnceLock` so concurrent readers race benignly (first writer wins,
 //! later computations of the same row are discarded).
+//!
+//! At 10⁵ routers the unbounded cache stops being an option for
+//! memory-constrained runs: 10⁵ rows × 10⁵ `u16`s is 20 GB. The
+//! bounded mode ([`LatencyOracle::with_row_budget`]) caps resident
+//! rows: the first `budget/2` distinct sources pin permanently into
+//! the lock-free `OnceLock` segment (the common hot set — replay
+//! workloads are heavily skewed toward a few thousand attachment
+//! routers), and the remainder cycle through 16 mutex-sharded CLOCK
+//! caches. Hit/miss/eviction counters ([`CacheStats`]) quantify the
+//! trade so experiments can report what the bound cost them.
 
 use crate::Graph;
 use hieras_rt::Executor;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Sources per work chunk for parallel row precomputation. One
 /// Dijkstra over a 10⁴-router graph takes milliseconds, so small
 /// chunks keep the workers balanced without scheduling overhead.
 const PRECOMPUTE_CHUNK: usize = 4;
+
+/// Mutex shards for the bounded overflow cache. Sixteen shards keep
+/// contention negligible at replay thread counts while the per-shard
+/// linear scans stay short.
+const OVERFLOW_SHARDS: usize = 16;
+
+/// Cache-effectiveness counters of a bounded [`LatencyOracle`]
+/// (all zero in unbounded mode, where no counting happens on the hot
+/// path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a resident row (pinned or overflow).
+    pub hits: u64,
+    /// Queries that had to run a fresh Dijkstra.
+    pub misses: u64,
+    /// Rows evicted from the overflow shards. At most one per miss.
+    pub evictions: u64,
+    /// Rows pinned in the lock-free segment.
+    pub pinned: usize,
+    /// Rows currently resident (pinned + overflow).
+    pub resident: usize,
+    /// The row budget, if bounded.
+    pub budget: Option<usize>,
+}
+
+/// One slot of a CLOCK shard: a materialized row plus its
+/// second-chance bit.
+#[derive(Debug)]
+struct ClockSlot {
+    src: u32,
+    row: Box<[u16]>,
+    referenced: bool,
+}
+
+/// A CLOCK (second-chance) eviction shard. Capacity is enforced by the
+/// caller; lookups are linear scans, fine for the small per-shard
+/// capacities a row budget implies.
+#[derive(Debug, Default)]
+struct ClockShard {
+    slots: Vec<ClockSlot>,
+    hand: usize,
+}
+
+impl ClockShard {
+    /// The cached `row[src][v]`, marking the row recently used.
+    fn lookup(&mut self, src: u32, v: u32) -> Option<u16> {
+        for s in &mut self.slots {
+            if s.src == src {
+                s.referenced = true;
+                return Some(s.row[v as usize]);
+            }
+        }
+        None
+    }
+
+    /// Inserts a freshly computed row, evicting the first
+    /// not-recently-used slot once at capacity. Returns whether a row
+    /// was evicted. A row another thread raced in is kept as-is.
+    fn insert(&mut self, src: u32, row: Box<[u16]>, cap: usize) -> bool {
+        for s in &mut self.slots {
+            if s.src == src {
+                s.referenced = true;
+                return false;
+            }
+        }
+        if self.slots.len() < cap {
+            self.slots.push(ClockSlot { src, row, referenced: true });
+            return false;
+        }
+        loop {
+            let h = self.hand;
+            self.hand = (self.hand + 1) % self.slots.len();
+            let s = &mut self.slots[h];
+            if s.referenced {
+                s.referenced = false;
+            } else {
+                *s = ClockSlot { src, row, referenced: true };
+                return true;
+            }
+        }
+    }
+}
+
+/// State a bounded oracle carries on top of the `OnceLock` row vector.
+#[derive(Debug)]
+struct Bound {
+    /// Total row budget requested.
+    budget: usize,
+    /// Rows allowed to pin into the lock-free segment (`budget / 2`).
+    pin_cap: usize,
+    /// Pin slots claimed so far.
+    pinned: AtomicUsize,
+    /// Per-shard slot cap; total overflow capacity is the remaining
+    /// budget rounded up to a multiple of the shard count.
+    per_shard_cap: usize,
+    shards: Box<[Mutex<ClockShard>]>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Bound {
+    fn new(budget: usize) -> Self {
+        let budget = budget.max(1);
+        let pin_cap = budget / 2;
+        let overflow = budget - pin_cap;
+        Bound {
+            budget,
+            pin_cap,
+            pinned: AtomicUsize::new(0),
+            per_shard_cap: overflow.div_ceil(OVERFLOW_SHARDS).max(1),
+            shards: (0..OVERFLOW_SHARDS).map(|_| Mutex::new(ClockShard::default())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims one pin slot if any remain.
+    fn try_claim_pin(&self) -> bool {
+        self.pinned
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |p| {
+                (p < self.pin_cap).then_some(p + 1)
+            })
+            .is_ok()
+    }
+
+    /// Returns a pin slot claimed for a row another thread pinned first.
+    fn release_pin(&self) {
+        self.pinned.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn shard(&self, src: u32) -> &Mutex<ClockShard> {
+        &self.shards[src as usize % OVERFLOW_SHARDS]
+    }
+}
 
 /// Cached single-source shortest-path rows over a router graph.
 ///
@@ -25,16 +172,34 @@ const PRECOMPUTE_CHUNK: usize = 4;
 pub struct LatencyOracle {
     graph: Graph,
     rows: Vec<OnceLock<Box<[u16]>>>,
+    /// Rows resident in `rows` — maintained at row-init time so
+    /// [`LatencyOracle::cached_rows`] is O(1), not a scan.
+    materialized: AtomicUsize,
+    bound: Option<Bound>,
 }
 
 impl LatencyOracle {
-    /// Wraps a router graph. No shortest paths are computed yet.
+    /// Wraps a router graph with an unbounded row cache. No shortest
+    /// paths are computed yet.
     #[must_use]
     pub fn new(graph: Graph) -> Self {
         let n = graph.node_count();
         let mut rows = Vec::with_capacity(n);
         rows.resize_with(n, OnceLock::new);
-        LatencyOracle { graph, rows }
+        LatencyOracle { graph, rows, materialized: AtomicUsize::new(0), bound: None }
+    }
+
+    /// Wraps a router graph with at most `budget_rows` rows resident
+    /// (clamped to ≥ 1). The first `budget_rows / 2` distinct sources
+    /// pin into the lock-free segment and keep the `OnceLock` fast
+    /// path; later sources share the remaining budget through sharded
+    /// CLOCK caches. Latencies are identical to the unbounded oracle —
+    /// only residency and recomputation differ.
+    #[must_use]
+    pub fn with_row_budget(graph: Graph, budget_rows: usize) -> Self {
+        let mut o = Self::new(graph);
+        o.bound = Some(Bound::new(budget_rows));
+        o
     }
 
     /// The underlying graph.
@@ -44,34 +209,130 @@ impl LatencyOracle {
     }
 
     /// The full distance row from router `src` (computed on first use).
+    ///
+    /// On a bounded oracle this is only available for sources that fit
+    /// the pinned segment — overflow rows are transient, so no `&[u16]`
+    /// can be handed out for them. Prefer [`LatencyOracle::latency`].
+    ///
+    /// # Panics
+    /// Panics on a bounded oracle whose pinned segment is full and does
+    /// not hold `src`.
     #[must_use]
     pub fn row(&self, src: u32) -> &[u16] {
-        self.rows[src as usize].get_or_init(|| self.graph.dijkstra(src))
+        let slot = &self.rows[src as usize];
+        if let Some(row) = slot.get() {
+            return row;
+        }
+        match &self.bound {
+            None => slot.get_or_init(|| {
+                self.materialized.fetch_add(1, Ordering::Relaxed);
+                self.graph.dijkstra(src)
+            }),
+            Some(b) => {
+                assert!(
+                    b.try_claim_pin(),
+                    "row({src}): pinned segment full on a bounded LatencyOracle; use latency()"
+                );
+                if slot.set(self.graph.dijkstra(src)).is_ok() {
+                    self.materialized.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    b.release_pin();
+                }
+                slot.get().expect("row just pinned")
+            }
+        }
     }
 
     /// Shortest-path delay in milliseconds between routers `u` and `v`.
+    ///
+    /// `u == v` is answered as 0 without touching the cache. On a
+    /// bounded oracle every other query counts exactly one hit or one
+    /// miss, and a miss evicts at most one overflow row, so
+    /// `hits + misses == queries` and `evictions <= misses` hold
+    /// exactly.
     #[inline]
     #[must_use]
     pub fn latency(&self, u: u32, v: u32) -> u16 {
         if u == v {
             return 0;
         }
-        self.row(u)[v as usize]
+        let Some(b) = &self.bound else {
+            return self.row(u)[v as usize];
+        };
+        // Pinned fast path: lock-free, same as the unbounded oracle.
+        if let Some(row) = self.rows[u as usize].get() {
+            b.hits.fetch_add(1, Ordering::Relaxed);
+            return row[v as usize];
+        }
+        if let Some(val) = b.shard(u).lock().expect("shard poisoned").lookup(u, v) {
+            b.hits.fetch_add(1, Ordering::Relaxed);
+            return val;
+        }
+        b.misses.fetch_add(1, Ordering::Relaxed);
+        // Dijkstra runs outside any lock; concurrent misses on the same
+        // source both count and race benignly on insertion.
+        let row = self.graph.dijkstra(u);
+        let val = row[v as usize];
+        if b.try_claim_pin() {
+            if self.rows[u as usize].set(row).is_ok() {
+                self.materialized.fetch_add(1, Ordering::Relaxed);
+            } else {
+                b.release_pin();
+            }
+        } else if b.shard(u).lock().expect("shard poisoned").insert(u, row, b.per_shard_cap) {
+            b.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        val
     }
 
-    /// Number of rows currently materialized (diagnostics/tests).
+    /// Number of rows resident in the lock-free segment. O(1): the
+    /// count is maintained at row-init time, not by scanning.
     #[must_use]
     pub fn cached_rows(&self) -> usize {
-        self.rows.iter().filter(|r| r.get().is_some()).count()
+        self.materialized.load(Ordering::Relaxed)
     }
 
-    /// Eagerly computes the rows for the given sources in parallel.
+    /// Current cache-effectiveness counters. On an unbounded oracle
+    /// only `pinned`/`resident` are meaningful (no hot-path counting).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        let pinned = self.cached_rows();
+        match &self.bound {
+            None => CacheStats { pinned, resident: pinned, ..CacheStats::default() },
+            Some(b) => {
+                let overflow: usize = b
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().expect("shard poisoned").slots.len())
+                    .sum();
+                CacheStats {
+                    hits: b.hits.load(Ordering::Relaxed),
+                    misses: b.misses.load(Ordering::Relaxed),
+                    evictions: b.evictions.load(Ordering::Relaxed),
+                    pinned,
+                    resident: pinned + overflow,
+                    budget: Some(b.budget),
+                }
+            }
+        }
+    }
+
+    /// Eagerly computes the rows for the given sources in parallel on
+    /// the default executor.
     ///
     /// Experiments know exactly which routers host peers; warming those
     /// rows up front turns the replay phase into pure lookups.
     pub fn precompute(&self, sources: &[u32]) {
-        Executor::default().par_for_each(sources.len(), PRECOMPUTE_CHUNK, |i| {
-            let _ = self.row(sources[i]);
+        self.precompute_on(&Executor::default(), sources);
+    }
+
+    /// [`LatencyOracle::precompute`] on a caller-supplied executor. On
+    /// a bounded oracle this pins rows until the pinned segment is full
+    /// and then stops — warming never counts hits or misses and never
+    /// thrashes the overflow shards.
+    pub fn precompute_on(&self, exec: &Executor, sources: &[u32]) {
+        exec.par_for_each(sources.len(), PRECOMPUTE_CHUNK, |i| {
+            self.warm(sources[i]);
         });
     }
 
@@ -79,14 +340,37 @@ impl LatencyOracle {
     /// moderate graphs; prefer [`LatencyOracle::precompute`].
     pub fn precompute_all(&self) {
         Executor::default().par_for_each(self.graph.node_count(), PRECOMPUTE_CHUNK, |i| {
-            let _ = self.row(i as u32);
+            self.warm(i as u32);
         });
+    }
+
+    /// Pins `src`'s row if the cache has room for it; a no-op once the
+    /// pinned segment is full on a bounded oracle.
+    fn warm(&self, src: u32) {
+        let slot = &self.rows[src as usize];
+        if slot.get().is_some() {
+            return;
+        }
+        match &self.bound {
+            None => {
+                let _ = self.row(src);
+            }
+            Some(b) => {
+                if b.try_claim_pin() {
+                    if slot.set(self.graph.dijkstra(src)).is_ok() {
+                        self.materialized.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        b.release_pin();
+                    }
+                }
+            }
+        }
     }
 
     /// Approximate bytes held by materialized rows (diagnostics).
     #[must_use]
     pub fn cache_bytes(&self) -> usize {
-        self.cached_rows() * self.graph.node_count() * core::mem::size_of::<u16>()
+        self.cache_stats().resident * self.graph.node_count() * core::mem::size_of::<u16>()
     }
 }
 
@@ -99,6 +383,14 @@ mod tests {
         g.add_edge(0, 1, 10);
         g.add_edge(1, 2, 10);
         g.add_edge(0, 2, 50);
+        g
+    }
+
+    fn line(n: u32) -> Graph {
+        let mut g = Graph::with_nodes(n as usize);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 5);
+        }
         g
     }
 
@@ -153,5 +445,73 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn bounded_matches_unbounded_exactly() {
+        let free = LatencyOracle::new(line(24));
+        let tight = LatencyOracle::with_row_budget(line(24), 3);
+        for u in 0..24u32 {
+            for v in 0..24u32 {
+                assert_eq!(tight.latency(u, v), free.latency(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_counters_reconcile() {
+        // 40 sources against per-shard capacity 1 forces CLOCK
+        // collisions in every shard (40 sources / 16 shards).
+        let o = LatencyOracle::with_row_budget(line(40), 4);
+        let mut queries = 0u64;
+        for round in 0..3 {
+            for u in 0..40u32 {
+                for v in 0..40u32 {
+                    let _ = o.latency(u, v);
+                    if u != v {
+                        queries += 1;
+                    }
+                }
+            }
+            let s = o.cache_stats();
+            assert_eq!(s.hits + s.misses, queries, "round {round}");
+            assert!(s.evictions <= s.misses, "round {round}");
+            assert!(s.resident <= s.budget.unwrap() + OVERFLOW_SHARDS, "round {round}");
+        }
+        let s = o.cache_stats();
+        assert!(s.evictions > 0, "tiny budget over 16 sources must evict");
+        assert_eq!(s.pinned, 2, "budget 4 pins budget/2 rows");
+    }
+
+    #[test]
+    fn bounded_precompute_pins_without_counting() {
+        let o = LatencyOracle::with_row_budget(line(16), 8);
+        o.precompute(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let s = o.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!(s.pinned, 4, "pin cap is budget/2");
+        // Pinned rows answer on the lock-free path as hits.
+        let _ = o.latency(0, 9);
+        assert_eq!(o.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn bounded_row_serves_pinned_and_panics_past_cap() {
+        let o = LatencyOracle::with_row_budget(line(8), 4);
+        assert_eq!(o.row(0)[7], 35);
+        assert_eq!(o.row(1)[7], 30);
+        assert_eq!(o.row(0)[7], 35); // still resident
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| o.row(5)));
+        assert!(caught.is_err(), "third distinct row() must exceed pin cap 2");
+    }
+
+    #[test]
+    fn unbounded_stats_report_no_counting() {
+        let o = LatencyOracle::new(triangle());
+        let _ = o.latency(0, 1);
+        let s = o.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!(s.budget, None);
+        assert_eq!(s.resident, 1);
     }
 }

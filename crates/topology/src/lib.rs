@@ -34,6 +34,6 @@ mod transit_stub;
 pub use brite::BriteConfig;
 pub use graph::{Edge, Graph};
 pub use inet::InetConfig;
-pub use latency::LatencyOracle;
+pub use latency::{CacheStats, LatencyOracle};
 pub use topo::{NodeKind, Topology};
 pub use transit_stub::TransitStubConfig;

@@ -54,4 +54,18 @@ echo "==> bench smoke: replay, 500 peers, 2000 requests, obs on"
 echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
 ./target/release/churn --smoke
 
+echo "==> bench smoke: scale, 500 peers, 2000 requests + regression gate"
+./target/release/bench_scale --smoke
+# Fail if the smoke replay regressed more than 2x against the
+# checked-in budget (scripts/scale_budget_ns, measured on the CI box).
+budget=$(cat scripts/scale_budget_ns)
+median=$(awk -F': ' '/"median_ns_per_lookup"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_scale.json)
+awk -v m="$median" -v b="$budget" 'BEGIN {
+    if (m + 0 > 2 * b) {
+        printf "scale smoke regressed: median %.1f ns/lookup > 2x budget %.1f\n", m, b
+        exit 1
+    }
+    printf "scale smoke median %.1f ns/lookup within 2x budget %.1f\n", m, b
+}'
+
 echo "==> verify OK"
