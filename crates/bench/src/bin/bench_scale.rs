@@ -1,30 +1,42 @@
 //! Scale sweep — how far the replay engine stretches.
 //!
-//! Sweeps the experiment over {1k, 5k, 20k, 100k} peers and records,
-//! per size point:
+//! Sweeps the experiment over {1k, 5k, 20k, 100k} peers and, per size,
+//! over the latency-oracle backends: the row cache (`rows`) and the
+//! exact 2-hop hub labels (`labels`). Rows is skipped at 100k — its
+//! O(N²) precompute is the 20-minute / 20 GB wall the labels backend
+//! exists to remove — so the 100k point is labels-only. Per run it
+//! records:
 //!
-//! * **build_ms** — full assembly (topology → oracles → precompute);
+//! * **build_ms** — full assembly (topology → oracle → precompute),
+//!   with the phase breakdown and the effective build thread count;
 //! * **ns/lookup** — min/median/max over `REPS` timed repetitions of
 //!   the parallel replay, after one explicitly discarded warm-up rep
 //!   (each lookup evaluates *both* Chord and HIERAS allocation-free);
 //! * **peak_rss_mb** — the process high-water mark (`VmHWM` from
-//!   `/proc/self/status`), dominated by the latency-row cache;
-//! * **cache probe** — a second, memory-*bounded* latency oracle
+//!   `/proc/self/status`) at the end of the run's replay. The mark is
+//!   monotonic per process, so within a size the rows run reads first;
+//! * **metrics_match_rows** — on a labels run, whether its full replay
+//!   metrics are byte-identical to the rows run of the same size
+//!   (labels are exact, so anything but `true` is a bug);
+//! * **label_stats** — hub count, label lengths, build ms, bytes;
+//! * **cache probe** (labels entry, once per size) — a third,
+//!   memory-*bounded* row oracle
 //!   ([`hieras_topology::LatencyOracle::with_row_budget`]) driven by a
 //!   sample of the same workload, reporting hit/miss/eviction counters
-//!   through a [`hieras_obs::Registry`] so the unbounded run's memory
-//!   cost can be traded against recomputation;
+//!   through a [`hieras_obs::Registry`];
 //! * the replayed Chord/HIERAS routing summaries, including the
 //!   lower-layer hop and latency shares the paper's §4.3 tracks.
 //!
 //! Output goes to `BENCH_scale.json` (and stdout). `--smoke` runs the
-//! CI-sized point (500 peers, 2000 requests) only; `HIERAS_THREADS=n`
-//! pins the executor width.
+//! CI-sized point (500 peers, 2000 requests, both backends) only;
+//! `HIERAS_THREADS=n` pins the executor width.
 
 use hieras_chord::PathBuf;
-use hieras_obs::{Profiler, Registry};
+use hieras_obs::{names, Profiler, Registry};
 use hieras_rt::{Executor, Json, ToJson};
-use hieras_sim::{BuildOptions, Experiment, ExperimentConfig, Workload};
+use hieras_sim::{
+    BuildOptions, ComparisonResult, Experiment, ExperimentConfig, OracleBackend, Workload,
+};
 use hieras_topology::LatencyOracle;
 use std::time::Instant;
 
@@ -38,6 +50,10 @@ const REPS: usize = 5;
 /// Requests driven through the bounded-cache probe. Small on purpose:
 /// every probe miss is a fresh Dijkstra.
 const PROBE_REQUESTS: usize = 500;
+
+/// Peer count above which the rows backend is not swept: its build is
+/// quadratic in routers and would dominate the whole sweep.
+const ROWS_CEILING: usize = 20_000;
 
 struct SizePoint {
     nodes: usize,
@@ -76,12 +92,12 @@ fn cache_probe(e: &Experiment, requests: usize) -> Json {
     }
     let s = bounded.cache_stats();
     let mut reg = Registry::new();
-    reg.inc_by("latency_cache.hits", s.hits);
-    reg.inc_by("latency_cache.misses", s.misses);
-    reg.inc_by("latency_cache.evictions", s.evictions);
-    reg.gauge_set("latency_cache.pinned_rows", s.pinned as i64);
-    reg.gauge_set("latency_cache.resident_rows", s.resident as i64);
-    reg.gauge_set("latency_cache.row_budget", budget as i64);
+    reg.inc_by(names::LATENCY_CACHE_HITS, s.hits);
+    reg.inc_by(names::LATENCY_CACHE_MISSES, s.misses);
+    reg.inc_by(names::LATENCY_CACHE_EVICTIONS, s.evictions);
+    reg.gauge_set(names::LATENCY_CACHE_PINNED_ROWS, s.pinned as i64);
+    reg.gauge_set(names::LATENCY_CACHE_RESIDENT_ROWS, s.resident as i64);
+    reg.gauge_set(names::LATENCY_CACHE_ROW_BUDGET, budget as i64);
     let hit_rate = if s.hits + s.misses > 0 {
         s.hits as f64 / (s.hits + s.misses) as f64
     } else {
@@ -96,7 +112,15 @@ fn cache_probe(e: &Experiment, requests: usize) -> Json {
     ])
 }
 
-fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
+/// One (size, backend) run. `rows_baseline` carries the rows-backend
+/// replay result of the same size so a labels run can prove byte
+/// identity; the run's own result is returned for exactly that reuse.
+fn bench_one(
+    exec: &Executor,
+    point: &SizePoint,
+    oracle: OracleBackend,
+    rows_baseline: Option<&ComparisonResult>,
+) -> (Json, ComparisonResult) {
     let mut config = ExperimentConfig::paper(point.nodes, SEED);
     config.requests = point.requests;
 
@@ -105,7 +129,7 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
     let e = Experiment::build_with(
         config.clone(),
         &mut prof,
-        BuildOptions { exec: *exec, ..BuildOptions::default() },
+        BuildOptions { exec: *exec, oracle, precompute: true },
     );
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -128,26 +152,51 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
     let median_ns = per_lookup_ns[per_lookup_ns.len() / 2];
     let max_ns = per_lookup_ns[per_lookup_ns.len() - 1];
 
-    let probe = cache_probe(&e, PROBE_REQUESTS);
+    // Read the high-water mark before the probe so the entry reflects
+    // build + replay, not the probe's own bounded row cache.
     let rss = peak_rss_mb();
+
+    let metrics_match = rows_baseline.map(|base| *base == result);
+    let label_stats = e.lat.label_stats().map(|(l, _)| {
+        Json::obj([
+            ("hubs", l.hubs.to_json()),
+            ("entries", l.entries.to_json()),
+            ("avg_len", l.avg_len.to_json()),
+            ("max_len", l.max_len.to_json()),
+            ("build_ms", l.build_ms.to_json()),
+            ("bytes", e.lat.cache_bytes().to_json()),
+        ])
+    });
+    // The probe depends only on structures identical across backends;
+    // attaching it to the labels run keeps it once per size (labels
+    // runs everywhere, rows does not).
+    let probe = (oracle == OracleBackend::Labels).then(|| cache_probe(&e, PROBE_REQUESTS));
 
     let cs = result.chord.summary();
     let hs = result.hieras.summary();
     println!(
-        "{:>7} peers | build {:>9.1} ms | replay {:>9.1} ns/lookup | rss {:>8.1} MB | \
-         hieras {:.2} hops {:.0} ms ({:.1}% lower-layer latency)",
+        "{:>7} peers | {:<6} | build {:>9.1} ms | replay {:>9.1} ns/lookup | rss {:>8.1} MB | \
+         hieras {:.2} hops {:.0} ms ({:.1}% lower-layer latency){}",
         point.nodes,
+        oracle.label(),
         build_ms,
         median_ns,
         rss.unwrap_or(0.0),
         hs.avg_hops,
         hs.avg_latency_ms,
-        hs.lower_latency_share * 100.0
+        hs.lower_latency_share * 100.0,
+        match metrics_match {
+            Some(true) => " | metrics == rows",
+            Some(false) => " | METRICS DIVERGE FROM ROWS",
+            None => "",
+        }
     );
 
-    Json::obj([
+    let json = Json::obj([
         ("nodes", point.nodes.to_json()),
         ("requests", point.requests.to_json()),
+        ("backend", oracle.label().to_json()),
+        ("build_threads", exec.threads().to_json()),
         ("build_ms", build_ms.to_json()),
         ("build_phases", prof.report().to_json()),
         ("warmup_ns_per_lookup", warmup_ns.to_json()),
@@ -156,10 +205,13 @@ fn bench_one(exec: &Executor, point: &SizePoint) -> Json {
         ("max_ns_per_lookup", max_ns.to_json()),
         ("ns_per_lookup", per_lookup_ns.to_json()),
         ("peak_rss_mb", rss.map_or(Json::Null, |m| m.to_json())),
-        ("cache_probe", probe),
+        ("metrics_match_rows", metrics_match.map_or(Json::Null, |m| m.to_json())),
+        ("label_stats", label_stats.unwrap_or(Json::Null)),
+        ("cache_probe", probe.unwrap_or(Json::Null)),
         ("chord", cs.to_json()),
         ("hieras", hs.to_json()),
-    ])
+    ]);
+    (json, result)
 }
 
 fn main() {
@@ -192,7 +244,24 @@ fn main() {
         if smoke { " [smoke]" } else { "" }
     );
 
-    let sizes: Vec<Json> = points.iter().map(|p| bench_one(&exec, p)).collect();
+    let mut sizes: Vec<Json> = Vec::new();
+    let mut diverged = false;
+    for p in &points {
+        // Rows first: it is both the byte-identity baseline and —
+        // because VmHWM only ever rises — the run whose RSS reading
+        // must not be inflated by a neighbour.
+        let rows_result = (p.nodes <= ROWS_CEILING).then(|| {
+            let (json, result) = bench_one(&exec, p, OracleBackend::Rows, None);
+            sizes.push(json);
+            result
+        });
+        let (json, _) = bench_one(&exec, p, OracleBackend::Labels, rows_result.as_ref());
+        if let Some(Json::Bool(false)) = json.get("metrics_match_rows") {
+            diverged = true;
+        }
+        sizes.push(json);
+    }
+
     let out = Json::obj([
         ("bench", "scale".to_json()),
         ("seed", SEED.to_json()),
@@ -205,4 +274,5 @@ fn main() {
     let path = "BENCH_scale.json";
     std::fs::write(path, out.dump_pretty()).expect("write benchmark output");
     println!("wrote {path}");
+    assert!(!diverged, "labels-backend metrics diverged from the rows baseline");
 }

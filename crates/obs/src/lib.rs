@@ -35,6 +35,8 @@ mod profile;
 mod registry;
 mod trace;
 
+pub mod names;
+
 pub use profile::{Phase, PhaseReport, Profiler};
 pub use registry::{LogHistogram, Registry};
 pub use trace::{TraceEvent, TraceKind, Tracer};

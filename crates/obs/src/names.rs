@@ -1,0 +1,54 @@
+//! Canonical metric names shared across the workspace.
+//!
+//! The replay loop, the latency-oracle backends, and the bench
+//! harness all publish into a [`crate::Registry`] under these keys.
+//! Centralizing the strings keeps producers (`hieras-sim`) and
+//! consumers (`hieras-bench`, `scripts/verify.sh`, dashboards) from
+//! drifting apart: a typo becomes a compile error instead of a metric
+//! that silently never reconciles.
+//!
+//! Naming scheme: `<subsystem>.<metric>` with an algorithm segment
+//! where one applies (`replay.chord.hops`). Counters count events,
+//! gauges snapshot state, histograms end in the unit they observe.
+
+/// Requests replayed (counter).
+pub const REPLAY_REQUESTS: &str = "replay.requests";
+/// Chord hops per request (histogram).
+pub const REPLAY_CHORD_HOPS: &str = "replay.chord.hops";
+/// Chord end-to-end latency per request, ms (histogram).
+pub const REPLAY_CHORD_LATENCY_MS: &str = "replay.chord.latency_ms";
+/// HIERAS hops per request (histogram).
+pub const REPLAY_HIERAS_HOPS: &str = "replay.hieras.hops";
+/// HIERAS hops taken in lower layers (histogram).
+pub const REPLAY_HIERAS_LOWER_HOPS: &str = "replay.hieras.lower_hops";
+/// HIERAS end-to-end latency per request, ms (histogram).
+pub const REPLAY_HIERAS_LATENCY_MS: &str = "replay.hieras.latency_ms";
+
+/// Latency queries served from a resident row (counter).
+pub const LATENCY_CACHE_HITS: &str = "latency_cache.hits";
+/// Latency queries that recomputed a Dijkstra row (counter).
+pub const LATENCY_CACHE_MISSES: &str = "latency_cache.misses";
+/// Rows evicted from the bounded overflow shards (counter).
+pub const LATENCY_CACHE_EVICTIONS: &str = "latency_cache.evictions";
+/// Rows pinned in the lock-free segment (gauge).
+pub const LATENCY_CACHE_PINNED_ROWS: &str = "latency_cache.pinned_rows";
+/// Rows currently resident, pinned + overflow (gauge).
+pub const LATENCY_CACHE_RESIDENT_ROWS: &str = "latency_cache.resident_rows";
+/// Configured row budget of a bounded oracle (gauge).
+pub const LATENCY_CACHE_ROW_BUDGET: &str = "latency_cache.row_budget";
+
+/// Hub count of the label index (gauge).
+pub const LATENCY_LABELS_HUBS: &str = "latency_labels.hubs";
+/// Total label entries across all nodes (gauge).
+pub const LATENCY_LABELS_ENTRIES: &str = "latency_labels.entries";
+/// Mean label length in thousandths of an entry (gauge; the registry
+/// holds integers, so 2.5 entries/node is published as 2500).
+pub const LATENCY_LABELS_AVG_LEN_MILLI: &str = "latency_labels.avg_len_milli";
+/// Longest per-node label list (gauge).
+pub const LATENCY_LABELS_MAX_LEN: &str = "latency_labels.max_len";
+/// Wall-clock label construction time, whole ms (gauge).
+pub const LATENCY_LABELS_BUILD_MS: &str = "latency_labels.build_ms";
+/// Queries answered by label merge (counter).
+pub const LATENCY_LABELS_QUERIES: &str = "latency_labels.queries";
+/// Bytes held by the label arrays (gauge).
+pub const LATENCY_LABELS_BYTES: &str = "latency_labels.bytes";

@@ -5,7 +5,7 @@ use crate::Workload;
 use hieras_chord::{ChordOracle, PathBuf};
 use hieras_core::{HierasConfig, HierasOracle, LandmarkOrder};
 use hieras_id::{Id, IdSpace};
-use hieras_obs::{Profiler, Registry};
+use hieras_obs::{names, Profiler, Registry};
 use hieras_topology::{BriteConfig, InetConfig, LatencyOracle, Topology, TransitStubConfig};
 use hieras_rt::{Executor, FromJson, Json, JsonError, Rng, ToJson};
 use std::collections::HashSet;
@@ -159,27 +159,58 @@ pub enum AlgoStats {
     Hieras,
 }
 
+/// Which [`LatencyOracle`] backend an experiment builds on. Every
+/// backend answers identical latencies — exactness is an invariant,
+/// not a quality setting — so the choice only moves build time,
+/// memory, and per-query cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OracleBackend {
+    /// Unbounded lazy Dijkstra rows ([`LatencyOracle::new`]). O(1)
+    /// queries; O(N²) residency once every source has been touched.
+    #[default]
+    Rows,
+    /// Row cache capped at this many resident rows
+    /// ([`LatencyOracle::with_row_budget`]).
+    Bounded(usize),
+    /// Exact 2-hop hub labels ([`LatencyOracle::with_labels_on`]):
+    /// sub-quadratic build and memory, label-merge queries.
+    Labels,
+}
+
+impl OracleBackend {
+    /// Short name used in bench output ("rows", "bounded", "labels").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OracleBackend::Rows => "rows",
+            OracleBackend::Bounded(_) => "bounded",
+            OracleBackend::Labels => "labels",
+        }
+    }
+}
+
 /// Knobs for [`Experiment::build_with`] that change *how* (not what)
 /// an experiment is assembled: the executor every parallel build phase
-/// runs on, an optional latency-row budget, and whether to warm the
+/// runs on, the latency-oracle backend, and whether to warm the
 /// latency cache up front. All combinations produce identical routing
-/// structures; with an unbounded cache the replay metrics are
-/// bit-identical too.
+/// structures; with an unbounded or labels oracle the replay metrics
+/// are bit-identical too.
 #[derive(Debug, Clone, Copy)]
 pub struct BuildOptions {
-    /// Executor for ring construction and latency precompute.
+    /// Executor for ring construction, label builds, and latency
+    /// precompute.
     pub exec: Executor,
-    /// Cap on resident latency rows ([`LatencyOracle::with_row_budget`]);
-    /// `None` keeps every computed row.
-    pub row_budget: Option<usize>,
+    /// Latency-oracle backend to build on.
+    pub oracle: OracleBackend,
     /// Warm the latency rows of every peer router during build. Skip
-    /// for memory-bounded runs where rows should fault in on demand.
+    /// for memory-bounded runs where rows should fault in on demand;
+    /// a no-op on the labels backend (its build is its precompute).
     pub precompute: bool,
 }
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { exec: Executor::default(), row_budget: None, precompute: true }
+        BuildOptions { exec: Executor::default(), oracle: OracleBackend::Rows, precompute: true }
     }
 }
 
@@ -241,8 +272,9 @@ impl Experiment {
     }
 
     /// [`Experiment::build_profiled`] with explicit [`BuildOptions`]:
-    /// the parallel phases (finger tables, latency precompute) run on
-    /// `opts.exec`, and the latency cache honours `opts.row_budget`.
+    /// the parallel phases (finger tables, label builds, latency
+    /// precompute) run on `opts.exec`, and the latency oracle is built
+    /// on the backend `opts.oracle` selects.
     ///
     /// # Panics
     /// As [`Experiment::build`].
@@ -258,9 +290,15 @@ impl Experiment {
         let mut rng = Rng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
         prof.start("place_peers");
         let router_of = topo.place_peers(config.nodes, &mut rng);
-        let lat = match opts.row_budget {
-            Some(b) => LatencyOracle::with_row_budget(topo.graph.clone(), b),
-            None => LatencyOracle::new(topo.graph.clone()),
+        prof.end();
+        // The oracle build is the dominant cost at scale for the
+        // labels backend (the row backends defer theirs to
+        // latency_precompute / query time), so it gets its own phase.
+        prof.start("latency_oracle");
+        let lat = match opts.oracle {
+            OracleBackend::Rows => LatencyOracle::new(topo.graph.clone()),
+            OracleBackend::Bounded(b) => LatencyOracle::with_row_budget(topo.graph.clone(), b),
+            OracleBackend::Labels => LatencyOracle::with_labels_on(&opts.exec, topo.graph.clone()),
         };
         prof.end();
 
@@ -325,9 +363,11 @@ impl Experiment {
         .expect("validated config and matching orders");
         prof.end();
 
-        // Warm the latency rows every replay hop can touch, in parallel.
+        // Warm the latency rows every replay hop can touch, in
+        // parallel. Labels need no warming: their build already
+        // answers every pair.
         prof.start("latency_precompute");
-        if opts.precompute {
+        if opts.precompute && opts.oracle != OracleBackend::Labels {
             let mut distinct: Vec<u32> = router_of.clone();
             distinct.sort_unstable();
             distinct.dedup();
@@ -408,12 +448,12 @@ impl Experiment {
                 let (src, key) = w.request(i);
                 let cs = self.eval_chord(src, key, &mut acc.3);
                 let hs = self.eval_hieras(src, key, &mut acc.3);
-                acc.2.inc("replay.requests");
-                acc.2.observe("replay.chord.hops", u64::from(cs.hops));
-                acc.2.observe("replay.chord.latency_ms", u64::from(cs.latency_ms));
-                acc.2.observe("replay.hieras.hops", u64::from(hs.hops));
-                acc.2.observe("replay.hieras.lower_hops", u64::from(hs.lower_hops));
-                acc.2.observe("replay.hieras.latency_ms", u64::from(hs.latency_ms));
+                acc.2.inc(names::REPLAY_REQUESTS);
+                acc.2.observe(names::REPLAY_CHORD_HOPS, u64::from(cs.hops));
+                acc.2.observe(names::REPLAY_CHORD_LATENCY_MS, u64::from(cs.latency_ms));
+                acc.2.observe(names::REPLAY_HIERAS_HOPS, u64::from(hs.hops));
+                acc.2.observe(names::REPLAY_HIERAS_LOWER_HOPS, u64::from(hs.lower_hops));
+                acc.2.observe(names::REPLAY_HIERAS_LATENCY_MS, u64::from(hs.latency_ms));
                 acc.0.record(cs);
                 acc.1.record(hs);
             },
@@ -451,17 +491,31 @@ impl Experiment {
         }
     }
 
-    /// Publishes the latency cache's [`hieras_topology::CacheStats`]
-    /// into `reg` as `latency_cache.*` counters and gauges.
+    /// Publishes the latency oracle's state into `reg`: the
+    /// [`hieras_topology::CacheStats`] as `latency_cache.*` on the row
+    /// backends, and the [`hieras_topology::LabelStats`] plus query
+    /// counter as `latency_labels.*` on the labels backend.
     pub fn record_cache_stats(&self, reg: &mut Registry) {
+        if let Some((l, queries)) = self.lat.label_stats() {
+            reg.gauge_set(names::LATENCY_LABELS_HUBS, l.hubs as i64);
+            reg.gauge_set(names::LATENCY_LABELS_ENTRIES, l.entries as i64);
+            #[allow(clippy::cast_possible_truncation)] // label lists are tiny
+            reg.gauge_set(names::LATENCY_LABELS_AVG_LEN_MILLI, (l.avg_len * 1000.0) as i64);
+            reg.gauge_set(names::LATENCY_LABELS_MAX_LEN, l.max_len as i64);
+            #[allow(clippy::cast_possible_truncation)]
+            reg.gauge_set(names::LATENCY_LABELS_BUILD_MS, l.build_ms as i64);
+            reg.gauge_set(names::LATENCY_LABELS_BYTES, self.lat.cache_bytes() as i64);
+            reg.inc_by(names::LATENCY_LABELS_QUERIES, queries);
+            return;
+        }
         let s = self.lat.cache_stats();
-        reg.inc_by("latency_cache.hits", s.hits);
-        reg.inc_by("latency_cache.misses", s.misses);
-        reg.inc_by("latency_cache.evictions", s.evictions);
-        reg.gauge_set("latency_cache.pinned_rows", s.pinned as i64);
-        reg.gauge_set("latency_cache.resident_rows", s.resident as i64);
+        reg.inc_by(names::LATENCY_CACHE_HITS, s.hits);
+        reg.inc_by(names::LATENCY_CACHE_MISSES, s.misses);
+        reg.inc_by(names::LATENCY_CACHE_EVICTIONS, s.evictions);
+        reg.gauge_set(names::LATENCY_CACHE_PINNED_ROWS, s.pinned as i64);
+        reg.gauge_set(names::LATENCY_CACHE_RESIDENT_ROWS, s.resident as i64);
         if let Some(b) = s.budget {
-            reg.gauge_set("latency_cache.row_budget", b as i64);
+            reg.gauge_set(names::LATENCY_CACHE_ROW_BUDGET, b as i64);
         }
     }
 }
@@ -527,9 +581,9 @@ mod tests {
         let plain = e.run_requests_on(&Executor::new(2), 1500);
         let (traced, reg) = e.run_requests_traced(&Executor::new(1), 1500);
         assert_eq!(traced, plain, "the registry fold must not perturb the metrics");
-        assert_eq!(reg.counter("replay.requests"), 1500);
+        assert_eq!(reg.counter(names::REPLAY_REQUESTS), 1500);
         assert_eq!(
-            reg.hist("replay.hieras.hops").unwrap().sum(),
+            reg.hist(names::REPLAY_HIERAS_HOPS).unwrap().sum(),
             traced.hieras.total_hops,
             "histogram sum reconciles with the metric totals"
         );
@@ -554,8 +608,8 @@ mod tests {
         let children: Vec<&str> =
             report.phases[0].children.iter().map(|p| p.name.as_str()).collect();
         for want in
-            ["topology", "place_peers", "landmarks", "binning", "ids", "chord_build",
-             "hieras_build", "latency_precompute"]
+            ["topology", "place_peers", "latency_oracle", "landmarks", "binning", "ids",
+             "chord_build", "hieras_build", "latency_precompute"]
         {
             assert!(children.contains(&want), "phase {want} missing from {children:?}");
         }
@@ -589,17 +643,64 @@ mod tests {
         let tight = Experiment::build_with(
             cfg,
             &mut Profiler::new(),
-            BuildOptions { row_budget: Some(24), precompute: false, ..BuildOptions::default() },
+            BuildOptions {
+                oracle: OracleBackend::Bounded(24),
+                precompute: false,
+                ..BuildOptions::default()
+            },
         );
         // Single-threaded replay: a bounded cache is slower, not wrong.
         assert_eq!(tight.run_requests_on(&Executor::new(1), 1000), free);
         let mut reg = Registry::new();
         tight.record_cache_stats(&mut reg);
         let (hits, misses) =
-            (reg.counter("latency_cache.hits"), reg.counter("latency_cache.misses"));
+            (reg.counter(names::LATENCY_CACHE_HITS), reg.counter(names::LATENCY_CACHE_MISSES));
         assert!(hits > 0 && misses > 0, "a tight budget must both hit and miss");
-        assert!(reg.counter("latency_cache.evictions") <= misses);
-        assert_eq!(reg.gauge("latency_cache.row_budget"), Some(24));
+        assert!(reg.counter(names::LATENCY_CACHE_EVICTIONS) <= misses);
+        assert_eq!(reg.gauge(names::LATENCY_CACHE_ROW_BUDGET), Some(24));
+    }
+
+    #[test]
+    fn labels_oracle_leaves_metrics_unchanged() {
+        let cfg = ExperimentConfig { nodes: 200, ..small_cfg() };
+        let rows = Experiment::build(cfg.clone()).run_requests_on(&Executor::new(1), 1000);
+        let labeled = Experiment::build_with(
+            cfg,
+            &mut Profiler::new(),
+            BuildOptions { oracle: OracleBackend::Labels, ..BuildOptions::default() },
+        );
+        assert_eq!(labeled.lat.backend_name(), "labels");
+        assert_eq!(
+            labeled.run_requests_on(&Executor::new(1), 1000),
+            rows,
+            "labels are exact — replay metrics must be byte-identical to rows"
+        );
+        let mut reg = Registry::new();
+        labeled.record_cache_stats(&mut reg);
+        assert!(reg.gauge(names::LATENCY_LABELS_HUBS).unwrap() > 0);
+        assert!(reg.gauge(names::LATENCY_LABELS_ENTRIES).unwrap() > 0);
+        assert!(reg.gauge(names::LATENCY_LABELS_MAX_LEN).unwrap() > 0);
+        assert!(reg.gauge(names::LATENCY_LABELS_BYTES).unwrap() > 0);
+        assert!(reg.counter(names::LATENCY_LABELS_QUERIES) > 0);
+        assert_eq!(reg.counter(names::LATENCY_CACHE_HITS), 0, "no cache metrics on labels");
+    }
+
+    #[test]
+    fn labels_build_is_bit_identical_across_thread_counts() {
+        let cfg = ExperimentConfig { nodes: 200, ..small_cfg() };
+        let build = |threads| {
+            Experiment::build_with(
+                cfg.clone(),
+                &mut Profiler::new(),
+                BuildOptions { exec: Executor::new(threads), oracle: OracleBackend::Labels,
+                               precompute: true },
+            )
+            .run_requests_on(&Executor::new(1), 1200)
+        };
+        let base = build(1);
+        for threads in [2, 8] {
+            assert_eq!(build(threads), base, "{threads}-thread label build changed the metrics");
+        }
     }
 
     #[test]

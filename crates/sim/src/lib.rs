@@ -33,7 +33,8 @@ mod workload;
 pub use churn::{ChurnConfig, ChurnEvent, ChurnEventKind, ChurnSchedule, Lifetime};
 pub use des::{CancelToken, EventQueue, SimClock, TimedEvent};
 pub use experiment::{
-    AlgoStats, BuildOptions, ComparisonResult, Experiment, ExperimentConfig, TopologyKind,
+    AlgoStats, BuildOptions, ComparisonResult, Experiment, ExperimentConfig, OracleBackend,
+    TopologyKind,
 };
 pub use metrics::{Cdf, Histogram, Metrics, Sample, Summary, TailLatency};
 pub use workload::Workload;

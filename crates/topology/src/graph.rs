@@ -40,6 +40,41 @@ fn pair_key(u: u32, v: u32) -> u64 {
     (u64::from(a) << 32) | u64::from(b)
 }
 
+/// Reusable working memory for [`Graph::dijkstra_into`]: the tentative
+/// `u32` distance array and the Dial bucket ring. One scratch serves
+/// any number of consecutive runs (even across graphs of different
+/// sizes — the buffers regrow as needed), so steady-state callers like
+/// the bounded latency cache's miss path and the hub-label builder
+/// never allocate per Dijkstra.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    /// Tentative distances; `u32::MAX` = unseen. Reset lazily per run.
+    pub(crate) dist: Vec<u32>,
+    /// Dial bucket ring, one bucket per distance residue.
+    pub(crate) buckets: Vec<Vec<u32>>,
+}
+
+impl DijkstraScratch {
+    /// A fresh scratch with no capacity reserved yet.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the scratch for a run over `n` nodes with `nb` buckets,
+    /// keeping the allocations.
+    pub(crate) fn reset(&mut self, n: usize, nb: usize) {
+        self.dist.clear();
+        self.dist.resize(n, u32::MAX);
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        if self.buckets.len() < nb {
+            self.buckets.resize_with(nb, Vec::new);
+        }
+    }
+}
+
 impl Graph {
     /// An empty graph with `n` isolated nodes.
     #[must_use]
@@ -123,6 +158,12 @@ impl Graph {
         self.adj[u as usize].len()
     }
 
+    /// Largest link delay present (sizes Dial bucket rings).
+    #[must_use]
+    pub fn max_delay(&self) -> u16 {
+        self.max_delay
+    }
+
     /// True if every node can reach every other node.
     #[must_use]
     pub fn is_connected(&self) -> bool {
@@ -159,18 +200,35 @@ impl Graph {
     /// the equivalence tests).
     #[must_use]
     pub fn dijkstra(&self, src: u32) -> Box<[u16]> {
+        let mut out = vec![u16::MAX; self.node_count()].into_boxed_slice();
+        self.dijkstra_into(src, &mut out, &mut DijkstraScratch::new());
+        out
+    }
+
+    /// [`Graph::dijkstra`] writing into a caller-owned row, reusing
+    /// `scratch` for the tentative-distance array and bucket ring.
+    ///
+    /// The row written into `out` is byte-identical to what
+    /// [`Graph::dijkstra`] returns, for any prior state of `out` and
+    /// `scratch` — steady-state callers (the bounded latency cache's
+    /// miss path, the hub-label builder) recycle both and never touch
+    /// the allocator.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.node_count()`.
+    pub fn dijkstra_into(&self, src: u32, out: &mut [u16], scratch: &mut DijkstraScratch) {
         const UNSEEN: u32 = u32::MAX;
         let n = self.node_count();
-        let mut dist = vec![UNSEEN; n];
-        let mut out = vec![u16::MAX; n].into_boxed_slice();
+        assert_eq!(out.len(), n, "output row must cover every node");
         if n == 0 {
-            return out;
+            return;
         }
         // One bucket per distinct distance residue; max edge weight C
         // bounds every queued tentative distance to [d, d + C], so
         // C + 1 buckets suffice.
         let nb = usize::from(self.max_delay) + 1;
-        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nb];
+        scratch.reset(n, nb);
+        let (dist, buckets) = (&mut scratch.dist, &mut scratch.buckets);
         let mut pending = 1usize;
         dist[src as usize] = 0;
         buckets[0].push(src);
@@ -193,12 +251,9 @@ impl Graph {
             }
             d += 1;
         }
-        for (o, d) in out.iter_mut().zip(dist) {
-            if d != UNSEEN {
-                *o = d.min(u32::from(u16::MAX - 1)) as u16;
-            }
+        for (o, d) in out.iter_mut().zip(dist.iter()) {
+            *o = if *d == UNSEEN { u16::MAX } else { (*d).min(u32::from(u16::MAX - 1)) as u16 };
         }
-        out
     }
 
     /// The original binary-heap Dijkstra, kept as the reference
@@ -372,6 +427,25 @@ mod tests {
             let dbc = u32::from(g.shortest_delay(b, c));
             let dac = u32::from(g.shortest_delay(a, c));
             assert!(dac <= dab + dbc);
+        }
+    }
+
+    /// One scratch and one output row recycled across sources and
+    /// across graphs of different sizes must reproduce the allocating
+    /// path exactly — stale contents must never leak through.
+    #[test]
+    fn dijkstra_into_reuse_matches_fresh_rows() {
+        let mut rng = Rng::seed_from_u64(0x5c7a);
+        let mut scratch = DijkstraScratch::new();
+        let mut row: Vec<u16> = Vec::new();
+        for _ in 0..60 {
+            let g = random_graph(&mut rng);
+            row.clear();
+            row.resize(g.node_count(), 123);
+            for src in 0..g.node_count() as u32 {
+                g.dijkstra_into(src, &mut row, &mut scratch);
+                assert_eq!(&row[..], &g.dijkstra(src)[..], "src {src}");
+            }
         }
     }
 

@@ -1,0 +1,435 @@
+//! Exact 2-hop (hub) distance labels — the sub-quadratic latency
+//! backend.
+//!
+//! The row-matrix oracle pays one full Dijkstra per distinct source
+//! and `N × N` `u16`s of residency: at 10⁵ routers that is the entire
+//! build wall (≈20 min) and 20 GB of RSS. The internet-shaped graphs
+//! this repo simulates (Transit-Stub, Inet power-law, BRITE) are
+//! exactly the low-highway-dimension graphs on which *pruned landmark
+//! labeling* (Akiba, Iwata, Yoshida — SIGMOD 2013) is known to produce
+//! tiny labels: every shortest path crosses a small hierarchy of hub
+//! routers, so a handful of `(hub, distance)` pairs per vertex suffice
+//! to answer **exact** shortest-path queries by a sorted merge:
+//!
+//! ```text
+//! d(u, v) = min over hubs h ∈ label(u) ∩ label(v) of d(u,h) + d(h,v)
+//! ```
+//!
+//! Construction processes vertices in deterministic degree-descending
+//! order. Each hub runs one *pruned* Dijkstra: when a visited vertex's
+//! distance is already covered by previously committed labels, the
+//! search neither labels nor expands it. On a Transit-Stub instance
+//! the eight transit routers are ranked first and every later search
+//! collapses to its own stub domain — total work scales with the label
+//! size, not `N²`.
+//!
+//! Hubs are processed in fixed geometric warm-up batches (1, 2, 4, …,
+//! [`MAX_BATCH`]); within a batch every pruned Dijkstra sees only the
+//! labels committed by *prior* batches, so each batch is a pure
+//! function of the previous state and [`Executor::par_fill`] can run
+//! it on any number of threads with **bit-identical** results. (Less
+//! intra-batch pruning only ever adds redundant — still exact —
+//! entries, and the schedule is fixed, so the label set is a pure
+//! function of the graph.)
+
+use crate::graph::DijkstraScratch;
+use crate::Graph;
+use hieras_rt::Executor;
+use std::cell::RefCell;
+
+/// Hubs per full-speed batch. Must not depend on the thread count —
+/// it defines the commit schedule and therefore the exact label set.
+/// The geometric warm-up (1, 2, 4, … hubs) keeps the earliest, most
+/// widely covering hubs pruning each other near-sequentially; by the
+/// time batches reach this size the searches are local and intra-batch
+/// redundancy is negligible.
+const MAX_BATCH: usize = 256;
+
+/// Hubs per work chunk inside a batch. Small: one pruned search is
+/// microseconds to milliseconds, and chunk order fixes the merge.
+const LABEL_CHUNK: usize = 2;
+
+/// Size/effort statistics of a built [`HubLabels`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelStats {
+    /// Vertices serving as a hub in at least one label list.
+    pub hubs: usize,
+    /// Total `(hub, distance)` entries across all vertices.
+    pub entries: usize,
+    /// Mean label length.
+    pub avg_len: f64,
+    /// Longest label list.
+    pub max_len: usize,
+    /// Wall-clock build time, milliseconds.
+    pub build_ms: f64,
+}
+
+/// Exact 2-hop distance labels over a [`Graph`].
+///
+/// Immutable once built; queries take `&self` and are safe to share
+/// across threads. Equality compares the label structure only (not
+/// the recorded build time), so thread-identity tests can assert
+/// builds at different widths produce the same labels.
+#[derive(Debug, Clone)]
+pub struct HubLabels {
+    /// CSR offsets into `entries`, one slice per vertex.
+    offsets: Box<[u32]>,
+    /// Per-vertex label entries, packed `(hub_rank << 32) | distance`,
+    /// sorted ascending by hub rank (commit order guarantees it).
+    entries: Box<[u64]>,
+    /// Number of distinct hubs used by at least one label.
+    hubs: usize,
+    /// Wall-clock build time, ms (diagnostic; not part of equality).
+    build_ms: f64,
+}
+
+impl PartialEq for HubLabels {
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets && self.entries == other.entries && self.hubs == other.hubs
+    }
+}
+
+impl Eq for HubLabels {}
+
+/// Per-worker working memory for one pruned Dijkstra: the shared
+/// [`DijkstraScratch`] (tentative distances + Dial bucket ring, reset
+/// lazily through `touched`) plus the current hub's committed label
+/// scattered by rank for O(|label|) cover queries.
+#[derive(Default)]
+struct LabelScratch {
+    dij: DijkstraScratch,
+    /// Vertices whose tentative distance was set this run.
+    touched: Vec<u32>,
+    /// Distance from the current hub to committed hub `rank`;
+    /// `u32::MAX` = hub not on the current root's label.
+    hub_dist_of_rank: Vec<u32>,
+    /// Ranks set in `hub_dist_of_rank`, for O(|label|) reset.
+    marked: Vec<u32>,
+}
+
+impl LabelScratch {
+    /// Grows the arrays to cover `n` vertices and `nb` buckets,
+    /// keeping prior allocations. Distances are maintained reset by
+    /// the lazy `touched`/`marked` lists, so this never refills them.
+    fn ensure(&mut self, n: usize, nb: usize) {
+        if self.dij.dist.len() < n {
+            self.dij.dist.resize(n, u32::MAX);
+        }
+        if self.dij.buckets.len() < nb {
+            self.dij.buckets.resize_with(nb, Vec::new);
+        }
+        if self.hub_dist_of_rank.len() < n {
+            self.hub_dist_of_rank.resize(n, u32::MAX);
+        }
+    }
+}
+
+thread_local! {
+    /// One scratch per worker thread. Purely an allocation cache: the
+    /// labels produced are independent of scratch state, so reuse
+    /// cannot perturb determinism.
+    static SCRATCH: RefCell<LabelScratch> = RefCell::new(LabelScratch::default());
+}
+
+/// One pruned Dijkstra from `root`: returns the `(vertex, distance)`
+/// pairs this hub must label, in deterministic settle order. Pruning
+/// consults only `committed` (labels from prior batches), making the
+/// result a pure function of `(graph, committed, root)`.
+fn pruned_dijkstra(
+    graph: &Graph,
+    committed: &[Vec<(u32, u32)>],
+    root: u32,
+    nb: usize,
+) -> Vec<(u32, u32)> {
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.ensure(graph.node_count(), nb);
+        let LabelScratch { dij, touched, hub_dist_of_rank, marked } = scratch;
+        let (dist, buckets) = (&mut dij.dist, &mut dij.buckets);
+        let mut out = Vec::new();
+
+        // Scatter the root's committed label for O(|label(u)|) cover
+        // queries at every visited vertex u.
+        for &(rank, d) in &committed[root as usize] {
+            hub_dist_of_rank[rank as usize] = d;
+            marked.push(rank);
+        }
+
+        let mut pending = 1usize;
+        dist[root as usize] = 0;
+        touched.push(root);
+        buckets[0].push(root);
+        let mut d = 0usize;
+        while pending > 0 {
+            let b = d % nb;
+            while let Some(u) = buckets[b].pop() {
+                pending -= 1;
+                if dist[u as usize] != d as u32 {
+                    continue; // superseded entry
+                }
+                // Pruning test: is d(root, u) already achieved through
+                // a committed hub common to both labels?
+                let covered = committed[u as usize].iter().any(|&(rank, du)| {
+                    let dr = hub_dist_of_rank[rank as usize];
+                    dr != u32::MAX && u64::from(dr) + u64::from(du) <= d as u64
+                });
+                if covered {
+                    continue;
+                }
+                out.push((u, d as u32));
+                for e in graph.neighbors(u) {
+                    let nd = d as u32 + u32::from(e.delay_ms);
+                    if nd < dist[e.to as usize] {
+                        if dist[e.to as usize] == u32::MAX {
+                            touched.push(e.to);
+                        }
+                        dist[e.to as usize] = nd;
+                        buckets[nd as usize % nb].push(e.to);
+                        pending += 1;
+                    }
+                }
+            }
+            d += 1;
+        }
+
+        // Lazy reset: only what this run wrote.
+        for &t in touched.iter() {
+            dist[t as usize] = u32::MAX;
+        }
+        touched.clear();
+        for &r in marked.iter() {
+            hub_dist_of_rank[r as usize] = u32::MAX;
+        }
+        marked.clear();
+        out
+    })
+}
+
+impl HubLabels {
+    /// Builds labels on the default executor. Identical to
+    /// [`HubLabels::build_on`] at any width.
+    #[must_use]
+    pub fn build(graph: &Graph) -> Self {
+        Self::build_on(&Executor::default(), graph)
+    }
+
+    /// Builds exact hub labels for `graph`, parallelized on `exec`.
+    ///
+    /// The hub order (degree descending, index ascending), the batch
+    /// schedule, and the per-batch chunk size are all fixed, so the
+    /// resulting labels are **bit-identical at any thread count** —
+    /// asserted by `tests/label_equivalence.rs`.
+    #[must_use]
+    pub fn build_on(exec: &Executor, graph: &Graph) -> Self {
+        let t0 = std::time::Instant::now();
+        let n = graph.node_count();
+
+        // Deterministic hub priority: degree descending, index as the
+        // tie-break. High-degree routers (transit cores, AS hubs) cover
+        // the most shortest paths and must commit first.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by_key(|&v| (usize::MAX - graph.degree(v), v));
+
+        let nb = usize::from(graph.max_delay()) + 1;
+        let mut committed: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
+        let mut hubs = 0usize;
+
+        let mut start = 0usize;
+        let mut batch = 1usize;
+        while start < n {
+            let size = batch.min(n - start);
+            let mut results: Vec<Vec<(u32, u32)>> = vec![Vec::new(); size];
+            {
+                let committed = &committed;
+                let order = &order;
+                exec.par_fill(&mut results, LABEL_CHUNK, |i| {
+                    pruned_dijkstra(graph, committed, order[start + i], nb)
+                });
+            }
+            // Commit sequentially in rank order; each vertex's list
+            // stays sorted by hub rank by construction.
+            for (i, ins) in results.into_iter().enumerate() {
+                let rank = (start + i) as u32;
+                if !ins.is_empty() {
+                    hubs += 1;
+                }
+                for (v, d) in ins {
+                    committed[v as usize].push((rank, d));
+                }
+            }
+            start += size;
+            if batch < MAX_BATCH {
+                batch *= 2;
+            }
+        }
+
+        // Flatten to CSR with packed entries.
+        let total: usize = committed.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for label in &committed {
+            for &(rank, d) in label {
+                entries.push((u64::from(rank) << 32) | u64::from(d));
+            }
+            offsets.push(u32::try_from(entries.len()).expect("label entries overflow u32"));
+        }
+
+        HubLabels {
+            offsets: offsets.into_boxed_slice(),
+            entries: entries.into_boxed_slice(),
+            hubs,
+            build_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    }
+
+    /// The packed label slice of vertex `u`.
+    #[inline]
+    fn label(&self, u: u32) -> &[u64] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.entries[lo..hi]
+    }
+
+    /// Exact shortest-path delay between `u` and `v` in milliseconds,
+    /// saturating at `u16::MAX - 1`; `u16::MAX` = unreachable. Matches
+    /// [`Graph::dijkstra`] rows entry for entry.
+    #[inline]
+    #[must_use]
+    pub fn latency(&self, u: u32, v: u32) -> u16 {
+        if u == v {
+            return 0;
+        }
+        const DIST: u64 = 0xffff_ffff;
+        let (a, b) = (self.label(u), self.label(v));
+        let mut best = u64::MAX;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            let (ra, rb) = (a[i] >> 32, b[j] >> 32);
+            if ra == rb {
+                let sum = (a[i] & DIST) + (b[j] & DIST);
+                if sum < best {
+                    best = sum;
+                }
+                i += 1;
+                j += 1;
+            } else if ra < rb {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        if best == u64::MAX {
+            u16::MAX
+        } else {
+            best.min(u64::from(u16::MAX - 1)) as u16
+        }
+    }
+
+    /// Number of vertices labeled.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Approximate bytes held by the label arrays.
+    #[must_use]
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * core::mem::size_of::<u64>()
+            + self.offsets.len() * core::mem::size_of::<u32>()
+    }
+
+    /// Size/effort statistics.
+    #[must_use]
+    pub fn stats(&self) -> LabelStats {
+        let n = self.node_count();
+        let entries = self.entries.len();
+        let max_len = (0..n as u32).map(|u| self.label(u).len()).max().unwrap_or(0);
+        LabelStats {
+            hubs: self.hubs,
+            entries,
+            avg_len: if n == 0 { 0.0 } else { entries as f64 / n as f64 },
+            max_len,
+            build_ms: self.build_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_exact(g: &Graph, labels: &HubLabels) {
+        for u in 0..g.node_count() as u32 {
+            let row = g.dijkstra(u);
+            for v in 0..g.node_count() as u32 {
+                let want = if u == v { 0 } else { row[v as usize] };
+                assert_eq!(labels.latency(u, v), want, "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_labels_are_exact() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, 10);
+        g.add_edge(1, 2, 10);
+        g.add_edge(0, 2, 50);
+        assert_exact(&g, &HubLabels::build(&g));
+    }
+
+    #[test]
+    fn disconnected_pairs_report_unreachable() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 7);
+        g.add_edge(2, 3, 9);
+        let l = HubLabels::build(&g);
+        assert_eq!(l.latency(0, 1), 7);
+        assert_eq!(l.latency(0, 2), u16::MAX);
+        assert_eq!(l.latency(1, 3), u16::MAX);
+        assert_exact(&g, &l);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_exact() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(0, 1, 0);
+        g.add_edge(1, 2, 3);
+        g.add_edge(2, 3, 0);
+        assert_exact(&g, &HubLabels::build(&g));
+    }
+
+    #[test]
+    fn saturating_distances_match_rows() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(0, 1, u16::MAX - 1);
+        g.add_edge(1, 2, u16::MAX - 1);
+        let l = HubLabels::build(&g);
+        assert_eq!(l.latency(0, 2), u16::MAX - 1, "saturated, still reachable");
+        assert_exact(&g, &l);
+    }
+
+    #[test]
+    fn empty_and_single_node_graphs() {
+        let l = HubLabels::build(&Graph::with_nodes(0));
+        assert_eq!(l.node_count(), 0);
+        let g = Graph::with_nodes(1);
+        let l = HubLabels::build(&g);
+        assert_eq!(l.latency(0, 0), 0);
+    }
+
+    #[test]
+    fn stats_reconcile_with_structure() {
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, 2);
+        }
+        let l = HubLabels::build(&g);
+        let s = l.stats();
+        assert_eq!(s.entries, l.entries.len());
+        assert!(s.hubs >= 1 && s.hubs <= 5);
+        assert!(s.max_len >= 1);
+        assert!((s.avg_len - s.entries as f64 / 5.0).abs() < 1e-12);
+        assert!(l.bytes() >= s.entries * 8);
+    }
+}

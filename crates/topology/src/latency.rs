@@ -1,24 +1,33 @@
-//! The latency oracle: cached all-pairs shortest-path delays.
+//! The latency oracle: exact underlay shortest-path delays behind one
+//! query interface, with three interchangeable backends.
 //!
 //! Every overlay hop in the simulation costs the underlay shortest-path
-//! delay between the two peers' attachment routers. A full APSP matrix
-//! for a 10⁴-router network is 10⁸ entries; storing them as `u16`
-//! milliseconds (200 MB) is feasible but wasteful for small sweeps, so
-//! rows are computed lazily — each row is one Dijkstra, memoized behind
-//! a `OnceLock` so concurrent readers race benignly (first writer wins,
-//! later computations of the same row are discarded).
+//! delay between the two peers' attachment routers. The oracle answers
+//! `latency(u, v)` identically under all backends — they trade build
+//! time, memory, and per-query cost, never values:
 //!
-//! At 10⁵ routers the unbounded cache stops being an option for
-//! memory-constrained runs: 10⁵ rows × 10⁵ `u16`s is 20 GB. The
-//! bounded mode ([`LatencyOracle::with_row_budget`]) caps resident
-//! rows: the first `budget/2` distinct sources pin permanently into
-//! the lock-free `OnceLock` segment (the common hot set — replay
-//! workloads are heavily skewed toward a few thousand attachment
-//! routers), and the remainder cycle through 16 mutex-sharded CLOCK
-//! caches. Hit/miss/eviction counters ([`CacheStats`]) quantify the
-//! trade so experiments can report what the bound cost them.
+//! * **Rows** ([`LatencyOracle::new`]) — lazily cached full Dijkstra
+//!   rows (`u16` milliseconds), memoized behind `OnceLock`s so
+//!   concurrent readers race benignly. O(1) queries, but N distinct
+//!   sources cost N Dijkstras and N×N `u16`s of residency: 20 GB and
+//!   ~20 CPU-minutes at 10⁵ routers.
+//! * **Bounded** ([`LatencyOracle::with_row_budget`]) — Rows with a cap
+//!   on resident rows: the first `budget/2` distinct sources pin
+//!   permanently into the lock-free `OnceLock` segment, the remainder
+//!   cycle through 16 mutex-sharded CLOCK caches whose capacities
+//!   partition the rest of the budget *exactly* (pinned + overflow
+//!   never exceeds the budget). Misses recompute through a pooled
+//!   row/scratch pair ([`Graph::dijkstra_into`]), so steady state
+//!   allocates nothing. Hit/miss/eviction counters ([`CacheStats`])
+//!   quantify the trade.
+//! * **Labels** ([`LatencyOracle::with_labels_on`]) — exact 2-hop hub
+//!   labels ([`HubLabels`]): sub-quadratic build (pruned landmark
+//!   labeling), tens of bytes per router instead of a row, queries by
+//!   sorted label merge. The backend that takes a 10⁵-router build
+//!   from ~20 minutes / 20 GB to seconds / tens of MB.
 
-use crate::Graph;
+use crate::graph::DijkstraScratch;
+use crate::{Graph, HubLabels, LabelStats};
 use hieras_rt::Executor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -33,9 +42,14 @@ const PRECOMPUTE_CHUNK: usize = 4;
 /// linear scans stay short.
 const OVERFLOW_SHARDS: usize = 16;
 
+/// Upper bound on pooled row buffers / Dijkstra scratches kept for
+/// reuse on the bounded miss path. Bounded by concurrency in practice;
+/// the cap just keeps a pathological burst from pinning memory.
+const POOL_CAP: usize = 16;
+
 /// Cache-effectiveness counters of a bounded [`LatencyOracle`]
 /// (all zero in unbounded mode, where no counting happens on the hot
-/// path).
+/// path, and on the labels backend, which holds no rows).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from a resident row (pinned or overflow).
@@ -61,6 +75,18 @@ struct ClockSlot {
     referenced: bool,
 }
 
+/// Outcome of a [`ClockShard::insert`]: whether the row was stored,
+/// and any displaced buffer handed back for pooling.
+enum Insert {
+    /// Row stored in a free slot.
+    Stored,
+    /// Row stored by evicting another; the evicted buffer is returned.
+    Evicted(Box<[u16]>),
+    /// Row not stored (zero capacity, or another thread raced the same
+    /// source in first); the unused buffer is returned.
+    Rejected(Box<[u16]>),
+}
+
 /// A CLOCK (second-chance) eviction shard. Capacity is enforced by the
 /// caller; lookups are linear scans, fine for the small per-shard
 /// capacities a row budget implies.
@@ -83,18 +109,21 @@ impl ClockShard {
     }
 
     /// Inserts a freshly computed row, evicting the first
-    /// not-recently-used slot once at capacity. Returns whether a row
-    /// was evicted. A row another thread raced in is kept as-is.
-    fn insert(&mut self, src: u32, row: Box<[u16]>, cap: usize) -> bool {
+    /// not-recently-used slot once at capacity. A row another thread
+    /// raced in is kept as-is; a zero-capacity shard stores nothing.
+    fn insert(&mut self, src: u32, row: Box<[u16]>, cap: usize) -> Insert {
         for s in &mut self.slots {
             if s.src == src {
                 s.referenced = true;
-                return false;
+                return Insert::Rejected(row);
             }
+        }
+        if cap == 0 {
+            return Insert::Rejected(row);
         }
         if self.slots.len() < cap {
             self.slots.push(ClockSlot { src, row, referenced: true });
-            return false;
+            return Insert::Stored;
         }
         loop {
             let h = self.hand;
@@ -103,8 +132,8 @@ impl ClockShard {
             if s.referenced {
                 s.referenced = false;
             } else {
-                *s = ClockSlot { src, row, referenced: true };
-                return true;
+                let old = std::mem::replace(s, ClockSlot { src, row, referenced: true });
+                return Insert::Evicted(old.row);
             }
         }
     }
@@ -119,10 +148,17 @@ struct Bound {
     pin_cap: usize,
     /// Pin slots claimed so far.
     pinned: AtomicUsize,
-    /// Per-shard slot cap; total overflow capacity is the remaining
-    /// budget rounded up to a multiple of the shard count.
-    per_shard_cap: usize,
+    /// Overflow rows divided exactly across the shards: shard `i` holds
+    /// `overflow / SHARDS` slots plus one of the `overflow % SHARDS`
+    /// remainder slots, so pinned + overflow capacity == budget.
+    overflow_base: usize,
+    overflow_rem: usize,
     shards: Box<[Mutex<ClockShard>]>,
+    /// Recycled row buffers for the miss path (fed by evictions and
+    /// lost insertion races).
+    row_pool: Mutex<Vec<Box<[u16]>>>,
+    /// Recycled Dijkstra scratches for the miss path.
+    scratch_pool: Mutex<Vec<DijkstraScratch>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -137,8 +173,11 @@ impl Bound {
             budget,
             pin_cap,
             pinned: AtomicUsize::new(0),
-            per_shard_cap: overflow.div_ceil(OVERFLOW_SHARDS).max(1),
+            overflow_base: overflow / OVERFLOW_SHARDS,
+            overflow_rem: overflow % OVERFLOW_SHARDS,
             shards: (0..OVERFLOW_SHARDS).map(|_| Mutex::new(ClockShard::default())).collect(),
+            row_pool: Mutex::new(Vec::new()),
+            scratch_pool: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -159,23 +198,66 @@ impl Bound {
         self.pinned.fetch_sub(1, Ordering::Relaxed);
     }
 
-    fn shard(&self, src: u32) -> &Mutex<ClockShard> {
-        &self.shards[src as usize % OVERFLOW_SHARDS]
+    fn shard_index(&self, src: u32) -> usize {
+        src as usize % OVERFLOW_SHARDS
+    }
+
+    fn shard_cap(&self, idx: usize) -> usize {
+        self.overflow_base + usize::from(idx < self.overflow_rem)
+    }
+
+    /// Pops a recycled row buffer, or allocates one of `n` entries.
+    fn take_row(&self, n: usize) -> Box<[u16]> {
+        self.row_pool
+            .lock()
+            .expect("pool poisoned")
+            .pop()
+            .unwrap_or_else(|| vec![u16::MAX; n].into_boxed_slice())
+    }
+
+    /// Returns a displaced row buffer to the pool (dropped past cap).
+    fn recycle_row(&self, row: Box<[u16]>) {
+        let mut pool = self.row_pool.lock().expect("pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(row);
+        }
+    }
+
+    fn take_scratch(&self) -> DijkstraScratch {
+        self.scratch_pool.lock().expect("pool poisoned").pop().unwrap_or_default()
+    }
+
+    fn recycle_scratch(&self, scratch: DijkstraScratch) {
+        let mut pool = self.scratch_pool.lock().expect("pool poisoned");
+        if pool.len() < POOL_CAP {
+            pool.push(scratch);
+        }
     }
 }
 
-/// Cached single-source shortest-path rows over a router graph.
+/// Storage strategy behind a [`LatencyOracle`].
+#[derive(Debug)]
+enum Backend {
+    /// Cached full Dijkstra rows, optionally budget-bounded.
+    Rows {
+        rows: Vec<OnceLock<Box<[u16]>>>,
+        /// Rows resident in `rows` — maintained at row-init time so
+        /// [`LatencyOracle::cached_rows`] is O(1), not a scan.
+        materialized: AtomicUsize,
+        bound: Option<Bound>,
+    },
+    /// Exact 2-hop hub labels.
+    Labels { labels: HubLabels, queries: AtomicU64 },
+}
+
+/// Exact shortest-path delays over a router graph.
 ///
 /// Cheap to share by reference across threads; all methods take
 /// `&self`.
 #[derive(Debug)]
 pub struct LatencyOracle {
     graph: Graph,
-    rows: Vec<OnceLock<Box<[u16]>>>,
-    /// Rows resident in `rows` — maintained at row-init time so
-    /// [`LatencyOracle::cached_rows`] is O(1), not a scan.
-    materialized: AtomicUsize,
-    bound: Option<Bound>,
+    backend: Backend,
 }
 
 impl LatencyOracle {
@@ -186,20 +268,43 @@ impl LatencyOracle {
         let n = graph.node_count();
         let mut rows = Vec::with_capacity(n);
         rows.resize_with(n, OnceLock::new);
-        LatencyOracle { graph, rows, materialized: AtomicUsize::new(0), bound: None }
+        LatencyOracle {
+            graph,
+            backend: Backend::Rows { rows, materialized: AtomicUsize::new(0), bound: None },
+        }
     }
 
     /// Wraps a router graph with at most `budget_rows` rows resident
     /// (clamped to ≥ 1). The first `budget_rows / 2` distinct sources
     /// pin into the lock-free segment and keep the `OnceLock` fast
     /// path; later sources share the remaining budget through sharded
-    /// CLOCK caches. Latencies are identical to the unbounded oracle —
-    /// only residency and recomputation differ.
+    /// CLOCK caches whose capacities sum exactly to the rest of the
+    /// budget. Latencies are identical to the unbounded oracle — only
+    /// residency and recomputation differ.
     #[must_use]
     pub fn with_row_budget(graph: Graph, budget_rows: usize) -> Self {
         let mut o = Self::new(graph);
-        o.bound = Some(Bound::new(budget_rows));
+        if let Backend::Rows { bound, .. } = &mut o.backend {
+            *bound = Some(Bound::new(budget_rows));
+        }
         o
+    }
+
+    /// Wraps a router graph with exact hub labels built on the default
+    /// executor (see [`LatencyOracle::with_labels_on`]).
+    #[must_use]
+    pub fn with_labels(graph: Graph) -> Self {
+        Self::with_labels_on(&Executor::default(), graph)
+    }
+
+    /// Wraps a router graph with exact 2-hop hub labels built on
+    /// `exec`. The build is the whole cost — queries never run a
+    /// Dijkstra — and the labels are bit-identical at any thread
+    /// count. Every query answer matches the row backends exactly.
+    #[must_use]
+    pub fn with_labels_on(exec: &Executor, graph: Graph) -> Self {
+        let labels = HubLabels::build_on(exec, &graph);
+        LatencyOracle { graph, backend: Backend::Labels { labels, queries: AtomicU64::new(0) } }
     }
 
     /// The underlying graph.
@@ -208,24 +313,39 @@ impl LatencyOracle {
         &self.graph
     }
 
+    /// Short name of the active backend: `"rows"`, `"bounded"`, or
+    /// `"labels"`.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        match &self.backend {
+            Backend::Rows { bound: None, .. } => "rows",
+            Backend::Rows { bound: Some(_), .. } => "bounded",
+            Backend::Labels { .. } => "labels",
+        }
+    }
+
     /// The full distance row from router `src` (computed on first use).
     ///
-    /// On a bounded oracle this is only available for sources that fit
-    /// the pinned segment — overflow rows are transient, so no `&[u16]`
-    /// can be handed out for them. Prefer [`LatencyOracle::latency`].
+    /// Row backends only: on a bounded oracle this is only available
+    /// for sources that fit the pinned segment — overflow rows are
+    /// transient, so no `&[u16]` can be handed out for them. Prefer
+    /// [`LatencyOracle::latency`].
     ///
     /// # Panics
-    /// Panics on a bounded oracle whose pinned segment is full and does
-    /// not hold `src`.
+    /// Panics on the labels backend (no rows exist), and on a bounded
+    /// oracle whose pinned segment is full and does not hold `src`.
     #[must_use]
     pub fn row(&self, src: u32) -> &[u16] {
-        let slot = &self.rows[src as usize];
+        let Backend::Rows { rows, materialized, bound } = &self.backend else {
+            panic!("row({src}): labels backend holds no rows; use latency()");
+        };
+        let slot = &rows[src as usize];
         if let Some(row) = slot.get() {
             return row;
         }
-        match &self.bound {
+        match bound {
             None => slot.get_or_init(|| {
-                self.materialized.fetch_add(1, Ordering::Relaxed);
+                materialized.fetch_add(1, Ordering::Relaxed);
                 self.graph.dijkstra(src)
             }),
             Some(b) => {
@@ -234,7 +354,7 @@ impl LatencyOracle {
                     "row({src}): pinned segment full on a bounded LatencyOracle; use latency()"
                 );
                 if slot.set(self.graph.dijkstra(src)).is_ok() {
-                    self.materialized.fetch_add(1, Ordering::Relaxed);
+                    materialized.fetch_add(1, Ordering::Relaxed);
                 } else {
                     b.release_pin();
                 }
@@ -245,61 +365,99 @@ impl LatencyOracle {
 
     /// Shortest-path delay in milliseconds between routers `u` and `v`.
     ///
-    /// `u == v` is answered as 0 without touching the cache. On a
-    /// bounded oracle every other query counts exactly one hit or one
-    /// miss, and a miss evicts at most one overflow row, so
+    /// `u == v` is answered as 0 without touching any backend state.
+    /// On a bounded oracle every other query counts exactly one hit or
+    /// one miss, and a miss evicts at most one overflow row, so
     /// `hits + misses == queries` and `evictions <= misses` hold
-    /// exactly.
+    /// exactly. All backends return identical values.
     #[inline]
     #[must_use]
     pub fn latency(&self, u: u32, v: u32) -> u16 {
         if u == v {
             return 0;
         }
-        let Some(b) = &self.bound else {
-            return self.row(u)[v as usize];
-        };
-        // Pinned fast path: lock-free, same as the unbounded oracle.
-        if let Some(row) = self.rows[u as usize].get() {
-            b.hits.fetch_add(1, Ordering::Relaxed);
-            return row[v as usize];
-        }
-        if let Some(val) = b.shard(u).lock().expect("shard poisoned").lookup(u, v) {
-            b.hits.fetch_add(1, Ordering::Relaxed);
-            return val;
-        }
-        b.misses.fetch_add(1, Ordering::Relaxed);
-        // Dijkstra runs outside any lock; concurrent misses on the same
-        // source both count and race benignly on insertion.
-        let row = self.graph.dijkstra(u);
-        let val = row[v as usize];
-        if b.try_claim_pin() {
-            if self.rows[u as usize].set(row).is_ok() {
-                self.materialized.fetch_add(1, Ordering::Relaxed);
-            } else {
-                b.release_pin();
+        match &self.backend {
+            Backend::Labels { labels, queries } => {
+                queries.fetch_add(1, Ordering::Relaxed);
+                labels.latency(u, v)
             }
-        } else if b.shard(u).lock().expect("shard poisoned").insert(u, row, b.per_shard_cap) {
-            b.evictions.fetch_add(1, Ordering::Relaxed);
+            Backend::Rows { rows, materialized, bound } => {
+                let Some(b) = bound else {
+                    return self.row(u)[v as usize];
+                };
+                // Pinned fast path: lock-free, same as the unbounded
+                // oracle.
+                if let Some(row) = rows[u as usize].get() {
+                    b.hits.fetch_add(1, Ordering::Relaxed);
+                    return row[v as usize];
+                }
+                let si = b.shard_index(u);
+                if let Some(val) =
+                    b.shards[si].lock().expect("shard poisoned").lookup(u, v)
+                {
+                    b.hits.fetch_add(1, Ordering::Relaxed);
+                    return val;
+                }
+                b.misses.fetch_add(1, Ordering::Relaxed);
+                // Dijkstra runs outside any lock, into a pooled buffer
+                // with pooled scratch — steady-state misses never
+                // allocate. Concurrent misses on the same source both
+                // count and race benignly on insertion.
+                let mut row = b.take_row(self.graph.node_count());
+                let mut scratch = b.take_scratch();
+                self.graph.dijkstra_into(u, &mut row, &mut scratch);
+                b.recycle_scratch(scratch);
+                let val = row[v as usize];
+                if b.try_claim_pin() {
+                    match rows[u as usize].set(row) {
+                        Ok(()) => {
+                            materialized.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(row) => {
+                            b.release_pin();
+                            b.recycle_row(row);
+                        }
+                    }
+                } else {
+                    let cap = b.shard_cap(si);
+                    match b.shards[si].lock().expect("shard poisoned").insert(u, row, cap) {
+                        Insert::Stored => {}
+                        Insert::Evicted(old) => {
+                            b.evictions.fetch_add(1, Ordering::Relaxed);
+                            b.recycle_row(old);
+                        }
+                        Insert::Rejected(row) => b.recycle_row(row),
+                    }
+                }
+                val
+            }
         }
-        val
     }
 
-    /// Number of rows resident in the lock-free segment. O(1): the
-    /// count is maintained at row-init time, not by scanning.
+    /// Number of rows resident in the lock-free segment (0 on the
+    /// labels backend). O(1): the count is maintained at row-init
+    /// time, not by scanning.
     #[must_use]
     pub fn cached_rows(&self) -> usize {
-        self.materialized.load(Ordering::Relaxed)
+        match &self.backend {
+            Backend::Rows { materialized, .. } => materialized.load(Ordering::Relaxed),
+            Backend::Labels { .. } => 0,
+        }
     }
 
     /// Current cache-effectiveness counters. On an unbounded oracle
-    /// only `pinned`/`resident` are meaningful (no hot-path counting).
+    /// only `pinned`/`resident` are meaningful (no hot-path counting);
+    /// on the labels backend everything is zero — see
+    /// [`LatencyOracle::label_stats`].
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         let pinned = self.cached_rows();
-        match &self.bound {
-            None => CacheStats { pinned, resident: pinned, ..CacheStats::default() },
-            Some(b) => {
+        match &self.backend {
+            Backend::Labels { .. } => CacheStats::default(),
+            Backend::Rows { bound: None, .. } => {
+                CacheStats { pinned, resident: pinned, ..CacheStats::default() }
+            }
+            Backend::Rows { bound: Some(b), .. } => {
                 let overflow: usize = b
                     .shards
                     .iter()
@@ -317,11 +475,24 @@ impl LatencyOracle {
         }
     }
 
+    /// Label-size statistics plus the query counter, if this oracle
+    /// runs on the labels backend.
+    #[must_use]
+    pub fn label_stats(&self) -> Option<(LabelStats, u64)> {
+        match &self.backend {
+            Backend::Labels { labels, queries } => {
+                Some((labels.stats(), queries.load(Ordering::Relaxed)))
+            }
+            Backend::Rows { .. } => None,
+        }
+    }
+
     /// Eagerly computes the rows for the given sources in parallel on
     /// the default executor.
     ///
     /// Experiments know exactly which routers host peers; warming those
-    /// rows up front turns the replay phase into pure lookups.
+    /// rows up front turns the replay phase into pure lookups. A no-op
+    /// on the labels backend, whose build is its own precompute.
     pub fn precompute(&self, sources: &[u32]) {
         self.precompute_on(&Executor::default(), sources);
     }
@@ -331,6 +502,9 @@ impl LatencyOracle {
     /// and then stops — warming never counts hits or misses and never
     /// thrashes the overflow shards.
     pub fn precompute_on(&self, exec: &Executor, sources: &[u32]) {
+        if matches!(self.backend, Backend::Labels { .. }) {
+            return;
+        }
         exec.par_for_each(sources.len(), PRECOMPUTE_CHUNK, |i| {
             self.warm(sources[i]);
         });
@@ -339,6 +513,9 @@ impl LatencyOracle {
     /// Eagerly computes every row (full APSP). Only sensible for
     /// moderate graphs; prefer [`LatencyOracle::precompute`].
     pub fn precompute_all(&self) {
+        if matches!(self.backend, Backend::Labels { .. }) {
+            return;
+        }
         Executor::default().par_for_each(self.graph.node_count(), PRECOMPUTE_CHUNK, |i| {
             self.warm(i as u32);
         });
@@ -347,18 +524,21 @@ impl LatencyOracle {
     /// Pins `src`'s row if the cache has room for it; a no-op once the
     /// pinned segment is full on a bounded oracle.
     fn warm(&self, src: u32) {
-        let slot = &self.rows[src as usize];
+        let Backend::Rows { rows, materialized, bound } = &self.backend else {
+            return;
+        };
+        let slot = &rows[src as usize];
         if slot.get().is_some() {
             return;
         }
-        match &self.bound {
+        match bound {
             None => {
                 let _ = self.row(src);
             }
             Some(b) => {
                 if b.try_claim_pin() {
                     if slot.set(self.graph.dijkstra(src)).is_ok() {
-                        self.materialized.fetch_add(1, Ordering::Relaxed);
+                        materialized.fetch_add(1, Ordering::Relaxed);
                     } else {
                         b.release_pin();
                     }
@@ -367,10 +547,16 @@ impl LatencyOracle {
         }
     }
 
-    /// Approximate bytes held by materialized rows (diagnostics).
+    /// Approximate bytes held by the backend (materialized rows, or
+    /// the label arrays).
     #[must_use]
     pub fn cache_bytes(&self) -> usize {
-        self.cache_stats().resident * self.graph.node_count() * core::mem::size_of::<u16>()
+        match &self.backend {
+            Backend::Rows { .. } => {
+                self.cache_stats().resident * self.graph.node_count() * core::mem::size_of::<u16>()
+            }
+            Backend::Labels { labels, .. } => labels.bytes(),
+        }
     }
 }
 
@@ -459,9 +645,36 @@ mod tests {
     }
 
     #[test]
+    fn labels_backend_matches_rows_exactly() {
+        let free = LatencyOracle::new(line(24));
+        let labels = LatencyOracle::with_labels(line(24));
+        assert_eq!(labels.backend_name(), "labels");
+        for u in 0..24u32 {
+            for v in 0..24u32 {
+                assert_eq!(labels.latency(u, v), free.latency(u, v), "({u},{v})");
+            }
+        }
+        let (stats, queries) = labels.label_stats().expect("labels backend");
+        assert_eq!(queries, 24 * 23, "u == v is answered before counting");
+        assert!(stats.entries > 0 && stats.hubs > 0);
+        assert_eq!(labels.cached_rows(), 0);
+        assert_eq!(labels.cache_stats(), CacheStats::default());
+        assert!(labels.cache_bytes() > 0);
+    }
+
+    #[test]
+    fn labels_precompute_is_a_noop() {
+        let o = LatencyOracle::with_labels(triangle());
+        o.precompute(&[0, 1]);
+        o.precompute_all();
+        assert_eq!(o.cached_rows(), 0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| o.row(0)));
+        assert!(caught.is_err(), "labels backend must refuse row()");
+    }
+
+    #[test]
     fn bounded_counters_reconcile() {
-        // 40 sources against per-shard capacity 1 forces CLOCK
-        // collisions in every shard (40 sources / 16 shards).
+        // 40 sources against a 4-row budget force CLOCK collisions.
         let o = LatencyOracle::with_row_budget(line(40), 4);
         let mut queries = 0u64;
         for round in 0..3 {
@@ -476,11 +689,51 @@ mod tests {
             let s = o.cache_stats();
             assert_eq!(s.hits + s.misses, queries, "round {round}");
             assert!(s.evictions <= s.misses, "round {round}");
-            assert!(s.resident <= s.budget.unwrap() + OVERFLOW_SHARDS, "round {round}");
+            assert!(s.resident <= s.budget.unwrap(), "round {round}");
         }
         let s = o.cache_stats();
-        assert!(s.evictions > 0, "tiny budget over 16 sources must evict");
+        assert!(s.evictions > 0, "tiny budget over 40 sources must evict");
         assert_eq!(s.pinned, 2, "budget 4 pins budget/2 rows");
+    }
+
+    /// Regression for the budget overshoot: `per_shard_cap` used to
+    /// round up (`div_ceil`), letting pinned + overflow exceed the
+    /// budget (BENCH_scale.json once recorded 126 resident rows
+    /// against a 125-row budget). The shard capacities must partition
+    /// the overflow exactly.
+    #[test]
+    fn bounded_residency_never_exceeds_budget() {
+        let budget = 125;
+        let o = LatencyOracle::with_row_budget(line(200), budget);
+        for round in 0..3 {
+            // Saturate from more distinct sources than the budget.
+            for u in 0..200u32 {
+                for v in [199u32, 0, 100] {
+                    let _ = o.latency(u, v);
+                }
+                let s = o.cache_stats();
+                assert!(
+                    s.resident <= budget,
+                    "round {round}: resident {} exceeds budget {budget}",
+                    s.resident
+                );
+            }
+        }
+        let s = o.cache_stats();
+        assert_eq!(s.resident, budget, "a saturated cache should use its whole budget");
+        assert_eq!(s.pinned, budget / 2);
+    }
+
+    #[test]
+    fn tiny_budgets_clamp_and_never_overshoot() {
+        for budget in 1..=4usize {
+            let o = LatencyOracle::with_row_budget(line(64), budget);
+            for u in 0..64u32 {
+                let _ = o.latency(u, 63);
+            }
+            let s = o.cache_stats();
+            assert!(s.resident <= budget.max(1), "budget {budget}: resident {}", s.resident);
+        }
     }
 
     #[test]
@@ -513,5 +766,7 @@ mod tests {
         assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
         assert_eq!(s.budget, None);
         assert_eq!(s.resident, 1);
+        assert_eq!(o.backend_name(), "rows");
+        assert_eq!(LatencyOracle::with_row_budget(triangle(), 2).backend_name(), "bounded");
     }
 }

@@ -17,9 +17,12 @@
 //! generators are fully deterministic given a seed.
 //!
 //! On top of a generated [`Topology`], the [`LatencyOracle`] answers
-//! "what is the underlay latency between overlay peers u and v?" via
-//! cached single-source Dijkstra rows — this is the quantity every
-//! routing-latency figure in the paper integrates over.
+//! "what is the underlay latency between overlay peers u and v?" —
+//! the quantity every routing-latency figure in the paper integrates
+//! over — through one of three exact backends: cached single-source
+//! Dijkstra rows, a residency-bounded row cache, or 2-hop hub labels
+//! ([`HubLabels`]) whose sub-quadratic build makes 10⁵-router graphs
+//! cheap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,13 +30,15 @@
 mod brite;
 mod graph;
 mod inet;
+mod labels;
 mod latency;
 mod topo;
 mod transit_stub;
 
 pub use brite::BriteConfig;
-pub use graph::{Edge, Graph};
+pub use graph::{DijkstraScratch, Edge, Graph};
 pub use inet::InetConfig;
+pub use labels::{HubLabels, LabelStats};
 pub use latency::{CacheStats, LatencyOracle};
 pub use topo::{NodeKind, Topology};
 pub use transit_stub::TransitStubConfig;

@@ -1,0 +1,108 @@
+//! Hub labels vs. Dijkstra rows on seeded random graphs and the
+//! paper's three network models. The labels are the production latency
+//! backend at scale; every query they answer must be byte-identical to
+//! a fresh Dijkstra, and the label index itself must be bit-identical
+//! at any build thread count.
+
+use hieras_rt::{Executor, Rng};
+use hieras_topology::{
+    BriteConfig, Graph, HubLabels, InetConfig, Topology, TransitStubConfig,
+};
+
+/// Every label query against every Dijkstra row, source-sampled for
+/// the large generator graphs (`stride` 1 checks all n² pairs).
+fn assert_labels_exact(g: &Graph, labels: &HubLabels, stride: usize, tag: &str) {
+    let n = g.node_count();
+    assert_eq!(labels.node_count(), n, "{tag}: node count");
+    for src in (0..n as u32).step_by(stride) {
+        let row = g.dijkstra(src);
+        for v in 0..n as u32 {
+            assert_eq!(
+                labels.latency(src, v),
+                row[v as usize],
+                "{tag}: labels diverge from Dijkstra at ({src},{v})"
+            );
+        }
+    }
+}
+
+fn assert_model_labeled(topo: &Topology, tag: &str) {
+    let exec = Executor::new(2);
+    let labels = HubLabels::build_on(&exec, &topo.graph);
+    let s = labels.stats();
+    assert!(s.hubs > 0 && s.entries > 0, "{tag}: degenerate label index");
+    assert!(
+        s.avg_len < 64.0,
+        "{tag}: hierarchy-shaped graphs must label compactly, got avg {}",
+        s.avg_len
+    );
+    assert_labels_exact(&topo.graph, &labels, 13, tag);
+}
+
+/// Mixed bag of seeded random graphs: connected chains with chords,
+/// extra disconnected islands, zero-weight edges, duplicate edges.
+fn random_graph(rng: &mut Rng) -> Graph {
+    let n = rng.random_range(2usize..40);
+    let islands = rng.random_range(0usize..4);
+    let mut g = Graph::with_nodes(n + islands);
+    for i in 1..n {
+        let j = rng.random_range(0usize..i) as u32;
+        g.add_edge(i as u32, j, rng.random_range(0u16..=50));
+    }
+    for _ in 0..rng.random_range(0usize..2 * n) {
+        let u = rng.random_range(0usize..n) as u32;
+        let v = rng.random_range(0usize..n) as u32;
+        g.add_edge(u, v, rng.random_range(0u16..=50));
+    }
+    g
+}
+
+#[test]
+fn labels_match_dijkstra_on_random_graphs() {
+    let mut rng = Rng::seed_from_u64(0x1a8e15);
+    let exec = Executor::new(1);
+    for case in 0..80 {
+        let g = random_graph(&mut rng);
+        let labels = HubLabels::build_on(&exec, &g);
+        assert_labels_exact(&g, &labels, 1, &format!("random case {case}"));
+    }
+}
+
+#[test]
+fn transit_stub_labels_match() {
+    assert_model_labeled(&TransitStubConfig::for_peers(800, 11).generate(), "TransitStub");
+}
+
+#[test]
+fn inet_labels_match() {
+    assert_model_labeled(&InetConfig::for_peers(3000, 12).generate(), "Inet");
+}
+
+#[test]
+fn brite_labels_match() {
+    assert_model_labeled(&BriteConfig::for_peers(1000, 13).generate(), "BRITE");
+}
+
+/// The label build is a pure function of the graph: fixed hub order
+/// and batch schedule, pruning only against committed batches. The
+/// whole index — offsets and packed entries — must come out
+/// bit-identical at 1, 2, and 8 threads, on every model.
+#[test]
+fn label_build_is_bit_identical_across_thread_counts() {
+    let topos = [
+        TransitStubConfig::for_peers(600, 21).generate(),
+        InetConfig::for_peers(3000, 22).generate(),
+        BriteConfig::for_peers(800, 23).generate(),
+    ];
+    for topo in &topos {
+        let base = HubLabels::build_on(&Executor::new(1), &topo.graph);
+        for threads in [2, 8] {
+            let built = HubLabels::build_on(&Executor::new(threads), &topo.graph);
+            assert_eq!(
+                built, base,
+                "{}: label index diverges at {threads} threads",
+                topo.model
+            );
+        }
+    }
+}

@@ -54,10 +54,25 @@ echo "==> bench smoke: replay, 500 peers, 2000 requests, obs on"
 echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
 ./target/release/churn --smoke
 
-echo "==> bench smoke: scale, 500 peers, 2000 requests + regression gate"
+echo "==> bench smoke: scale, 500 peers, 2000 requests + regression gates"
 ./target/release/bench_scale --smoke
+# The smoke sweep runs the rows AND labels oracle backends; labels are
+# exact, so the binary records whether the labels-backend routing
+# metrics came out byte-identical to rows. Any false is a correctness
+# bug, and at least one comparison must actually have happened.
+if grep -q '"metrics_match_rows": false' BENCH_scale.json; then
+    echo "labels-backend routing metrics diverged from the rows backend" >&2
+    exit 1
+fi
+if ! grep -q '"metrics_match_rows": true' BENCH_scale.json; then
+    echo "no labels-vs-rows identity comparison ran in the scale smoke" >&2
+    exit 1
+fi
+echo "labels-backend metrics byte-identical to rows"
 # Fail if the smoke replay regressed more than 2x against the
 # checked-in budget (scripts/scale_budget_ns, measured on the CI box).
+# The first size entry is the rows backend, matching the budget's
+# provenance.
 budget=$(cat scripts/scale_budget_ns)
 median=$(awk -F': ' '/"median_ns_per_lookup"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_scale.json)
 awk -v m="$median" -v b="$budget" 'BEGIN {
@@ -66,6 +81,24 @@ awk -v m="$median" -v b="$budget" 'BEGIN {
         exit 1
     }
     printf "scale smoke median %.1f ns/lookup within 2x budget %.1f\n", m, b
+}'
+# Same 2x gate for the hub-label build itself (first label_stats
+# build_ms in the smoke output vs scripts/label_budget_ms).
+label_budget=$(cat scripts/label_budget_ms)
+label_ms=$(awk -F': ' '
+    /"label_stats": \{/ { in_labels = 1 }
+    in_labels && /"build_ms"/ { v = $2; sub(/,.*/, "", v); print v; exit }
+' BENCH_scale.json)
+if [ -z "$label_ms" ]; then
+    echo "no label_stats.build_ms found in the scale smoke output" >&2
+    exit 1
+fi
+awk -v m="$label_ms" -v b="$label_budget" 'BEGIN {
+    if (m + 0 > 2 * b) {
+        printf "label build regressed: %.1f ms > 2x budget %.1f\n", m, b
+        exit 1
+    }
+    printf "label build %.1f ms within 2x budget %.1f\n", m, b
 }'
 
 echo "==> verify OK"
