@@ -1,20 +1,23 @@
 //! Scale sweep — how far the replay engine stretches.
 //!
-//! Sweeps the experiment over {1k, 5k, 20k, 100k} peers and, per size,
-//! over the latency-oracle backends: the row cache (`rows`) and the
-//! exact 2-hop hub labels (`labels`). Rows is skipped at 100k — its
-//! O(N²) precompute is the 20-minute / 20 GB wall the labels backend
-//! exists to remove — so the 100k point is labels-only. Per run it
-//! records:
+//! Sweeps the experiment over {1k, 5k, 20k, 100k, 1M} peers and, per
+//! size, over the latency-oracle backends: the row cache (`rows`) and
+//! the exact 2-hop hub labels (`labels`). Rows is skipped past 20k —
+//! its O(N²) precompute is the 20-minute / 20 GB wall the labels
+//! backend exists to remove — and each skip leaves an explicit
+//! `"skipped": "row budget"` entry, so 100k and 1M are labels-only.
+//! Per run it records:
 //!
 //! * **build_ms** — full assembly (topology → oracle → precompute),
 //!   with the phase breakdown and the effective build thread count;
 //! * **ns/lookup** — min/median/max over `REPS` timed repetitions of
 //!   the parallel replay, after one explicitly discarded warm-up rep
 //!   (each lookup evaluates *both* Chord and HIERAS allocation-free);
-//! * **peak_rss_mb** — the process high-water mark (`VmHWM` from
-//!   `/proc/self/status`) at the end of the run's replay. The mark is
-//!   monotonic per process, so within a size the rows run reads first;
+//! * **peak_rss_bytes** (and the `_mb` rendering) — the process
+//!   high-water mark (`VmHWM` from `/proc/self/status`) at the end of
+//!   the run's replay. The mark is monotonic per process, so within a
+//!   size the rows run reads first; `scripts/verify.sh` gates the
+//!   maximum against `scripts/rss_budget_bytes`;
 //! * **metrics_match_rows** — on a labels run, whether its full replay
 //!   metrics are byte-identical to the rows run of the same size
 //!   (labels are exact, so anything but `true` is a bug);
@@ -60,13 +63,13 @@ struct SizePoint {
     requests: usize,
 }
 
-/// `VmHWM` (peak resident set) of this process in MB, if the platform
-/// exposes `/proc/self/status`.
-fn peak_rss_mb() -> Option<f64> {
+/// `VmHWM` (peak resident set) of this process in bytes, if the
+/// platform exposes `/proc/self/status`.
+fn peak_rss_bytes() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb / 1024.0)
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 /// Replays a workload sample against a *budget-bounded* latency oracle
@@ -154,7 +157,8 @@ fn bench_one(
 
     // Read the high-water mark before the probe so the entry reflects
     // build + replay, not the probe's own bounded row cache.
-    let rss = peak_rss_mb();
+    let rss = peak_rss_bytes();
+    let rss_mb = rss.map(|b| b as f64 / (1024.0 * 1024.0));
 
     let metrics_match = rows_baseline.map(|base| *base == result);
     let label_stats = e.lat.label_stats().map(|(l, _)| {
@@ -181,7 +185,7 @@ fn bench_one(
         oracle.label(),
         build_ms,
         median_ns,
-        rss.unwrap_or(0.0),
+        rss_mb.unwrap_or(0.0),
         hs.avg_hops,
         hs.avg_latency_ms,
         hs.lower_latency_share * 100.0,
@@ -204,7 +208,8 @@ fn bench_one(
         ("median_ns_per_lookup", median_ns.to_json()),
         ("max_ns_per_lookup", max_ns.to_json()),
         ("ns_per_lookup", per_lookup_ns.to_json()),
-        ("peak_rss_mb", rss.map_or(Json::Null, |m| m.to_json())),
+        ("peak_rss_mb", rss_mb.map_or(Json::Null, |m| m.to_json())),
+        ("peak_rss_bytes", rss.map_or(Json::Null, |b| b.to_json())),
         ("metrics_match_rows", metrics_match.map_or(Json::Null, |m| m.to_json())),
         ("label_stats", label_stats.unwrap_or(Json::Null)),
         ("cache_probe", probe.unwrap_or(Json::Null)),
@@ -233,6 +238,7 @@ fn main() {
             SizePoint { nodes: 5000, requests: 20_000 },
             SizePoint { nodes: 20_000, requests: 10_000 },
             SizePoint { nodes: 100_000, requests: 5000 },
+            SizePoint { nodes: 1_000_000, requests: 2000 },
         ]
     };
 
@@ -250,11 +256,20 @@ fn main() {
         // Rows first: it is both the byte-identity baseline and —
         // because VmHWM only ever rises — the run whose RSS reading
         // must not be inflated by a neighbour.
-        let rows_result = (p.nodes <= ROWS_CEILING).then(|| {
+        let rows_result = if p.nodes <= ROWS_CEILING {
             let (json, result) = bench_one(&exec, p, OracleBackend::Rows, None);
             sizes.push(json);
-            result
-        });
+            Some(result)
+        } else {
+            // An explicit marker instead of a silent hole: consumers
+            // can tell "rows was not swept here" from "rows failed".
+            sizes.push(Json::obj([
+                ("nodes", p.nodes.to_json()),
+                ("backend", OracleBackend::Rows.label().to_json()),
+                ("skipped", "row budget".to_json()),
+            ]));
+            None
+        };
         let (json, _) = bench_one(&exec, p, OracleBackend::Labels, rows_result.as_ref());
         if let Some(Json::Bool(false)) = json.get("metrics_match_rows") {
             diverged = true;

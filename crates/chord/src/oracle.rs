@@ -1,10 +1,21 @@
-//! Oracle-mode Chord: finger tables over a known membership.
+//! Oracle-mode Chord: packed routing state over a known membership.
 //!
 //! [`RingView`] is the workhorse shared by plain Chord and every HIERAS
 //! layer: given the global id table and a *subset* of node indices, it
-//! sorts the subset into a ring, builds per-member finger tables, and
-//! routes keys with the standard Chord iterative algorithm
-//! (`closest_preceding_finger` + final delivery hop to the successor).
+//! sorts the subset into a ring and routes keys with the standard Chord
+//! iterative algorithm (`closest_preceding_finger` + final delivery hop
+//! to the successor).
+//!
+//! Routing state is *compact*: instead of materializing a `bits`-entry
+//! finger table per member (O(len·bits) words, cache-hostile at a
+//! million peers), the ring keeps one contiguous, ring-ordered id arena
+//! plus a radix *seek index* — a binary-lift jump structure that
+//! answers `successor(id)` with one bucketed binary search. The
+//! classic `closest_preceding_finger` is then evaluated in closed form:
+//! the accepted finger with the highest index is always
+//! `successor(me + 2^⌊log2 d(q)⌋)` where `q` is the key's ring
+//! predecessor, so routing never needs the table at all and produces
+//! hop sequences byte-identical to the per-node tables it replaces.
 
 use crate::PathBuf;
 use hieras_id::{Id, IdSpace, Key};
@@ -61,11 +72,14 @@ impl LookupPath {
     }
 }
 
-/// Chord finger tables and routing over an arbitrary membership subset.
+/// Chord routing over an arbitrary membership subset, packed flat.
 ///
 /// Members are positions `0..len` ordered by id; position arithmetic is
-/// mod `len`, id arithmetic is mod `2^bits`. All tables are flat boxed
-/// slices (hot-path friendly, per the hpc-parallel guides).
+/// mod `len`, id arithmetic is mod `2^bits`. State is three contiguous
+/// arrays — member indices, the ring-ordered id arena, and the radix
+/// seek index — totalling ~12 bytes per member plus ~4 bytes per seek
+/// bucket, versus `8·bits` bytes per member for materialized finger
+/// tables (hot-path friendly, per the hpc-parallel guides).
 #[derive(Debug, Clone)]
 pub struct RingView {
     space: IdSpace,
@@ -73,20 +87,31 @@ pub struct RingView {
     ids: Arc<[Id]>,
     /// Member global indices, sorted ascending by id.
     members: Box<[u32]>,
-    /// `fingers[pos * bits + i]` = member *position* of the i-th finger
-    /// of the member at `pos`: successor(member_id + 2^i) within this ring.
-    fingers: Box<[u32]>,
+    /// Ring-ordered id arena: `member_ids[pos]` = id of the member at
+    /// `pos`. One contiguous allocation; every routing probe streams
+    /// through this array instead of chasing `ids[members[pos]]`.
+    member_ids: Box<[Id]>,
+    /// Radix seek index: `seek[b]` = first position whose id has high
+    /// bits ≥ `b` (bucket = id >> seek_shift), `seek[buckets]` = len.
+    /// Bounds `successor(id)` to a binary search inside one bucket.
+    seek: Box<[u32]>,
+    /// `bits - log2(buckets)`: right-shift mapping an id to its bucket.
+    seek_shift: u32,
 }
 
 impl RingView {
-    /// Finger-table entries below which the build fills serially: a
-    /// single parallel dispatch costs more than computing this many
-    /// binary searches outright.
-    const PAR_FINGER_THRESHOLD: usize = 1 << 16;
+    /// Arena entries below which the build fills serially: a single
+    /// parallel dispatch costs more than computing this many entries
+    /// outright.
+    const PAR_ARENA_THRESHOLD: usize = 1 << 16;
 
-    /// Entries per parallel fill chunk (≈ a thousand binary searches —
-    /// enough to amortize the chunk claim, small enough to balance).
-    const PAR_FINGER_CHUNK: usize = 4096;
+    /// Entries per parallel fill chunk (enough work to amortize the
+    /// chunk claim, small enough to balance).
+    const PAR_ARENA_CHUNK: usize = 8192;
+
+    /// Cap on seek-index resolution: 2^21 buckets (8 MB) is past the
+    /// point where buckets average fewer than one member each.
+    const MAX_SEEK_BITS: u32 = 21;
 
     /// Builds a ring over `members` (global indices into `ids`).
     ///
@@ -100,9 +125,10 @@ impl RingView {
         Self::build_on(&Executor::default(), space, ids, members)
     }
 
-    /// [`RingView::build`] on a caller-supplied executor: large finger
-    /// tables are filled in parallel. Each entry is a pure function of
-    /// its index, so the tables are bit-identical at any thread count.
+    /// [`RingView::build`] on a caller-supplied executor: the id arena
+    /// and seek index of large rings are filled in parallel. Each entry
+    /// is a pure function of its index, so the packed state is
+    /// bit-identical at any thread count.
     ///
     /// # Errors
     /// See [`RingBuildError`].
@@ -129,33 +155,79 @@ impl RingView {
             }
         }
         let members = sorted.into_boxed_slice();
-        let bits = space.bits() as usize;
         let len = members.len();
-        let mut fingers = vec![0u32; len * bits].into_boxed_slice();
-        // successor position of an id: first member position with id >= target,
-        // wrapping to 0.
-        let member_ids: Vec<Id> = members.iter().map(|&m| ids[m as usize]).collect();
-        let succ_pos = |target: Id| -> u32 {
-            match member_ids.binary_search(&target) {
-                Ok(p) => p as u32,
-                Err(p) => (p % len) as u32,
-            }
-        };
-        // `fingers[j]` for flat index `j = pos * bits + i` depends only
-        // on `j`, which is what makes the parallel fill deterministic.
-        let entry = |j: usize| -> u32 {
-            let (pos, i) = (j / bits, j % bits);
-            let me = ids[members[pos] as usize];
-            succ_pos(space.finger_start(me, i as u32))
-        };
-        if len * bits >= Self::PAR_FINGER_THRESHOLD && exec.threads() > 1 {
-            exec.par_fill(&mut fingers, Self::PAR_FINGER_CHUNK, entry);
+        let parallel = exec.threads() > 1;
+        // Ring-ordered id arena, one contiguous allocation.
+        let mut member_ids = vec![Id(0); len].into_boxed_slice();
+        let id_entry = |j: usize| ids[members[j] as usize];
+        if len >= Self::PAR_ARENA_THRESHOLD && parallel {
+            exec.par_fill(&mut member_ids, Self::PAR_ARENA_CHUNK, id_entry);
         } else {
-            for (j, f) in fingers.iter_mut().enumerate() {
-                *f = entry(j);
+            for (j, slot) in member_ids.iter_mut().enumerate() {
+                *slot = id_entry(j);
             }
         }
-        Ok(RingView { space, ids, members, fingers })
+        // Radix seek index: ~one bucket per member, each entry the
+        // partition point of the bucket's id floor — a pure function of
+        // the bucket number, hence deterministic under par_fill.
+        let s = len
+            .next_power_of_two()
+            .trailing_zeros()
+            .min(space.bits())
+            .min(Self::MAX_SEEK_BITS);
+        let seek_shift = space.bits() - s;
+        let buckets = 1usize << s;
+        let mut seek = vec![0u32; buckets + 1].into_boxed_slice();
+        let seek_entry = |b: usize| -> u32 {
+            if b == 0 {
+                return 0;
+            }
+            let floor = Id((b as u64) << seek_shift);
+            member_ids.partition_point(|&m| m < floor) as u32
+        };
+        if buckets >= Self::PAR_ARENA_THRESHOLD && parallel {
+            exec.par_fill(&mut seek[..buckets], Self::PAR_ARENA_CHUNK, seek_entry);
+        } else {
+            for (b, slot) in seek.iter_mut().take(buckets).enumerate() {
+                *slot = seek_entry(b);
+            }
+        }
+        seek[buckets] = len as u32;
+        Ok(RingView { space, ids, members, member_ids, seek, seek_shift })
+    }
+
+    /// Position of the first member with id ≥ `target`, wrapping to 0 —
+    /// `successor(target)` in Chord terms. One seek-bucket lookup plus a
+    /// binary search confined to that bucket.
+    fn succ_pos(&self, target: Id) -> u32 {
+        let len = self.member_ids.len();
+        // Ids past the space (possible only for out-of-space queries)
+        // clamp to the last bucket and resolve to position len → 0,
+        // matching a plain wrapped binary search.
+        let b = if self.seek_shift >= 64 {
+            0
+        } else {
+            ((target.0 >> self.seek_shift) as usize).min(self.seek.len() - 2)
+        };
+        let lo = self.seek[b] as usize;
+        let hi = self.seek[b + 1] as usize;
+        let p = lo + self.member_ids[lo..hi].partition_point(|&m| m < target);
+        (p % len) as u32
+    }
+
+    /// Id of the member at `pos`, read from the packed arena.
+    #[inline]
+    fn member_id(&self, pos: u32) -> Id {
+        self.member_ids[pos as usize]
+    }
+
+    /// Bytes held by this ring's packed routing state (member indices,
+    /// id arena, seek index).
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        self.members.len() * core::mem::size_of::<u32>()
+            + self.member_ids.len() * core::mem::size_of::<Id>()
+            + self.seek.len() * core::mem::size_of::<u32>()
     }
 
     /// The identifier space of this ring.
@@ -191,36 +263,29 @@ impl RingView {
     /// Id of the member at `pos`.
     #[must_use]
     pub fn id_at(&self, pos: u32) -> Id {
-        self.ids[self.members[pos as usize] as usize]
+        self.member_ids[pos as usize]
     }
 
     /// Ring position of global node `node`, if it is a member.
     #[must_use]
     pub fn position_of(&self, node: u32) -> Option<u32> {
         let id = *self.ids.get(node as usize)?;
-        let p = self
-            .members
-            .binary_search_by_key(&id, |&m| self.ids[m as usize])
-            .ok()?;
+        let p = self.member_ids.binary_search(&id).ok()?;
         (self.members[p] == node).then_some(p as u32)
     }
 
     /// Position of the ring successor of `key`: the member owning the key.
     #[must_use]
     pub fn successor_of_key(&self, key: Key) -> u32 {
-        let len = self.members.len();
-        let p = self
-            .members
-            .binary_search_by_key(&key, |&m| self.ids[m as usize])
-            .unwrap_or_else(|p| p);
-        (p % len) as u32
+        self.succ_pos(key)
     }
 
-    /// Position of the i-th finger of the member at `pos`.
+    /// Position of the i-th finger of the member at `pos`:
+    /// successor(member_id + 2^i), computed on demand from the seek
+    /// index (the packed representation stores no finger table).
     #[must_use]
     pub fn finger(&self, pos: u32, i: u32) -> u32 {
-        let bits = self.space.bits() as usize;
-        self.fingers[pos as usize * bits + i as usize]
+        self.succ_pos(self.space.finger_start(self.member_id(pos), i))
     }
 
     /// Ring successor (next member clockwise).
@@ -238,17 +303,28 @@ impl RingView {
     /// The member of this ring whose finger table the Chord paper's
     /// `closest_preceding_finger(pos, key)` would return: the highest
     /// finger of `pos` lying strictly inside `(id(pos), key)`.
+    ///
+    /// Evaluated in closed form over the packed arena. Let `q` be the
+    /// key's ring predecessor — the member maximizing clockwise
+    /// distance `d(q)` from `pos` among members strictly inside the
+    /// arc. The highest finger index with a member inside the arc is
+    /// `i* = ⌊log2 d(q)⌋` (finger `i` lands on the first member at
+    /// distance ≥ 2^i, and for `i > i*` that member is at or past the
+    /// key), so the answer is `successor(me + 2^i*)` — identical to
+    /// scanning a materialized table from the top.
     #[must_use]
     pub fn closest_preceding_finger(&self, pos: u32, key: Key) -> u32 {
-        let me = self.id_at(pos);
-        for i in (0..self.space.bits()).rev() {
-            let f = self.finger(pos, i);
-            let fid = self.id_at(f);
-            if f != pos && self.space.in_open(me, key, fid) {
-                return f;
-            }
+        let len = self.member_ids.len();
+        let q = ((self.succ_pos(key) as usize + len - 1) % len) as u32;
+        if q == pos {
+            // No member strictly inside (id(pos), key): the table scan
+            // would reject every finger and fall back to `pos`.
+            return pos;
         }
-        pos
+        let me = self.member_id(pos);
+        let dp = self.space.distance_cw(me, self.member_id(q));
+        let i = 63 - dp.leading_zeros();
+        self.succ_pos(self.space.finger_start(me, i))
     }
 
     /// Routes `key` from the member at `start`, returning the sequence
@@ -281,19 +357,27 @@ impl RingView {
     /// the stop: delivery (`to_predecessor == false`) takes the final
     /// hop to the key's owner, hand-off (`to_predecessor == true`)
     /// stops at (or steps back to) the owner's predecessor.
+    ///
+    /// The key's ring predecessor `q` (see
+    /// [`RingView::closest_preceding_finger`]) does not depend on the
+    /// current hop, so it is resolved once up front; each hop then
+    /// costs one distance, one leading-zeros, and one seek-bounded
+    /// binary search over the packed arena.
     fn route_core(&self, start: u32, key: Key, to_predecessor: bool, out: &mut PathBuf) {
         out.clear();
         out.push(start);
+        let len = self.member_ids.len();
+        let key_pred = ((self.succ_pos(key) as usize + len - 1) % len) as u32;
         let mut cur = start;
-        let cap = self.members.len() + self.space.bits() as usize + 2;
+        let cap = len + self.space.bits() as usize + 2;
         loop {
-            assert!(out.len() <= cap, "routing did not terminate — finger tables corrupt");
+            assert!(out.len() <= cap, "routing did not terminate — seek index corrupt");
             // Ownership check via the predecessor pointer (the paper notes
             // "predecessor and successor lists can be used to accelerate
             // the process"): if the current node already owns the key,
             // stop immediately instead of routing the long way around.
             let pred = self.predecessor(cur);
-            if self.space.in_open_closed(self.id_at(pred), self.id_at(cur), key) {
+            if self.space.in_open_closed(self.member_id(pred), self.member_id(cur), key) {
                 // `cur` owns the key; `pred` closest-precedes it.
                 if to_predecessor && pred != cur {
                     out.push(pred);
@@ -301,7 +385,7 @@ impl RingView {
                 return;
             }
             let succ = self.successor(cur);
-            if self.space.in_open_closed(self.id_at(cur), self.id_at(succ), key) {
+            if self.space.in_open_closed(self.member_id(cur), self.member_id(succ), key) {
                 // Key owned by our successor; deliver (unless we own it:
                 // a single-member ring has successor == self), or stop
                 // here — `cur` is the closest preceding member.
@@ -310,8 +394,18 @@ impl RingView {
                 }
                 return;
             }
-            let next = self.closest_preceding_finger(cur, key);
-            let next = if next == cur { succ } else { next };
+            // Closed-form closest preceding finger; when no member lies
+            // strictly inside (id(cur), key) — i.e. cur is the key's
+            // predecessor itself, already excluded by the stop checks —
+            // fall forward to the successor like the table scan would.
+            let next = if key_pred == cur {
+                succ
+            } else {
+                let me = self.member_id(cur);
+                let dp = self.space.distance_cw(me, self.member_id(key_pred));
+                let i = 63 - dp.leading_zeros();
+                self.succ_pos(self.space.finger_start(me, i))
+            };
             out.push(next);
             cur = next;
         }
@@ -343,15 +437,17 @@ impl RingView {
     }
 
     /// Average number of distinct fingers per member — the table-size
-    /// statistic used by the §3.4 cost analysis.
+    /// statistic used by the §3.4 cost analysis. The packed form stores
+    /// no tables, so the rows are recomputed on demand from the seek
+    /// index; results match the materialized tables entry for entry.
     #[must_use]
     pub fn avg_distinct_fingers(&self) -> f64 {
-        let bits = self.space.bits() as usize;
+        let bits = self.space.bits();
         let mut total = 0usize;
-        let mut scratch: Vec<u32> = Vec::with_capacity(bits);
-        for pos in 0..self.members.len() {
+        let mut scratch: Vec<u32> = Vec::with_capacity(bits as usize);
+        for pos in 0..self.members.len() as u32 {
             scratch.clear();
-            scratch.extend_from_slice(&self.fingers[pos * bits..(pos + 1) * bits]);
+            scratch.extend((0..bits).map(|i| self.finger(pos, i)));
             scratch.sort_unstable();
             scratch.dedup();
             total += scratch.len();

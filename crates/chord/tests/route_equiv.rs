@@ -1,9 +1,12 @@
 //! Equivalence properties behind the scale-out replay engine:
 //!
 //! * routing into a reused (dirty) [`PathBuf`] scratch yields exactly
-//!   the path the allocating `route()` wrappers return, and
-//! * parallel finger-table construction is bit-identical to serial at
-//!   every thread count.
+//!   the path the allocating `route()` wrappers return,
+//! * parallel packed-arena construction is bit-identical to serial at
+//!   every thread count, and
+//! * the closed-form routing over the packed arena reproduces, hop for
+//!   hop, the classic top-down scan over materialized finger tables it
+//!   replaced.
 
 use hieras_chord::{ChordOracle, PathBuf, RingView};
 use hieras_id::{Id, IdSpace};
@@ -12,6 +15,92 @@ use std::sync::Arc;
 
 fn scrambled_ids(n: u64) -> Arc<[Id]> {
     (0..n).map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)).collect::<Vec<_>>().into()
+}
+
+/// The pre-packing algorithm, reconstructed over the public API: scan
+/// the (now on-demand) finger table from the top for the highest entry
+/// strictly inside `(id(pos), key)`.
+fn reference_closest_preceding_finger(r: &RingView, pos: u32, key: Id) -> u32 {
+    let me = r.id_at(pos);
+    for i in (0..r.space().bits()).rev() {
+        let f = r.finger(pos, i);
+        if f != pos && r.space().in_open(me, key, r.id_at(f)) {
+            return f;
+        }
+    }
+    pos
+}
+
+/// The pre-packing iterative route, verbatim: predecessor/successor
+/// ownership stops, then forward to the scanned closest preceding
+/// finger (successor fallback when the scan returns `pos`).
+fn reference_route(r: &RingView, start: u32, key: Id, to_predecessor: bool) -> Vec<u32> {
+    let mut out = vec![start];
+    let mut cur = start;
+    loop {
+        assert!(out.len() <= r.len() + 66, "reference route did not terminate");
+        let pred = r.predecessor(cur);
+        if r.space().in_open_closed(r.id_at(pred), r.id_at(cur), key) {
+            if to_predecessor && pred != cur {
+                out.push(pred);
+            }
+            return out;
+        }
+        let succ = r.successor(cur);
+        if r.space().in_open_closed(r.id_at(cur), r.id_at(succ), key) {
+            if !to_predecessor && succ != cur {
+                out.push(succ);
+            }
+            return out;
+        }
+        let next = reference_closest_preceding_finger(r, cur, key);
+        let next = if next == cur { succ } else { next };
+        out.push(next);
+        cur = next;
+    }
+}
+
+/// Random rings in full and tiny id spaces: the packed closed-form
+/// route (and its hand-off variant) must be byte-identical to the old
+/// finger-table scan on every hop, including exact-member keys (the
+/// distance-zero edge) and single-member rings.
+#[test]
+fn packed_route_matches_reference_finger_scan() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0006);
+    for case in 0..200 {
+        let space = if case % 3 == 0 { IdSpace::new(8).unwrap() } else { IdSpace::full() };
+        let n = rng.random_range(1usize..100);
+        let mut raw: Vec<u64> = (0..n).map(|_| rng.next_u64() & space.mask()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        let ids: Arc<[Id]> = raw.iter().map(|&v| Id(v)).collect::<Vec<_>>().into();
+        let members: Vec<u32> = (0..ids.len() as u32).collect();
+        let ring = RingView::build(space, ids, &members).expect("valid ring");
+        let len = ring.len() as u64;
+        for probe in 0..40 {
+            let start = rng.next_u64_below(len) as u32;
+            let key = if rng.random_bool(0.25) {
+                ring.id_at(rng.next_u64_below(len) as u32) // exact member id
+            } else {
+                Id(rng.next_u64() & space.mask())
+            };
+            assert_eq!(
+                ring.route(start, key),
+                reference_route(&ring, start, key, false),
+                "case {case} probe {probe}: delivery route diverged"
+            );
+            assert_eq!(
+                ring.route_to_predecessor(start, key),
+                reference_route(&ring, start, key, true),
+                "case {case} probe {probe}: hand-off route diverged"
+            );
+            assert_eq!(
+                ring.closest_preceding_finger(start, key),
+                reference_closest_preceding_finger(&ring, start, key),
+                "case {case} probe {probe}: closest preceding finger diverged"
+            );
+        }
+    }
 }
 
 /// A ring over every node (positions == member indices).
@@ -69,19 +158,20 @@ fn lookup_into_reused_scratch_matches_lookup() {
 }
 
 #[test]
-fn parallel_finger_build_is_bit_identical_across_thread_counts() {
-    // 2048 members × 64 bits = 131072 finger slots — well past the
-    // parallel-build threshold, so the multi-thread builds exercise
-    // the chunked par_fill path.
-    let ids = scrambled_ids(2048);
-    let members: Vec<u32> = (0..2048).collect();
+fn parallel_arena_build_is_bit_identical_across_thread_counts() {
+    // 80000 members — past the packed-arena parallel-build threshold,
+    // so the multi-thread builds exercise the chunked par_fill path for
+    // both the id arena and the seek index.
+    const N: u32 = 80_000;
+    let ids = scrambled_ids(N as u64);
+    let members: Vec<u32> = (0..N).collect();
     let serial = RingView::build_on(&Executor::new(1), IdSpace::full(), Arc::clone(&ids), &members)
         .expect("serial build");
     for threads in [2, 8] {
         let par =
             RingView::build_on(&Executor::new(threads), IdSpace::full(), Arc::clone(&ids), &members)
                 .expect("parallel build");
-        for pos in 0..2048u32 {
+        for pos in (0..N).step_by(37) {
             for i in 0..64u32 {
                 assert_eq!(
                     par.finger(pos, i),
@@ -90,6 +180,7 @@ fn parallel_finger_build_is_bit_identical_across_thread_counts() {
                 );
             }
         }
+        assert_eq!(par.arena_bytes(), serial.arena_bytes(), "threads={threads} arena size");
     }
 }
 

@@ -70,6 +70,19 @@ impl From<RingBuildError> for HierasBuildError {
     }
 }
 
+/// Aggregate packed-routing-state footprint over the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingArenaStats {
+    /// Total rings across all layers (layer 1 contributes one).
+    pub rings: usize,
+    /// Total member slots across all ring arenas (each node appears
+    /// once per layer, so this is ≈ nodes × depth).
+    pub member_slots: usize,
+    /// Total bytes of packed routing state (member indices, id arenas,
+    /// seek indices) across all rings.
+    pub bytes: usize,
+}
+
 /// One hierarchy layer: the disjoint rings partitioning all peers.
 #[derive(Debug, Clone)]
 pub struct Layer {
@@ -334,6 +347,22 @@ impl HierasOracle {
     #[must_use]
     pub fn layers(&self) -> &[Layer] {
         &self.layers
+    }
+
+    /// Aggregate size of the packed routing state across every ring of
+    /// every layer — the source feeding the `ring_arena.*` metrics. The
+    /// whole routing fabric is these arenas plus the shared id table.
+    #[must_use]
+    pub fn arena_stats(&self) -> RingArenaStats {
+        let mut stats = RingArenaStats { rings: 0, member_slots: 0, bytes: 0 };
+        for layer in &self.layers {
+            for (_, ring) in layer.rings() {
+                stats.rings += 1;
+                stats.member_slots += ring.len();
+                stats.bytes += ring.arena_bytes();
+            }
+        }
+        stats
     }
 
     /// The global ring (layer 1).

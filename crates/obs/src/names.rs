@@ -52,3 +52,15 @@ pub const LATENCY_LABELS_BUILD_MS: &str = "latency_labels.build_ms";
 pub const LATENCY_LABELS_QUERIES: &str = "latency_labels.queries";
 /// Bytes held by the label arrays (gauge).
 pub const LATENCY_LABELS_BYTES: &str = "latency_labels.bytes";
+
+/// Label queries answered from the per-thread memo (counter).
+pub const LABEL_MEMO_HITS: &str = "label_memo.hits";
+/// Label queries that fell through to a label merge (counter).
+pub const LABEL_MEMO_MISSES: &str = "label_memo.misses";
+
+/// Packed rings across all hierarchy layers (gauge).
+pub const RING_ARENA_RINGS: &str = "ring_arena.rings";
+/// Member slots across all packed rings (gauge).
+pub const RING_ARENA_MEMBER_SLOTS: &str = "ring_arena.member_slots";
+/// Bytes held by the packed routing state (gauge).
+pub const RING_ARENA_BYTES: &str = "ring_arena.bytes";

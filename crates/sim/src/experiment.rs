@@ -33,11 +33,13 @@ impl TopologyKind {
         }
     }
 
-    fn generate(self, peers: usize, seed: u64) -> Topology {
+    fn generate_on(self, exec: &Executor, peers: usize, seed: u64) -> Topology {
         match self {
-            TopologyKind::TransitStub => TransitStubConfig::for_peers(peers, seed).generate(),
-            TopologyKind::Inet => InetConfig::for_peers(peers, seed).generate(),
-            TopologyKind::Brite => BriteConfig::for_peers(peers, seed).generate(),
+            TopologyKind::TransitStub => {
+                TransitStubConfig::for_peers(peers, seed).generate_on(exec)
+            }
+            TopologyKind::Inet => InetConfig::for_peers(peers, seed).generate_on(exec),
+            TopologyKind::Brite => BriteConfig::for_peers(peers, seed).generate_on(exec),
         }
     }
 }
@@ -285,7 +287,7 @@ impl Experiment {
         config.hieras.validate().expect("invalid HIERAS config");
         prof.start("build");
         prof.start("topology");
-        let topo = config.kind.generate(config.nodes, config.seed);
+        let topo = config.kind.generate_on(&opts.exec, config.nodes, config.seed);
         prof.end();
         let mut rng = Rng::seed_from_u64(config.seed ^ 0xe9_5e_ed_5e_ed);
         prof.start("place_peers");
@@ -326,6 +328,21 @@ impl Experiment {
                 orders.push(binning.order(&rtts));
             }
         }
+        prof.end();
+
+        // Locality packing: renumber peers by binning order (stable on
+        // the old index) so every ring's membership — a ring is an
+        // order-prefix group at each layer — becomes a contiguous peer
+        // range. Packed ring arenas then walk `ids`/`router_of`
+        // sequentially instead of striding the whole peer space. Peers
+        // are interchangeable before ids exist, so this changes which
+        // id a peer draws, not any distribution the experiment samples.
+        prof.start("locality_pack");
+        let mut perm: Vec<u32> = (0..config.nodes as u32).collect();
+        perm.sort_by(|&a, &b| orders[a as usize].cmp(&orders[b as usize]).then(a.cmp(&b)));
+        let router_of: Vec<u32> = perm.iter().map(|&p| router_of[p as usize]).collect();
+        let orders: Vec<LandmarkOrder> =
+            perm.iter().map(|&p| orders[p as usize].clone()).collect();
         prof.end();
 
         // Unique node identifiers (production path: SHA-1 of a name).
@@ -494,8 +511,19 @@ impl Experiment {
     /// Publishes the latency oracle's state into `reg`: the
     /// [`hieras_topology::CacheStats`] as `latency_cache.*` on the row
     /// backends, and the [`hieras_topology::LabelStats`] plus query
-    /// counter as `latency_labels.*` on the labels backend.
+    /// counter as `latency_labels.*` on the labels backend. The packed
+    /// routing-state footprint goes out as `ring_arena.*` on every
+    /// backend, and the per-thread memo tallies as `label_memo.*`
+    /// where the labels backend has one.
     pub fn record_cache_stats(&self, reg: &mut Registry) {
+        let arena = self.hieras.arena_stats();
+        reg.gauge_set(names::RING_ARENA_RINGS, arena.rings as i64);
+        reg.gauge_set(names::RING_ARENA_MEMBER_SLOTS, arena.member_slots as i64);
+        reg.gauge_set(names::RING_ARENA_BYTES, arena.bytes as i64);
+        if let Some((hits, misses)) = self.lat.memo_stats() {
+            reg.inc_by(names::LABEL_MEMO_HITS, hits);
+            reg.inc_by(names::LABEL_MEMO_MISSES, misses);
+        }
         if let Some((l, queries)) = self.lat.label_stats() {
             reg.gauge_set(names::LATENCY_LABELS_HUBS, l.hubs as i64);
             reg.gauge_set(names::LATENCY_LABELS_ENTRIES, l.entries as i64);
@@ -608,8 +636,8 @@ mod tests {
         let children: Vec<&str> =
             report.phases[0].children.iter().map(|p| p.name.as_str()).collect();
         for want in
-            ["topology", "place_peers", "latency_oracle", "landmarks", "binning", "ids",
-             "chord_build", "hieras_build", "latency_precompute"]
+            ["topology", "place_peers", "latency_oracle", "landmarks", "binning",
+             "locality_pack", "ids", "chord_build", "hieras_build", "latency_precompute"]
         {
             assert!(children.contains(&want), "phase {want} missing from {children:?}");
         }
@@ -634,6 +662,91 @@ mod tests {
             let r = e.run_requests_on(&Executor::new(1), 1200);
             assert_eq!(r, base, "a {threads}-thread build changed the replay metrics");
         }
+    }
+
+    #[test]
+    fn build_is_thread_invariant_on_every_model() {
+        // End-to-end: topology generation, binning, locality packing,
+        // and both ring builds all run on the supplied executor, and
+        // the replay metrics must not notice its thread count.
+        for kind in [TopologyKind::TransitStub, TopologyKind::Brite, TopologyKind::Inet] {
+            let cfg = ExperimentConfig { kind, nodes: 150, requests: 0, ..small_cfg() };
+            let build = |threads| {
+                Experiment::build_with(
+                    cfg.clone(),
+                    &mut Profiler::new(),
+                    BuildOptions { exec: Executor::new(threads), ..BuildOptions::default() },
+                )
+                .run_requests_on(&Executor::new(1), 600)
+            };
+            let base = build(1);
+            for threads in [2, 8] {
+                assert_eq!(
+                    build(threads),
+                    base,
+                    "{threads}-thread build diverged on {}",
+                    kind.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn locality_pack_makes_ring_members_contiguous() {
+        let e = Experiment::build(small_cfg());
+        // Binning orders must be sorted after the renumbering...
+        assert!(e.orders.windows(2).all(|w| w[0] <= w[1]), "orders not locality-packed");
+        // ...so every lower-layer ring owns a contiguous peer range
+        // (the members array itself stays in ring/id order, so check
+        // the span, not the sequence).
+        for layer in &e.hieras.layers()[1..] {
+            for (_, ring) in layer.rings() {
+                let m = ring.members();
+                let lo = *m.iter().min().unwrap();
+                let hi = *m.iter().max().unwrap();
+                assert_eq!(
+                    (hi - lo + 1) as usize,
+                    m.len(),
+                    "ring members not a contiguous peer range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_cache_stats_publishes_arena_footprint() {
+        let e = Experiment::build(ExperimentConfig { nodes: 120, ..small_cfg() });
+        let mut reg = Registry::new();
+        e.record_cache_stats(&mut reg);
+        let arena = e.hieras.arena_stats();
+        assert_eq!(reg.gauge(names::RING_ARENA_RINGS), Some(arena.rings as i64));
+        assert_eq!(reg.gauge(names::RING_ARENA_MEMBER_SLOTS), Some(arena.member_slots as i64));
+        assert_eq!(reg.gauge(names::RING_ARENA_BYTES), Some(arena.bytes as i64));
+        assert!(arena.member_slots >= 2 * 120, "every peer sits in ≥ 2 rings");
+        // Rows backend: no memo counters.
+        assert_eq!(reg.counter(names::LABEL_MEMO_HITS), 0);
+        assert_eq!(reg.counter(names::LABEL_MEMO_MISSES), 0);
+    }
+
+    #[test]
+    fn labels_backend_publishes_memo_counters() {
+        let e = Experiment::build_with(
+            ExperimentConfig { nodes: 120, ..small_cfg() },
+            &mut Profiler::new(),
+            BuildOptions { oracle: OracleBackend::Labels, ..BuildOptions::default() },
+        );
+        let _ = e.run_requests_on(&Executor::new(1), 800);
+        let mut reg = Registry::new();
+        e.record_cache_stats(&mut reg);
+        let (hits, misses) = e.lat.memo_stats().expect("labels backend carries a memo");
+        assert_eq!(reg.counter(names::LABEL_MEMO_HITS), hits);
+        assert_eq!(reg.counter(names::LABEL_MEMO_MISSES), misses);
+        assert!(hits > 0, "replay re-queries pairs — the memo must hit");
+        assert_eq!(
+            hits + misses,
+            reg.counter(names::LATENCY_LABELS_QUERIES),
+            "every label query is either a memo hit or a miss"
+        );
     }
 
     #[test]

@@ -8,7 +8,16 @@
 //! distance — which is exactly what this module produces.
 
 use crate::{Graph, NodeKind, Topology};
-use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
+use hieras_rt::{Executor, FromJson, Json, JsonError, Rng, ToJson};
+
+/// Candidate count from which the per-link weight vector is computed in
+/// parallel. Below this a single dispatch costs more than the `exp()`
+/// loop it parallelizes.
+const PAR_WEIGHT_THRESHOLD: usize = 8192;
+
+/// Candidates per parallel weight chunk. Fixed: chunk boundaries define
+/// the float-summation grouping, which must not depend on thread count.
+const PAR_WEIGHT_CHUNK: usize = 2048;
 
 /// Parameters for the BRITE-style generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,12 +53,26 @@ impl BriteConfig {
         }
     }
 
-    /// Generates the topology.
+    /// Generates the topology on the default executor.
     ///
     /// # Panics
     /// Panics if `nodes < links_per_node + 1` or `links_per_node == 0`.
     #[must_use]
     pub fn generate(&self) -> Topology {
+        self.generate_on(&Executor::default())
+    }
+
+    /// [`BriteConfig::generate`] on a caller-supplied executor: for
+    /// large joining steps the degree × Waxman weight vector (the
+    /// `exp()`-heavy inner loop) is computed in parallel. Whether a
+    /// step parallelizes depends only on its size, and partial sums
+    /// merge in fixed chunk order, so the graph is a pure function of
+    /// the config at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `nodes < links_per_node + 1` or `links_per_node == 0`.
+    #[must_use]
+    pub fn generate_on(&self, exec: &Executor) -> Topology {
         assert!(self.links_per_node >= 1, "need at least one link per node");
         assert!(
             self.nodes > self.links_per_node,
@@ -82,19 +105,44 @@ impl BriteConfig {
         for t in (m + 1)..n {
             let mut chosen: Vec<u32> = Vec::with_capacity(m);
             for _ in 0..m {
-                let mut total = 0.0f64;
-                let mut weights: Vec<f64> = Vec::with_capacity(t);
-                for u in 0..t {
-                    let w = if chosen.contains(&(u as u32)) {
+                let weight_of = |u: usize| -> f64 {
+                    if chosen.contains(&(u as u32)) {
                         0.0
                     } else {
                         let deg = graph.degree(u as u32) as f64;
                         let d = dist(coords[t], coords[u]);
                         deg * (-d / beta_len).exp()
-                    };
-                    weights.push(w);
-                    total += w;
-                }
+                    }
+                };
+                // The parallel path groups the float sum per chunk, so
+                // whether it runs must depend only on `t` — never on the
+                // executor's thread count — to keep graphs thread-invariant.
+                let (weights, total) = if t >= PAR_WEIGHT_THRESHOLD {
+                    exec.par_fold(
+                        t,
+                        PAR_WEIGHT_CHUNK,
+                        || (Vec::new(), 0.0f64),
+                        |acc, u| {
+                            let w = weight_of(u);
+                            acc.0.push(w);
+                            acc.1 += w;
+                        },
+                        |mut a, mut b| {
+                            a.0.append(&mut b.0);
+                            a.1 += b.1;
+                            a
+                        },
+                    )
+                } else {
+                    let mut total = 0.0f64;
+                    let mut weights: Vec<f64> = Vec::with_capacity(t);
+                    for u in 0..t {
+                        let w = weight_of(u);
+                        weights.push(w);
+                        total += w;
+                    }
+                    (weights, total)
+                };
                 let pick = if total > 0.0 {
                     let mut r = rng.random_range(0.0..total);
                     let mut sel = t - 1;
@@ -209,6 +257,25 @@ mod tests {
     fn rejects_degenerate_config() {
         let cfg = BriteConfig { nodes: 2, links_per_node: 2, ..BriteConfig::for_peers(0, 0) };
         let _ = cfg.generate();
+    }
+
+    #[test]
+    fn parallel_weight_path_is_thread_invariant() {
+        // Past PAR_WEIGHT_THRESHOLD the weight vector is computed in
+        // parallel; m = 1 keeps the quadratic growth loop affordable.
+        let cfg = BriteConfig {
+            nodes: PAR_WEIGHT_THRESHOLD + 800,
+            links_per_node: 1,
+            ..BriteConfig::for_peers(0, 3)
+        };
+        let base = cfg.generate_on(&Executor::new(1));
+        for threads in [2, 8] {
+            let t = cfg.generate_on(&Executor::new(threads));
+            assert_eq!(t.graph.edge_count(), base.graph.edge_count());
+            let same = (0..cfg.nodes as u32)
+                .all(|u| t.graph.neighbors(u) == base.graph.neighbors(u));
+            assert!(same, "{threads}-thread BRITE generation diverged");
+        }
     }
 
     #[test]

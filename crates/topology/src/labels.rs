@@ -15,13 +15,19 @@
 //! d(u, v) = min over hubs h ∈ label(u) ∩ label(v) of d(u,h) + d(h,v)
 //! ```
 //!
-//! Construction processes vertices in deterministic degree-descending
-//! order. Each hub runs one *pruned* Dijkstra: when a visited vertex's
-//! distance is already covered by previously committed labels, the
-//! search neither labels nor expands it. On a Transit-Stub instance
-//! the eight transit routers are ranked first and every later search
-//! collapses to its own stub domain — total work scales with the label
-//! size, not `N²`.
+//! Construction processes vertices in a deterministic
+//! *sampled-betweenness* order: a fixed, seeded set of shortest-path
+//! trees is computed and vertices are ranked by how many sampled
+//! shortest paths run through them (degree, then index, break ties).
+//! Betweenness is the quantity pruned labeling actually wants —
+//! "covers the most shortest paths" — and on internet-shaped graphs it
+//! ranks the transit backbone above merely well-connected stub routers,
+//! yielding measurably shorter labels than degree order. Each hub then
+//! runs one *pruned* Dijkstra: when a visited vertex's distance is
+//! already covered by previously committed labels, the search neither
+//! labels nor expands it. On a Transit-Stub instance the transit
+//! routers are ranked first and every later search collapses to its own
+//! stub domain — total work scales with the label size, not `N²`.
 //!
 //! Hubs are processed in fixed geometric warm-up batches (1, 2, 4, …,
 //! [`MAX_BATCH`]); within a batch every pruned Dijkstra sees only the
@@ -34,7 +40,7 @@
 
 use crate::graph::DijkstraScratch;
 use crate::Graph;
-use hieras_rt::Executor;
+use hieras_rt::{Executor, Rng};
 use std::cell::RefCell;
 
 /// Hubs per full-speed batch. Must not depend on the thread count —
@@ -48,6 +54,14 @@ const MAX_BATCH: usize = 256;
 /// Hubs per work chunk inside a batch. Small: one pruned search is
 /// microseconds to milliseconds, and chunk order fixes the merge.
 const LABEL_CHUNK: usize = 2;
+
+/// Shortest-path trees sampled to score the betweenness hub order.
+/// Fixed — it is part of the label-set definition, like [`MAX_BATCH`].
+const BETWEENNESS_SAMPLES: usize = 32;
+
+/// Sample roots per betweenness work chunk: bounds the number of live
+/// 8-byte-per-vertex accumulators while leaving 16 chunks to spread.
+const BETWEENNESS_CHUNK: usize = 2;
 
 /// Size/effort statistics of a built [`HubLabels`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,6 +143,95 @@ thread_local! {
     /// labels produced are independent of scratch state, so reuse
     /// cannot perturb determinism.
     static SCRATCH: RefCell<LabelScratch> = RefCell::new(LabelScratch::default());
+}
+
+/// Adds one sampled shortest-path tree rooted at `root` into `scores`.
+///
+/// Runs a canonical Dial-bucket Dijkstra (deterministic: single
+/// threaded, LIFO buckets, the parent of a vertex is whichever strict
+/// relaxation fixed its final distance), then accumulates subtree
+/// sizes in reverse settle order — `size[v]` counts the sampled
+/// shortest paths from `root` that pass through `v`, the standard
+/// one-tree term of sampled betweenness centrality.
+fn accumulate_sp_tree(graph: &Graph, root: u32, nb: usize, scores: &mut [u64]) {
+    let n = graph.node_count();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![u32::MAX; n];
+    let mut settled: Vec<u32> = Vec::with_capacity(n);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nb];
+    dist[root as usize] = 0;
+    buckets[0].push(root);
+    let mut pending = 1usize;
+    let mut d = 0usize;
+    while pending > 0 {
+        let b = d % nb;
+        while let Some(u) = buckets[b].pop() {
+            pending -= 1;
+            if dist[u as usize] != d as u32 {
+                continue; // superseded entry
+            }
+            settled.push(u);
+            for e in graph.neighbors(u) {
+                let nd = d as u32 + u32::from(e.delay_ms);
+                if nd < dist[e.to as usize] {
+                    dist[e.to as usize] = nd;
+                    parent[e.to as usize] = u;
+                    buckets[nd as usize % nb].push(e.to);
+                    pending += 1;
+                }
+            }
+        }
+        d += 1;
+    }
+    // A vertex's parent settles strictly before it, so reverse settle
+    // order sees every child before its parent.
+    let mut size = vec![1u64; n];
+    for &u in settled.iter().rev() {
+        let p = parent[u as usize];
+        if p != u32::MAX {
+            let s = size[u as usize];
+            size[p as usize] += s;
+        }
+    }
+    for &u in &settled {
+        if u != root {
+            scores[u as usize] += size[u as usize];
+        }
+    }
+}
+
+/// Deterministic hub priority: sampled-betweenness score descending,
+/// then degree descending, then index. The sample-root set is seeded
+/// from the vertex count alone, so the order — and therefore the label
+/// set — is a pure function of the graph at any thread count.
+fn hub_order(exec: &Executor, graph: &Graph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let k = BETWEENNESS_SAMPLES.min(n);
+    let mut scores = vec![0u64; n];
+    if k > 0 {
+        let mut rng = Rng::seed_from_u64(0x4865_5261_5_u64 ^ (n as u64).rotate_left(17));
+        let roots = rng.sample_indices(n, k);
+        let nb = usize::from(graph.max_delay()) + 1;
+        scores = exec.par_fold(
+            k,
+            BETWEENNESS_CHUNK,
+            || vec![0u64; n],
+            |acc, i| accumulate_sp_tree(graph, roots[i] as u32, nb, acc),
+            |mut a, b| {
+                // Element-wise u64 sums: exact and order-independent,
+                // so the merge is trivially thread-invariant.
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    }
+    order.sort_by_key(|&v| {
+        (u64::MAX - scores[v as usize], usize::MAX - graph.degree(v), v)
+    });
+    order
 }
 
 /// One pruned Dijkstra from `root`: returns the `(vertex, distance)`
@@ -215,20 +318,16 @@ impl HubLabels {
 
     /// Builds exact hub labels for `graph`, parallelized on `exec`.
     ///
-    /// The hub order (degree descending, index ascending), the batch
-    /// schedule, and the per-batch chunk size are all fixed, so the
-    /// resulting labels are **bit-identical at any thread count** —
-    /// asserted by `tests/label_equivalence.rs`.
+    /// The hub order (sampled betweenness, see [`hub_order`]), the
+    /// batch schedule, and the per-batch chunk size are all fixed, so
+    /// the resulting labels are **bit-identical at any thread count**
+    /// — asserted by `tests/label_equivalence.rs`.
     #[must_use]
     pub fn build_on(exec: &Executor, graph: &Graph) -> Self {
         let t0 = std::time::Instant::now();
         let n = graph.node_count();
 
-        // Deterministic hub priority: degree descending, index as the
-        // tie-break. High-degree routers (transit cores, AS hubs) cover
-        // the most shortest paths and must commit first.
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by_key(|&v| (usize::MAX - graph.degree(v), v));
+        let order = hub_order(exec, graph);
 
         let nb = usize::from(graph.max_delay()) + 1;
         let mut committed: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n];
@@ -304,20 +403,19 @@ impl HubLabels {
         let (a, b) = (self.label(u), self.label(v));
         let mut best = u64::MAX;
         let (mut i, mut j) = (0usize, 0usize);
+        // Branch-free two-pointer merge: every iteration advances at
+        // least one side; mismatched hubs poison the candidate with MAX
+        // so the min is a no-op. The hub comparison feeds conditional
+        // moves instead of a three-way branch the predictor keeps
+        // missing on (rank interleavings are effectively random).
         while i < a.len() && j < b.len() {
-            let (ra, rb) = (a[i] >> 32, b[j] >> 32);
-            if ra == rb {
-                let sum = (a[i] & DIST) + (b[j] & DIST);
-                if sum < best {
-                    best = sum;
-                }
-                i += 1;
-                j += 1;
-            } else if ra < rb {
-                i += 1;
-            } else {
-                j += 1;
-            }
+            let (ea, eb) = (a[i], b[j]);
+            let (ra, rb) = (ea >> 32, eb >> 32);
+            let sum = (ea & DIST) + (eb & DIST);
+            let cand = if ra == rb { sum } else { u64::MAX };
+            best = best.min(cand);
+            i += usize::from(ra <= rb);
+            j += usize::from(rb <= ra);
         }
         if best == u64::MAX {
             u16::MAX

@@ -29,6 +29,7 @@
 use crate::graph::DijkstraScratch;
 use crate::{Graph, HubLabels, LabelStats};
 use hieras_rt::Executor;
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -36,6 +37,71 @@ use std::sync::{Mutex, OnceLock};
 /// Dijkstra over a 10⁴-router graph takes milliseconds, so small
 /// chunks keep the workers balanced without scheduling overhead.
 const PRECOMPUTE_CHUNK: usize = 4;
+
+/// Slots in the per-thread direct-mapped `(u, v)` memo on the labels
+/// backend: 2^15 slots × 16 B = 512 KB per worker thread — large
+/// enough to hold a replay's working set of router pairs, small enough
+/// to live in L2.
+const MEMO_SLOTS: usize = 1 << 15;
+
+/// One entry of the per-thread label-query memo.
+#[derive(Clone, Copy)]
+struct MemoSlot {
+    /// Oracle tag the entry answers for; 0 = never written.
+    epoch: u64,
+    /// Packed pair `(min << 32) | max` (latency is symmetric).
+    key: u64,
+    /// The memoized answer.
+    val: u16,
+}
+
+thread_local! {
+    /// One direct-mapped memo per worker thread, shared by every
+    /// labels oracle alive on that thread. Entries are claimed per
+    /// oracle through the epoch tag, so a fresh oracle can never read
+    /// another oracle's (or a dead oracle's) value. Allocated lazily on
+    /// the first memoized query of the thread.
+    static MEMO: RefCell<Vec<MemoSlot>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Distinct-tag source for [`MemoSlot::epoch`]; starts at 1 so 0 always
+/// means "empty slot".
+static MEMO_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// The per-thread query memo of one labels oracle: its epoch tag plus
+/// hit/miss counters (the `label_memo.*` metrics).
+#[derive(Debug)]
+struct LabelMemo {
+    epoch: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl LabelMemo {
+    /// Answers `latency(u, v)` through the calling thread's memo,
+    /// falling back to (and recording) a label merge on miss.
+    #[inline]
+    fn latency(&self, labels: &HubLabels, u: u32, v: u32) -> u16 {
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let key = (u64::from(lo) << 32) | u64::from(hi);
+        let slot_i = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 49) as usize;
+        MEMO.with(|cell| {
+            let memo = &mut *cell.borrow_mut();
+            if memo.is_empty() {
+                memo.resize(MEMO_SLOTS, MemoSlot { epoch: 0, key: 0, val: 0 });
+            }
+            let slot = &mut memo[slot_i];
+            if slot.epoch == self.epoch && slot.key == key {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return slot.val;
+            }
+            let val = labels.latency(u, v);
+            *slot = MemoSlot { epoch: self.epoch, key, val };
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            val
+        })
+    }
+}
 
 /// Mutex shards for the bounded overflow cache. Sixteen shards keep
 /// contention negligible at replay thread counts while the per-shard
@@ -246,8 +312,8 @@ enum Backend {
         materialized: AtomicUsize,
         bound: Option<Bound>,
     },
-    /// Exact 2-hop hub labels.
-    Labels { labels: HubLabels, queries: AtomicU64 },
+    /// Exact 2-hop hub labels, optionally memoized per thread.
+    Labels { labels: HubLabels, queries: AtomicU64, memo: Option<LabelMemo> },
 }
 
 /// Exact shortest-path delays over a router graph.
@@ -301,10 +367,29 @@ impl LatencyOracle {
     /// `exec`. The build is the whole cost — queries never run a
     /// Dijkstra — and the labels are bit-identical at any thread
     /// count. Every query answer matches the row backends exactly.
+    /// The per-thread query memo is enabled.
     #[must_use]
     pub fn with_labels_on(exec: &Executor, graph: Graph) -> Self {
+        Self::with_labels_memoized(exec, graph, true)
+    }
+
+    /// [`LatencyOracle::with_labels_on`] with explicit control over the
+    /// per-thread query memo. The memo exploits replay lookup locality
+    /// (the same router pairs recur across requests) and never changes
+    /// an answer — disabling it exists for the memo-identity tests and
+    /// for isolating raw merge cost in benchmarks.
+    #[must_use]
+    pub fn with_labels_memoized(exec: &Executor, graph: Graph, memoized: bool) -> Self {
         let labels = HubLabels::build_on(exec, &graph);
-        LatencyOracle { graph, backend: Backend::Labels { labels, queries: AtomicU64::new(0) } }
+        let memo = memoized.then(|| LabelMemo {
+            epoch: MEMO_EPOCH.fetch_add(1, Ordering::Relaxed),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        });
+        LatencyOracle {
+            graph,
+            backend: Backend::Labels { labels, queries: AtomicU64::new(0), memo },
+        }
     }
 
     /// The underlying graph.
@@ -377,9 +462,15 @@ impl LatencyOracle {
             return 0;
         }
         match &self.backend {
-            Backend::Labels { labels, queries } => {
+            Backend::Labels { labels, queries, memo } => {
+                // Counted per query answered, memo hit or not — the
+                // counter means "label queries served", and the memo is
+                // invisible except in `label_memo.*`.
                 queries.fetch_add(1, Ordering::Relaxed);
-                labels.latency(u, v)
+                match memo {
+                    Some(m) => m.latency(labels, u, v),
+                    None => labels.latency(u, v),
+                }
             }
             Backend::Rows { rows, materialized, bound } => {
                 let Some(b) = bound else {
@@ -480,10 +571,23 @@ impl LatencyOracle {
     #[must_use]
     pub fn label_stats(&self) -> Option<(LabelStats, u64)> {
         match &self.backend {
-            Backend::Labels { labels, queries } => {
+            Backend::Labels { labels, queries, .. } => {
                 Some((labels.stats(), queries.load(Ordering::Relaxed)))
             }
             Backend::Rows { .. } => None,
+        }
+    }
+
+    /// `(hits, misses)` of the per-thread query memo, if this oracle
+    /// runs on the labels backend with the memo enabled — the
+    /// `label_memo.*` metrics. Counters aggregate across threads.
+    #[must_use]
+    pub fn memo_stats(&self) -> Option<(u64, u64)> {
+        match &self.backend {
+            Backend::Labels { memo: Some(m), .. } => {
+                Some((m.hits.load(Ordering::Relaxed), m.misses.load(Ordering::Relaxed)))
+            }
+            _ => None,
         }
     }
 
@@ -660,6 +764,59 @@ mod tests {
         assert_eq!(labels.cached_rows(), 0);
         assert_eq!(labels.cache_stats(), CacheStats::default());
         assert!(labels.cache_bytes() > 0);
+    }
+
+    /// The memo must be invisible in answers: every query repeated
+    /// twice (cold then memoized) against a memo-off oracle and the
+    /// rows backend, on a graph with enough pairs to force
+    /// direct-mapped slot collisions and overwrites.
+    #[test]
+    fn memoized_labels_match_unmemoized_and_rows() {
+        let exec = Executor::new(1);
+        let rows = LatencyOracle::new(line(60));
+        let memo_on = LatencyOracle::with_labels_memoized(&exec, line(60), true);
+        let memo_off = LatencyOracle::with_labels_memoized(&exec, line(60), false);
+        assert!(memo_on.memo_stats().is_some());
+        assert_eq!(memo_off.memo_stats(), None);
+        assert_eq!(rows.memo_stats(), None);
+        for pass in 0..2 {
+            for u in 0..60u32 {
+                for v in 0..60u32 {
+                    let want = rows.latency(u, v);
+                    assert_eq!(memo_off.latency(u, v), want, "pass {pass} ({u},{v})");
+                    assert_eq!(memo_on.latency(u, v), want, "pass {pass} ({u},{v})");
+                }
+            }
+        }
+        let (hits, misses) = memo_on.memo_stats().expect("memo enabled");
+        assert!(hits > 0, "second pass must hit the memo");
+        assert!(misses > 0, "first pass must miss the memo");
+        assert_eq!(hits + misses, 2 * 60 * 59, "every non-self query goes through the memo");
+        let (_, queries) = memo_on.label_stats().expect("labels backend");
+        assert_eq!(queries, 2 * 60 * 59, "memo hits still count as queries");
+    }
+
+    /// Two oracles alive on the same thread must not cross-read memo
+    /// slots: the epoch tag isolates them even when their (u, v) pairs
+    /// collide on the same direct-mapped slot.
+    #[test]
+    fn memo_epochs_isolate_oracles() {
+        let exec = Executor::new(1);
+        let a = LatencyOracle::with_labels_memoized(&exec, line(30), true);
+        let b = LatencyOracle::with_labels_memoized(&exec, triangle(), true);
+        for u in 0..30u32 {
+            for v in 0..30u32 {
+                let _ = a.latency(u, v);
+            }
+        }
+        // Same small indices, different graph — must answer from b's
+        // labels, not a's memoized values.
+        let fresh = LatencyOracle::new(triangle());
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                assert_eq!(b.latency(u, v), fresh.latency(u, v), "({u},{v})");
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! the intra-transit delay, as in common GT-ITM parameterizations.
 
 use crate::{Graph, NodeKind, Topology};
-use hieras_rt::{FromJson, Json, JsonError, Rng, ToJson};
+use hieras_rt::{Executor, FromJson, Json, JsonError, Rng, ToJson};
 
 /// Parameters for the Transit-Stub generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +69,13 @@ impl FromJson for TransitStubConfig {
 }
 
 impl TransitStubConfig {
+    /// Largest stub domain `for_peers` will configure. Past ~128k peers
+    /// the fixed domain grid would otherwise inflate every stub domain
+    /// without bound, and label sizes on big random subgraphs grow with
+    /// domain size — a 1M-peer build would blow the memory budget.
+    /// GT-ITM scales the other way: more domains, not bigger ones.
+    const MAX_STUB_DOMAIN: usize = 2048;
+
     /// A configuration sized so the topology offers at least `peers`
     /// stub routers.
     ///
@@ -85,8 +92,14 @@ impl TransitStubConfig {
         let peers = peers.max(8);
         let transit_domains = (peers / 2500).clamp(2, 4);
         let transit_nodes_per_domain = 2;
-        let stub_domains_per_transit = 8;
-        let stub_slots = transit_domains * transit_nodes_per_domain * stub_domains_per_transit;
+        let mut stub_domains_per_transit = 8;
+        let transit_total = transit_domains * transit_nodes_per_domain;
+        // Sizes up to ~128k peers keep the historical 8-domain grid;
+        // beyond that the domain count doubles until domains fit the cap.
+        while peers.div_ceil(transit_total * stub_domains_per_transit) > Self::MAX_STUB_DOMAIN {
+            stub_domains_per_transit *= 2;
+        }
+        let stub_slots = transit_total * stub_domains_per_transit;
         let stub_nodes_per_domain = peers.div_ceil(stub_slots).max(2);
         TransitStubConfig {
             transit_domains,
@@ -110,12 +123,27 @@ impl TransitStubConfig {
             * self.stub_nodes_per_domain
     }
 
-    /// Generates the topology.
+    /// Generates the topology on the default executor.
     ///
     /// # Panics
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn generate(&self) -> Topology {
+        self.generate_on(&Executor::default())
+    }
+
+    /// [`TransitStubConfig::generate`] on a caller-supplied executor.
+    ///
+    /// The transit fabric and backbone draw from the main seed stream;
+    /// each stub domain draws from its own stream seeded by `(seed,
+    /// domain index)` and is generated independently in parallel, with
+    /// edge lists merged in domain order — so the graph is a pure
+    /// function of the config at any thread count.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn generate_on(&self, exec: &Executor) -> Topology {
         assert!(self.transit_domains > 0, "need at least one transit domain");
         assert!(self.transit_nodes_per_domain > 0, "need transit nodes");
         assert!(self.stub_domains_per_transit > 0, "need stub domains");
@@ -168,27 +196,45 @@ impl TransitStubConfig {
             }
         }
 
-        // Stub domains.
-        let mut next = transit_total as u32;
-        let mut attach_candidates = Vec::with_capacity(self.stub_router_count());
-        for t in 0..transit_total as u32 {
-            for _ in 0..self.stub_domains_per_transit {
-                let nodes: Vec<u32> = (0..self.stub_nodes_per_domain)
-                    .map(|_| {
-                        let id = next;
-                        next += 1;
-                        id
-                    })
-                    .collect();
-                connect_random(&mut graph, &nodes, self.intra_stub_ms, self.extra_edge_prob, &mut rng);
+        // Stub domains: each occupies a contiguous index block after the
+        // transit routers and is wired from its own seed stream, so the
+        // domains generate independently in parallel; edges land in the
+        // graph sequentially, in domain order.
+        let per_dom = self.stub_nodes_per_domain;
+        let n_domains = transit_total * self.stub_domains_per_transit;
+        let domains: Vec<(u32, Vec<(u32, u32)>)> = exec.par_fold(
+            n_domains,
+            1,
+            Vec::new,
+            |acc, s| {
+                let mut rng = Rng::seed_from_u64(
+                    self.seed ^ (s as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                let base = transit_total + s * per_dom;
+                let nodes: Vec<u32> = (base..base + per_dom).map(|i| i as u32).collect();
+                let mut edges = Vec::new();
+                connect_random_pairs(&nodes, self.extra_edge_prob, &mut rng, &mut edges);
                 // Attach the stub domain to its transit router via a
                 // random gateway stub node.
                 let gw = *rng.choose(&nodes).expect("non-empty stub domain");
-                graph.add_edge(t, gw, self.transit_stub_ms);
-                attach_candidates.extend_from_slice(&nodes);
+                acc.push((gw, edges));
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        let mut attach_candidates = Vec::with_capacity(self.stub_router_count());
+        for (s, (gw, edges)) in domains.into_iter().enumerate() {
+            for (u, v) in edges {
+                graph.add_edge(u, v, self.intra_stub_ms);
             }
+            let t = (s / self.stub_domains_per_transit) as u32;
+            graph.add_edge(t, gw, self.transit_stub_ms);
+            let base = (transit_total + s * per_dom) as u32;
+            attach_candidates.extend(base..base + per_dom as u32);
         }
-        debug_assert_eq!(next as usize, total);
+        debug_assert_eq!(attach_candidates.len() + transit_total, total);
 
         Topology { graph, kind, attach_candidates, model: "transit-stub" }
     }
@@ -205,9 +251,25 @@ fn connect_random(
     extra_prob: f64,
     rng: &mut Rng,
 ) {
+    let mut pairs = Vec::new();
+    connect_random_pairs(nodes, extra_prob, rng, &mut pairs);
+    for (u, v) in pairs {
+        graph.add_edge(u, v, delay);
+    }
+}
+
+/// The pair-producing core of [`connect_random`]: pushes the chosen
+/// endpoint pairs without touching a graph, so parallel stub-domain
+/// workers can collect edges and let the caller apply them in order.
+fn connect_random_pairs(
+    nodes: &[u32],
+    extra_prob: f64,
+    rng: &mut Rng,
+    out: &mut Vec<(u32, u32)>,
+) {
     for (i, &u) in nodes.iter().enumerate().skip(1) {
         let v = nodes[rng.random_range(0..i)];
-        graph.add_edge(u, v, delay);
+        out.push((u, v));
     }
     // Extra edges: sample ~extra_prob * |nodes| random pairs.
     let extras = ((nodes.len() as f64) * extra_prob).round() as usize;
@@ -215,7 +277,7 @@ fn connect_random(
         let u = *rng.choose(nodes).expect("non-empty");
         let v = *rng.choose(nodes).expect("non-empty");
         if u != v {
-            graph.add_edge(u, v, delay);
+            out.push((u, v));
         }
     }
 }
@@ -265,6 +327,36 @@ mod tests {
         for n in [100, 1000, 5000, 10000] {
             let cfg = TransitStubConfig::for_peers(n, 0);
             assert!(cfg.stub_router_count() >= n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn for_peers_caps_stub_domain_size() {
+        for n in [200_000usize, 1_000_000] {
+            let cfg = TransitStubConfig::for_peers(n, 0);
+            assert!(
+                cfg.stub_nodes_per_domain <= TransitStubConfig::MAX_STUB_DOMAIN,
+                "n={n}: domain size {} exceeds cap",
+                cfg.stub_nodes_per_domain
+            );
+            assert!(cfg.stub_router_count() >= n, "n={n}");
+        }
+        // The historical grid is untouched below the cap boundary.
+        let small = TransitStubConfig::for_peers(100_000, 0);
+        assert_eq!(small.stub_domains_per_transit, 8);
+    }
+
+    #[test]
+    fn parallel_generation_is_thread_invariant() {
+        let cfg = TransitStubConfig::for_peers(600, 17);
+        let base = cfg.generate_on(&Executor::new(1));
+        for threads in [2, 8] {
+            let t = cfg.generate_on(&Executor::new(threads));
+            assert_eq!(t.graph.edge_count(), base.graph.edge_count(), "threads={threads}");
+            assert_eq!(t.attach_candidates, base.attach_candidates, "threads={threads}");
+            for u in 0..base.router_count() as u32 {
+                assert_eq!(t.graph.neighbors(u), base.graph.neighbors(u), "threads={threads} u={u}");
+            }
         }
     }
 

@@ -100,5 +100,34 @@ awk -v m="$label_ms" -v b="$label_budget" 'BEGIN {
     }
     printf "label build %.1f ms within 2x budget %.1f\n", m, b
 }'
+# Peak-RSS gate: the largest high-water mark any smoke run reported
+# must stay under the checked-in budget (scripts/rss_budget_bytes —
+# the full sweep's 1M-peer allowance, so the smoke has huge headroom
+# and a leak that blows it is a real leak).
+rss_budget=$(cat scripts/rss_budget_bytes)
+rss_max=$(awk -F': ' '/"peak_rss_bytes"/ { v = $2; sub(/,.*/, "", v); if (v + 0 > m) m = v + 0 } END { print m + 0 }' BENCH_scale.json)
+awk -v m="$rss_max" -v b="$rss_budget" 'BEGIN {
+    if (m > b) {
+        printf "peak RSS over budget: %.0f bytes > %.0f\n", m, b
+        exit 1
+    }
+    printf "peak RSS %.1f MB within budget %.1f MB\n", m / 1048576, b / 1048576
+}'
+# Label query-time gate: the smoke sweep times rows first, labels
+# second. The memoized label merge must stay within 1.5x of the O(1)
+# row lookup (target: 1.2x) or the million-peer backend has lost its
+# flat-lookup property.
+labels_median=$(awk -F': ' '/"median_ns_per_lookup"/ { v = $2; sub(/,.*/, "", v); n++; if (n == 2) { print v; exit } }' BENCH_scale.json)
+if [ -z "$labels_median" ]; then
+    echo "no labels-backend median in the scale smoke output" >&2
+    exit 1
+fi
+awk -v r="$median" -v l="$labels_median" 'BEGIN {
+    if (l + 0 > 1.5 * r) {
+        printf "label queries too slow: %.1f ns vs rows %.1f ns (%.2fx > 1.5x)\n", l, r, l / r
+        exit 1
+    }
+    printf "label queries %.1f ns vs rows %.1f ns (%.2fx, gate 1.5x)\n", l, r, l / r
+}'
 
 echo "==> verify OK"
