@@ -1,0 +1,238 @@
+//! Live serving benchmark — lookups under churn via epoch snapshots.
+//!
+//! Exercises `hieras-serve`'s three run modes over one world and
+//! reports them side by side in `BENCH_live.json`:
+//!
+//! 1. **quiesced** — the full membership at epoch 0, no maintenance.
+//!    Replays the exact workload stream `bench_replay` uses, so its
+//!    HIERAS routing summary is byte-identical to the replay bench's
+//!    (CI asserts this); timed as min/median/max ns per lookup over
+//!    several repetitions after a discarded warm-up, which is what the
+//!    `scripts/live_budget_ns` throughput gate reads.
+//! 2. **live_deterministic** — the executor arbitrates the
+//!    reader/maintainer interleaving in lock step. Routing metrics are
+//!    bit-identical at any executor width (1, 2 or 8 readers — CI
+//!    checks that too), so the quality-under-churn figures are
+//!    reproducible numbers, not races.
+//! 3. **live** — free-running reader threads against a full-rate
+//!    maintenance thread: sustained lookups/sec and latency tails
+//!    (p50/p95/p99/p99.9) under real concurrent churn.
+//!
+//! The churn scenario turns over well above 5% of the initial
+//! population inside the horizon, so the live rows measure serving
+//! under load, not a static ring with a heartbeat. Run with `--smoke`
+//! for the CI-sized run (500 peers); `--obs` adds the merged `serve.*`
+//! registries per live mode; `HIERAS_THREADS=n` pins the executor.
+
+use hieras_rt::{Executor, Json, ToJson};
+use hieras_serve::{EpochStats, LiveReport, ServeConfig, ServeEngine};
+use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
+
+/// Master seed shared with the figure harness (paper publication date).
+const SEED: u64 = 20030415;
+
+/// Timed repetitions of the quiesced replay; median filters warm-up.
+const REPS: usize = 5;
+
+struct Scenario {
+    nodes: usize,
+    requests: usize,
+    churn: ChurnConfig,
+    events_per_epoch: usize,
+    lookups_per_epoch: usize,
+    readers: usize,
+    refresh_batch: usize,
+}
+
+impl Scenario {
+    /// The CI-sized world: 500 peers, ~19% of the initial population
+    /// departing inside the horizon (well above the 5% floor).
+    fn smoke() -> Self {
+        Scenario {
+            nodes: 500,
+            requests: 2000,
+            churn: ChurnConfig {
+                initial_nodes: 450,
+                arrivals: 50,
+                inter_arrival: Lifetime::Fixed { ms: 1_000 },
+                lifetime: Lifetime::Exponential { mean_ms: 300_000.0 },
+                graceful_fraction: 0.5,
+                horizon_ms: 60_000,
+                seed: SEED,
+            },
+            events_per_epoch: 4,
+            lookups_per_epoch: 2000,
+            readers: 4,
+            refresh_batch: 64,
+        }
+    }
+
+    /// The full run: 2000 peers under ~26% turnover.
+    fn full() -> Self {
+        Scenario {
+            nodes: 2000,
+            requests: 20_000,
+            churn: ChurnConfig {
+                initial_nodes: 1800,
+                arrivals: 200,
+                inter_arrival: Lifetime::Fixed { ms: 500 },
+                lifetime: Lifetime::Exponential { mean_ms: 400_000.0 },
+                graceful_fraction: 0.5,
+                horizon_ms: 120_000,
+                seed: SEED,
+            },
+            events_per_epoch: 8,
+            lookups_per_epoch: 5000,
+            readers: 4,
+            refresh_batch: 64,
+        }
+    }
+
+    fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            churn: self.churn,
+            readers: self.readers,
+            events_per_epoch: self.events_per_epoch,
+            lookups_per_epoch: self.lookups_per_epoch,
+            refresh_batch: self.refresh_batch,
+            seed: SEED ^ 0xb1e5_5e1f,
+            rebin_every: 8,
+            rebin_noise: 0.2,
+        }
+    }
+}
+
+fn epochs_json(s: &EpochStats) -> Json {
+    Json::obj([
+        ("published", s.published.to_json()),
+        ("reclaimed", s.reclaimed.to_json()),
+        ("retired", s.retired.to_json()),
+        ("lag_peak", s.lag_peak.to_json()),
+    ])
+}
+
+fn live_json(r: &LiveReport, obs: bool) -> Json {
+    let mut fields = vec![
+        ("hieras", r.metrics.summary().to_json()),
+        ("lookups", r.lookups.to_json()),
+        ("wall_ns", r.wall_ns.to_json()),
+        ("lookups_per_sec", r.lookups_per_sec().to_json()),
+        ("epochs", epochs_json(&r.epochs)),
+        ("final_live", r.final_live.to_json()),
+        ("turnover", r.turnover.to_json()),
+    ];
+    if obs {
+        fields.push(("registry", r.registry.to_json()));
+    }
+    Json::obj(fields)
+}
+
+fn main() {
+    let hieras_bench::BenchArgs { smoke, obs, .. } =
+        hieras_bench::BenchArgs::parse("bench_live", hieras_bench::BenchFlags::with_obs());
+    let sc = if smoke { Scenario::smoke() } else { Scenario::full() };
+
+    let exec = Executor::default();
+    println!(
+        "live bench: {} thread(s), {} peers, {} readers{}{}",
+        exec.threads(),
+        sc.nodes,
+        sc.readers,
+        if smoke { " [smoke]" } else { "" },
+        if obs { " [obs]" } else { "" }
+    );
+
+    let mut config = ExperimentConfig::paper(sc.nodes, SEED);
+    config.requests = sc.requests;
+    let exp = Experiment::build(config);
+    let engine = ServeEngine::new(&exp, sc.serve_config());
+
+    // Quiesced baseline: one discarded warm-up, then REPS timed reps.
+    let warm = engine.run_quiesced(&exec, sc.requests);
+    let warmup_ns = warm.wall_ns as f64 / sc.requests as f64;
+    let mut quiesced = warm;
+    let mut per_lookup_ns: Vec<f64> = (0..REPS)
+        .map(|_| {
+            quiesced = engine.run_quiesced(&exec, sc.requests);
+            quiesced.wall_ns as f64 / sc.requests as f64
+        })
+        .collect();
+    per_lookup_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median_ns = per_lookup_ns[per_lookup_ns.len() / 2];
+    let qs = quiesced.metrics.summary();
+    println!(
+        "quiesced      | {:>9.0} ns/lookup | hieras {:.2} hops {:.0} ms (p99.9 {} ms)",
+        median_ns, qs.avg_hops, qs.avg_latency_ms, qs.latency_tail.p999_ms
+    );
+
+    // Deterministic live serving: reproducible quality-under-churn.
+    let det = engine.run_deterministic(&exec);
+    let ds = det.metrics.summary();
+    println!(
+        "deterministic | {:>7} lookups over {:>3} epochs | hieras {:.2} hops {:.0} ms | \
+         {} live of {}",
+        det.lookups,
+        det.epochs.published,
+        ds.avg_hops,
+        ds.avg_latency_ms,
+        det.final_live,
+        sc.nodes
+    );
+
+    // Free-running: real reader threads, wall-clock throughput.
+    let live = engine.run_live();
+    let ls = live.metrics.summary();
+    println!(
+        "live ({} rdr)  | {:>9.0} lookups/s | hieras {:.2} hops {:.0} ms (p99.9 {} ms) | \
+         turnover {:.1}%",
+        sc.readers,
+        live.lookups_per_sec(),
+        ls.avg_hops,
+        ls.avg_latency_ms,
+        ls.latency_tail.p999_ms,
+        100.0 * live.turnover
+    );
+
+    let out = Json::obj([
+        ("bench", "live".to_json()),
+        ("seed", SEED.to_json()),
+        ("threads", exec.threads().to_json()),
+        ("smoke", smoke.to_json()),
+        ("obs", obs.to_json()),
+        ("reps", REPS.to_json()),
+        ("nodes", sc.nodes.to_json()),
+        ("requests", sc.requests.to_json()),
+        (
+            "churn",
+            Json::obj([
+                ("initial_nodes", sc.churn.initial_nodes.to_json()),
+                ("arrivals", sc.churn.arrivals.to_json()),
+                ("horizon_ms", sc.churn.horizon_ms.to_json()),
+                ("lifetime", sc.churn.lifetime.to_json()),
+                ("graceful_fraction", sc.churn.graceful_fraction.to_json()),
+                ("turnover", det.turnover.to_json()),
+            ]),
+        ),
+        // The quiesced block must stay the first `"hieras"` object in
+        // the file: CI extracts it by position to compare against
+        // `BENCH_replay.json`'s replayed summary byte for byte.
+        (
+            "quiesced",
+            Json::obj([
+                ("hieras", qs.to_json()),
+                ("lookups", quiesced.lookups.to_json()),
+                ("warmup_ns_per_lookup", warmup_ns.to_json()),
+                ("min_ns_per_lookup", per_lookup_ns[0].to_json()),
+                ("median_ns_per_lookup", median_ns.to_json()),
+                ("max_ns_per_lookup", per_lookup_ns[per_lookup_ns.len() - 1].to_json()),
+                ("ns_per_lookup", per_lookup_ns.to_json()),
+            ]),
+        ),
+        ("live_deterministic", live_json(&det, obs)),
+        ("live", live_json(&live, obs)),
+    ]);
+
+    let path = "BENCH_live.json";
+    std::fs::write(path, out.dump_pretty()).expect("write benchmark output");
+    println!("wrote {path}");
+}

@@ -142,34 +142,8 @@ fn bench_one(exec: &Executor, point: &SizePoint, obs: &ObsOpts) -> Json {
 }
 
 fn main() {
-    let mut smoke = false;
-    let mut obs = false;
-    let mut trace_out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--obs" => obs = true,
-            "--trace-out" => match args.next() {
-                Some(path) => trace_out = Some(path),
-                None => {
-                    eprintln!("--trace-out needs a path argument");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!(
-                    "unknown argument `{other}` \
-                     (usage: bench_replay [--smoke] [--obs] [--trace-out <path.jsonl>])"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    // A trace needs the instrumented probe to exist.
-    if trace_out.is_some() {
-        obs = true;
-    }
+    let hieras_bench::BenchArgs { smoke, obs, trace_out } =
+        hieras_bench::BenchArgs::parse("bench_replay", hieras_bench::BenchFlags::full());
     let points: Vec<SizePoint> = if smoke {
         vec![SizePoint { nodes: 500, requests: 2000 }]
     } else {

@@ -220,16 +220,9 @@ fn bench_one(
 }
 
 fn main() {
-    let mut smoke = false;
-    for arg in std::env::args().skip(1) {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            other => {
-                eprintln!("unknown argument `{other}` (usage: bench_scale [--smoke])");
-                std::process::exit(2);
-            }
-        }
-    }
+    let args =
+        hieras_bench::BenchArgs::parse("bench_scale", hieras_bench::BenchFlags::smoke_only());
+    let smoke = args.smoke;
     let points: Vec<SizePoint> = if smoke {
         vec![SizePoint { nodes: 500, requests: 2000 }]
     } else {

@@ -34,33 +34,8 @@ const SEED: u64 = 20030415;
 const TRACE_CAP: usize = 1 << 18;
 
 fn main() {
-    let mut smoke = false;
-    let mut obs = false;
-    let mut trace_out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--smoke" => smoke = true,
-            "--obs" => obs = true,
-            "--trace-out" => match args.next() {
-                Some(path) => trace_out = Some(path),
-                None => {
-                    eprintln!("--trace-out needs a path argument");
-                    std::process::exit(2);
-                }
-            },
-            other => {
-                eprintln!(
-                    "unknown argument `{other}` \
-                     (usage: churn [--smoke] [--obs] [--trace-out <path.jsonl>])"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    if trace_out.is_some() {
-        obs = true;
-    }
+    let hieras_bench::BenchArgs { smoke, obs, trace_out } =
+        hieras_bench::BenchArgs::parse("churn", hieras_bench::BenchFlags::full());
     // (initial nodes, arrivals, horizon ms): smoke is CI-sized; the
     // full run matches the acceptance floor of ≥ 300 nodes and ≥ 5 %
     // membership turnover.

@@ -1,0 +1,183 @@
+//! Shared command-line surface of the bench binaries.
+//!
+//! Every harness accepts the same core flags — `--smoke` for the
+//! CI-sized run, and (where instrumentation exists) `--obs` plus
+//! `--trace-out <path.jsonl>` — and until this module existed each
+//! binary carried its own copy of the parse loop. [`BenchArgs::parse`]
+//! is that loop, once: binaries declare which optional flags they
+//! support and get identical usage messages, exit codes, and the
+//! `--trace-out ⇒ --obs` implication everywhere.
+
+/// Which optional flags a binary supports beyond `--smoke`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchFlags {
+    /// Accept `--obs` (instrumented run with registry snapshots).
+    pub obs: bool,
+    /// Accept `--trace-out <path.jsonl>` (implies `--obs`).
+    pub trace: bool,
+}
+
+impl BenchFlags {
+    /// `--smoke` only (e.g. `bench_scale`).
+    #[must_use]
+    pub fn smoke_only() -> Self {
+        BenchFlags::default()
+    }
+
+    /// `--smoke`, `--obs` and `--trace-out` (e.g. `bench_replay`).
+    #[must_use]
+    pub fn full() -> Self {
+        BenchFlags { obs: true, trace: true }
+    }
+
+    /// `--smoke` and `--obs`, no tracer (e.g. `bench_live`).
+    #[must_use]
+    pub fn with_obs() -> Self {
+        BenchFlags { obs: true, trace: false }
+    }
+
+    fn usage(self, bin: &str) -> String {
+        let mut u = format!("usage: {bin} [--smoke]");
+        if self.obs {
+            u.push_str(" [--obs]");
+        }
+        if self.trace {
+            u.push_str(" [--trace-out <path.jsonl>]");
+        }
+        u
+    }
+}
+
+/// Parsed common bench arguments.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// CI-sized run requested.
+    pub smoke: bool,
+    /// Instrumented run requested (set by `--obs` or `--trace-out`).
+    pub obs: bool,
+    /// Span/instant JSONL output path, when tracing was requested.
+    pub trace_out: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()` for binary `bin`, accepting the flags
+    /// `flags` enables. Unknown arguments (and flags the binary does
+    /// not support) print the usage line and exit with status 2, the
+    /// behavior every bench binary already had.
+    #[must_use]
+    pub fn parse(bin: &str, flags: BenchFlags) -> Self {
+        match Self::try_parse(bin, flags, std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The parse loop itself, testable: consumes an argument iterator
+    /// and returns the parsed flags or the exact message `parse` would
+    /// print before exiting.
+    ///
+    /// # Errors
+    /// Returns the diagnostic (including the usage line) for unknown
+    /// or unsupported arguments and for `--trace-out` without a path.
+    pub fn try_parse(
+        bin: &str,
+        flags: BenchFlags,
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<Self, String> {
+        let mut out = BenchArgs::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--smoke" => out.smoke = true,
+                "--obs" if flags.obs => out.obs = true,
+                "--trace-out" if flags.trace => match args.next() {
+                    Some(path) => out.trace_out = Some(path),
+                    None => return Err("--trace-out needs a path argument".to_owned()),
+                },
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` ({})",
+                        flags.usage(bin)
+                    ));
+                }
+            }
+        }
+        // A trace needs the instrumented run to exist.
+        if out.trace_out.is_some() {
+            out.obs = true;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = BenchArgs::try_parse(
+            "bench_replay",
+            BenchFlags::full(),
+            argv(&["--smoke", "--obs", "--trace-out", "t.jsonl"]),
+        )
+        .unwrap();
+        assert!(a.smoke && a.obs);
+        assert_eq!(a.trace_out.as_deref(), Some("t.jsonl"));
+    }
+
+    #[test]
+    fn trace_out_implies_obs() {
+        let a = BenchArgs::try_parse(
+            "churn",
+            BenchFlags::full(),
+            argv(&["--trace-out", "t.jsonl"]),
+        )
+        .unwrap();
+        assert!(a.obs, "--trace-out must switch the instrumented path on");
+    }
+
+    #[test]
+    fn trace_out_requires_a_path() {
+        let err = BenchArgs::try_parse("churn", BenchFlags::full(), argv(&["--trace-out"]))
+            .unwrap_err();
+        assert!(err.contains("needs a path"));
+    }
+
+    #[test]
+    fn unknown_argument_reports_usage() {
+        let err =
+            BenchArgs::try_parse("bench_scale", BenchFlags::smoke_only(), argv(&["--nope"]))
+                .unwrap_err();
+        assert!(err.contains("unknown argument `--nope`"));
+        assert!(err.contains("usage: bench_scale [--smoke]"));
+        assert!(!err.contains("--obs"), "smoke-only binaries do not advertise --obs");
+    }
+
+    #[test]
+    fn unsupported_flags_are_unknown() {
+        // bench_scale has no instrumented path: --obs must be rejected
+        // exactly like any other unknown argument.
+        let err = BenchArgs::try_parse("bench_scale", BenchFlags::smoke_only(), argv(&["--obs"]))
+            .unwrap_err();
+        assert!(err.contains("unknown argument `--obs`"));
+        // bench_live supports --obs but has no tracer.
+        let err = BenchArgs::try_parse("bench_live", BenchFlags::with_obs(), argv(&["--trace-out"]))
+            .unwrap_err();
+        assert!(err.contains("unknown argument `--trace-out`"));
+        assert!(err.contains("usage: bench_live [--smoke] [--obs]"));
+    }
+
+    #[test]
+    fn empty_args_default_to_full_run() {
+        let a = BenchArgs::try_parse("bench_replay", BenchFlags::full(), argv(&[])).unwrap();
+        assert!(!a.smoke && !a.obs && a.trace_out.is_none());
+    }
+}

@@ -15,10 +15,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod obsprobe;
 pub mod render;
 pub mod sweeps;
 
+pub use cli::{BenchArgs, BenchFlags};
 pub use obsprobe::{message_probe, ObsProbe};
 pub use sweeps::{
     churn_sweep, churn_sweep_traced, depth_sweep, landmark_sweep, size_sweep, ChurnRow,

@@ -145,6 +145,7 @@ mod tests {
                 p50_ms: ms as u32,
                 p95_ms: ms as u32,
                 p99_ms: ms as u32,
+                p999_ms: ms as u32,
             },
         }
     }

@@ -1,0 +1,80 @@
+//! Determinism identities of the live serving engine.
+//!
+//! Two contracts `bench_live` (and CI) stand on:
+//!
+//! 1. the deterministic serving mode produces bit-identical metrics
+//!    *and* registries at any executor width — "readers" are executor
+//!    lanes arbitrated in lock step, so 1, 2 and 8 must agree;
+//! 2. the quiesced mode replays the exact workload stream
+//!    `Experiment::run_requests_on` uses, so its HIERAS metrics equal
+//!    the replay bench's — the identity `scripts/verify.sh` asserts
+//!    byte-for-byte on the JSON artifacts.
+
+use hieras_rt::Executor;
+use hieras_serve::{ServeConfig, ServeEngine};
+use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
+
+fn world() -> (Experiment, ServeConfig) {
+    let mut cfg = ExperimentConfig::paper(150, 7);
+    cfg.requests = 1500;
+    let exp = Experiment::build(cfg);
+    let serve = ServeConfig {
+        churn: ChurnConfig {
+            initial_nodes: 130,
+            arrivals: 20,
+            inter_arrival: Lifetime::Fixed { ms: 400 },
+            lifetime: Lifetime::Exponential { mean_ms: 60_000.0 },
+            graceful_fraction: 0.5,
+            horizon_ms: 25_000,
+            seed: 0x1eaf,
+        },
+        readers: 2,
+        events_per_epoch: 2,
+        lookups_per_epoch: 300,
+        refresh_batch: 32,
+        seed: 0x5eed,
+        rebin_every: 6,
+        rebin_noise: 0.3,
+    };
+    (exp, serve)
+}
+
+#[test]
+fn deterministic_mode_is_identical_at_1_2_and_8_readers() {
+    let (exp, cfg) = world();
+    let engine = ServeEngine::new(&exp, cfg);
+    let base = engine.run_deterministic(&Executor::new(1));
+    assert!(base.epochs.published > 0, "scenario must churn");
+    for width in [2usize, 8] {
+        let r = engine.run_deterministic(&Executor::new(width));
+        assert_eq!(
+            r.metrics, base.metrics,
+            "routing metrics diverged at {width} readers"
+        );
+        assert_eq!(
+            r.registry, base.registry,
+            "serve.* registry diverged at {width} readers"
+        );
+        assert_eq!(r.lookups, base.lookups);
+        assert_eq!(r.epochs.published, base.epochs.published);
+        assert_eq!(r.final_live, base.final_live);
+    }
+}
+
+#[test]
+fn quiesced_mode_equals_the_replay_bench() {
+    let (exp, cfg) = world();
+    let engine = ServeEngine::new(&exp, cfg);
+    let exec = Executor::new(2);
+    let quiesced = engine.run_quiesced(&exec, 1500);
+    let replay = exp.run_requests_on(&exec, 1500);
+    assert_eq!(
+        quiesced.metrics, replay.hieras,
+        "quiesced serving must replay the exact bench workload"
+    );
+    assert_eq!(quiesced.lookups, 1500);
+    // And the identity holds at a different width too — both sides are
+    // chunk-deterministic.
+    let wide = engine.run_quiesced(&Executor::new(8), 1500);
+    assert_eq!(wide.metrics, replay.hieras);
+}

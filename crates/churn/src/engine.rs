@@ -536,6 +536,21 @@ mod tests {
                 + r.counter("lookup.unresolved"),
             traced.hieras.lookups
         );
+        // Retry latency is a histogram, not just a counter: one
+        // observation per lookup that retried (resolved late or burned
+        // the whole budget), so tail inflation is attributable.
+        let retried_lookups = r.hist("lookup.retry_wait_ms").map_or(0, |h| h.total());
+        assert!(
+            r.counter("lookup.retries") >= retried_lookups,
+            "each retried lookup carries >= 1 retry"
+        );
+        if r.counter("lookup.retries") > 0 {
+            assert!(retried_lookups > 0, "retries happened but no retry-wait was observed");
+            assert!(
+                r.hist("lookup.retry_wait_ms").expect("observed").max() > 0,
+                "retry waits include backoff time"
+            );
+        }
         let t = obs.tracer.expect("tracing was on");
         assert!(!t.is_empty());
     }

@@ -29,8 +29,10 @@
 
 mod config;
 mod engine;
+mod replay;
 mod report;
 
 pub use config::{ChurnExperimentConfig, LandmarkFail};
 pub use engine::{run_churn, run_churn_traced, ChurnObs};
+pub use replay::{MembershipReplay, ReplayDelta};
 pub use report::{AlgoChurnStats, ChurnReport, EventCounts};

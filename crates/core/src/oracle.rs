@@ -104,6 +104,10 @@ impl Layer {
     }
 
     /// The ring containing global node `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is not part of this hierarchy (subset builds
+    /// via [`HierasOracle::build_members_on`] exclude dead nodes).
     #[must_use]
     pub fn ring_of(&self, node: u32) -> &RingView {
         &self.rings[self.ring_of_node[node as usize] as usize]
@@ -185,21 +189,56 @@ impl HierasOracle {
         orders: Vec<LandmarkOrder>,
         config: HierasConfig,
     ) -> Result<Self, HierasBuildError> {
+        let members: Vec<u32> = (0..ids.len() as u32).collect();
+        Self::build_members_on(exec, space, ids, orders, &members, config)
+    }
+
+    /// [`HierasOracle::build_on`] restricted to a *subset* of the node
+    /// table: only the global indices in `members` join the hierarchy
+    /// (one global ring of the members, lower rings grouping members by
+    /// landmark-order prefix). The id table and landmark orders stay
+    /// global-sized, so routes, [`HierasOracle::eval`] link callbacks
+    /// and [`HierasOracle::owner_of`] all speak global node indices —
+    /// a churned snapshot drops straight into code written for the
+    /// full-membership oracle.
+    ///
+    /// Only members' orders need `config.landmarks` digits; dead nodes'
+    /// orders are never read. Routing *from* a non-member is a protocol
+    /// violation and panics (the node has no ring), which is the guard
+    /// the serving engine relies on to catch stale-source bugs.
+    ///
+    /// # Errors
+    /// See [`HierasBuildError`]; an empty or out-of-range `members`
+    /// surfaces as [`HierasBuildError::Ring`].
+    pub fn build_members_on(
+        exec: &Executor,
+        space: IdSpace,
+        ids: Arc<[Id]>,
+        orders: Vec<LandmarkOrder>,
+        members: &[u32],
+        config: HierasConfig,
+    ) -> Result<Self, HierasBuildError> {
         config.validate()?;
         if orders.len() != ids.len() {
             return Err(HierasBuildError::OrderCount { expected: ids.len(), got: orders.len() });
         }
-        for (i, o) in orders.iter().enumerate() {
+        if members.is_empty() {
+            return Err(HierasBuildError::Ring(RingBuildError::Empty));
+        }
+        for &m in members {
+            let Some(o) = orders.get(m as usize) else {
+                return Err(HierasBuildError::Ring(RingBuildError::BadIndex(m)));
+            };
             if o.len() < config.landmarks {
                 return Err(HierasBuildError::OrderTooShort {
-                    node: i as u32,
+                    node: m,
                     got: o.len(),
                     need: config.landmarks,
                 });
             }
         }
         let n = ids.len();
-        // Phase 1 — group nodes into rings, one independent job per
+        // Phase 1 — group members into rings, one independent job per
         // layer (chunk = 1 layer; merged in ascending layer order).
         struct LayerProto {
             layer_no: usize,
@@ -210,12 +249,14 @@ impl HierasOracle {
         let group_layer = |layer_no: usize| -> LayerProto {
             let plen = config.prefix_len(layer_no);
             let mut groups: HashMap<LandmarkOrder, Vec<u32>> = HashMap::new();
-            for (i, o) in orders.iter().enumerate() {
-                groups.entry(o.prefix(plen)).or_default().push(i as u32);
+            for &i in members {
+                groups.entry(orders[i as usize].prefix(plen)).or_default().push(i);
             }
             let mut names: Vec<LandmarkOrder> = groups.keys().cloned().collect();
             names.sort(); // deterministic ring numbering
-            let mut ring_of_node = vec![0u32; n].into_boxed_slice();
+            // Non-members keep u32::MAX, so `ring_of` on a dead node
+            // trips an index panic instead of silently routing.
+            let mut ring_of_node = vec![u32::MAX; n].into_boxed_slice();
             let members: Vec<Vec<u32>> = names
                 .iter()
                 .enumerate()
@@ -705,6 +746,94 @@ mod tests {
             let t = o.route((k % n) as u32, key);
             assert_eq!(t.destination(), o.owner_of(key));
         }
+    }
+
+    fn two_bin_inputs() -> (IdSpace, Arc<[Id]>, Vec<LandmarkOrder>, HierasConfig) {
+        let space = IdSpace::full();
+        let ids: Arc<[Id]> = (0..12u64)
+            .map(|i| Id(i.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+            .collect::<Vec<_>>()
+            .into();
+        let binning = Binning::paper();
+        let orders: Vec<LandmarkOrder> = (0..12)
+            .map(|i| {
+                let rtts: Vec<u16> =
+                    if i % 2 == 0 { vec![5, 10] } else { vec![150, 200] };
+                binning.order(&rtts)
+            })
+            .collect();
+        let config = HierasConfig { depth: 2, landmarks: 2, binning };
+        (space, ids, orders, config)
+    }
+
+    #[test]
+    fn subset_build_matches_subset_chord_owner() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        // Nodes 3 and 8 are dead; the rest form the hierarchy.
+        let members: Vec<u32> = (0..12u32).filter(|&m| m != 3 && m != 8).collect();
+        let o = HierasOracle::build_members_on(
+            &Executor::default(),
+            space,
+            Arc::clone(&ids),
+            orders,
+            &members,
+            config,
+        )
+        .unwrap();
+        assert_eq!(o.global_ring().len(), 10);
+        assert_eq!(o.len(), 12, "id table stays global-sized");
+        // Ground truth: a Chord ring over the same subset.
+        let chord = RingView::build(space, ids, &members).unwrap();
+        for k in 0..200u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95).wrapping_add(k));
+            let want = chord.node_at(chord.successor_of_key(key));
+            assert_eq!(o.owner_of(key), want, "key {k}");
+            for &src in &members {
+                assert_eq!(o.route(src, key).destination(), want, "src {src} key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_build_rejects_empty_and_out_of_range_members() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let err = HierasOracle::build_members_on(
+            &Executor::default(),
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &[],
+            config.clone(),
+        )
+        .unwrap_err();
+        assert_eq!(err, HierasBuildError::Ring(RingBuildError::Empty));
+        let err = HierasOracle::build_members_on(
+            &Executor::default(),
+            space,
+            ids,
+            orders,
+            &[0, 99],
+            config,
+        )
+        .unwrap_err();
+        assert_eq!(err, HierasBuildError::Ring(RingBuildError::BadIndex(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn routing_from_a_dead_node_panics() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let members: Vec<u32> = (0..12u32).filter(|&m| m != 3).collect();
+        let o = HierasOracle::build_members_on(
+            &Executor::default(),
+            space,
+            ids,
+            orders,
+            &members,
+            config,
+        )
+        .unwrap();
+        let _ = o.route(3, Id(42));
     }
 
     /// Seeded-loop replacement for the old property test: HIERAS always

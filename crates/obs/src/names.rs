@@ -64,3 +64,25 @@ pub const RING_ARENA_RINGS: &str = "ring_arena.rings";
 pub const RING_ARENA_MEMBER_SLOTS: &str = "ring_arena.member_slots";
 /// Bytes held by the packed routing state (gauge).
 pub const RING_ARENA_BYTES: &str = "ring_arena.bytes";
+
+/// Snapshots published by the serving maintenance thread (counter).
+pub const SERVE_EPOCHS_PUBLISHED: &str = "serve.epochs_published";
+/// Retired snapshots reclaimed after every reader advanced (counter).
+pub const SERVE_SNAPSHOTS_RECLAIMED: &str = "serve.snapshots_reclaimed";
+/// Peak retired-but-unreclaimed snapshot count (gauge).
+pub const SERVE_RECLAIM_LAG_PEAK: &str = "serve.reclaim_lag_peak";
+/// Epochs-behind-published per lookup — the stale-read window
+/// (histogram).
+pub const SERVE_STALE_EPOCHS: &str = "serve.stale_epochs";
+/// Lookups completed per reader thread (histogram over readers).
+pub const SERVE_READER_LOOKUPS: &str = "serve.reader_lookups";
+/// Total lookups served (counter).
+pub const SERVE_LOOKUPS: &str = "serve.lookups";
+/// Join events applied to the serving membership (counter).
+pub const SERVE_JOINS: &str = "serve.joins";
+/// Graceful leaves applied to the serving membership (counter).
+pub const SERVE_LEAVES: &str = "serve.leaves";
+/// Silent failures applied to the serving membership (counter).
+pub const SERVE_FAILS: &str = "serve.fails";
+/// Peers whose landmark order changed at a re-bin epoch (counter).
+pub const SERVE_REBINNED: &str = "serve.rebinned_peers";

@@ -365,7 +365,7 @@ impl<'a> SimNet<'a> {
                 let response_leg =
                     if owner == origin { 0 } else { (self.delay)(owner, origin) };
                 let out = LookupOutcome { owner, hops, latency_ms: at - start - response_leg };
-                self.record_lookup(span, &out, 1);
+                self.record_lookup(span, &out, 1, 0);
                 out
             }
             _ => unreachable!("run_until matched FoundSucc"),
@@ -374,8 +374,17 @@ impl<'a> SimNet<'a> {
 
     /// Folds a finished lookup into the obs sinks: closes its span
     /// (fields reconcile with the aggregate metrics) and records the
-    /// registry histograms.
-    fn record_lookup(&mut self, span: Option<u64>, out: &LookupOutcome, attempts: u32) {
+    /// registry histograms. `retry_wait_ms` is the simulated time the
+    /// lookup spent on attempts that died in the network (lost
+    /// forwarding chains plus backoff) before the answering attempt
+    /// was injected — the timeout-inflation share of `latency_ms`.
+    fn record_lookup(
+        &mut self,
+        span: Option<u64>,
+        out: &LookupOutcome,
+        attempts: u32,
+        retry_wait_ms: u64,
+    ) {
         let now = self.queue.now();
         if let Some(t) = self.tracer.as_deref_mut() {
             if let Some(span) = span {
@@ -393,6 +402,11 @@ impl<'a> SimNet<'a> {
             r.observe("lookup.latency_ms", out.latency_ms);
             if attempts > 1 {
                 r.inc_by("lookup.retries", u64::from(attempts - 1));
+                // A histogram, not just a counter: the tail of this
+                // distribution is what separates "retried once, cheap"
+                // from "burned the whole attempt budget" when live-mode
+                // latency tails inflate under churn.
+                r.observe("lookup.retry_wait_ms", retry_wait_ms);
             }
         }
     }
@@ -424,6 +438,10 @@ impl<'a> SimNet<'a> {
             ])
         });
         for attempt in 1..=max_attempts {
+            // Time burned by earlier attempts that died in the network:
+            // everything between the first injection and this attempt's
+            // start is retry-attributable latency.
+            let retry_wait_ms = self.queue.now() - start;
             let req = self.fresh_req();
             self.post(origin, origin, Payload::FindSucc {
                 key,
@@ -444,7 +462,7 @@ impl<'a> SimNet<'a> {
                         hops,
                         latency_ms: (at - start).saturating_sub(response_leg),
                     };
-                    self.record_lookup(span, &out, attempt);
+                    self.record_lookup(span, &out, attempt, retry_wait_ms);
                     return RetriedLookup { outcome: Some(out), attempts: attempt };
                 }
                 _ => {
@@ -470,6 +488,10 @@ impl<'a> SimNet<'a> {
         if let Some(r) = self.registry.as_deref_mut() {
             r.inc("lookup.unresolved");
             r.inc_by("lookup.retries", u64::from(max_attempts - 1));
+            // An unresolved lookup burned its entire elapsed time on
+            // retries — record it so the histogram's tail covers the
+            // worst case, not only the lookups that eventually won.
+            r.observe("lookup.retry_wait_ms", now - start);
         }
         RetriedLookup { outcome: None, attempts: max_attempts }
     }

@@ -1,0 +1,330 @@
+//! Epoch-based snapshot publication and reclamation, in safe Rust.
+//!
+//! One maintenance thread owns a [`Publisher`]; any number of reader
+//! threads own [`Reader`]s minted from the shared [`EpochHandle`].
+//! The publisher installs immutable snapshots ([`Versioned`]) under a
+//! monotonically increasing epoch; each reader pins the snapshot it is
+//! currently routing against through a cache-line-aligned epoch slot.
+//! A retired snapshot is reclaimed only once every live reader has
+//! advanced past its epoch — the classic epoch-based-reclamation
+//! contract, here enforced with `Arc` reference counts underneath so a
+//! protocol bug can cost memory (a leak, surfaced by the
+//! `serve.reclaim_lag_peak` gauge) but never a torn read.
+//!
+//! Hot paths:
+//! - a reader that is up to date pays one `Acquire` load and a compare
+//!   per [`Reader::refresh`]; lookups themselves touch no atomics.
+//! - the publisher locks the current-snapshot slot only on publish and
+//!   reader registration, never per lookup.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A snapshot tagged with the epoch it was published under.
+#[derive(Debug)]
+pub struct Versioned<T> {
+    /// Publication epoch: 0 for the initial snapshot, then +1 per
+    /// [`Publisher::publish`].
+    pub epoch: u64,
+    /// The immutable snapshot payload.
+    pub value: T,
+}
+
+/// One reader's pinned epoch, aligned to its own cache line so reader
+/// heartbeats never false-share with their neighbours.
+#[derive(Debug)]
+#[repr(align(128))]
+struct ReaderSlot {
+    /// Epoch of the snapshot this reader currently holds. Only ever
+    /// increases; stored *after* the reader swapped its cached `Arc`,
+    /// so the slot never claims an epoch newer than what is held.
+    epoch: AtomicU64,
+    /// Cleared by `Reader::drop`; the publisher prunes dead slots.
+    active: AtomicBool,
+}
+
+#[derive(Debug)]
+struct Shared<T> {
+    /// Latest published epoch (readers poll this without locking).
+    published: AtomicU64,
+    /// The latest snapshot. Locked only on publish / refresh /
+    /// registration — transitions, never per lookup.
+    current: Mutex<Arc<Versioned<T>>>,
+    /// Epoch slots of every reader ever minted (dead ones pruned at
+    /// reclaim time).
+    readers: Mutex<Vec<Arc<ReaderSlot>>>,
+}
+
+/// Counters the publisher accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epochs published (excluding the initial epoch 0).
+    pub published: u64,
+    /// Retired snapshots whose publisher reference has been dropped.
+    pub reclaimed: u64,
+    /// Retired snapshots still awaiting slow readers.
+    pub retired: usize,
+    /// Peak size of the retired list — the reclaim lag high-water mark.
+    pub lag_peak: usize,
+}
+
+/// The single writer: publishes snapshots and reclaims retired ones.
+#[derive(Debug)]
+pub struct Publisher<T> {
+    shared: Arc<Shared<T>>,
+    /// Snapshots replaced but possibly still read. Publisher-private:
+    /// exactly one maintenance thread exists by construction.
+    retired: Vec<Arc<Versioned<T>>>,
+    reclaimed: u64,
+    lag_peak: usize,
+}
+
+impl<T> Publisher<T> {
+    /// Installs `value` as the next epoch and retires the previous
+    /// snapshot. Returns the new epoch. Readers observe the flip via
+    /// the published-epoch counter; in-flight lookups keep routing
+    /// against whatever snapshot they pinned.
+    pub fn publish(&mut self, value: T) -> u64 {
+        let epoch = self.shared.published.load(Ordering::Relaxed) + 1;
+        let next = Arc::new(Versioned { epoch, value });
+        let old = {
+            let mut cur = self.shared.current.lock().expect("reader panicked mid-refresh");
+            std::mem::replace(&mut *cur, next)
+        };
+        self.retired.push(old);
+        self.lag_peak = self.lag_peak.max(self.retired.len());
+        // Release: a reader that observes the new epoch must also
+        // observe the snapshot swap above.
+        self.shared.published.store(epoch, Ordering::Release);
+        epoch
+    }
+
+    /// Drops every retired snapshot all live readers have advanced
+    /// past, and returns how many were reclaimed. A reader parked on
+    /// an old epoch keeps that epoch's snapshot (and every younger
+    /// retired one) alive.
+    pub fn reclaim(&mut self) -> usize {
+        let min_pinned = {
+            let mut readers = self.shared.readers.lock().expect("reader panicked mid-drop");
+            readers.retain(|slot| slot.active.load(Ordering::Acquire));
+            readers
+                .iter()
+                .map(|slot| slot.epoch.load(Ordering::Acquire))
+                .min()
+                .unwrap_or(u64::MAX)
+        };
+        let before = self.retired.len();
+        // A snapshot of epoch e is safe to drop once every reader pins
+        // an epoch > e: slots only ever increase and are written after
+        // the reader swapped its Arc, so nobody can return to e.
+        self.retired.retain(|snap| {
+            debug_assert!(snap.epoch < self.shared.published.load(Ordering::Relaxed));
+            snap.epoch >= min_pinned
+        });
+        let freed = before - self.retired.len();
+        self.reclaimed += freed as u64;
+        freed
+    }
+
+    /// The latest published epoch.
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.shared.published.load(Ordering::Acquire)
+    }
+
+    /// Lifetime counters (published / reclaimed / retired / lag peak).
+    #[must_use]
+    pub fn stats(&self) -> EpochStats {
+        EpochStats {
+            published: self.published_epoch(),
+            reclaimed: self.reclaimed,
+            retired: self.retired.len(),
+            lag_peak: self.lag_peak,
+        }
+    }
+}
+
+/// Cloneable capability to mint [`Reader`]s and poll the epoch.
+#[derive(Debug)]
+pub struct EpochHandle<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for EpochHandle<T> {
+    fn clone(&self) -> Self {
+        EpochHandle { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> EpochHandle<T> {
+    /// Registers a new reader, pinned to the current snapshot.
+    #[must_use]
+    pub fn reader(&self) -> Reader<T> {
+        // Registration holds the current-snapshot lock so the pinned
+        // epoch and the cached Arc are the same snapshot — a publish
+        // cannot slip between them.
+        let cur = self.shared.current.lock().expect("publisher panicked mid-publish");
+        let cached = Arc::clone(&*cur);
+        drop(cur);
+        let slot = Arc::new(ReaderSlot {
+            epoch: AtomicU64::new(cached.epoch),
+            active: AtomicBool::new(true),
+        });
+        self.shared.readers.lock().expect("reader panicked mid-drop").push(Arc::clone(&slot));
+        Reader { shared: Arc::clone(&self.shared), slot, cached }
+    }
+
+    /// The latest published epoch.
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.shared.published.load(Ordering::Acquire)
+    }
+}
+
+/// One reader thread's view: a cached snapshot plus its pinned epoch.
+#[derive(Debug)]
+pub struct Reader<T> {
+    shared: Arc<Shared<T>>,
+    slot: Arc<ReaderSlot>,
+    cached: Arc<Versioned<T>>,
+}
+
+impl<T> Reader<T> {
+    /// Adopts the latest snapshot if one was published since the last
+    /// refresh, returning its epoch; `None` when already current (the
+    /// hot path: one atomic load and a compare). The cached `Arc` is
+    /// replaced *before* the epoch slot advances, so the slot never
+    /// overstates progress.
+    pub fn refresh(&mut self) -> Option<u64> {
+        if self.shared.published.load(Ordering::Acquire) == self.cached.epoch {
+            return None;
+        }
+        {
+            let cur = self.shared.current.lock().expect("publisher panicked mid-publish");
+            self.cached = Arc::clone(&*cur);
+        }
+        self.slot.epoch.store(self.cached.epoch, Ordering::Release);
+        Some(self.cached.epoch)
+    }
+
+    /// The pinned snapshot. Borrow-tied to the reader, so it cannot
+    /// outlive a refresh that would unpin it.
+    #[must_use]
+    pub fn snapshot(&self) -> &Versioned<T> {
+        &self.cached
+    }
+
+    /// The latest published epoch (may be ahead of the pinned one).
+    #[must_use]
+    pub fn published_epoch(&self) -> u64 {
+        self.shared.published.load(Ordering::Acquire)
+    }
+
+    /// How many epochs behind the published snapshot this reader is —
+    /// the stale-read window of its next lookup.
+    #[must_use]
+    pub fn lag(&self) -> u64 {
+        self.published_epoch().saturating_sub(self.cached.epoch)
+    }
+}
+
+impl<T> Drop for Reader<T> {
+    fn drop(&mut self) {
+        self.slot.active.store(false, Ordering::Release);
+    }
+}
+
+/// Creates the publisher/handle pair with `initial` at epoch 0.
+#[must_use]
+pub fn epoch_pair<T>(initial: T) -> (Publisher<T>, EpochHandle<T>) {
+    let shared = Arc::new(Shared {
+        published: AtomicU64::new(0),
+        current: Mutex::new(Arc::new(Versioned { epoch: 0, value: initial })),
+        readers: Mutex::new(Vec::new()),
+    });
+    (
+        Publisher { shared: Arc::clone(&shared), retired: Vec::new(), reclaimed: 0, lag_peak: 0 },
+        EpochHandle { shared },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readers_pin_snapshots_until_they_refresh() {
+        let (mut pb, handle) = epoch_pair(10u64);
+        let mut fast = handle.reader();
+        let slow = handle.reader();
+        assert_eq!(fast.snapshot().value, 10);
+        assert_eq!(pb.publish(20), 1);
+        assert_eq!(pb.publish(30), 2);
+        // Both retired snapshots are pinned by `slow` at epoch 0.
+        assert_eq!(pb.reclaim(), 0);
+        assert_eq!(pb.stats().retired, 2);
+        assert_eq!(fast.refresh(), Some(2));
+        assert_eq!(fast.snapshot().value, 30);
+        assert_eq!(fast.refresh(), None, "second refresh is a no-op");
+        // `slow` still reads epoch 0 unharmed.
+        assert_eq!(slow.snapshot().value, 10);
+        assert_eq!(slow.lag(), 2);
+        assert_eq!(pb.reclaim(), 0, "slow reader still pins everything");
+        drop(slow);
+        assert_eq!(pb.reclaim(), 2, "dropping the laggard frees both");
+        let s = pb.stats();
+        assert_eq!((s.published, s.reclaimed, s.retired, s.lag_peak), (2, 2, 0, 2));
+    }
+
+    #[test]
+    fn reclaim_with_no_readers_frees_everything() {
+        let (mut pb, handle) = epoch_pair(0u32);
+        for v in 1..=5 {
+            pb.publish(v);
+        }
+        assert_eq!(pb.reclaim(), 5);
+        assert_eq!(pb.stats().lag_peak, 5);
+        // A reader minted now starts at the latest epoch.
+        let r = handle.reader();
+        assert_eq!(r.snapshot().epoch, 5);
+        assert_eq!(r.lag(), 0);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_a_torn_epoch() {
+        // Snapshots carry (epoch, epoch * K): any mix of two snapshots
+        // breaks the invariant. Free-running readers check it while
+        // the publisher flips as fast as it can.
+        const K: u64 = 0x9e37_79b9;
+        let (mut pb, handle) = epoch_pair((0u64, 0u64));
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            for _ in 0..4 {
+                let mut r = handle.reader();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        r.refresh();
+                        let v = r.snapshot();
+                        assert_eq!(v.value.0, v.epoch, "snapshot/epoch mismatch");
+                        assert_eq!(v.value.1, v.epoch.wrapping_mul(K), "torn payload");
+                        assert!(v.epoch >= last, "epoch went backwards");
+                        last = v.epoch;
+                    }
+                });
+            }
+            for e in 1..=2_000u64 {
+                pb.publish((e, e.wrapping_mul(K)));
+                if e % 64 == 0 {
+                    pb.reclaim();
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        pb.reclaim();
+        let s = pb.stats();
+        assert_eq!(s.published, 2_000);
+        assert_eq!(s.reclaimed, 2_000, "all readers gone — everything reclaims");
+    }
+}

@@ -1,0 +1,41 @@
+//! `hieras-serve` — the live serving engine: concurrent lookups under
+//! churn via epoch-versioned snapshots.
+//!
+//! The replay world (`hieras-sim`) routes against a static oracle and
+//! the churn world (`hieras-churn`) mutates membership inside a
+//! sequential event loop; production needs both at once. This crate is
+//! that shape:
+//!
+//! * [`ServeSnapshot`] — one epoch's immutable routing state: a
+//!   HIERAS hierarchy built over exactly the live membership, the
+//!   membership list itself, and a checksum binding both to the epoch.
+//! * [`epoch_pair`] / [`Publisher`] / [`Reader`] — epoch-based
+//!   publication and reclamation on `std` atomics alone: readers pin
+//!   the snapshot they route against through per-reader epoch slots,
+//!   the single maintenance thread swaps in new snapshots and retires
+//!   old ones only once every reader has advanced past them.
+//! * [`ServeEngine`] — the service loop. N readers execute
+//!   allocation-free lookups against their pinned snapshot while the
+//!   maintenance thread replays a churn schedule
+//!   ([`hieras_churn::MembershipReplay`]) onto a private membership
+//!   copy, rebuilds the hierarchy, and publishes. Three run modes:
+//!   quiesced (no churn — the replay-bench baseline), deterministic
+//!   (the `hieras-rt` executor arbitrates reader/maintainer
+//!   interleaving in lock step, so metrics are bit-identical at any
+//!   reader count), and free-running (real reader threads, wall-clock
+//!   throughput).
+//!
+//! Observability flows through `hieras-obs` under the `serve.*`
+//! namespace: published epochs, reclaim lag, the stale-read window,
+//! per-reader throughput, and applied membership deltas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod epoch;
+mod snapshot;
+
+pub use engine::{LiveReport, QuiescedReport, ServeConfig, ServeEngine};
+pub use epoch::{epoch_pair, EpochHandle, EpochStats, Publisher, Reader, Versioned};
+pub use snapshot::ServeSnapshot;

@@ -1,0 +1,103 @@
+//! Snapshot-safety stress tests over real routing state.
+//!
+//! The unit tests in `epoch.rs` hammer the reclamation protocol with
+//! tiny integer payloads; here the payloads are full `ServeSnapshot`s
+//! — multi-ring HIERAS hierarchies — and the readers are the real
+//! free-running serving loop. Two invariants under fire:
+//!
+//! 1. no reader ever adopts a torn snapshot (epoch checksum holds on
+//!    every adoption, while the maintainer publishes as fast as the
+//!    schedule allows);
+//! 2. reclamation never frees a snapshot a parked reader still pins,
+//!    and frees everything once that reader is gone.
+
+use hieras_rt::Executor;
+use hieras_serve::{epoch_pair, ServeConfig, ServeEngine, ServeSnapshot};
+use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
+
+fn world(nodes: usize) -> Experiment {
+    let mut cfg = ExperimentConfig::paper(nodes, 23);
+    cfg.requests = 100;
+    Experiment::build(cfg)
+}
+
+/// Free-running readers against a maintainer publishing one epoch per
+/// event: the highest snapshot-flip rate the schedule can produce. The
+/// serving loop itself asserts the checksum on every adoption, so this
+/// test failing means a reader saw a mix of two epochs.
+#[test]
+fn free_running_readers_never_adopt_a_torn_snapshot() {
+    let exp = world(120);
+    let engine = ServeEngine::new(
+        &exp,
+        ServeConfig {
+            churn: ChurnConfig {
+                initial_nodes: 100,
+                arrivals: 20,
+                inter_arrival: Lifetime::Fixed { ms: 150 },
+                lifetime: Lifetime::Exponential { mean_ms: 30_000.0 },
+                graceful_fraction: 0.5,
+                horizon_ms: 15_000,
+                seed: 0xdead,
+            },
+            readers: 3,
+            // One event per epoch: publish at the maximum rate.
+            events_per_epoch: 1,
+            lookups_per_epoch: 32,
+            // Tiny batches: readers refresh (and re-verify) constantly.
+            refresh_batch: 4,
+            seed: 0xbeef,
+            rebin_every: 5,
+            rebin_noise: 0.3,
+        },
+    );
+    let r = engine.run_live();
+    assert!(r.epochs.published > 20, "the schedule must actually flip snapshots");
+    assert!(r.lookups > 0, "readers must have served");
+    // Readers all dropped before the final reclaim: full accounting.
+    assert_eq!(r.epochs.retired, 0, "no reader left — nothing may stay retired");
+    assert_eq!(r.epochs.reclaimed, r.epochs.published, "every epoch reclaims exactly once");
+    assert!(r.turnover > 0.05, "stress scenario must churn >5% of the overlay");
+}
+
+/// A parked reader pins its snapshot — and every younger retired one —
+/// through arbitrarily many publications; dropping the reader releases
+/// them all.
+#[test]
+fn reclamation_never_frees_a_pinned_snapshot() {
+    const PUBLISHES: usize = 12;
+    let exp = world(40);
+    let exec = Executor::new(1);
+    let snap_at = |epoch: u64, live_n: u32| {
+        let members: Vec<u32> = (0..live_n).collect();
+        let oracle = exp
+            .subset_hieras_on(&exec, &members, None, None)
+            .expect("prefix memberships are valid subsets");
+        ServeSnapshot::new(epoch, oracle, members.into())
+    };
+
+    let (mut pb, handle) = epoch_pair(snap_at(0, 40));
+    let parked = handle.reader();
+    for i in 1..=PUBLISHES {
+        // Shrinking membership: every epoch is a distinct hierarchy.
+        pb.publish(snap_at(i as u64, 40 - i as u32));
+        assert_eq!(pb.reclaim(), 0, "publish {i}: the parked reader pins epoch 0");
+    }
+    let s = pb.stats();
+    assert_eq!(s.retired, PUBLISHES, "all replaced snapshots wait on the parked reader");
+    assert_eq!(s.lag_peak, PUBLISHES);
+    // The parked reader's world is still whole and still epoch 0's.
+    assert_eq!(parked.lag(), PUBLISHES as u64);
+    assert!(parked.snapshot().value.verify(0), "pinned snapshot decayed while parked");
+    assert_eq!(parked.snapshot().value.live_count(), 40);
+
+    drop(parked);
+    assert_eq!(pb.reclaim(), PUBLISHES, "no reader left — everything reclaims");
+    assert_eq!(pb.stats().retired, 0);
+
+    // A reader minted now starts at the newest snapshot, not epoch 0.
+    let fresh = handle.reader();
+    assert_eq!(fresh.snapshot().epoch, PUBLISHES as u64);
+    assert!(fresh.snapshot().value.verify(PUBLISHES as u64));
+    assert_eq!(fresh.snapshot().value.live_count(), 40 - PUBLISHES);
+}

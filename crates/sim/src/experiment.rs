@@ -403,6 +403,34 @@ impl Experiment {
         self.lat.latency(self.router_of[a as usize], self.router_of[b as usize])
     }
 
+    /// Builds a HIERAS hierarchy over a *subset* of this experiment's
+    /// peers — the snapshot constructor of the live serving engine.
+    /// `members` are global peer indices (ascending, the live set of a
+    /// churn epoch); `orders` and `config` default to this experiment's
+    /// own when `None`, or carry re-binned orders after a landmark
+    /// change. The resulting oracle shares this experiment's id table
+    /// (`Arc` clone) and speaks global indices, so
+    /// [`Experiment::peer_latency`] remains the link callback.
+    ///
+    /// # Errors
+    /// See [`hieras_core::HierasBuildError`].
+    pub fn subset_hieras_on(
+        &self,
+        exec: &Executor,
+        members: &[u32],
+        orders: Option<&[LandmarkOrder]>,
+        config: Option<&HierasConfig>,
+    ) -> Result<HierasOracle, hieras_core::HierasBuildError> {
+        HierasOracle::build_members_on(
+            exec,
+            self.hieras.space(),
+            Arc::clone(&self.ids),
+            orders.unwrap_or(&self.orders).to_vec(),
+            members,
+            config.unwrap_or(self.hieras.config()).clone(),
+        )
+    }
+
     /// Replays `requests` random lookups through both algorithms in
     /// parallel and returns the merged metrics. Deterministic in the
     /// experiment seed regardless of thread count.

@@ -253,6 +253,7 @@ impl Metrics {
             p50_ms: nearest_rank(&sorted, 0.50),
             p95_ms: nearest_rank(&sorted, 0.95),
             p99_ms: nearest_rank(&sorted, 0.99),
+            p999_ms: nearest_rank(&sorted, 0.999),
         };
         Summary {
             latency_tail,
@@ -310,6 +311,9 @@ pub struct TailLatency {
     pub p95_ms: u32,
     /// 99th-percentile latency.
     pub p99_ms: u32,
+    /// 99.9th-percentile latency — the extreme tail the live-serving
+    /// bench watches for timeout inflation under churn.
+    pub p999_ms: u32,
 }
 
 impl ToJson for TailLatency {
@@ -318,6 +322,7 @@ impl ToJson for TailLatency {
             ("p50_ms", self.p50_ms.to_json()),
             ("p95_ms", self.p95_ms.to_json()),
             ("p99_ms", self.p99_ms.to_json()),
+            ("p999_ms", self.p999_ms.to_json()),
         ])
     }
 }
@@ -328,6 +333,7 @@ impl FromJson for TailLatency {
             p50_ms: v.field("p50_ms")?,
             p95_ms: v.field("p95_ms")?,
             p99_ms: v.field("p99_ms")?,
+            p999_ms: v.field("p999_ms")?,
         })
     }
 }
@@ -565,13 +571,14 @@ mod tests {
         assert_eq!(t.p50_ms, 50);
         assert_eq!(t.p95_ms, 100, "rank ceil(0.95*10)=10");
         assert_eq!(t.p99_ms, 100);
+        assert_eq!(t.p999_ms, 100);
         // Empty metrics: all-zero tail.
         assert_eq!(Metrics::default().summary().latency_tail, TailLatency::default());
         // Single sample: every percentile is that sample.
         let mut one = Metrics::default();
         one.record(Sample { hops: 1, lower_hops: 0, latency_ms: 42, lower_latency_ms: 0 });
         let t = one.summary().latency_tail;
-        assert_eq!((t.p50_ms, t.p95_ms, t.p99_ms), (42, 42, 42));
+        assert_eq!((t.p50_ms, t.p95_ms, t.p99_ms, t.p999_ms), (42, 42, 42, 42));
         // Ties: every percentile is the tied value.
         let mut ties = Metrics::default();
         for _ in 0..7 {
@@ -579,6 +586,19 @@ mod tests {
         }
         let t = ties.summary().latency_tail;
         assert_eq!((t.p50_ms, t.p95_ms, t.p99_ms), (9, 9, 9));
+    }
+
+    #[test]
+    fn p999_is_nearest_rank_on_a_large_sample() {
+        // 1..=1000, one each: rank ceil(0.999*1000) = 999 → value 999,
+        // one below the p100 max — p99.9 resolves the extreme tail.
+        let mut m = Metrics::default();
+        for ms in 1..=1000u32 {
+            m.record(Sample { hops: 1, lower_hops: 0, latency_ms: ms, lower_latency_ms: 0 });
+        }
+        let t = m.summary().latency_tail;
+        assert_eq!(t.p99_ms, 990);
+        assert_eq!(t.p999_ms, 999);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
 # Canonical CI entry point: builds the workspace (warnings are
-# errors), runs every test, and exercises both benchmark harnesses end
+# errors), runs every test, and exercises every benchmark harness end
 # to end — all offline, no network, no external crates. Run from the
 # repository root:
 #
@@ -129,5 +129,45 @@ awk -v r="$median" -v l="$labels_median" 'BEGIN {
     }
     printf "label queries %.1f ns vs rows %.1f ns (%.2fx, gate 1.5x)\n", l, r, l / r
 }'
+
+echo "==> bench smoke: live serving, 500 peers under churn, obs on"
+./target/release/bench_live --smoke --obs
+# Throughput gate: the quiesced serving path (the first
+# median_ns_per_lookup in the file) must stay within 2x of the
+# checked-in budget (scripts/live_budget_ns, measured on the CI box).
+live_budget=$(cat scripts/live_budget_ns)
+live_median=$(awk -F': ' '/"median_ns_per_lookup"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_live.json)
+awk -v m="$live_median" -v b="$live_budget" 'BEGIN {
+    if (m + 0 > 2 * b) {
+        printf "live smoke regressed: quiesced median %.1f ns/lookup > 2x budget %.1f\n", m, b
+        exit 1
+    }
+    printf "live smoke quiesced median %.1f ns/lookup within 2x budget %.1f\n", m, b
+}'
+# Quiesced-vs-replay identity: the first "hieras" summary block of
+# BENCH_live.json (the quiesced baseline, by construction) must equal
+# BENCH_replay.json's replayed HIERAS summary byte for byte — the
+# snapshot serving path is the replay path, or it is wrong. Blocks are
+# extracted by brace depth and compared whitespace-stripped (the two
+# files nest them at different indents).
+hieras_block() {
+    awk '
+        !found && /"hieras": \{/ { found = 1 }
+        found {
+            print
+            depth += gsub(/\{/, "{") - gsub(/\}/, "}")
+            if (depth <= 0) exit
+        }
+    ' "$1" | tr -d ' \t\n'
+}
+live_hieras=$(hieras_block BENCH_live.json)
+replay_hieras=$(hieras_block BENCH_replay.json)
+if [ -z "$live_hieras" ] || [ "$live_hieras" != "$replay_hieras" ]; then
+    echo "quiesced serving metrics diverged from the replay bench:" >&2
+    echo "  live:   $live_hieras" >&2
+    echo "  replay: $replay_hieras" >&2
+    exit 1
+fi
+echo "quiesced serving metrics byte-identical to the replay bench"
 
 echo "==> verify OK"
