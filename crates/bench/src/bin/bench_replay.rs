@@ -142,7 +142,7 @@ fn bench_one(exec: &Executor, point: &SizePoint, obs: &ObsOpts) -> Json {
 }
 
 fn main() {
-    let hieras_bench::BenchArgs { smoke, obs, trace_out } =
+    let hieras_bench::BenchArgs { smoke, obs, trace_out, .. } =
         hieras_bench::BenchArgs::parse("bench_replay", hieras_bench::BenchFlags::full());
     let points: Vec<SizePoint> = if smoke {
         vec![SizePoint { nodes: 500, requests: 2000 }]

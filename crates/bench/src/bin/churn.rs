@@ -14,8 +14,10 @@
 //!
 //! `--obs` swaps in the instrumented engine: each scenario record
 //! gains a registry snapshot (per-message-type `net.*` counters,
-//! `lookup.*` / `join.*` histograms, `churn.*` event counters). The
-//! reports themselves are bit-identical to an uninstrumented run.
+//! `lookup.*` / `join.*` histograms, `churn.*` event counters) and the
+//! sim-windowed lookup time series (1 s windows over the schedule
+//! horizon, renderable with `hieras-timeline`). The reports themselves
+//! are bit-identical to an uninstrumented run.
 //! `--trace-out <path.jsonl>` additionally writes every scenario's
 //! span/instant stream (`churn.join`, `churn.leave`, `churn.repair`
 //! spans with transport-level lookup/join spans nested beneath) as
@@ -34,7 +36,7 @@ const SEED: u64 = 20030415;
 const TRACE_CAP: usize = 1 << 18;
 
 fn main() {
-    let hieras_bench::BenchArgs { smoke, obs, trace_out } =
+    let hieras_bench::BenchArgs { smoke, obs, trace_out, .. } =
         hieras_bench::BenchArgs::parse("churn", hieras_bench::BenchFlags::full());
     // (initial nodes, arrivals, horizon ms): smoke is CI-sized; the
     // full run matches the acceptance floor of ≥ 300 nodes and ≥ 5 %
@@ -109,6 +111,11 @@ fn main() {
                     unreachable!("ChurnRow serializes as an object")
                 };
                 fields.push(("registry".to_owned(), o.registry.to_json()));
+                fields.push((
+                    "timeseries_windows".to_owned(),
+                    o.timeseries.window_count().to_json(),
+                ));
+                fields.push(("timeseries".to_owned(), o.timeseries.to_json()));
                 Json::Obj(fields)
             }
             None => row.to_json(),

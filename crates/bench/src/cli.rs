@@ -15,6 +15,9 @@ pub struct BenchFlags {
     pub obs: bool,
     /// Accept `--trace-out <path.jsonl>` (implies `--obs`).
     pub trace: bool,
+    /// Accept `--timeseries-out <path.jsonl>` (windowed telemetry
+    /// stream; implies `--obs`).
+    pub timeseries: bool,
 }
 
 impl BenchFlags {
@@ -27,13 +30,19 @@ impl BenchFlags {
     /// `--smoke`, `--obs` and `--trace-out` (e.g. `bench_replay`).
     #[must_use]
     pub fn full() -> Self {
-        BenchFlags { obs: true, trace: true }
+        BenchFlags { obs: true, trace: true, timeseries: false }
     }
 
-    /// `--smoke` and `--obs`, no tracer (e.g. `bench_live`).
+    /// `--smoke` and `--obs`, no tracer (e.g. `churn`).
     #[must_use]
     pub fn with_obs() -> Self {
-        BenchFlags { obs: true, trace: false }
+        BenchFlags { obs: true, trace: false, timeseries: false }
+    }
+
+    /// `--smoke`, `--obs` and `--timeseries-out` (e.g. `bench_live`).
+    #[must_use]
+    pub fn live() -> Self {
+        BenchFlags { obs: true, trace: false, timeseries: true }
     }
 
     fn usage(self, bin: &str) -> String {
@@ -43,6 +52,9 @@ impl BenchFlags {
         }
         if self.trace {
             u.push_str(" [--trace-out <path.jsonl>]");
+        }
+        if self.timeseries {
+            u.push_str(" [--timeseries-out <path.jsonl>]");
         }
         u
     }
@@ -57,6 +69,8 @@ pub struct BenchArgs {
     pub obs: bool,
     /// Span/instant JSONL output path, when tracing was requested.
     pub trace_out: Option<String>,
+    /// Windowed-telemetry JSONL output path, when requested.
+    pub timeseries_out: Option<String>,
 }
 
 impl BenchArgs {
@@ -97,6 +111,10 @@ impl BenchArgs {
                     Some(path) => out.trace_out = Some(path),
                     None => return Err("--trace-out needs a path argument".to_owned()),
                 },
+                "--timeseries-out" if flags.timeseries => match args.next() {
+                    Some(path) => out.timeseries_out = Some(path),
+                    None => return Err("--timeseries-out needs a path argument".to_owned()),
+                },
                 other => {
                     return Err(format!(
                         "unknown argument `{other}` ({})",
@@ -105,8 +123,8 @@ impl BenchArgs {
                 }
             }
         }
-        // A trace needs the instrumented run to exist.
-        if out.trace_out.is_some() {
+        // A trace or a time series needs the instrumented run to exist.
+        if out.trace_out.is_some() || out.timeseries_out.is_some() {
             out.obs = true;
         }
         Ok(out)
@@ -168,11 +186,34 @@ mod tests {
         let err = BenchArgs::try_parse("bench_scale", BenchFlags::smoke_only(), argv(&["--obs"]))
             .unwrap_err();
         assert!(err.contains("unknown argument `--obs`"));
-        // bench_live supports --obs but has no tracer.
-        let err = BenchArgs::try_parse("bench_live", BenchFlags::with_obs(), argv(&["--trace-out"]))
+        // bench_live supports --obs and --timeseries-out but no tracer.
+        let err = BenchArgs::try_parse("bench_live", BenchFlags::live(), argv(&["--trace-out"]))
             .unwrap_err();
         assert!(err.contains("unknown argument `--trace-out`"));
-        assert!(err.contains("usage: bench_live [--smoke] [--obs]"));
+        assert!(err.contains(
+            "usage: bench_live [--smoke] [--obs] [--timeseries-out <path.jsonl>]"
+        ));
+        // churn supports --obs and --trace-out but no time series.
+        let err =
+            BenchArgs::try_parse("churn", BenchFlags::full(), argv(&["--timeseries-out", "x"]))
+                .unwrap_err();
+        assert!(err.contains("unknown argument `--timeseries-out`"));
+    }
+
+    #[test]
+    fn timeseries_out_implies_obs_and_requires_a_path() {
+        let a = BenchArgs::try_parse(
+            "bench_live",
+            BenchFlags::live(),
+            argv(&["--timeseries-out", "ts.jsonl"]),
+        )
+        .unwrap();
+        assert!(a.obs, "--timeseries-out must switch the instrumented path on");
+        assert_eq!(a.timeseries_out.as_deref(), Some("ts.jsonl"));
+        let err =
+            BenchArgs::try_parse("bench_live", BenchFlags::live(), argv(&["--timeseries-out"]))
+                .unwrap_err();
+        assert!(err.contains("needs a path"));
     }
 
     #[test]

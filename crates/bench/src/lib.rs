@@ -22,6 +22,7 @@ pub mod sweeps;
 
 pub use cli::{BenchArgs, BenchFlags};
 pub use obsprobe::{message_probe, ObsProbe};
+pub use render::{sparkline, timeline_compare, timeline_table};
 pub use sweeps::{
     churn_sweep, churn_sweep_traced, depth_sweep, landmark_sweep, size_sweep, ChurnRow,
     DepthRow, LandmarkRow, SizeRow,

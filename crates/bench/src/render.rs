@@ -1,6 +1,9 @@
-//! Markdown renderers for the figures binary and EXPERIMENTS.md.
+//! Markdown renderers for the figures binary and EXPERIMENTS.md, plus
+//! the ASCII timeline views `hieras-timeline` prints for
+//! [`TimeSeriesReport`] streams.
 
 use crate::{DepthRow, LandmarkRow, SizeRow};
+use hieras_obs::TimeSeriesReport;
 use std::fmt::Write as _;
 
 /// Renders Figure 2 (average hops vs network size) as markdown.
@@ -126,6 +129,156 @@ pub fn cdf_table(points: &[(u32, f64, f64)]) -> String {
     s
 }
 
+/// Eight-level block-glyph sparkline over `values`, scaled to the
+/// series' own maximum (an all-zero series renders all-low).
+#[must_use]
+pub fn sparkline(values: &[u64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| GLYPHS[((v * 7).div_ceil(max) as usize).min(7)])
+        .collect()
+}
+
+/// Renders a [`TimeSeriesReport`] as sparklines plus a per-window
+/// table: lookups/s, tail quantiles, failures, retries, and the
+/// windows' epoch activity (published snapshots, membership events).
+#[must_use]
+pub fn timeline_table(ts: &TimeSeriesReport) -> String {
+    use hieras_obs::names;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# timeline: {} windows x {} ms ({} clock)",
+        ts.window_count(),
+        ts.meta.window_ms,
+        ts.meta.mode
+    );
+    if ts.windows.is_empty() {
+        return s;
+    }
+    let rate: Vec<u64> = ts.windows.iter().map(|w| w.lookups).collect();
+    let p99: Vec<u64> = ts.windows.iter().map(|w| w.latency.quantile(0.99)).collect();
+    let _ = writeln!(s, "lookups {}", sparkline(&rate));
+    let _ = writeln!(s, "p99 ms  {}", sparkline(&p99));
+    let _ = writeln!(
+        s,
+        "| window | lookups | lookups/s | p50 | p95 | p99 | p99.9 | fail | retry | epochs | churn |"
+    );
+    let _ = writeln!(
+        s,
+        "|-------:|--------:|----------:|----:|----:|----:|------:|-----:|------:|-------:|------:|"
+    );
+    for w in &ts.windows {
+        let per_sec = w.lookups as f64 * 1000.0 / ts.meta.window_ms as f64;
+        let churn = w.health.counter(names::SERVE_EPOCH_JOINS)
+            + w.health.counter(names::SERVE_EPOCH_LEAVES)
+            + w.health.counter(names::SERVE_EPOCH_FAILS);
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.0} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            w.index,
+            w.lookups,
+            per_sec,
+            w.latency.quantile(0.50),
+            w.latency.quantile(0.95),
+            w.latency.quantile(0.99),
+            w.latency.quantile(0.999),
+            w.failures,
+            w.retries,
+            w.health.counter(names::SERVE_EPOCH_PUBLISHED),
+            churn,
+        );
+    }
+    if !ts.breaches.is_empty() {
+        let _ = writeln!(s, "# SLO breaches: {}", ts.breaches.len());
+        for b in &ts.breaches {
+            let _ = writeln!(
+                s,
+                "window {}: p99 {} ms ({}), failures {} ppm ({}); {} epochs, {} churn events",
+                b.window,
+                b.p99_ms,
+                if b.p99_over { "OVER" } else { "ok" },
+                b.failure_ppm,
+                if b.failures_over { "OVER" } else { "ok" },
+                b.epochs_published,
+                b.churn_events,
+            );
+        }
+    }
+    if !ts.slow.is_empty() {
+        let _ = writeln!(s, "# flight recorder: {} slow lookups", ts.slow.len());
+        for rec in &ts.slow {
+            let _ = writeln!(
+                s,
+                "window {}: {} ms, {} -> key {:#018x}, {} hops",
+                rec.window,
+                rec.latency_ms,
+                rec.src,
+                rec.key,
+                rec.path.len(),
+            );
+        }
+    }
+    s
+}
+
+/// Renders per-window deltas between two time series (`b - a`) —
+/// lookups, p99, failures — so churn-vs-quiesced transients diff in
+/// CI logs. Windows present in only one series render with a `-` on
+/// the missing side.
+#[must_use]
+pub fn timeline_compare(a: &TimeSeriesReport, b: &TimeSeriesReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "# compare: {} vs {} windows ({} ms {} | {} ms {})",
+        a.window_count(),
+        b.window_count(),
+        a.meta.window_ms,
+        a.meta.mode,
+        b.meta.window_ms,
+        b.meta.mode
+    );
+    let _ = writeln!(s, "| window | lookups a | lookups b | Δlookups | p99 a | p99 b | Δp99 | fail a | fail b |");
+    let _ = writeln!(s, "|-------:|----------:|----------:|---------:|------:|------:|-----:|-------:|-------:|");
+    let mut ia = a.windows.iter().peekable();
+    let mut ib = b.windows.iter().peekable();
+    loop {
+        let (wa, wb) = match (ia.peek(), ib.peek()) {
+            (None, None) => break,
+            (Some(x), Some(y)) if x.index == y.index => (ia.next(), ib.next()),
+            (Some(x), Some(y)) if x.index < y.index => (ia.next(), None),
+            (Some(_), Some(_)) | (None, Some(_)) => (None, ib.next()),
+            (Some(_), None) => (ia.next(), None),
+        };
+        let idx = wa.or(wb).expect("one side advanced").index;
+        let fmt = |w: Option<&hieras_obs::TelemetryWindow>,
+                   f: fn(&hieras_obs::TelemetryWindow) -> u64| {
+            w.map_or_else(|| "-".to_owned(), |w| f(w).to_string())
+        };
+        let delta = |f: fn(&hieras_obs::TelemetryWindow) -> u64| match (wa, wb) {
+            (Some(x), Some(y)) => format!("{:+}", f(y) as i64 - f(x) as i64),
+            _ => "-".to_owned(),
+        };
+        let _ = writeln!(
+            s,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            idx,
+            fmt(wa, |w| w.lookups),
+            fmt(wb, |w| w.lookups),
+            delta(|w| w.lookups),
+            fmt(wa, |w| w.latency.quantile(0.99)),
+            fmt(wb, |w| w.latency.quantile(0.99)),
+            delta(|w| w.latency.quantile(0.99)),
+            fmt(wa, |w| w.failures),
+            fmt(wb, |w| w.failures),
+        );
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +328,61 @@ mod tests {
     fn cdf_table_renders_points() {
         let t = cdf_table(&[(0, 0.0, 0.1), (100, 0.5, 0.9)]);
         assert!(t.contains("| 100 | 0.5000 | 0.9000 |"));
+    }
+
+    #[test]
+    fn sparkline_scales_to_the_series_maximum() {
+        assert_eq!(sparkline(&[0, 1]), "▁█");
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁", "an all-zero series renders all-low");
+        assert_eq!(sparkline(&[8, 4, 1]).chars().count(), 3);
+    }
+
+    fn demo_report() -> hieras_obs::TimeSeriesReport {
+        use hieras_obs::{names, HopRecord, SloSpec, SlowLookup, TelemetryShard};
+        let mut sh = TelemetryShard::new(1);
+        sh.lookup(0, 10);
+        sh.lookup(0, 20);
+        sh.lookup(2, 500);
+        sh.lookup_failed(2);
+        sh.retries(2, 3);
+        sh.health(2).inc(names::SERVE_EPOCH_PUBLISHED);
+        sh.health(2).inc_by(names::SERVE_EPOCH_LEAVES, 2);
+        sh.admit_slow(SlowLookup {
+            window: 2,
+            latency_ms: 500,
+            src: 7,
+            key: 0xabcd,
+            seq: 1,
+            path: vec![HopRecord { from: 7, to: 9, layer: 0, ms: 500 }],
+        });
+        sh.into_report("sim", 1000, Some(SloSpec { p99_ms: 100, max_failure_ppm: 1000 }))
+    }
+
+    #[test]
+    fn timeline_table_renders_windows_breaches_and_flight_recorder() {
+        let t = timeline_table(&demo_report());
+        assert!(t.contains("# timeline: 2 windows x 1000 ms (sim clock)"), "{t}");
+        // lookup_failed counts as a lookup too: 2 lookups, 1 failed.
+        assert!(t.contains("| 2 | 2 | 2 | 500 | 500 | 500 | 500 | 1 | 3 | 1 | 2 |"), "{t}");
+        assert!(t.contains("# SLO breaches: 1"), "{t}");
+        assert!(t.contains("window 2: p99 500 ms (OVER)"), "{t}");
+        assert!(t.contains("# flight recorder: 1 slow lookups"), "{t}");
+        assert!(t.contains("window 2: 500 ms, 7 -> key 0x000000000000abcd, 1 hops"), "{t}");
+    }
+
+    #[test]
+    fn timeline_compare_diffs_shared_windows_and_dashes_missing_ones() {
+        let a = demo_report();
+        let mut sh = hieras_obs::TelemetryShard::new(0);
+        sh.lookup(0, 10);
+        sh.lookup(1, 40);
+        let b = sh.into_report("sim", 1000, None);
+        let t = timeline_compare(&a, &b);
+        // Window 0 in both: lookups 2 -> 1.
+        assert!(t.contains("| 0 | 2 | 1 | -1 |"), "{t}");
+        // Window 1 only in b, window 2 only in a: dashes on the gap.
+        assert!(t.contains("| 1 | - | 1 | - |"), "{t}");
+        assert!(t.contains("| 2 | 2 | - | - |"), "{t}");
     }
 
     #[test]

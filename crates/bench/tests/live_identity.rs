@@ -11,7 +11,7 @@
 //!    byte-for-byte on the JSON artifacts.
 
 use hieras_rt::Executor;
-use hieras_serve::{ServeConfig, ServeEngine};
+use hieras_serve::{ServeConfig, ServeEngine, TelemetryConfig};
 use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
 
 fn world() -> (Experiment, ServeConfig) {
@@ -35,6 +35,7 @@ fn world() -> (Experiment, ServeConfig) {
         seed: 0x5eed,
         rebin_every: 6,
         rebin_noise: 0.3,
+        telemetry: TelemetryConfig::off(),
     };
     (exp, serve)
 }

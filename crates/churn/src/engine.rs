@@ -33,7 +33,7 @@ use crate::report::AlgoChurnStats;
 use hieras_chord::{DynChord, DynError};
 use hieras_core::HierasOracle;
 use hieras_id::{Id, IdSpace};
-use hieras_obs::{Registry, Tracer};
+use hieras_obs::{Registry, TelemetryShard, TimeSeriesReport, Tracer};
 use hieras_proto::SimNet;
 use hieras_rt::splitmix64;
 use hieras_sim::{ChurnEventKind, Experiment, ExperimentConfig, Sample};
@@ -50,7 +50,16 @@ pub struct ChurnObs {
     pub registry: Registry,
     /// The span/instant event buffer, `None` when tracing was off.
     pub tracer: Option<Tracer>,
+    /// Time-resolved lookup telemetry over the churn horizon:
+    /// [`CHURN_WINDOW_MS`]-wide sim windows with per-window success
+    /// latencies, failures (wrong owner or unresolved), and retry
+    /// counts. Windowed and aggregate accounting reconcile exactly —
+    /// the identity `tests/` assert.
+    pub timeseries: TimeSeriesReport,
 }
+
+/// Width of the churn engine's telemetry windows on the sim clock, ms.
+pub const CHURN_WINDOW_MS: u64 = 1_000;
 
 /// Message counters captured before a driver call; the difference
 /// afterwards is the call's traffic.
@@ -175,6 +184,10 @@ fn run_churn_impl(
     let mut counts = EventCounts::default();
     let mut fix_rounds = vec![0u64; depth];
     let mut lookup_no = 0u64;
+    // Windowed lookup telemetry (obs runs only; the plain run stays
+    // untouched). The churn engine has no hop-capture path, so the
+    // flight recorder stays off (k = 0).
+    let mut tele = obs.map(|_| TelemetryShard::new(0));
     let seed = churn.seed;
     let schedule = churn.schedule();
 
@@ -320,15 +333,36 @@ fn run_churn_impl(
             h.maint[0].timeout_msgs += d.timeouts;
             h.lookups += 1;
             h.attempts += u64::from(rl.attempts);
+            let win = net.now() / CHURN_WINDOW_MS;
+            if let Some(t) = tele.as_mut() {
+                if rl.attempts > 1 {
+                    t.retries(win, u64::from(rl.attempts) - 1);
+                }
+            }
             match rl.outcome {
-                Some(o) if o.owner == truth => h.routing.record(Sample {
-                    hops: o.hops,
-                    lower_hops: 0,
-                    latency_ms: u32::try_from(o.latency_ms).unwrap_or(u32::MAX),
-                    lower_latency_ms: 0,
-                }),
-                Some(_) => h.wrong_owner += 1,
-                None => h.unresolved += 1,
+                Some(o) if o.owner == truth => {
+                    if let Some(t) = tele.as_mut() {
+                        t.lookup(win, o.latency_ms);
+                    }
+                    h.routing.record(Sample {
+                        hops: o.hops,
+                        lower_hops: 0,
+                        latency_ms: u32::try_from(o.latency_ms).unwrap_or(u32::MAX),
+                        lower_latency_ms: 0,
+                    });
+                }
+                Some(_) => {
+                    if let Some(t) = tele.as_mut() {
+                        t.lookup_failed(win);
+                    }
+                    h.wrong_owner += 1;
+                }
+                None => {
+                    if let Some(t) = tele.as_mut() {
+                        t.lookup_failed(win);
+                    }
+                    h.unresolved += 1;
+                }
             }
 
             c.lookups += 1;
@@ -448,6 +482,10 @@ fn run_churn_impl(
     let obs_out = obs.map(|_| ChurnObs {
         registry: net.take_registry().expect("registry enabled when obs requested"),
         tracer: net.take_tracer(),
+        timeseries: tele
+            .take()
+            .expect("telemetry shard runs whenever obs does")
+            .into_report("sim", CHURN_WINDOW_MS, None),
     });
     (report, obs_out)
 }
@@ -553,6 +591,34 @@ mod tests {
         }
         let t = obs.tracer.expect("tracing was on");
         assert!(!t.is_empty());
+        // Windowed telemetry reconciles exactly with the aggregates:
+        // every lookup lands in one window, failures split into wrong
+        // owner + unresolved, retries match the attempt surplus, and
+        // the per-window success histograms merge to the same total
+        // the run-level routing stats carry.
+        let ts = &obs.timeseries;
+        assert_eq!(ts.meta.mode, "sim");
+        assert_eq!(ts.meta.window_ms, CHURN_WINDOW_MS);
+        assert!(ts.window_count() > 1, "a 10 s horizon spans several 1 s windows");
+        assert_eq!(ts.total_lookups(), traced.hieras.lookups);
+        let failures: u64 = ts.windows.iter().map(|w| w.failures).sum();
+        assert_eq!(failures, traced.hieras.wrong_owner + traced.hieras.unresolved);
+        let retries: u64 = ts.windows.iter().map(|w| w.retries).sum();
+        assert_eq!(retries, traced.hieras.attempts - traced.hieras.lookups);
+        let mut merged = hieras_obs::LogHistogram::default();
+        for w in &ts.windows {
+            merged.merge(&w.latency);
+        }
+        assert_eq!(merged.total(), traced.hieras.lookups - failures);
+        assert_eq!(
+            merged.total(),
+            traced.hieras.routing.requests,
+            "windowed latencies cover exactly the successful lookups"
+        );
+        // And the stream format round-trips bit-identically.
+        let text = ts.to_jsonl();
+        let back = TimeSeriesReport::parse_jsonl(&text).expect("own stream parses");
+        assert_eq!(back.to_jsonl(), text);
     }
 
     #[test]

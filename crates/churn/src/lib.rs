@@ -33,6 +33,6 @@ mod replay;
 mod report;
 
 pub use config::{ChurnExperimentConfig, LandmarkFail};
-pub use engine::{run_churn, run_churn_traced, ChurnObs};
+pub use engine::{run_churn, run_churn_traced, ChurnObs, CHURN_WINDOW_MS};
 pub use replay::{MembershipReplay, ReplayDelta};
 pub use report::{AlgoChurnStats, ChurnReport, EventCounts};

@@ -24,6 +24,13 @@
 //! * [`Profiler`] — wall-clock phase scopes (topology build, APSP,
 //!   binning, ring construction, join choreography, replay, churn
 //!   horizon) reported as a self-time tree ([`PhaseReport`]).
+//! * [`TelemetryShard`] — time-resolved telemetry: rotating windowed
+//!   metrics (per-window lookup rate, tails, failures, epoch-health
+//!   gauges), a bounded K-slowest-lookups flight recorder, and an SLO
+//!   monitor ([`SloSpec`]), assembled into a [`TimeSeriesReport`] with
+//!   a JSONL stream format. Shards fold merge-order-invariantly, so
+//!   deterministic runs emit bit-identical windows at any reader
+//!   count.
 //!
 //! Every type round-trips through [`hieras_rt::ToJson`] /
 //! [`hieras_rt::FromJson`].
@@ -34,9 +41,14 @@
 mod profile;
 mod registry;
 mod trace;
+mod window;
 
 pub mod names;
 
 pub use profile::{Phase, PhaseReport, Profiler};
 pub use registry::{LogHistogram, Registry};
-pub use trace::{TraceEvent, TraceKind, Tracer};
+pub use trace::{chrome_trace, TraceEvent, TraceKind, Tracer};
+pub use window::{
+    HopRecord, SloBreach, SloSpec, SlowLookup, TelemetryShard, TelemetryWindow, TimeSeriesMeta,
+    TimeSeriesReport, TIMESERIES_SCHEMA,
+};

@@ -86,3 +86,45 @@ pub const SERVE_LEAVES: &str = "serve.leaves";
 pub const SERVE_FAILS: &str = "serve.fails";
 /// Peers whose landmark order changed at a re-bin epoch (counter).
 pub const SERVE_REBINNED: &str = "serve.rebinned_peers";
+
+// Per-window epoch-health block (`serve.epoch.*`): published into a
+// window's health registry by the serving maintenance path, so every
+// telemetry window carries the maintenance activity that ran inside
+// it. Counters count events within the window; gauges snapshot state
+// as of the window (max-merged across producers).
+
+/// Snapshots published inside the window (counter).
+pub const SERVE_EPOCH_PUBLISHED: &str = "serve.epoch.published";
+/// Join events applied inside the window (counter).
+pub const SERVE_EPOCH_JOINS: &str = "serve.epoch.joins";
+/// Graceful leaves applied inside the window (counter).
+pub const SERVE_EPOCH_LEAVES: &str = "serve.epoch.leaves";
+/// Silent failures applied inside the window (counter).
+pub const SERVE_EPOCH_FAILS: &str = "serve.epoch.fails";
+/// Peers re-binned into a new landmark order inside the window
+/// (counter).
+pub const SERVE_EPOCH_REBINNED: &str = "serve.epoch.rebinned";
+/// Age of the published snapshot on the maintenance clock, ms (gauge).
+pub const SERVE_EPOCH_SNAPSHOT_AGE_MS: &str = "serve.epoch.snapshot_age_ms";
+/// Retired-but-unreclaimed snapshot backlog (gauge).
+pub const SERVE_EPOCH_RETIRED_BACKLOG: &str = "serve.epoch.retired_backlog";
+/// Worst reader pin lag seen this window, epochs behind published
+/// (gauge).
+pub const SERVE_EPOCH_READER_LAG: &str = "serve.epoch.reader_lag";
+/// Wall-clock snapshot publish latency (rebuild + swap), µs
+/// (histogram; free-running windows only — wall durations would break
+/// deterministic identity).
+pub const SERVE_EPOCH_PUBLISH_US: &str = "serve.epoch.publish_us";
+/// Wall-clock hierarchy rebuild duration, µs (histogram; free-running
+/// windows only).
+pub const SERVE_EPOCH_REBUILD_US: &str = "serve.epoch.rebuild_us";
+/// Wall-clock re-bin pass duration, µs (histogram; free-running
+/// windows only).
+pub const SERVE_EPOCH_REBIN_US: &str = "serve.epoch.rebin_us";
+
+/// Populated telemetry windows at end of run (gauge).
+pub const TELEMETRY_WINDOWS: &str = "telemetry.windows";
+/// Flight-recorded slow lookups kept across all windows (counter).
+pub const TELEMETRY_SLOW_LOOKUPS: &str = "telemetry.slow_lookups";
+/// Windows that breached the SLO (counter).
+pub const TELEMETRY_SLO_BREACHES: &str = "telemetry.slo_breaches";

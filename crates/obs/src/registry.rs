@@ -55,6 +55,7 @@ impl LogHistogram {
     }
 
     /// Records one observation.
+    #[inline]
     pub fn record(&mut self, v: u64) {
         let b = bucket_of(v);
         if self.counts.len() <= b {

@@ -241,6 +241,55 @@ impl Tracer {
     }
 }
 
+/// Converts trace events to the Chrome trace-event format — a JSON
+/// object loadable by `chrome://tracing`, Perfetto, or Speedscope.
+///
+/// Span opens become `"B"` (begin) events, closes `"E"` (end),
+/// instants `"i"` with thread scope; sim-time milliseconds map onto
+/// the format's microsecond `ts` axis. The [`Tracer`] is
+/// single-threaded and stack-disciplined, so emitting everything on
+/// one pid/tid track nests correctly.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    let trace_events: Vec<Json> = events
+        .iter()
+        .map(|ev| {
+            let mut fields: Vec<(String, Json)> = vec![
+                (
+                    "name".into(),
+                    if ev.name.is_empty() { Json::Str(format!("span {}", ev.span)) } else { ev.name.clone().to_json() },
+                ),
+                (
+                    "ph".into(),
+                    match ev.kind {
+                        TraceKind::Open => "B",
+                        TraceKind::Close => "E",
+                        TraceKind::Instant => "i",
+                    }
+                    .to_json(),
+                ),
+                ("ts".into(), (ev.t_ms * 1000).to_json()),
+                ("pid".into(), 0u64.to_json()),
+                ("tid".into(), 0u64.to_json()),
+            ];
+            if ev.kind == TraceKind::Instant {
+                fields.push(("s".into(), "t".to_json()));
+            }
+            let mut args: Vec<(String, Json)> = vec![("span".into(), ev.span.to_json())];
+            if ev.parent != 0 {
+                args.push(("parent".into(), ev.parent.to_json()));
+            }
+            args.extend(ev.fields.iter().map(|(k, v)| (k.clone(), v.to_json())));
+            fields.push(("args".into(), Json::Obj(args)));
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", "ms".to_json()),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +352,31 @@ mod tests {
         for (a, b) in t.events().iter().zip(back.iter()) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn chrome_trace_maps_spans_to_begin_end_pairs() {
+        let mut t = Tracer::bounded(8);
+        let s = t.open(10, "lookup", &[("key", 7)]);
+        t.instant(15, "hop", &[("layer", 2)]);
+        t.close(20, s, &[("hops", 3)]);
+        let j = chrome_trace(&t.events().iter().cloned().collect::<Vec<_>>());
+        let text = j.dump();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.contains("\"displayTimeUnit\":\"ms\""));
+        let evs = match j.get("traceEvents") {
+            Some(Json::Arr(evs)) => evs,
+            other => panic!("traceEvents missing: {other:?}"),
+        };
+        assert_eq!(evs.len(), 3);
+        assert_eq!(evs[0].field::<String>("ph").unwrap(), "B");
+        assert_eq!(evs[0].field::<u64>("ts").unwrap(), 10_000, "ms map to µs");
+        assert_eq!(evs[1].field::<String>("ph").unwrap(), "i");
+        assert_eq!(evs[1].field::<String>("s").unwrap(), "t");
+        assert_eq!(evs[2].field::<String>("ph").unwrap(), "E");
+        assert_eq!(evs[2].field::<u64>("ts").unwrap(), 20_000);
+        let args = evs[2].get("args").unwrap();
+        assert_eq!(args.field::<u64>("hops").unwrap(), 3);
     }
 
     #[test]

@@ -27,14 +27,15 @@
 
 use crate::epoch::{epoch_pair, EpochStats, Publisher};
 use crate::snapshot::ServeSnapshot;
+use crate::telemetry::{MaintStats, TelemetryConfig};
 use hieras_chord::PathBuf;
 use hieras_churn::MembershipReplay;
 use hieras_core::LandmarkOrder;
-use hieras_id::Key;
-use hieras_obs::{names, Registry};
+use hieras_id::{Id, Key};
+use hieras_obs::{names, HopRecord, Registry, SlowLookup, TelemetryShard, TimeSeriesReport};
 use hieras_rt::{splitmix64, Executor};
 use hieras_sim::{ChurnConfig, Experiment, Metrics, Sample, Workload};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Knobs of one serving run.
@@ -64,6 +65,10 @@ pub struct ServeConfig {
     pub rebin_every: u64,
     /// Multiplicative RTT noise of a re-bin measurement (±fraction).
     pub rebin_noise: f64,
+    /// Time-resolved telemetry: windowed metrics, flight recorder,
+    /// SLO monitor. Off by default; turning it on never perturbs the
+    /// routing metrics (telemetry accumulates in its own shards).
+    pub telemetry: TelemetryConfig,
 }
 
 /// The quiesced baseline: full membership, epoch 0, no maintenance.
@@ -75,6 +80,9 @@ pub struct QuiescedReport {
     pub lookups: u64,
     /// Wall-clock duration of the replay, ns.
     pub wall_ns: u64,
+    /// Windowed telemetry (one sim window — quiesced time never
+    /// advances), when `cfg.telemetry.enabled`.
+    pub timeseries: Option<TimeSeriesReport>,
 }
 
 /// What a live (churning) run did and measured.
@@ -97,6 +105,12 @@ pub struct LiveReport {
     /// Membership turnover of the replayed schedule (departures over
     /// initial population).
     pub turnover: f64,
+    /// Wall-clock maintenance profile: rounds, rebuilds, re-bins, and
+    /// publish/rebuild/re-bin latency histograms.
+    pub maint: MaintStats,
+    /// Windowed telemetry (sim windows in the deterministic mode,
+    /// wall windows free-running), when `cfg.telemetry.enabled`.
+    pub timeseries: Option<TimeSeriesReport>,
 }
 
 impl LiveReport {
@@ -107,6 +121,46 @@ impl LiveReport {
             return 0.0;
         }
         self.lookups as f64 * 1e9 / self.wall_ns as f64
+    }
+}
+
+/// Maintenance-side telemetry state, one per run: the window clock,
+/// the health shard the maintainer publishes gauges into, and the
+/// wall-clock [`MaintStats`] every mode reports.
+struct MaintCtx {
+    enabled: bool,
+    /// Wall windows (free-running) vs sim windows (deterministic).
+    wall: bool,
+    window_ms: u64,
+    t0: Instant,
+    /// Publish time of the current snapshot on the window clock, ms —
+    /// the baseline of the snapshot-age gauge.
+    last_pub_ms: u64,
+    shard: TelemetryShard,
+    stats: MaintStats,
+}
+
+impl MaintCtx {
+    fn new(tel: TelemetryConfig, wall: bool) -> Self {
+        MaintCtx {
+            enabled: tel.enabled,
+            wall,
+            window_ms: if wall { tel.wall_window_ms } else { tel.window_ms }.max(1),
+            t0: Instant::now(),
+            last_pub_ms: 0,
+            shard: TelemetryShard::new(tel.slow_k),
+            stats: MaintStats::default(),
+        }
+    }
+
+    /// Now on the window clock: wall ms since the run started, or the
+    /// replay's sim clock.
+    fn now_ms(&self, sim_now: u64) -> u64 {
+        if self.wall {
+            self.t0.elapsed().as_millis() as u64
+        } else {
+            sim_now
+        }
     }
 }
 
@@ -165,6 +219,112 @@ impl<'a> ServeEngine<'a> {
         }
     }
 
+    /// Re-routes a lookup that qualified for the flight recorder,
+    /// capturing every hop with its link latency. The hop visitor is
+    /// the same `route_with` core `eval` costs through, so the
+    /// captured path's summed link milliseconds equal the lookup's
+    /// recorded latency exactly — the reconciliation the telemetry
+    /// identity tests assert.
+    fn capture(
+        &self,
+        snap: &ServeSnapshot,
+        src: u32,
+        key: Key,
+        scratch: &mut PathBuf,
+        window: u64,
+        latency_ms: u64,
+        seq: u64,
+    ) -> SlowLookup {
+        let mut path = Vec::new();
+        let _owner = snap.oracle.route_with(src, key, scratch, |from, to, layer| {
+            path.push(HopRecord { from, to, layer, ms: self.exp.peer_latency(from, to) });
+        });
+        SlowLookup { window, latency_ms, src, key: key.0, seq, path }
+    }
+
+    /// Records one served lookup into `shard` (and its hop trace, if
+    /// it ranks among the window's slowest). A no-op unless telemetry
+    /// is enabled — and even then it never touches the routing
+    /// metrics.
+    ///
+    /// `floor` is a capture-pruning hint shared by every shard of the
+    /// **same window** (callers reset it on a window change): the
+    /// largest [`TelemetryShard::slow_floor`] any of them has
+    /// published. A lookup strictly below it is outranked by ≥ K
+    /// same-window lookups, so it skips the hop-capture re-route and
+    /// takes the cheap record path. Relaxed and racy by design — a
+    /// stale floor only readmits work, never drops a qualifying
+    /// lookup, and the final union-truncate merge keeps the reported
+    /// top-K exact at any thread count.
+    #[allow(clippy::too_many_arguments)] // the full lookup identity
+    #[inline]
+    fn telemetry_lookup(
+        &self,
+        shard: &mut TelemetryShard,
+        snap: &ServeSnapshot,
+        src: u32,
+        key: Key,
+        scratch: &mut PathBuf,
+        window: u64,
+        latency_ms: u64,
+        seq: u64,
+        floor: &AtomicU64,
+    ) {
+        if !self.cfg.telemetry.enabled {
+            return;
+        }
+        if latency_ms < floor.load(Ordering::Relaxed) {
+            shard.lookup(window, latency_ms);
+            return;
+        }
+        if shard.lookup_qualifies(window, latency_ms) {
+            shard.admit_slow(self.capture(snap, src, key, scratch, window, latency_ms, seq));
+            if let Some(f) = shard.slow_floor() {
+                floor.fetch_max(f, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// [`Self::telemetry_lookup`] with the hop capture deferred: a
+    /// qualifying lookup is admitted with an *empty* path, and the
+    /// caller re-routes only the entries that survive the final top-K
+    /// merge — off the timed path. Valid whenever the serving snapshot
+    /// outlives the whole fold (the quiesced mode), so the deferred
+    /// re-route still walks the exact snapshot the lookup was costed
+    /// against.
+    #[inline]
+    fn telemetry_lookup_deferred(
+        &self,
+        shard: &mut TelemetryShard,
+        src: u32,
+        key: Key,
+        window: u64,
+        latency_ms: u64,
+        seq: u64,
+        floor: &AtomicU64,
+    ) {
+        if !self.cfg.telemetry.enabled {
+            return;
+        }
+        if latency_ms < floor.load(Ordering::Relaxed) {
+            shard.lookup(window, latency_ms);
+            return;
+        }
+        if shard.lookup_qualifies(window, latency_ms) {
+            shard.admit_slow(SlowLookup {
+                window,
+                latency_ms,
+                src,
+                key: key.0,
+                seq,
+                path: Vec::new(),
+            });
+            if let Some(f) = shard.slow_floor() {
+                floor.fetch_max(f, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Builds the snapshot of `epoch` over `members` with the given
     /// ring orders (the maintainer's private copy, which re-binning
     /// mutates).
@@ -219,6 +379,13 @@ impl<'a> ServeEngine<'a> {
     /// One maintenance round: apply the next event batch, re-bin if
     /// due, rebuild + publish when the membership or orders moved, and
     /// reclaim. Returns whether the schedule is exhausted.
+    ///
+    /// `ctx` collects the round's telemetry: wall-clock phase
+    /// durations always flow into [`MaintStats`]; when telemetry is
+    /// enabled the round also publishes `serve.epoch.*` health
+    /// counters and gauges into its window (and, on the wall clock
+    /// only, the duration histograms — wall values never enter sim
+    /// windows, which must stay deterministic).
     fn maintain(
         &self,
         exec: &Executor,
@@ -227,18 +394,36 @@ impl<'a> ServeEngine<'a> {
         orders: &mut [LandmarkOrder],
         pb: &mut Publisher<ServeSnapshot>,
         reg: &mut Registry,
+        ctx: &mut MaintCtx,
     ) -> bool {
+        ctx.stats.rounds += 1;
         let delta = replay.apply_next(self.cfg.events_per_epoch);
+        let mut rebin_us = 0u64;
         let rebinned = if self.cfg.rebin_every > 0 && round % self.cfg.rebin_every == 0 {
-            self.rebin(round, &replay.live_members(), orders)
+            let tr = Instant::now();
+            let changed = self.rebin(round, &replay.live_members(), orders);
+            rebin_us = tr.elapsed().as_micros() as u64;
+            ctx.stats.rebin_rounds += 1;
+            ctx.stats.rebinned_peers += changed;
+            ctx.stats.rebin_us.record(rebin_us);
+            changed
         } else {
             0
         };
-        if delta.changed() || rebinned > 0 {
+        let published = delta.changed() || rebinned > 0;
+        let mut publish_us = 0u64;
+        let mut rebuild_us = 0u64;
+        if published {
             let members = replay.live_members();
             let next = pb.published_epoch() + 1;
+            let tp = Instant::now();
             let snap = self.snapshot(exec, next, members, orders);
+            rebuild_us = tp.elapsed().as_micros() as u64;
             pb.publish(snap);
+            publish_us = tp.elapsed().as_micros() as u64;
+            ctx.stats.rebuilds += 1;
+            ctx.stats.rebuild_us.record(rebuild_us);
+            ctx.stats.publish_us.record(publish_us);
             reg.inc(names::SERVE_EPOCHS_PUBLISHED);
             reg.inc_by(names::SERVE_JOINS, u64::from(delta.joins));
             reg.inc_by(names::SERVE_LEAVES, u64::from(delta.leaves));
@@ -247,7 +432,56 @@ impl<'a> ServeEngine<'a> {
         }
         let freed = pb.reclaim();
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
+        if ctx.enabled {
+            let now = ctx.now_ms(replay.now_ms());
+            let win = now / ctx.window_ms;
+            let wall = ctx.wall;
+            let age = now.saturating_sub(ctx.last_pub_ms);
+            let backlog = pb.stats().retired;
+            let h = ctx.shard.health(win);
+            h.inc_by(names::SERVE_EPOCH_JOINS, u64::from(delta.joins));
+            h.inc_by(names::SERVE_EPOCH_LEAVES, u64::from(delta.leaves));
+            h.inc_by(names::SERVE_EPOCH_FAILS, u64::from(delta.fails));
+            h.inc_by(names::SERVE_EPOCH_REBINNED, rebinned);
+            h.gauge_set(names::SERVE_EPOCH_RETIRED_BACKLOG, backlog as i64);
+            if published {
+                h.inc(names::SERVE_EPOCH_PUBLISHED);
+                // Age of the snapshot just replaced, at replacement.
+                h.gauge_set(names::SERVE_EPOCH_SNAPSHOT_AGE_MS, age as i64);
+                if wall {
+                    h.observe(names::SERVE_EPOCH_PUBLISH_US, publish_us);
+                    h.observe(names::SERVE_EPOCH_REBUILD_US, rebuild_us);
+                }
+                ctx.last_pub_ms = now;
+            }
+            if wall && rebin_us > 0 {
+                h.observe(names::SERVE_EPOCH_REBIN_US, rebin_us);
+            }
+        }
         delta.done
+    }
+
+    /// Finalizes a run's telemetry: folds the maintenance shard into
+    /// the reader shard, assembles the [`TimeSeriesReport`], and
+    /// publishes the run-level `telemetry.*` rollups into `reg` —
+    /// deterministic values only, so the deterministic mode's registry
+    /// identity holds at any width.
+    fn finish_telemetry(
+        &self,
+        readers: TelemetryShard,
+        ctx: MaintCtx,
+        reg: &mut Registry,
+    ) -> Option<TimeSeriesReport> {
+        if !ctx.enabled {
+            return None;
+        }
+        let mode = if ctx.wall { "wall" } else { "sim" };
+        let merged = readers.merged(ctx.shard);
+        let ts = merged.into_report(mode, ctx.window_ms, self.cfg.telemetry.slo);
+        reg.gauge_set(names::TELEMETRY_WINDOWS, ts.window_count() as i64);
+        reg.inc_by(names::TELEMETRY_SLOW_LOOKUPS, ts.slow.len() as u64);
+        reg.inc_by(names::TELEMETRY_SLO_BREACHES, ts.breaches.len() as u64);
+        Some(ts)
     }
 
     /// The quiesced baseline: the full membership served at epoch 0,
@@ -262,22 +496,53 @@ impl<'a> ServeEngine<'a> {
         let snap = self.snapshot(exec, 0, members, &self.exp.orders);
         assert!(snap.verify(0), "freshly built snapshot failed verification");
         let w = Workload::new(n as u32, requests, self.exp.config.seed ^ 0x517c_c1b7);
+        let tel = self.cfg.telemetry;
+        // Quiesced time never advances — one sim window, so one
+        // capture-pruning floor spans every chunk of the run.
+        let floor = AtomicU64::new(0);
         let t0 = Instant::now();
-        let (metrics, _) = exec.par_fold(
+        let (metrics, _, shard) = exec.par_fold(
             requests,
             Self::CHUNK,
-            || (Metrics::default(), PathBuf::new()),
+            || (Metrics::default(), PathBuf::new(), TelemetryShard::new(tel.slow_k)),
             |acc, i| {
                 let (src, key) = w.request(i);
-                acc.0.record(self.eval(&snap, src, key, &mut acc.1));
+                let s = self.eval(&snap, src, key, &mut acc.1);
+                // seq = the request index. Hop captures are deferred:
+                // the snapshot outlives the fold, so only the final
+                // top-K pays the capture re-route, after the clock
+                // stops.
+                self.telemetry_lookup_deferred(
+                    &mut acc.2,
+                    src,
+                    key,
+                    0,
+                    u64::from(s.latency_ms),
+                    i as u64,
+                    &floor,
+                );
+                acc.0.record(s);
             },
-            |a, b| (a.0.merged(b.0), a.1),
+            |a, b| (a.0.merged(b.0), a.1, a.2.merged(b.2)),
         );
-        QuiescedReport {
-            metrics,
-            lookups: requests as u64,
-            wall_ns: t0.elapsed().as_nanos() as u64,
-        }
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        let timeseries = tel.enabled.then(|| {
+            let mut ts = shard.into_report("sim", tel.window_ms.max(1), tel.slo);
+            let mut scratch = PathBuf::new();
+            for rec in &mut ts.slow {
+                *rec = self.capture(
+                    &snap,
+                    rec.src,
+                    Id(rec.key),
+                    &mut scratch,
+                    rec.window,
+                    rec.latency_ms,
+                    rec.seq,
+                );
+            }
+            ts
+        });
+        QuiescedReport { metrics, lookups: requests as u64, wall_ns, timeseries }
     }
 
     /// Deterministic serving: the executor arbitrates the
@@ -299,8 +564,14 @@ impl<'a> ServeEngine<'a> {
         assert!(reader.snapshot().value.verify(0), "initial snapshot failed verification");
         let mut reg = Registry::new();
         let mut metrics = Metrics::default();
+        let mut series = TelemetryShard::new(self.cfg.telemetry.slow_k);
+        let mut ctx = MaintCtx::new(self.cfg.telemetry, false);
         let mut lookups = 0u64;
         let mut round = 0u64;
+        // Capture-pruning floor, shared by every chunk of a round and
+        // carried across rounds until the sim window advances.
+        let floor = AtomicU64::new(0);
+        let mut floor_win = 0u64;
         let t0 = Instant::now();
         loop {
             if let Some(e) = reader.refresh() {
@@ -310,24 +581,49 @@ impl<'a> ServeEngine<'a> {
             let v = reader.snapshot();
             let stream =
                 splitmix64(self.cfg.seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            let (m, _) = exec.par_fold(
+            // Every lookup of a round lands in the window the sim
+            // clock sits in — a round-level constant, so the windowed
+            // fold is identical at any executor width.
+            let win = replay.now_ms() / ctx.window_ms;
+            if win != floor_win {
+                floor.store(0, Ordering::Relaxed);
+                floor_win = win;
+            }
+            if ctx.enabled {
+                let h = series.health(win);
+                h.gauge_set(names::SERVE_EPOCH_READER_LAG, reader.lag() as i64);
+            }
+            let (m, _, shard) = exec.par_fold(
                 self.cfg.lookups_per_epoch,
                 Self::CHUNK,
-                || (Metrics::default(), PathBuf::new()),
+                || (Metrics::default(), PathBuf::new(), TelemetryShard::new(self.cfg.telemetry.slow_k)),
                 |acc, i| {
                     let (src, key) = v.value.request(stream, i as u64);
-                    acc.0.record(self.eval(&v.value, src, key, &mut acc.1));
+                    let s = self.eval(&v.value, src, key, &mut acc.1);
+                    self.telemetry_lookup(
+                        &mut acc.2,
+                        &v.value,
+                        src,
+                        key,
+                        &mut acc.1,
+                        win,
+                        u64::from(s.latency_ms),
+                        (round << 32) | i as u64,
+                        &floor,
+                    );
+                    acc.0.record(s);
                 },
-                |a, b| (a.0.merged(b.0), a.1),
+                |a, b| (a.0.merged(b.0), a.1, a.2.merged(b.2)),
             );
             metrics = metrics.merged(m);
+            series = series.merged(shard);
             lookups += self.cfg.lookups_per_epoch as u64;
             reg.inc_by(names::SERVE_LOOKUPS, self.cfg.lookups_per_epoch as u64);
             if replay.is_done() {
                 break;
             }
             round += 1;
-            self.maintain(exec, round, &mut replay, &mut orders, &mut pb, &mut reg);
+            self.maintain(exec, round, &mut replay, &mut orders, &mut pb, &mut reg, &mut ctx);
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         reg.observe(names::SERVE_READER_LOOKUPS, lookups);
@@ -336,6 +632,8 @@ impl<'a> ServeEngine<'a> {
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
         let stats = pb.stats();
         reg.gauge_set(names::SERVE_RECLAIM_LAG_PEAK, stats.lag_peak as i64);
+        let maint = std::mem::take(&mut ctx.stats);
+        let timeseries = self.finish_telemetry(series, ctx, &mut reg);
         LiveReport {
             metrics,
             lookups,
@@ -344,6 +642,8 @@ impl<'a> ServeEngine<'a> {
             registry: reg,
             final_live: replay.live_count(),
             turnover,
+            maint,
+            timeseries,
         }
     }
 
@@ -374,7 +674,12 @@ impl<'a> ServeEngine<'a> {
             epoch_pair(self.snapshot(&maint_exec, 0, replay.live_members(), &orders));
         let stop = AtomicBool::new(false);
         let mut reg = Registry::new();
+        let mut ctx = MaintCtx::new(self.cfg.telemetry, true);
         let t0 = Instant::now();
+        // Readers cut wall windows on the same clock the maintainer
+        // does, so both sides' health lands in the same windows.
+        let win_t0 = ctx.t0;
+        let win_ms = ctx.window_ms;
         let (wall_ns, mut per_reader) = std::thread::scope(|scope| {
             let stop = &stop;
             let workers: Vec<_> = (0..self.cfg.readers)
@@ -383,6 +688,13 @@ impl<'a> ServeEngine<'a> {
                     scope.spawn(move || {
                         let mut m = Metrics::default();
                         let mut local = Registry::new();
+                        let mut shard = TelemetryShard::new(self.cfg.telemetry.slow_k);
+                        let tel_on = self.cfg.telemetry.enabled;
+                        // Reader-local capture-pruning floor (the
+                        // shard is reader-local too); reset when the
+                        // wall window rolls.
+                        let floor = AtomicU64::new(0);
+                        let mut floor_win = 0u64;
                         let mut scratch = PathBuf::new();
                         let stream = splitmix64(
                             self.cfg.seed ^ (r as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95),
@@ -397,23 +709,57 @@ impl<'a> ServeEngine<'a> {
                             }
                             local.observe(names::SERVE_STALE_EPOCHS, rd.lag());
                             let v = rd.snapshot();
+                            // One window probe per refresh batch keeps
+                            // the per-lookup telemetry cost to a
+                            // cached-window fast path.
+                            let win = win_t0.elapsed().as_millis() as u64 / win_ms;
+                            if tel_on {
+                                if win != floor_win {
+                                    floor.store(0, Ordering::Relaxed);
+                                    floor_win = win;
+                                }
+                                shard
+                                    .health(win)
+                                    .gauge_set(names::SERVE_EPOCH_READER_LAG, rd.lag() as i64);
+                            }
                             for _ in 0..self.cfg.refresh_batch {
                                 let (src, key) = v.value.request(stream, i);
+                                let s = self.eval(&v.value, src, key, &mut scratch);
+                                if tel_on {
+                                    self.telemetry_lookup(
+                                        &mut shard,
+                                        &v.value,
+                                        src,
+                                        key,
+                                        &mut scratch,
+                                        win,
+                                        u64::from(s.latency_ms),
+                                        i,
+                                        &floor,
+                                    );
+                                }
                                 i += 1;
-                                m.record(self.eval(&v.value, src, key, &mut scratch));
+                                m.record(s);
                             }
                         }
                         local.inc_by(names::SERVE_LOOKUPS, i);
                         local.observe(names::SERVE_READER_LOOKUPS, i);
-                        (m, local)
+                        (m, local, shard)
                     })
                 })
                 .collect();
             let mut round = 0u64;
             loop {
                 round += 1;
-                if self.maintain(&maint_exec, round, &mut replay, &mut orders, &mut pb, &mut reg)
-                {
+                if self.maintain(
+                    &maint_exec,
+                    round,
+                    &mut replay,
+                    &mut orders,
+                    &mut pb,
+                    &mut reg,
+                    &mut ctx,
+                ) {
                     break;
                 }
             }
@@ -426,15 +772,19 @@ impl<'a> ServeEngine<'a> {
             (wall_ns, per_reader)
         });
         let mut metrics = Metrics::default();
-        for (m, local) in per_reader.drain(..) {
+        let mut series = TelemetryShard::new(self.cfg.telemetry.slow_k);
+        for (m, local, shard) in per_reader.drain(..) {
             metrics = metrics.merged(m);
             reg.merge(&local);
+            series = series.merged(shard);
         }
         let lookups = reg.counter(names::SERVE_LOOKUPS);
         let freed = pb.reclaim();
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
         let stats = pb.stats();
         reg.gauge_set(names::SERVE_RECLAIM_LAG_PEAK, stats.lag_peak as i64);
+        let maint = std::mem::take(&mut ctx.stats);
+        let timeseries = self.finish_telemetry(series, ctx, &mut reg);
         LiveReport {
             metrics,
             lookups,
@@ -443,6 +793,8 @@ impl<'a> ServeEngine<'a> {
             registry: reg,
             final_live: replay.live_count(),
             turnover,
+            maint,
+            timeseries,
         }
     }
 }
@@ -454,6 +806,7 @@ impl<'a> ServeEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hieras_obs::SloSpec;
     use hieras_sim::{ExperimentConfig, Lifetime};
 
     fn tiny() -> (Experiment, ServeConfig) {
@@ -479,6 +832,7 @@ mod tests {
             // The tiny world's landmark RTTs cluster at 40-50 and
             // 140-150 ms; ±60% reaches the 20/100 ms bounds.
             rebin_noise: 0.6,
+            telemetry: TelemetryConfig::off(),
         };
         (exp, serve)
     }
@@ -529,6 +883,58 @@ mod tests {
         let (exp, mut cfg) = tiny();
         cfg.churn.arrivals = 99;
         let _ = ServeEngine::new(&exp, cfg);
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_routing_metrics() {
+        let (exp, mut cfg) = tiny();
+        let exec = Executor::new(2);
+        let base = ServeEngine::new(&exp, cfg).run_deterministic(&exec);
+        assert!(base.timeseries.is_none(), "telemetry off reports no series");
+        cfg.telemetry = TelemetryConfig::on();
+        let traced = ServeEngine::new(&exp, cfg).run_deterministic(&exec);
+        assert_eq!(traced.metrics, base.metrics, "telemetry must not touch routing");
+        assert_eq!(traced.lookups, base.lookups);
+        let ts = traced.timeseries.expect("telemetry on reports a series");
+        assert_eq!(ts.meta.mode, "sim");
+        assert_eq!(ts.total_lookups(), traced.lookups, "every lookup lands in a window");
+        assert!(ts.window_count() >= 2, "a 20 s horizon spans several 1 s windows");
+        assert!(!ts.slow.is_empty(), "the flight recorder must capture something");
+        for s in &ts.slow {
+            let sum: u64 = s.path.iter().map(|h| u64::from(h.ms)).sum();
+            assert_eq!(sum, s.latency_ms, "hop trace must reconcile with the latency");
+        }
+        // The maintenance profile reports in both runs, telemetry or not.
+        assert!(base.maint.rounds > 0 && traced.maint.rebuilds > 0);
+        assert_eq!(
+            traced.maint.rebuilds,
+            traced.registry.counter(names::SERVE_EPOCHS_PUBLISHED),
+            "maint stats reconcile with the registry"
+        );
+        // Health rollup: per-window epoch counters sum to the run totals.
+        let published: u64 = ts
+            .windows
+            .iter()
+            .map(|w| w.health.counter(names::SERVE_EPOCH_PUBLISHED))
+            .sum();
+        assert_eq!(published, traced.epochs.published, "windowed publishes sum to the total");
+    }
+
+    #[test]
+    fn slo_breaches_are_recorded_with_epoch_context() {
+        let (exp, mut cfg) = tiny();
+        // An impossible SLO: every populated window breaches.
+        cfg.telemetry =
+            TelemetryConfig::on().with_slo(SloSpec { p99_ms: 0, max_failure_ppm: 0 });
+        let r = ServeEngine::new(&exp, cfg).run_deterministic(&Executor::new(1));
+        let ts = r.timeseries.expect("telemetry on");
+        assert_eq!(ts.breaches.len(), ts.window_count(), "p99 budget 0 breaches everywhere");
+        assert_eq!(
+            r.registry.counter(names::TELEMETRY_SLO_BREACHES),
+            ts.breaches.len() as u64
+        );
+        let churn_in_breaches: u64 = ts.breaches.iter().map(|b| b.churn_events).sum();
+        assert!(churn_in_breaches > 0, "breach windows carry their churn events");
     }
 }
 

@@ -27,7 +27,13 @@
 //!
 //! Observability flows through `hieras-obs` under the `serve.*`
 //! namespace: published epochs, reclaim lag, the stale-read window,
-//! per-reader throughput, and applied membership deltas.
+//! per-reader throughput, and applied membership deltas. With
+//! [`TelemetryConfig`] enabled, every run also emits *time-resolved*
+//! telemetry — rotating windowed metrics with per-window tails and
+//! `serve.epoch.*` health gauges, a K-slowest-lookups flight recorder
+//! with full hop traces, and an SLO monitor — assembled into a
+//! [`hieras_obs::TimeSeriesReport`]; every mode reports its wall-clock
+//! maintenance profile as [`MaintStats`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,7 +41,9 @@
 mod engine;
 mod epoch;
 mod snapshot;
+mod telemetry;
 
 pub use engine::{LiveReport, QuiescedReport, ServeConfig, ServeEngine};
 pub use epoch::{epoch_pair, EpochHandle, EpochStats, Publisher, Reader, Versioned};
 pub use snapshot::ServeSnapshot;
+pub use telemetry::{MaintStats, TelemetryConfig};

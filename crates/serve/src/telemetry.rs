@@ -1,0 +1,141 @@
+//! Serving-side telemetry configuration and maintenance-path stats.
+//!
+//! The windowed machinery itself lives in `hieras-obs`
+//! ([`hieras_obs::TelemetryShard`]); this module holds what is
+//! serving-specific: the knobs a [`crate::ServeEngine`] run takes
+//! ([`TelemetryConfig`]) and the wall-clock maintenance profile every
+//! run reports ([`MaintStats`]).
+
+use hieras_obs::{LogHistogram, SloSpec};
+use hieras_rt::{Json, ToJson};
+
+/// Time-resolved telemetry knobs of a serving run.
+///
+/// Deterministic and quiesced modes cut windows on the **sim clock**
+/// (`window_ms`), so the windowed output is bit-identical at any
+/// executor width; the free-running mode cuts them on the **wall
+/// clock** (`wall_window_ms`). With `enabled = false` every lookup
+/// pays a single predictable branch and the run's routing metrics are
+/// byte-identical to a telemetry-on run — telemetry only ever
+/// accumulates into its own shards.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Master switch.
+    pub enabled: bool,
+    /// Window width on the sim clock, ms (quiesced/deterministic).
+    pub window_ms: u64,
+    /// Window width on the wall clock, ms (free-running).
+    pub wall_window_ms: u64,
+    /// Slowest lookups flight-recorded per window (0 disables the
+    /// recorder).
+    pub slow_k: usize,
+    /// Per-window SLO to monitor, if any.
+    pub slo: Option<SloSpec>,
+}
+
+impl TelemetryConfig {
+    /// Telemetry disabled (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            window_ms: 1_000,
+            wall_window_ms: 250,
+            slow_k: 4,
+            slo: None,
+        }
+    }
+
+    /// Telemetry enabled with the default widths: 1 s sim windows,
+    /// 250 ms wall windows, 4 flight-recorded lookups per window.
+    #[must_use]
+    pub fn on() -> Self {
+        TelemetryConfig { enabled: true, ..TelemetryConfig::off() }
+    }
+
+    /// The same configuration with an SLO attached.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig::off()
+    }
+}
+
+/// Wall-clock profile of the maintenance path, reported by every run
+/// mode (all zeros for the quiesced baseline — it has no maintainer).
+///
+/// These are real durations on the maintenance thread, so they stay
+/// *out* of the deterministic registry and the sim-windowed telemetry;
+/// they ride on the report struct instead (and, in free-running runs,
+/// in the wall windows' health registries).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintStats {
+    /// Maintenance rounds executed.
+    pub rounds: u64,
+    /// Rounds that rebuilt and published a snapshot.
+    pub rebuilds: u64,
+    /// Rounds that ran a re-bin pass.
+    pub rebin_rounds: u64,
+    /// Live peers whose landmark order changed across all re-bins.
+    pub rebinned_peers: u64,
+    /// End-to-end publish latency per published snapshot (hierarchy
+    /// rebuild + epoch swap), µs.
+    pub publish_us: LogHistogram,
+    /// Hierarchy rebuild duration per published snapshot, µs.
+    pub rebuild_us: LogHistogram,
+    /// Re-bin pass duration per re-bin round, µs.
+    pub rebin_us: LogHistogram,
+}
+
+impl ToJson for MaintStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("rounds", self.rounds.to_json()),
+            ("rebuilds", self.rebuilds.to_json()),
+            ("rebin_rounds", self.rebin_rounds.to_json()),
+            ("rebinned_peers", self.rebinned_peers.to_json()),
+            ("publish_us_p50", self.publish_us.quantile(0.50).to_json()),
+            ("publish_us_p99", self.publish_us.quantile(0.99).to_json()),
+            ("rebuild_us_p50", self.rebuild_us.quantile(0.50).to_json()),
+            ("rebin_us_p50", self.rebin_us.quantile(0.50).to_json()),
+            ("publish_us", self.publish_us.to_json()),
+            ("rebuild_us", self.rebuild_us.to_json()),
+            ("rebin_us", self.rebin_us.to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_off_and_sane() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled);
+        assert!(c.window_ms > 0 && c.wall_window_ms > 0);
+        let on = TelemetryConfig::on().with_slo(SloSpec { p99_ms: 50, max_failure_ppm: 0 });
+        assert!(on.enabled);
+        assert_eq!(on.window_ms, c.window_ms, "`on` only flips the switch");
+        assert_eq!(on.slo.unwrap().p99_ms, 50);
+    }
+
+    #[test]
+    fn maint_stats_serialize_with_derived_quantiles() {
+        let mut s = MaintStats::default();
+        s.rounds = 3;
+        s.rebuilds = 2;
+        s.publish_us.record(100);
+        s.publish_us.record(900);
+        let j = s.to_json();
+        assert_eq!(j.field::<u64>("rounds").unwrap(), 3);
+        assert!(j.field::<u64>("publish_us_p99").unwrap() >= 900);
+        assert!(j.get("rebin_us").is_some());
+    }
+}

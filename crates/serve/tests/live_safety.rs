@@ -12,7 +12,7 @@
 //!    and frees everything once that reader is gone.
 
 use hieras_rt::Executor;
-use hieras_serve::{epoch_pair, ServeConfig, ServeEngine, ServeSnapshot};
+use hieras_serve::{epoch_pair, ServeConfig, ServeEngine, ServeSnapshot, TelemetryConfig};
 use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
 
 fn world(nodes: usize) -> Experiment {
@@ -49,6 +49,9 @@ fn free_running_readers_never_adopt_a_torn_snapshot() {
             seed: 0xbeef,
             rebin_every: 5,
             rebin_noise: 0.3,
+            // Telemetry on under fire: wall windows + flight captures
+            // must survive the same stress the lookups do.
+            telemetry: TelemetryConfig::on(),
         },
     );
     let r = engine.run_live();
@@ -58,6 +61,14 @@ fn free_running_readers_never_adopt_a_torn_snapshot() {
     assert_eq!(r.epochs.retired, 0, "no reader left — nothing may stay retired");
     assert_eq!(r.epochs.reclaimed, r.epochs.published, "every epoch reclaims exactly once");
     assert!(r.turnover > 0.05, "stress scenario must churn >5% of the overlay");
+    // The wall-clock time series assembled under stress is coherent.
+    let ts = r.timeseries.expect("telemetry was on");
+    assert_eq!(ts.meta.mode, "wall");
+    assert_eq!(ts.total_lookups(), r.lookups, "every lookup lands in exactly one window");
+    for s in &ts.slow {
+        let sum: u64 = s.path.iter().map(|h| u64::from(h.ms)).sum();
+        assert_eq!(sum, s.latency_ms, "flight-recorded paths reconcile under churn");
+    }
 }
 
 /// A parked reader pins its snapshot — and every younger retired one —

@@ -49,7 +49,16 @@ echo "==> tier 1: workspace tests"
 cargo test -q --workspace
 
 echo "==> bench smoke: replay, 500 peers, 2000 requests, obs on"
-./target/release/bench_replay --smoke --obs
+./target/release/bench_replay --smoke --obs --trace-out target/replay_trace.jsonl
+# The span/instant trace must convert to Chrome trace-event JSON
+# (about:tracing / Perfetto) through the scripts/trace2chrome viewer
+# path.
+scripts/trace2chrome target/replay_trace.jsonl target/replay_trace.chrome.json
+if ! grep -q '"traceEvents"' target/replay_trace.chrome.json; then
+    echo "trace2chrome produced no traceEvents array" >&2
+    exit 1
+fi
+echo "trace2chrome: replay trace converts to Chrome trace-event JSON"
 
 echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
 ./target/release/churn --smoke
@@ -131,7 +140,7 @@ awk -v r="$median" -v l="$labels_median" 'BEGIN {
 }'
 
 echo "==> bench smoke: live serving, 500 peers under churn, obs on"
-./target/release/bench_live --smoke --obs
+./target/release/bench_live --smoke --obs --timeseries-out target/timeseries.jsonl
 # Throughput gate: the quiesced serving path (the first
 # median_ns_per_lookup in the file) must stay within 2x of the
 # checked-in budget (scripts/live_budget_ns, measured on the CI box).
@@ -169,5 +178,61 @@ if [ -z "$live_hieras" ] || [ "$live_hieras" != "$replay_hieras" ]; then
     exit 1
 fi
 echo "quiesced serving metrics byte-identical to the replay bench"
+
+echo "==> telemetry: windowed time-series gates"
+# Both streams (deterministic sim windows, free-running wall windows)
+# must parse back through hieras_rt::FromJson and re-serialize
+# byte-identically — hieras-timeline --check is that round trip.
+./target/release/hieras-timeline --check target/timeseries.jsonl
+./target/release/hieras-timeline --check target/timeseries.live.jsonl
+# And render: the table and the diff must both produce output (the
+# diff doubles as the demo of `--compare`).
+./target/release/hieras-timeline target/timeseries.jsonl | head -n 4
+compare_lines=$(./target/release/hieras-timeline --compare \
+    target/timeseries.jsonl target/timeseries.live.jsonl | wc -l)
+if [ "$compare_lines" -lt 4 ]; then
+    echo "hieras-timeline --compare produced no per-window rows" >&2
+    exit 1
+fi
+echo "hieras-timeline --compare rendered $compare_lines lines"
+# The flight recorder's slow-lookup trace is a regular hieras-obs
+# span stream: it must convert through the Chrome viewer path too.
+scripts/trace2chrome target/timeseries.slow.jsonl target/timeseries.slow.chrome.json
+grep -q '"traceEvents"' target/timeseries.slow.chrome.json
+# Epoch-health gauges must actually appear in the free-running
+# windows: a live run that published snapshots but recorded no age or
+# backlog gauges has lost the maintenance side of the ledger.
+for gauge in serve.epoch.snapshot_age_ms serve.epoch.retired_backlog serve.epoch.reader_lag; do
+    if ! grep -q "\"$gauge\"" target/timeseries.live.jsonl; then
+        echo "free-running windows carry no $gauge gauge" >&2
+        exit 1
+    fi
+done
+echo "epoch-health gauges present in the free-running windows"
+# Window density: the free-running run must populate at least one
+# window per wall second (the bench cuts 250 ms windows, so this has
+# 4x headroom), and at least one window overall.
+live_windows=$(awk -F': ' '/"timeseries_windows"/ { v = $2; sub(/,.*/, "", v); w = v } END { print w + 0 }' BENCH_live.json)
+live_wall_ns=$(awk -F': ' '/"wall_ns"/ { v = $2; sub(/,.*/, "", v); w = v } END { print w + 0 }' BENCH_live.json)
+awk -v w="$live_windows" -v ns="$live_wall_ns" 'BEGIN {
+    need = int(ns / 1e9); if (need < 1) need = 1
+    if (w < need) {
+        printf "live run populated %d windows over %.1f s (need >= %d)\n", w, ns / 1e9, need
+        exit 1
+    }
+    printf "live run populated %d windows over %.1f s wall\n", w, ns / 1e9
+}'
+# Telemetry overhead gate: free-running throughput with telemetry on
+# must stay within the checked-in budget
+# (scripts/telemetry_overhead_pct) of the telemetry-off baseline.
+overhead_budget=$(cat scripts/telemetry_overhead_pct)
+overhead=$(awk -F': ' '/"telemetry_overhead_pct"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_live.json)
+awk -v o="$overhead" -v b="$overhead_budget" 'BEGIN {
+    if (o + 0 > b + 0) {
+        printf "telemetry overhead %.1f%% exceeds the %.1f%% budget\n", o, b
+        exit 1
+    }
+    printf "telemetry overhead %.1f%% within the %.1f%% budget\n", o, b
+}'
 
 echo "==> verify OK"
