@@ -39,11 +39,24 @@
 //! hop traces to a `.slow.jsonl` sibling — all renderable with
 //! `hieras-timeline`.
 //!
+//! Two incremental-maintenance comparisons ride along:
+//! `maintenance_full` vs `maintenance_incremental` replay the same
+//! deterministic schedule with the delta rebuild path off and on,
+//! reporting exact publish-latency percentiles side by side
+//! (`incremental_publish_ratio` is the p50 quotient the
+//! `scripts/incremental_publish_ratio` gate budgets, and
+//! `delta_identity` asserts both runs published byte-identical
+//! snapshots); `live_batched` re-runs the free-running row with
+//! epoch-pinned batched readers (`batched_vs_single_ratio`).
+//!
 //! The churn scenario turns over well above 5% of the initial
 //! population inside the horizon, so the live rows measure serving
 //! under load, not a static ring with a heartbeat. Run with `--smoke`
 //! for the CI-sized run (500 peers); `--obs` adds the merged `serve.*`
-//! registries per live mode; `HIERAS_THREADS=n` pins the executor.
+//! registries per live mode; `--pace <r>` throttles the free-running
+//! maintainer to `r` sim-ms of schedule per wall-ms (the 60 s smoke
+//! horizon at `--pace 50` spans 1.2 s of wall clock);
+//! `HIERAS_THREADS=n` pins the executor.
 
 use hieras_rt::{Executor, Json, ToJson};
 use hieras_serve::{
@@ -62,6 +75,13 @@ const REPS: usize = 15;
 /// Back-to-back quiesced runs aggregated into one timed rep — a
 /// single smoke run is sub-millisecond, too short to time reliably.
 const ROUNDS: usize = 4;
+
+/// Incremental-maintenance threshold of the reported rows: a churn
+/// batch touching at most this fraction of the hierarchy's rings is
+/// applied as a delta onto the previous epoch. The
+/// `maintenance_full` row re-runs the same schedule with the delta
+/// path disabled for the side-by-side publish-latency comparison.
+const DELTA_FRACTION: f64 = 0.6;
 
 struct Scenario {
     nodes: usize,
@@ -128,6 +148,9 @@ impl Scenario {
             rebin_every: 8,
             rebin_noise: 0.2,
             telemetry,
+            delta_max_ring_fraction: DELTA_FRACTION,
+            batched: false,
+            pace: 0.0,
         }
     }
 }
@@ -196,9 +219,13 @@ fn sibling(path: &str, tag: &str) -> String {
 }
 
 fn main() {
-    let hieras_bench::BenchArgs { smoke, obs, timeseries_out, .. } =
+    let hieras_bench::BenchArgs { smoke, obs, timeseries_out, pace, .. } =
         hieras_bench::BenchArgs::parse("bench_live", hieras_bench::BenchFlags::live());
     let sc = if smoke { Scenario::smoke() } else { Scenario::full() };
+    // --pace throttles the free-running maintainer to the schedule
+    // clock (sim-ms per wall-ms); unset replays churn at full rate,
+    // the historical behavior every throughput baseline compares to.
+    let pace = pace.unwrap_or(0.0);
 
     let exec = Executor::default();
     println!(
@@ -217,8 +244,12 @@ fn main() {
     // telemetry off, the observed runs with it on — the routing
     // metrics are identical either way (the serve tests assert it),
     // only the wall clock sees the difference.
-    let engine = ServeEngine::new(&exp, sc.serve_config(TelemetryConfig::off()));
-    let engine_tel = ServeEngine::new(&exp, sc.serve_config(TelemetryConfig::on()));
+    let mut cfg_off = sc.serve_config(TelemetryConfig::off());
+    cfg_off.pace = pace;
+    let mut cfg_on = sc.serve_config(TelemetryConfig::on());
+    cfg_on.pace = pace;
+    let engine = ServeEngine::new(&exp, cfg_off);
+    let engine_tel = ServeEngine::new(&exp, cfg_on);
 
     // Quiesced baseline: one discarded warm-up per engine, then REPS
     // timed reps, alternating telemetry off/on so both sides see the
@@ -282,12 +313,47 @@ fn main() {
         det.timeseries.as_ref().map_or(0, hieras_obs::TimeSeriesReport::window_count)
     );
 
+    // Full-vs-incremental maintenance, same schedule twice in the
+    // deterministic mode (publish timings are wall-clock but the
+    // maintainer runs unraced, so the comparison is stable): once with
+    // the delta path disabled, once at the reported threshold. The two
+    // runs must publish byte-identical snapshots — `delta_identity` is
+    // the serve-level proof CI greps for.
+    let mut mf = sc.serve_config(TelemetryConfig::off());
+    mf.delta_max_ring_fraction = 0.0;
+    let maint_full = ServeEngine::new(&exp, mf).run_deterministic(&exec);
+    let mut mi = sc.serve_config(TelemetryConfig::off());
+    mi.delta_max_ring_fraction = DELTA_FRACTION;
+    let maint_incr = ServeEngine::new(&exp, mi).run_deterministic(&exec);
+    let delta_identity = maint_incr.metrics == maint_full.metrics
+        && maint_incr.maint.snapshot_digest == maint_full.maint.snapshot_digest;
+    assert!(delta_identity, "delta rebuilds diverged from full rebuilds");
+    let full_p50 = maint_full.maint.publish_quantile_us(0.50);
+    let incr_p50 = maint_incr.maint.publish_quantile_us(0.50);
+    let publish_ratio =
+        if full_p50 > 0 { incr_p50 as f64 / full_p50 as f64 } else { 1.0 };
+    println!(
+        "maintenance   | publish p50 {:>6} µs full | {:>6} µs incremental | ratio {:.2} | \
+         {}/{} delta rebuilds | identity ok",
+        full_p50,
+        incr_p50,
+        publish_ratio,
+        maint_incr.maint.delta_rebuilds,
+        maint_incr.maint.rebuilds,
+    );
+
     // Free-running, telemetry off for the throughput baseline, then
-    // on — the reported rows.
+    // on — the reported rows — then once more with batched readers.
     let base = engine.run_live();
     let live = engine_tel.run_live();
+    let mut cfg_batched = sc.serve_config(TelemetryConfig::on());
+    cfg_batched.pace = pace;
+    cfg_batched.batched = true;
+    let batched = ServeEngine::new(&exp, cfg_batched).run_live();
     let off_rate = base.lookups_per_sec();
     let on_rate = live.lookups_per_sec();
+    let batched_rate = batched.lookups_per_sec();
+    let batched_ratio = if on_rate > 0.0 { batched_rate / on_rate } else { 1.0 };
     let ls = live.metrics.summary();
     println!(
         "live ({} rdr)  | {:>9.0} lookups/s | hieras {:.2} hops {:.0} ms (p99.9 {} ms) | \
@@ -298,6 +364,10 @@ fn main() {
         ls.avg_latency_ms,
         ls.latency_tail.p999_ms,
         100.0 * live.turnover
+    );
+    println!(
+        "batched ({} rdr)| {:>9.0} lookups/s | {:.2}x single-lookup readers",
+        sc.readers, batched_rate, batched_ratio
     );
     println!(
         "telemetry     | {:>9.0} ns/lookup off | {:>9.0} on | overhead {:+.1}% (min/min) | {} windows",
@@ -339,6 +409,11 @@ fn main() {
                 ("turnover", det.turnover.to_json()),
             ]),
         ),
+        ("pace", pace.to_json()),
+        ("delta_max_ring_fraction", DELTA_FRACTION.to_json()),
+        ("delta_identity", delta_identity.to_json()),
+        ("incremental_publish_ratio", publish_ratio.to_json()),
+        ("batched_vs_single_ratio", batched_ratio.to_json()),
         ("telemetry_overhead_pct", overhead_pct.to_json()),
         ("telemetry_off_min_ns", min_ns.to_json()),
         ("telemetry_on_min_ns", tel_min_ns.to_json()),
@@ -361,6 +436,13 @@ fn main() {
                 ("maintenance", MaintStats::default().to_json()),
             ]),
         ),
+        // Full-vs-incremental maintenance over the same deterministic
+        // schedule: wall-clock publish profiles side by side. No
+        // `hieras` key — the delta-identity assertion above already
+        // proved both runs' routing equal, and position-sensitive
+        // extraction must not see one.
+        ("maintenance_full", maint_full.maint.to_json()),
+        ("maintenance_incremental", maint_incr.maint.to_json()),
         // Throughput baseline for the overhead gate: same free-running
         // scenario, telemetry off. No `hieras` key — its routing
         // numbers are a concurrent race, the `live` row already has
@@ -377,6 +459,7 @@ fn main() {
         ),
         ("live_deterministic", live_json(&det, obs)),
         ("live", live_json(&live, obs)),
+        ("live_batched", live_json(&batched, obs)),
     ]);
 
     let path = "BENCH_live.json";

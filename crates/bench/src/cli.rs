@@ -18,6 +18,9 @@ pub struct BenchFlags {
     /// Accept `--timeseries-out <path.jsonl>` (windowed telemetry
     /// stream; implies `--obs`).
     pub timeseries: bool,
+    /// Accept `--pace <sim-per-wall>` (free-running maintainer pacing,
+    /// sim-milliseconds of schedule per wall-millisecond).
+    pub pace: bool,
 }
 
 impl BenchFlags {
@@ -30,19 +33,20 @@ impl BenchFlags {
     /// `--smoke`, `--obs` and `--trace-out` (e.g. `bench_replay`).
     #[must_use]
     pub fn full() -> Self {
-        BenchFlags { obs: true, trace: true, timeseries: false }
+        BenchFlags { obs: true, trace: true, ..BenchFlags::default() }
     }
 
     /// `--smoke` and `--obs`, no tracer (e.g. `churn`).
     #[must_use]
     pub fn with_obs() -> Self {
-        BenchFlags { obs: true, trace: false, timeseries: false }
+        BenchFlags { obs: true, ..BenchFlags::default() }
     }
 
-    /// `--smoke`, `--obs` and `--timeseries-out` (e.g. `bench_live`).
+    /// `--smoke`, `--obs`, `--timeseries-out` and `--pace`
+    /// (e.g. `bench_live`).
     #[must_use]
     pub fn live() -> Self {
-        BenchFlags { obs: true, trace: false, timeseries: true }
+        BenchFlags { obs: true, timeseries: true, pace: true, ..BenchFlags::default() }
     }
 
     fn usage(self, bin: &str) -> String {
@@ -55,6 +59,9 @@ impl BenchFlags {
         }
         if self.timeseries {
             u.push_str(" [--timeseries-out <path.jsonl>]");
+        }
+        if self.pace {
+            u.push_str(" [--pace <sim-per-wall>]");
         }
         u
     }
@@ -71,6 +78,9 @@ pub struct BenchArgs {
     pub trace_out: Option<String>,
     /// Windowed-telemetry JSONL output path, when requested.
     pub timeseries_out: Option<String>,
+    /// Maintainer pacing for the free-running rows, sim-ms per
+    /// wall-ms; `None` means full rate.
+    pub pace: Option<f64>,
 }
 
 impl BenchArgs {
@@ -114,6 +124,13 @@ impl BenchArgs {
                 "--timeseries-out" if flags.timeseries => match args.next() {
                     Some(path) => out.timeseries_out = Some(path),
                     None => return Err("--timeseries-out needs a path argument".to_owned()),
+                },
+                "--pace" if flags.pace => match args.next().map(|v| v.parse::<f64>()) {
+                    Some(Ok(p)) if p >= 0.0 && p.is_finite() => out.pace = Some(p),
+                    Some(_) => {
+                        return Err("--pace needs a non-negative ratio".to_owned());
+                    }
+                    None => return Err("--pace needs a ratio argument".to_owned()),
                 },
                 other => {
                     return Err(format!(
@@ -191,7 +208,8 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("unknown argument `--trace-out`"));
         assert!(err.contains(
-            "usage: bench_live [--smoke] [--obs] [--timeseries-out <path.jsonl>]"
+            "usage: bench_live [--smoke] [--obs] [--timeseries-out <path.jsonl>] \
+             [--pace <sim-per-wall>]"
         ));
         // churn supports --obs and --trace-out but no time series.
         let err =
@@ -220,5 +238,23 @@ mod tests {
     fn empty_args_default_to_full_run() {
         let a = BenchArgs::try_parse("bench_replay", BenchFlags::full(), argv(&[])).unwrap();
         assert!(!a.smoke && !a.obs && a.trace_out.is_none());
+        assert!(a.pace.is_none(), "no --pace means full rate");
+    }
+
+    #[test]
+    fn pace_parses_a_nonnegative_ratio() {
+        let a = BenchArgs::try_parse("bench_live", BenchFlags::live(), argv(&["--pace", "50"]))
+            .unwrap();
+        assert_eq!(a.pace, Some(50.0));
+        assert!(!a.obs, "--pace alone does not imply the instrumented run");
+        for bad in [&["--pace", "-1"][..], &["--pace", "nan"], &["--pace", "x"], &["--pace"]] {
+            let err =
+                BenchArgs::try_parse("bench_live", BenchFlags::live(), argv(bad)).unwrap_err();
+            assert!(err.contains("--pace needs"), "{bad:?} must be rejected: {err}");
+        }
+        // Binaries without the flag reject it as unknown.
+        let err = BenchArgs::try_parse("churn", BenchFlags::full(), argv(&["--pace", "2"]))
+            .unwrap_err();
+        assert!(err.contains("unknown argument `--pace`"));
     }
 }

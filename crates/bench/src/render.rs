@@ -162,13 +162,24 @@ pub fn timeline_table(ts: &TimeSeriesReport) -> String {
     let p99: Vec<u64> = ts.windows.iter().map(|w| w.latency.quantile(0.99)).collect();
     let _ = writeln!(s, "lookups {}", sparkline(&rate));
     let _ = writeln!(s, "p99 ms  {}", sparkline(&p99));
+    // Publish-latency series: wall-mode runs observe the maintainer's
+    // per-publish µs into each window's health registry (sim windows
+    // never carry wall durations, so the series is wall-only).
+    let pub_p50 = |w: &hieras_obs::TelemetryWindow| {
+        w.health.hist(names::SERVE_EPOCH_PUBLISH_US).map(|h| h.quantile(0.50))
+    };
+    if ts.windows.iter().any(|w| pub_p50(w).is_some()) {
+        let series: Vec<u64> =
+            ts.windows.iter().map(|w| pub_p50(w).unwrap_or(0)).collect();
+        let _ = writeln!(s, "pub µs  {}", sparkline(&series));
+    }
     let _ = writeln!(
         s,
-        "| window | lookups | lookups/s | p50 | p95 | p99 | p99.9 | fail | retry | epochs | churn |"
+        "| window | lookups | lookups/s | p50 | p95 | p99 | p99.9 | fail | retry | epochs | full | pub µs | churn |"
     );
     let _ = writeln!(
         s,
-        "|-------:|--------:|----------:|----:|----:|----:|------:|-----:|------:|-------:|------:|"
+        "|-------:|--------:|----------:|----:|----:|----:|------:|-----:|------:|-------:|-----:|-------:|------:|"
     );
     for w in &ts.windows {
         let per_sec = w.lookups as f64 * 1000.0 / ts.meta.window_ms as f64;
@@ -177,7 +188,7 @@ pub fn timeline_table(ts: &TimeSeriesReport) -> String {
             + w.health.counter(names::SERVE_EPOCH_FAILS);
         let _ = writeln!(
             s,
-            "| {} | {} | {:.0} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            "| {} | {} | {:.0} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
             w.index,
             w.lookups,
             per_sec,
@@ -188,8 +199,34 @@ pub fn timeline_table(ts: &TimeSeriesReport) -> String {
             w.failures,
             w.retries,
             w.health.counter(names::SERVE_EPOCH_PUBLISHED),
+            w.health.counter(names::SERVE_EPOCH_FULL_REBUILDS),
+            pub_p50(w).map_or_else(|| "-".to_owned(), |v| v.to_string()),
             churn,
         );
+    }
+    // Fallback flags: in a run where the incremental path was active
+    // (some window rebuilt by delta), call out every window the
+    // maintainer fell back to a full rebuild — the windows whose
+    // publish latency spikes off the delta baseline.
+    let delta_active =
+        ts.windows.iter().any(|w| w.health.counter(names::SERVE_EPOCH_DELTA_REBUILDS) > 0);
+    let fallbacks: Vec<&hieras_obs::TelemetryWindow> = ts
+        .windows
+        .iter()
+        .filter(|w| w.health.counter(names::SERVE_EPOCH_FULL_REBUILDS) > 0)
+        .collect();
+    if delta_active && !fallbacks.is_empty() {
+        let _ = writeln!(s, "# full-rebuild fallbacks: {} windows", fallbacks.len());
+        for w in fallbacks {
+            let _ = writeln!(
+                s,
+                "window {}: {} full of {} rebuilds{}",
+                w.index,
+                w.health.counter(names::SERVE_EPOCH_FULL_REBUILDS),
+                w.health.counter(names::SERVE_EPOCH_PUBLISHED),
+                pub_p50(w).map_or_else(String::new, |v| format!(", publish p50 {v} µs")),
+            );
+        }
     }
     if !ts.breaches.is_empty() {
         let _ = writeln!(s, "# SLO breaches: {}", ts.breaches.len());
@@ -363,11 +400,36 @@ mod tests {
         let t = timeline_table(&demo_report());
         assert!(t.contains("# timeline: 2 windows x 1000 ms (sim clock)"), "{t}");
         // lookup_failed counts as a lookup too: 2 lookups, 1 failed.
-        assert!(t.contains("| 2 | 2 | 2 | 500 | 500 | 500 | 500 | 1 | 3 | 1 | 2 |"), "{t}");
+        // No publish histogram (sim windows): the pub-µs cell dashes.
+        assert!(t.contains("| 2 | 2 | 2 | 500 | 500 | 500 | 500 | 1 | 3 | 1 | 0 | - | 2 |"), "{t}");
+        assert!(!t.contains("pub µs  "), "sim windows carry no publish series");
+        assert!(!t.contains("fallbacks"), "no delta rebuilds, nothing to flag");
         assert!(t.contains("# SLO breaches: 1"), "{t}");
         assert!(t.contains("window 2: p99 500 ms (OVER)"), "{t}");
         assert!(t.contains("# flight recorder: 1 slow lookups"), "{t}");
         assert!(t.contains("window 2: 500 ms, 7 -> key 0x000000000000abcd, 1 hops"), "{t}");
+    }
+
+    #[test]
+    fn timeline_table_flags_full_rebuild_fallbacks() {
+        use hieras_obs::{names, TelemetryShard};
+        let mut sh = TelemetryShard::new(0);
+        // Window 0: two delta rebuilds. Window 1: one fell back full.
+        sh.lookup(0, 10);
+        sh.health(0).inc_by(names::SERVE_EPOCH_PUBLISHED, 2);
+        sh.health(0).inc_by(names::SERVE_EPOCH_DELTA_REBUILDS, 2);
+        sh.health(0).observe(names::SERVE_EPOCH_PUBLISH_US, 40);
+        sh.lookup(1, 10);
+        sh.health(1).inc_by(names::SERVE_EPOCH_PUBLISHED, 2);
+        sh.health(1).inc(names::SERVE_EPOCH_DELTA_REBUILDS);
+        sh.health(1).inc(names::SERVE_EPOCH_FULL_REBUILDS);
+        sh.health(1).observe(names::SERVE_EPOCH_PUBLISH_US, 900);
+        let t = timeline_table(&sh.into_report("wall", 250, None));
+        assert!(t.contains("pub µs  "), "wall windows render the publish series");
+        assert!(t.contains("# full-rebuild fallbacks: 1 windows"), "{t}");
+        assert!(t.contains("window 1: 1 full of 2 rebuilds, publish p50 "), "{t}");
+        // The per-window table carries the full count and publish p50.
+        assert!(t.contains("| 0 | 1 | 4 | "), "{t}");
     }
 
     #[test]

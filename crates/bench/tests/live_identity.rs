@@ -36,6 +36,9 @@ fn world() -> (Experiment, ServeConfig) {
         rebin_every: 6,
         rebin_noise: 0.3,
         telemetry: TelemetryConfig::off(),
+        delta_max_ring_fraction: 0.35,
+        batched: false,
+        pace: 0.0,
     };
     (exp, serve)
 }

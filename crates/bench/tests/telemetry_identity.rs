@@ -43,6 +43,9 @@ fn world(telemetry: TelemetryConfig) -> (Experiment, ServeConfig) {
         rebin_every: 6,
         rebin_noise: 0.3,
         telemetry,
+        delta_max_ring_fraction: 0.35,
+        batched: false,
+        pace: 0.0,
     };
     (exp, serve)
 }

@@ -23,7 +23,9 @@
 mod dynamic;
 mod oracle;
 mod path;
+mod pool;
 
 pub use dynamic::{DynChord, DynError, LookupTrace, MaintStats};
 pub use oracle::{ChordOracle, LookupPath, RingBuildError, RingView};
 pub use path::PathBuf;
+pub use pool::{ArenaPoolStats, RingArenaPool};

@@ -17,7 +17,7 @@
 //! predecessor, so routing never needs the table at all and produces
 //! hop sequences byte-identical to the per-node tables it replaces.
 
-use crate::PathBuf;
+use crate::{PathBuf, RingArenaPool};
 use hieras_id::{Id, IdSpace, Key};
 use hieras_rt::Executor;
 use std::sync::Arc;
@@ -34,6 +34,8 @@ pub enum RingBuildError {
     BadIndex(u32),
     /// An id had bits outside the ring's identifier space.
     OutOfSpace(Id),
+    /// A delta tried to remove a node that is not a member of the ring.
+    NotAMember(u32),
 }
 
 impl core::fmt::Display for RingBuildError {
@@ -43,6 +45,7 @@ impl core::fmt::Display for RingBuildError {
             RingBuildError::DuplicateId(id) => write!(f, "duplicate node id {id}"),
             RingBuildError::BadIndex(i) => write!(f, "member index {i} out of range"),
             RingBuildError::OutOfSpace(id) => write!(f, "id {id} outside identifier space"),
+            RingBuildError::NotAMember(i) => write!(f, "node {i} is not a ring member"),
         }
     }
 }
@@ -86,18 +89,35 @@ pub struct RingView {
     /// Global id table (index = global node index).
     ids: Arc<[Id]>,
     /// Member global indices, sorted ascending by id.
-    members: Box<[u32]>,
+    members: Vec<u32>,
     /// Ring-ordered id arena: `member_ids[pos]` = id of the member at
     /// `pos`. One contiguous allocation; every routing probe streams
     /// through this array instead of chasing `ids[members[pos]]`.
-    member_ids: Box<[Id]>,
+    member_ids: Vec<Id>,
     /// Radix seek index: `seek[b]` = first position whose id has high
     /// bits ≥ `b` (bucket = id >> seek_shift), `seek[buckets]` = len.
     /// Bounds `successor(id)` to a binary search inside one bucket.
-    seek: Box<[u32]>,
+    seek: Vec<u32>,
     /// `bits - log2(buckets)`: right-shift mapping an id to its bucket.
     seek_shift: u32,
 }
+
+/// Packed-state equality: two rings are equal when every routing-
+/// visible array matches byte for byte (the id-table handle may
+/// differ; only its contents under the members matter, and those are
+/// pinned by `member_ids`). This is the identity the delta path is
+/// CI-gated on against full rebuilds.
+impl PartialEq for RingView {
+    fn eq(&self, other: &Self) -> bool {
+        self.space == other.space
+            && self.seek_shift == other.seek_shift
+            && self.members == other.members
+            && self.member_ids == other.member_ids
+            && self.seek == other.seek
+    }
+}
+
+impl Eq for RingView {}
 
 impl RingView {
     /// Arena entries below which the build fills serially: a single
@@ -154,11 +174,11 @@ impl RingView {
                 return Err(RingBuildError::DuplicateId(ids[w[0] as usize]));
             }
         }
-        let members = sorted.into_boxed_slice();
+        let members = sorted;
         let len = members.len();
         let parallel = exec.threads() > 1;
         // Ring-ordered id arena, one contiguous allocation.
-        let mut member_ids = vec![Id(0); len].into_boxed_slice();
+        let mut member_ids = vec![Id(0); len];
         let id_entry = |j: usize| ids[members[j] as usize];
         if len >= Self::PAR_ARENA_THRESHOLD && parallel {
             exec.par_fill(&mut member_ids, Self::PAR_ARENA_CHUNK, id_entry);
@@ -167,9 +187,26 @@ impl RingView {
                 *slot = id_entry(j);
             }
         }
-        // Radix seek index: ~one bucket per member, each entry the
-        // partition point of the bucket's id floor — a pure function of
-        // the bucket number, hence deterministic under par_fill.
+        let (seek, seek_shift) = Self::seek_index(exec, space, &member_ids, Vec::new());
+        Ok(RingView { space, ids, members, member_ids, seek, seek_shift })
+    }
+
+    /// Builds the radix seek index over a sorted id arena into `seek`
+    /// (reusing its allocation when large enough). The one seek
+    /// builder every construction path shares — full builds and delta
+    /// applications produce the index from the same formula, so their
+    /// packed state is byte-identical by construction.
+    ///
+    /// Each entry is the partition point of the bucket's id floor — a
+    /// pure function of the bucket number, hence deterministic under
+    /// `par_fill` at any thread count.
+    fn seek_index(
+        exec: &Executor,
+        space: IdSpace,
+        member_ids: &[Id],
+        mut seek: Vec<u32>,
+    ) -> (Vec<u32>, u32) {
+        let len = member_ids.len();
         let s = len
             .next_power_of_two()
             .trailing_zeros()
@@ -177,7 +214,8 @@ impl RingView {
             .min(Self::MAX_SEEK_BITS);
         let seek_shift = space.bits() - s;
         let buckets = 1usize << s;
-        let mut seek = vec![0u32; buckets + 1].into_boxed_slice();
+        seek.clear();
+        seek.resize(buckets + 1, 0);
         let seek_entry = |b: usize| -> u32 {
             if b == 0 {
                 return 0;
@@ -185,7 +223,7 @@ impl RingView {
             let floor = Id((b as u64) << seek_shift);
             member_ids.partition_point(|&m| m < floor) as u32
         };
-        if buckets >= Self::PAR_ARENA_THRESHOLD && parallel {
+        if buckets >= Self::PAR_ARENA_THRESHOLD && exec.threads() > 1 {
             exec.par_fill(&mut seek[..buckets], Self::PAR_ARENA_CHUNK, seek_entry);
         } else {
             for (b, slot) in seek.iter_mut().take(buckets).enumerate() {
@@ -193,7 +231,149 @@ impl RingView {
             }
         }
         seek[buckets] = len as u32;
-        Ok(RingView { space, ids, members, member_ids, seek, seek_shift })
+        (seek, seek_shift)
+    }
+
+    /// Applies a membership delta to this ring, producing a new ring
+    /// **byte-identical** to a full [`RingView::build_on`] over the
+    /// post-delta membership — without re-sorting or re-validating the
+    /// surviving members. Cost is `O(len + |delta| log len)` (one merge
+    /// pass plus the seek-index refresh) versus the full build's
+    /// `O(len log len)` sort, and the arenas come out of `pool` when a
+    /// recycled buffer fits, so steady-state epochs stop allocating.
+    ///
+    /// `remove` lists current member nodes to drop; `insert` lists
+    /// non-member nodes to add. A node may appear in both (drop then
+    /// re-add — a no-op with the same id).
+    ///
+    /// # Errors
+    /// [`RingBuildError::NotAMember`] for a removal that is not a
+    /// member (or listed twice), [`RingBuildError::BadIndex`] /
+    /// [`RingBuildError::OutOfSpace`] / [`RingBuildError::DuplicateId`]
+    /// for invalid insertions, [`RingBuildError::Empty`] when the delta
+    /// would empty the ring.
+    pub fn apply_delta(&self, remove: &[u32], insert: &[u32]) -> Result<Self, RingBuildError> {
+        self.apply_delta_on(
+            &Executor::new(1),
+            remove,
+            insert,
+            &mut RingArenaPool::disabled(),
+        )
+    }
+
+    /// [`RingView::apply_delta`] on a caller-supplied executor and
+    /// arena pool (the serving maintainer's form).
+    ///
+    /// # Errors
+    /// See [`RingView::apply_delta`].
+    pub fn apply_delta_on(
+        &self,
+        exec: &Executor,
+        remove: &[u32],
+        insert: &[u32],
+        pool: &mut RingArenaPool,
+    ) -> Result<Self, RingBuildError> {
+        // Validate and id-sort the insert batch.
+        let mut ins: Vec<(Id, u32)> = Vec::with_capacity(insert.len());
+        for &m in insert {
+            let id = *self.ids.get(m as usize).ok_or(RingBuildError::BadIndex(m))?;
+            if !self.space.contains(id) {
+                return Err(RingBuildError::OutOfSpace(id));
+            }
+            ins.push((id, m));
+        }
+        ins.sort_unstable();
+        for w in ins.windows(2) {
+            if w[0].0 == w[1].0 {
+                return Err(RingBuildError::DuplicateId(w[0].0));
+            }
+        }
+        // Resolve removals to ring positions.
+        let mut rem_pos: Vec<u32> = Vec::with_capacity(remove.len());
+        for &m in remove {
+            rem_pos.push(self.position_of(m).ok_or(RingBuildError::NotAMember(m))?);
+        }
+        rem_pos.sort_unstable();
+        for w in rem_pos.windows(2) {
+            if w[0] == w[1] {
+                return Err(RingBuildError::NotAMember(self.members[w[0] as usize]));
+            }
+        }
+        let len = self.members.len();
+        let new_len = len - rem_pos.len() + ins.len();
+        if new_len == 0 {
+            return Err(RingBuildError::Empty);
+        }
+        // Single merge-splice pass: surviving members stream through in
+        // id order, insertions interleave at their sorted slots. The
+        // result is exactly the id-sorted member array a full build's
+        // sort would produce.
+        let mut members = pool.take_u32(new_len);
+        let mut member_ids = pool.take_ids(new_len);
+        let (mut ri, mut ii) = (0usize, 0usize);
+        for pos in 0..len {
+            let id = self.member_ids[pos];
+            while ii < ins.len() && ins[ii].0 < id {
+                member_ids.push(ins[ii].0);
+                members.push(ins[ii].1);
+                ii += 1;
+            }
+            if ri < rem_pos.len() && rem_pos[ri] as usize == pos {
+                ri += 1;
+                continue;
+            }
+            if ii < ins.len() && ins[ii].0 == id {
+                return Err(RingBuildError::DuplicateId(id));
+            }
+            member_ids.push(id);
+            members.push(self.members[pos]);
+        }
+        for &(id, m) in &ins[ii..] {
+            member_ids.push(id);
+            members.push(m);
+        }
+        debug_assert_eq!(members.len(), new_len);
+        let (seek, seek_shift) =
+            Self::seek_index(exec, self.space, &member_ids, pool.take_u32(0));
+        Ok(RingView {
+            space: self.space,
+            ids: Arc::clone(&self.ids),
+            members,
+            member_ids,
+            seek,
+            seek_shift,
+        })
+    }
+
+    /// Order-sensitive digest of the packed routing state (member
+    /// indices, id arena, seek index, seek shift) — a cheap fingerprint
+    /// the delta-vs-full identity gates chain across whole hierarchies.
+    #[must_use]
+    pub fn arena_digest(&self) -> u64 {
+        let mut h = hieras_rt::splitmix64(
+            0x5ee4_a12e_5000_0000 ^ u64::from(self.space.bits()) ^ (self.members.len() as u64) << 8,
+        );
+        let mut mix = |v: u64| h = hieras_rt::splitmix64(h ^ v);
+        for &m in &self.members {
+            mix(u64::from(m));
+        }
+        for &id in &self.member_ids {
+            mix(id.0);
+        }
+        for &s in &self.seek {
+            mix(u64::from(s));
+        }
+        mix(u64::from(self.seek_shift));
+        h
+    }
+
+    /// Dismantles this ring into `pool`, handing back its arena
+    /// allocations for the next delta application to reuse. The id
+    /// table handle simply drops (it is shared, never owned).
+    pub fn recycle_into(self, pool: &mut RingArenaPool) {
+        pool.put_u32(self.members);
+        pool.put_ids(self.member_ids);
+        pool.put_u32(self.seek);
     }
 
     /// Position of the first member with id ≥ `target`, wrapping to 0 —
@@ -755,5 +935,92 @@ mod tests {
                 assert!(p.hops() <= 2 * 64, "case {case}"); // log bound with slack
             }
         }
+    }
+
+    #[test]
+    fn apply_delta_matches_full_rebuild() {
+        let ids = ids_of(&[10, 50, 90, 130, 170, 210, 240, 5]);
+        let r = RingView::build(s8(), ids.clone(), &[0, 1, 2, 3]).unwrap();
+        // Remove 1 (id 50), insert 5 (id 210) and 7 (id 5).
+        let delta = r.apply_delta(&[1], &[5, 7]).unwrap();
+        let full = RingView::build(s8(), ids, &[0, 2, 3, 5, 7]).unwrap();
+        assert_eq!(delta, full);
+        assert_eq!(delta.arena_digest(), full.arena_digest());
+        assert_eq!(delta.members(), &[7, 0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn apply_delta_validates_inputs() {
+        let ids = ids_of(&[10, 50, 90, 300]);
+        let r = RingView::build(s8(), ids, &[0, 1]).unwrap();
+        assert_eq!(r.apply_delta(&[2], &[]).unwrap_err(), RingBuildError::NotAMember(2));
+        assert_eq!(r.apply_delta(&[0, 0], &[]).unwrap_err(), RingBuildError::NotAMember(0));
+        assert_eq!(r.apply_delta(&[], &[9]).unwrap_err(), RingBuildError::BadIndex(9));
+        assert_eq!(
+            r.apply_delta(&[], &[3]).unwrap_err(),
+            RingBuildError::OutOfSpace(Id(300))
+        );
+        // Inserting an id already present (node 1 again) is a duplicate.
+        assert_eq!(r.apply_delta(&[], &[1]).unwrap_err(), RingBuildError::DuplicateId(Id(50)));
+        // Emptying the ring is refused.
+        assert_eq!(r.apply_delta(&[0, 1], &[]).unwrap_err(), RingBuildError::Empty);
+        // Remove-then-reinsert of the same node is a legal no-op.
+        let same = r.apply_delta(&[1], &[1]).unwrap();
+        assert_eq!(same, r);
+    }
+
+    /// Seeded fuzz: arbitrary remove/insert batches against a full
+    /// rebuild of the post-delta membership — byte identity (members,
+    /// arena, seek) must hold, including via the pooled path.
+    #[test]
+    fn apply_delta_fuzz_identity() {
+        let mut rng = hieras_rt::Rng::seed_from_u64(0xde17a);
+        let exec = Executor::new(1);
+        let mut pool = RingArenaPool::new(16);
+        for case in 0..200 {
+            let n = rng.random_range(4usize..80);
+            let raw: Vec<u64> = (0..n as u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ ((case as u64) << 7))
+                .collect();
+            let mut sorted = raw.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            let ids: Arc<[Id]> = sorted.iter().map(|&v| Id(v)).collect::<Vec<_>>().into();
+            let n = ids.len();
+            // Current membership: each node in with probability ~2/3.
+            let mut members: Vec<u32> = (0..n as u32)
+                .filter(|_| rng.random_range(0u32..3) > 0)
+                .collect();
+            if members.is_empty() {
+                members.push(0);
+            }
+            let ring = RingView::build(IdSpace::full(), Arc::clone(&ids), &members).unwrap();
+            // Random delta over the complement/membership.
+            let remove: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|_| rng.random_range(0u32..4) == 0)
+                .collect();
+            let insert: Vec<u32> = (0..n as u32)
+                .filter(|m| !members.contains(m))
+                .filter(|_| rng.random_range(0u32..3) == 0)
+                .collect();
+            let after: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|m| !remove.contains(m))
+                .chain(insert.iter().copied())
+                .collect();
+            if after.is_empty() {
+                continue;
+            }
+            let delta = ring.apply_delta_on(&exec, &remove, &insert, &mut pool).unwrap();
+            let full = RingView::build(IdSpace::full(), Arc::clone(&ids), &after).unwrap();
+            assert_eq!(delta, full, "case {case}");
+            assert_eq!(delta.arena_digest(), full.arena_digest(), "case {case}");
+            // Retire the delta ring into the pool for the next case.
+            delta.recycle_into(&mut pool);
+        }
+        assert!(pool.stats().reused > 0, "the pool must have served some builds");
     }
 }

@@ -1,0 +1,154 @@
+//! Bounded recycling of ring-arena allocations.
+//!
+//! Steady-state epoch publishing retires one snapshot per churn batch;
+//! without recycling, every retired ring's member/id/seek buffers
+//! round-trip through the allocator just to be reallocated at nearly
+//! the same size for the next delta application. [`RingArenaPool`] is a
+//! bounded free-list the maintenance thread owns exclusively (no
+//! locks): dismantled rings deposit their buffers, delta builds
+//! withdraw the first one large enough, and anything past the bound is
+//! dropped to keep the pool from hoarding a whole history of arenas.
+
+use hieras_id::Id;
+
+/// Cumulative reuse counters of one pool — the source feeding the
+/// `serve.epoch.arena_reuse.*` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaPoolStats {
+    /// Withdrawals served by a recycled buffer (no allocation).
+    pub reused: u64,
+    /// Buffers deposited and retained for reuse.
+    pub returned: u64,
+    /// Buffers refused because the pool was at capacity.
+    pub dropped: u64,
+}
+
+/// A bounded free-list of ring-arena buffers (`u32` index/seek arrays
+/// and `Id` arenas), single-owner by design.
+#[derive(Debug)]
+pub struct RingArenaPool {
+    u32s: Vec<Vec<u32>>,
+    ids: Vec<Vec<Id>>,
+    /// Max buffers retained per element type; 0 disables the pool.
+    cap: usize,
+    stats: ArenaPoolStats,
+}
+
+impl RingArenaPool {
+    /// A pool retaining at most `cap` buffers of each element type.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        RingArenaPool { u32s: Vec::new(), ids: Vec::new(), cap, stats: ArenaPoolStats::default() }
+    }
+
+    /// A pool that never retains anything — every take allocates fresh
+    /// and every put drops. The zero-state callers without a recycling
+    /// loop pass through the pooled build paths.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// Withdraws a cleared `u32` buffer with capacity ≥ `min`, or
+    /// allocates one.
+    pub fn take_u32(&mut self, min: usize) -> Vec<u32> {
+        match self.u32s.iter().rposition(|b| b.capacity() >= min) {
+            Some(i) => {
+                self.stats.reused += 1;
+                let mut b = self.u32s.swap_remove(i);
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(min),
+        }
+    }
+
+    /// Withdraws a cleared `Id` buffer with capacity ≥ `min`, or
+    /// allocates one.
+    pub fn take_ids(&mut self, min: usize) -> Vec<Id> {
+        match self.ids.iter().rposition(|b| b.capacity() >= min) {
+            Some(i) => {
+                self.stats.reused += 1;
+                let mut b = self.ids.swap_remove(i);
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(min),
+        }
+    }
+
+    /// Deposits a `u32` buffer for reuse (dropped if at capacity or
+    /// capacity-less).
+    pub fn put_u32(&mut self, buf: Vec<u32>) {
+        if buf.capacity() > 0 && self.u32s.len() < self.cap {
+            self.stats.returned += 1;
+            self.u32s.push(buf);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Deposits an `Id` buffer for reuse (dropped if at capacity or
+    /// capacity-less).
+    pub fn put_ids(&mut self, buf: Vec<Id>) {
+        if buf.capacity() > 0 && self.ids.len() < self.cap {
+            self.stats.returned += 1;
+            self.ids.push(buf);
+        } else {
+            self.stats.dropped += 1;
+        }
+    }
+
+    /// Buffers currently held, across both free-lists.
+    #[must_use]
+    pub fn held(&self) -> usize {
+        self.u32s.len() + self.ids.len()
+    }
+
+    /// Cumulative reuse counters.
+    #[must_use]
+    pub fn stats(&self) -> ArenaPoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_buffers_up_to_capacity() {
+        let mut pool = RingArenaPool::new(2);
+        pool.put_u32(Vec::with_capacity(64));
+        pool.put_u32(Vec::with_capacity(16));
+        pool.put_u32(Vec::with_capacity(32)); // over cap: dropped
+        assert_eq!(pool.stats(), ArenaPoolStats { reused: 0, returned: 2, dropped: 1 });
+        // Wants 20 slots: the 16-cap buffer is skipped, the 64 serves.
+        let b = pool.take_u32(20);
+        assert!(b.capacity() >= 20 && b.is_empty());
+        assert_eq!(pool.stats().reused, 1);
+        // Nothing big enough left: fresh allocation, no reuse counted.
+        let c = pool.take_u32(999);
+        assert!(c.capacity() >= 999);
+        assert_eq!(pool.stats().reused, 1);
+        assert_eq!(pool.held(), 1);
+    }
+
+    #[test]
+    fn disabled_pool_never_retains() {
+        let mut pool = RingArenaPool::disabled();
+        pool.put_ids(Vec::with_capacity(8));
+        assert_eq!(pool.held(), 0);
+        assert_eq!(pool.stats().dropped, 1);
+        let b = pool.take_ids(4);
+        assert!(b.capacity() >= 4);
+        assert_eq!(pool.stats().reused, 0);
+    }
+
+    #[test]
+    fn zero_capacity_buffers_are_not_pooled() {
+        let mut pool = RingArenaPool::new(4);
+        pool.put_u32(Vec::new());
+        assert_eq!(pool.held(), 0, "an unallocated buffer is worthless to recycle");
+    }
+}

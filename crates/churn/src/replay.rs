@@ -78,6 +78,30 @@ impl MembershipReplay {
     /// skipped (counted in [`ReplayDelta::refused`]) — the overlay
     /// never empties.
     pub fn apply_next(&mut self, max_events: usize) -> ReplayDelta {
+        self.apply_core(max_events, None)
+    }
+
+    /// Like [`MembershipReplay::apply_next`], but also records the
+    /// batch's *net* membership movement into `joined` / `departed`
+    /// (both cleared first): a node that came up and went down within
+    /// one batch appears in neither list. This is exactly the delta
+    /// shape incremental snapshot maintenance consumes.
+    pub fn apply_next_recording(
+        &mut self,
+        max_events: usize,
+        joined: &mut Vec<u32>,
+        departed: &mut Vec<u32>,
+    ) -> ReplayDelta {
+        joined.clear();
+        departed.clear();
+        self.apply_core(max_events, Some((joined, departed)))
+    }
+
+    fn apply_core(
+        &mut self,
+        max_events: usize,
+        mut rec: Option<(&mut Vec<u32>, &mut Vec<u32>)>,
+    ) -> ReplayDelta {
         let mut delta = ReplayDelta { now_ms: self.now_ms, ..ReplayDelta::default() };
         while delta.applied < max_events {
             let Some(ev) = self.schedule.events.get(self.next) else {
@@ -86,29 +110,44 @@ impl MembershipReplay {
             self.next += 1;
             delta.applied += 1;
             delta.now_ms = ev.at;
-            let node = ev.kind.node() as usize;
+            let node = ev.kind.node();
             match ev.kind {
                 ChurnEventKind::Join { .. } => {
-                    if !self.live[node] {
-                        self.live[node] = true;
+                    if !self.live[node as usize] {
+                        self.live[node as usize] = true;
                         self.live_count += 1;
                         delta.joins += 1;
+                        if let Some((joined, departed)) = rec.as_mut() {
+                            // A rejoin inside the batch cancels out.
+                            if let Some(i) = departed.iter().position(|&d| d == node) {
+                                departed.swap_remove(i);
+                            } else {
+                                joined.push(node);
+                            }
+                        }
                     }
                 }
                 ChurnEventKind::Leave { .. } | ChurnEventKind::Fail { .. } => {
-                    if !self.live[node] {
+                    if !self.live[node as usize] {
                         continue;
                     }
                     if self.live_count == 1 {
                         delta.refused += 1;
                         continue;
                     }
-                    self.live[node] = false;
+                    self.live[node as usize] = false;
                     self.live_count -= 1;
                     if matches!(ev.kind, ChurnEventKind::Leave { .. }) {
                         delta.leaves += 1;
                     } else {
                         delta.fails += 1;
+                    }
+                    if let Some((joined, departed)) = rec.as_mut() {
+                        if let Some(i) = joined.iter().position(|&j| j == node) {
+                            joined.swap_remove(i);
+                        } else {
+                            departed.push(node);
+                        }
                     }
                 }
             }
@@ -116,6 +155,13 @@ impl MembershipReplay {
         self.now_ms = delta.now_ms;
         delta.done = self.next >= self.schedule.events.len();
         delta
+    }
+
+    /// Schedule time of the next unapplied event, or `None` when the
+    /// schedule is exhausted — what a paced maintainer sleeps towards.
+    #[must_use]
+    pub fn next_event_at(&self) -> Option<SimClock> {
+        self.schedule.events.get(self.next).map(|e| e.at)
     }
 
     /// Live node indices, ascending — the membership a snapshot builds
@@ -220,6 +266,47 @@ mod tests {
         let d = replay.apply_next(3);
         assert_eq!(d.applied, 3.min(total));
         assert_eq!(replay.remaining(), total - d.applied);
+    }
+
+    #[test]
+    fn recording_replay_tracks_net_movement() {
+        let sched = schedule(25, 8, 10_000);
+        let mut plain = MembershipReplay::new(25, sched.clone());
+        let mut rec = MembershipReplay::new(25, sched);
+        let mut joined = Vec::new();
+        let mut departed = Vec::new();
+        loop {
+            let before = rec.live_members();
+            let d1 = plain.apply_next(5);
+            let d2 = rec.apply_next_recording(5, &mut joined, &mut departed);
+            assert_eq!(d1, d2, "recording must not change replay semantics");
+            // Net movement applied to the pre-batch membership must
+            // reproduce the post-batch membership.
+            let mut expect = before;
+            expect.retain(|m| !departed.contains(m));
+            expect.extend_from_slice(&joined);
+            expect.sort_unstable();
+            assert_eq!(expect, rec.live_members());
+            // Net lists never overlap.
+            assert!(joined.iter().all(|j| !departed.contains(j)));
+            if d2.done {
+                break;
+            }
+        }
+        assert_eq!(plain.live_members(), rec.live_members());
+    }
+
+    #[test]
+    fn next_event_at_walks_the_schedule() {
+        let sched = schedule(10, 3, 5_000);
+        let first = sched.events.first().map(|e| e.at);
+        let mut replay = MembershipReplay::new(10, sched);
+        assert_eq!(replay.next_event_at(), first);
+        while !replay.apply_next(1).done {
+            let at = replay.next_event_at().expect("events remain");
+            assert!(at >= replay.now_ms(), "schedule is time-ordered");
+        }
+        assert_eq!(replay.next_event_at(), None);
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod trace;
 pub use binning::{Binning, LandmarkOrder};
 pub use config::{ConfigError, HierasConfig};
 pub use cost::CostReport;
-pub use oracle::{FingerRow, HierasBuildError, HierasOracle, Layer, RingArenaStats};
-pub use hieras_chord::PathBuf;
+pub use oracle::{DeltaStats, FingerRow, HierasBuildError, HierasDelta, HierasOracle, Layer, RingArenaStats};
+pub use hieras_chord::{ArenaPoolStats, PathBuf, RingArenaPool};
 pub use ring_table::RingTable;
 pub use trace::{HopRecord, RouteCost, RouteTrace};

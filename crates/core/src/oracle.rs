@@ -9,10 +9,10 @@
 
 use crate::{ConfigError, HierasConfig, LandmarkOrder, RingTable, RouteTrace};
 use crate::trace::{HopRecord, RouteCost};
-use hieras_chord::{PathBuf, RingBuildError, RingView};
+use hieras_chord::{PathBuf, RingArenaPool, RingBuildError, RingView};
 use hieras_id::{Id, IdSpace, Key};
-use hieras_rt::Executor;
-use std::collections::HashMap;
+use hieras_rt::{splitmix64, Executor};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Errors building a [`HierasOracle`].
@@ -39,6 +39,13 @@ pub enum HierasBuildError {
         /// Digits required (`config.landmarks`).
         need: usize,
     },
+    /// A live member's landmark order changed without the node being
+    /// declared in the delta's `rebinned` (or `joined`) set — applying
+    /// the delta would silently diverge from a full rebuild.
+    UndeclaredRebin {
+        /// The member whose order moved undeclared.
+        node: u32,
+    },
 }
 
 impl core::fmt::Display for HierasBuildError {
@@ -51,6 +58,9 @@ impl core::fmt::Display for HierasBuildError {
             }
             HierasBuildError::OrderTooShort { node, got, need } => {
                 write!(f, "node {node} has {got}-digit order, need {need}")
+            }
+            HierasBuildError::UndeclaredRebin { node } => {
+                write!(f, "member {node} changed order without being declared rebinned")
             }
         }
     }
@@ -84,16 +94,22 @@ pub struct RingArenaStats {
 }
 
 /// One hierarchy layer: the disjoint rings partitioning all peers.
+///
+/// Rings are held behind per-ring [`Arc`]s so epochs of a serving
+/// hierarchy share untouched rings structurally: a delta application
+/// copies only the rings whose membership or binning moved and bumps a
+/// reference count for every other one.
 #[derive(Debug, Clone)]
 pub struct Layer {
     /// 1-based layer number (1 = global).
     pub layer_no: usize,
-    /// The rings of this layer.
-    rings: Vec<RingView>,
+    /// The rings of this layer, individually shareable across epochs.
+    rings: Vec<Arc<RingView>>,
     /// Ring names (order-string prefixes), parallel to `rings`.
     names: Vec<LandmarkOrder>,
-    /// Ring index (into `rings`) of each global node.
-    ring_of_node: Box<[u32]>,
+    /// Ring index (into `rings`) of each global node; shared across
+    /// epochs whose membership at this layer did not move.
+    ring_of_node: Arc<[u32]>,
 }
 
 impl Layer {
@@ -119,9 +135,26 @@ impl Layer {
         &self.names[self.ring_of_node[node as usize] as usize]
     }
 
+    /// Ring index of `node` at this layer, or `None` for a non-member.
+    #[must_use]
+    pub fn ring_index_of(&self, node: u32) -> Option<u32> {
+        match self.ring_of_node.get(node as usize) {
+            Some(&r) if r != u32::MAX => Some(r),
+            _ => None,
+        }
+    }
+
     /// Iterates `(name, ring)` pairs.
     pub fn rings(&self) -> impl Iterator<Item = (&LandmarkOrder, &RingView)> {
-        self.names.iter().zip(self.rings.iter())
+        self.names.iter().zip(self.rings.iter().map(|r| &**r))
+    }
+
+    /// Shared handles of this layer's rings, parallel to the sorted
+    /// name list — lets diagnostics observe cross-epoch structural
+    /// sharing (`Arc::ptr_eq` on corresponding rings).
+    #[must_use]
+    pub fn ring_arcs(&self) -> &[Arc<RingView>] {
+        &self.rings
     }
 }
 
@@ -146,11 +179,57 @@ pub struct HierasOracle {
     space: IdSpace,
     ids: Arc<[Id]>,
     config: HierasConfig,
-    orders: Vec<LandmarkOrder>,
+    /// Per-node landmark orders; shared across epochs whose binning
+    /// did not move (delta applications clone-and-patch only when a
+    /// join or re-bin changed an entry).
+    orders: Arc<[LandmarkOrder]>,
     /// `layers[j-1]` is layer `j`; `layers[0]` is the global ring.
     layers: Vec<Layer>,
     /// Ring tables of every non-global ring, keyed by ring name.
     ring_tables: HashMap<String, RingTable>,
+}
+
+/// One epoch's membership/binning movement, in global node indices.
+/// The three sets must be disjoint; `rebinned` nodes stay live but
+/// changed landmark order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HierasDelta<'a> {
+    /// Nodes that came up this epoch (must not be current members).
+    pub joined: &'a [u32],
+    /// Members that departed or failed this epoch.
+    pub departed: &'a [u32],
+    /// Members whose landmark order changed this epoch.
+    pub rebinned: &'a [u32],
+}
+
+impl HierasDelta<'_> {
+    /// True when the delta moves nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.joined.is_empty() && self.departed.is_empty() && self.rebinned.is_empty()
+    }
+}
+
+/// How much of the hierarchy a delta would touch — the serve
+/// maintainer's cheap eligibility probe for the incremental path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Rings whose membership the delta moves (born and dying rings
+    /// included), across all layers.
+    pub touched_rings: usize,
+    /// Total rings in the current hierarchy.
+    pub total_rings: usize,
+}
+
+impl DeltaStats {
+    /// Touched fraction of the hierarchy, in `[0, 1]`.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_rings == 0 {
+            return 0.0;
+        }
+        self.touched_rings as f64 / self.total_rings as f64
+    }
 }
 
 impl HierasOracle {
@@ -308,13 +387,13 @@ impl HierasOracle {
         for proto in protos {
             let mut rings = Vec::with_capacity(proto.names.len());
             for _ in 0..proto.names.len() {
-                rings.push(rings_by_job.next().expect("one result per job")?);
+                rings.push(Arc::new(rings_by_job.next().expect("one result per job")?));
             }
             layers.push(Layer {
                 layer_no: proto.layer_no,
                 rings,
                 names: proto.names,
-                ring_of_node: proto.ring_of_node,
+                ring_of_node: proto.ring_of_node.into(),
             });
         }
         // Ring tables for every non-global ring (§3.1): record all
@@ -330,7 +409,7 @@ impl HierasOracle {
                 }
             }
         }
-        Ok(HierasOracle { space, ids, config, orders, layers, ring_tables })
+        Ok(HierasOracle { space, ids, config, orders: orders.into(), layers, ring_tables })
     }
 
     /// Convenience: builds from raw landmark RTT vectors using the
@@ -558,6 +637,322 @@ impl HierasOracle {
             rows.push(FingerRow { start, end, successors });
         }
         rows
+    }
+
+    /// Per-ring movement of a delta at one layer, keyed by ring name
+    /// (sorted): `name → (removals, insertions)`. Departures group
+    /// under the node's *old* order (the one it was grouped by),
+    /// joins under the *new* one; a re-bin whose prefix is unchanged
+    /// at this layer touches nothing.
+    ///
+    /// # Panics
+    /// Panics if the delta names out-of-range nodes (the public
+    /// callers validate first).
+    fn layer_changes(
+        &self,
+        plen: usize,
+        delta: &HierasDelta<'_>,
+        orders: &[LandmarkOrder],
+    ) -> BTreeMap<LandmarkOrder, (Vec<u32>, Vec<u32>)> {
+        let mut changes: BTreeMap<LandmarkOrder, (Vec<u32>, Vec<u32>)> = BTreeMap::new();
+        for &m in delta.departed {
+            changes.entry(self.orders[m as usize].prefix(plen)).or_default().0.push(m);
+        }
+        for &m in delta.joined {
+            changes.entry(orders[m as usize].prefix(plen)).or_default().1.push(m);
+        }
+        for &m in delta.rebinned {
+            let old = self.orders[m as usize].prefix(plen);
+            let new = orders[m as usize].prefix(plen);
+            if old != new {
+                changes.entry(old).or_default().0.push(m);
+                changes.entry(new).or_default().1.push(m);
+            }
+        }
+        changes
+    }
+
+    /// How many rings `delta` would touch versus the hierarchy total —
+    /// the cheap (`O(|delta| · depth)` ring-name hashing, no builds)
+    /// probe the serve maintainer uses to pick the incremental path
+    /// when the churn batch is local and fall back to a full rebuild
+    /// when it is not.
+    ///
+    /// # Panics
+    /// Panics if the delta names out-of-range nodes.
+    #[must_use]
+    pub fn delta_touch_stats(&self, delta: &HierasDelta<'_>, orders: &[LandmarkOrder]) -> DeltaStats {
+        let mut touched = 0usize;
+        let mut total = 0usize;
+        for layer in &self.layers {
+            total += layer.rings.len();
+            let plen = self.config.prefix_len(layer.layer_no);
+            touched += self.layer_changes(plen, delta, orders).len();
+        }
+        DeltaStats { touched_rings: touched, total_rings: total }
+    }
+
+    /// Applies one epoch's membership/binning delta, producing a new
+    /// hierarchy **byte-identical** to
+    /// [`HierasOracle::build_members_on`] over the post-delta
+    /// membership and `orders` — at a cost proportional to the delta,
+    /// not the network. Untouched rings are structurally shared with
+    /// `self` (their [`Arc`]s are cloned); only rings whose membership
+    /// or binning moved are copied, via [`RingView::apply_delta_on`]
+    /// (with arenas recycled through `pool`), born rings are built
+    /// fresh, and emptied rings disappear. Ring tables are recomputed
+    /// for touched ring names only.
+    ///
+    /// `orders` is the caller's full (global-sized) order table after
+    /// this epoch's re-binning; entries may differ from the builder's
+    /// copy only for `joined`/`rebinned`/dead nodes.
+    ///
+    /// # Errors
+    /// See [`HierasBuildError`]; notably
+    /// [`HierasBuildError::UndeclaredRebin`] when a live member's
+    /// order moved without being declared, and ring-level errors for
+    /// joins of existing members or departures of non-members.
+    pub fn apply_delta_on(
+        &self,
+        exec: &Executor,
+        delta: &HierasDelta<'_>,
+        orders: &[LandmarkOrder],
+        pool: &mut RingArenaPool,
+    ) -> Result<Self, HierasBuildError> {
+        if orders.len() != self.ids.len() {
+            return Err(HierasBuildError::OrderCount {
+                expected: self.ids.len(),
+                got: orders.len(),
+            });
+        }
+        for &m in delta.joined.iter().chain(delta.rebinned).chain(delta.departed) {
+            if (m as usize) >= self.ids.len() {
+                return Err(HierasBuildError::Ring(RingBuildError::BadIndex(m)));
+            }
+        }
+        for &m in delta.joined.iter().chain(delta.rebinned) {
+            let o = &orders[m as usize];
+            if o.len() < self.config.landmarks {
+                return Err(HierasBuildError::OrderTooShort {
+                    node: m,
+                    got: o.len(),
+                    need: self.config.landmarks,
+                });
+            }
+        }
+        for &m in delta.rebinned {
+            if self.layers[0].ring_index_of(m).is_none() {
+                return Err(HierasBuildError::Ring(RingBuildError::NotAMember(m)));
+            }
+        }
+        // Order-table sync: adopt `orders` wholesale when any entry
+        // moved. A live member moving undeclared is misuse — sharing
+        // its rings would silently diverge from a full rebuild.
+        let mut orders_changed = false;
+        for (i, o) in orders.iter().enumerate() {
+            if *o != self.orders[i] {
+                let node = i as u32;
+                let declared = delta.rebinned.contains(&node)
+                    || delta.joined.contains(&node)
+                    || delta.departed.contains(&node);
+                if !declared && self.layers[0].ring_index_of(node).is_some() {
+                    return Err(HierasBuildError::UndeclaredRebin { node });
+                }
+                orders_changed = true;
+            }
+        }
+        let new_orders: Arc<[LandmarkOrder]> = if orders_changed {
+            orders.to_vec().into()
+        } else {
+            Arc::clone(&self.orders)
+        };
+        let mut new_layers = Vec::with_capacity(self.layers.len());
+        let mut touched_names: Vec<LandmarkOrder> = Vec::new();
+        for layer in &self.layers {
+            let plen = self.config.prefix_len(layer.layer_no);
+            let changes = self.layer_changes(plen, delta, orders);
+            if changes.is_empty() {
+                // Nothing moved at this layer: share it outright.
+                new_layers.push(layer.clone());
+                continue;
+            }
+            if layer.layer_no > 1 {
+                touched_names.extend(changes.keys().cloned());
+            }
+            // Rings born this epoch: changed names with no current ring.
+            let mut born: Vec<(&LandmarkOrder, &Vec<u32>)> = Vec::new();
+            for (name, (rem, ins)) in &changes {
+                if layer.names.binary_search(name).is_err() {
+                    if let Some(&m) = rem.first() {
+                        return Err(HierasBuildError::Ring(RingBuildError::NotAMember(m)));
+                    }
+                    born.push((name, ins));
+                }
+            }
+            // Merge old (surviving/delta'd) and born rings in sorted
+            // name order — the numbering a full rebuild produces.
+            let mut new_names: Vec<LandmarkOrder> = Vec::with_capacity(layer.names.len() + born.len());
+            let mut new_rings: Vec<Arc<RingView>> = Vec::with_capacity(layer.rings.len() + born.len());
+            let mut old_to_new: Vec<u32> = vec![u32::MAX; layer.names.len()];
+            let mut bi = 0usize;
+            let spawn = |name: &LandmarkOrder,
+                             ins: &[u32],
+                             names: &mut Vec<LandmarkOrder>,
+                             rings: &mut Vec<Arc<RingView>>|
+             -> Result<(), RingBuildError> {
+                let ring = RingView::build_on(exec, self.space, Arc::clone(&self.ids), ins)?;
+                names.push(name.clone());
+                rings.push(Arc::new(ring));
+                Ok(())
+            };
+            for (oi, name) in layer.names.iter().enumerate() {
+                while bi < born.len() && born[bi].0 < name {
+                    spawn(born[bi].0, born[bi].1, &mut new_names, &mut new_rings)?;
+                    bi += 1;
+                }
+                let old = &layer.rings[oi];
+                match changes.get(name) {
+                    None => {
+                        old_to_new[oi] = new_names.len() as u32;
+                        new_names.push(name.clone());
+                        new_rings.push(Arc::clone(old));
+                    }
+                    Some((rem, ins)) => {
+                        if ins.is_empty() && rem.len() == old.len() {
+                            let mut pos: Vec<u32> = Vec::with_capacity(rem.len());
+                            for &m in rem {
+                                pos.push(
+                                    old.position_of(m).ok_or(RingBuildError::NotAMember(m))?,
+                                );
+                            }
+                            pos.sort_unstable();
+                            pos.dedup();
+                            if pos.len() == old.len() {
+                                continue; // the ring emptied and disappears
+                            }
+                        }
+                        let ring = old.apply_delta_on(exec, rem, ins, pool)?;
+                        old_to_new[oi] = new_names.len() as u32;
+                        new_names.push(name.clone());
+                        new_rings.push(Arc::new(ring));
+                    }
+                }
+            }
+            while bi < born.len() {
+                spawn(born[bi].0, born[bi].1, &mut new_names, &mut new_rings)?;
+                bi += 1;
+            }
+            if new_rings.is_empty() {
+                return Err(HierasBuildError::Ring(RingBuildError::Empty));
+            }
+            // Re-point every node at its (possibly renumbered) ring.
+            let mut map: Vec<u32> = layer
+                .ring_of_node
+                .iter()
+                .map(|&r| if r == u32::MAX { u32::MAX } else { old_to_new[r as usize] })
+                .collect();
+            for &m in delta.departed {
+                map[m as usize] = u32::MAX;
+            }
+            for &m in delta.joined.iter().chain(delta.rebinned) {
+                let name = orders[m as usize].prefix(plen);
+                let ri = new_names
+                    .binary_search(&name)
+                    .expect("a joined/re-binned node's target ring exists");
+                map[m as usize] = ri as u32;
+            }
+            new_layers.push(Layer {
+                layer_no: layer.layer_no,
+                rings: new_rings,
+                names: new_names,
+                ring_of_node: map.into(),
+            });
+        }
+        // Ring tables: recompute touched names only, replaying the
+        // full build's layer-ordered observation sequence for each.
+        let mut ring_tables = self.ring_tables.clone();
+        touched_names.sort();
+        touched_names.dedup();
+        for name in &touched_names {
+            ring_tables.remove(&name.name());
+        }
+        for name in &touched_names {
+            for layer in new_layers.iter().skip(1) {
+                if let Ok(ri) = layer.names.binary_search(name) {
+                    let table = ring_tables
+                        .entry(name.name())
+                        .or_insert_with(|| RingTable::new(name));
+                    for &m in layer.rings[ri].members() {
+                        table.observe(self.ids[m as usize]);
+                    }
+                }
+            }
+        }
+        Ok(HierasOracle {
+            space: self.space,
+            ids: Arc::clone(&self.ids),
+            config: self.config.clone(),
+            orders: new_orders,
+            layers: new_layers,
+            ring_tables,
+        })
+    }
+
+    /// Order-sensitive digest of everything routing-visible — ring
+    /// names, packed arenas, node→ring maps, ring tables (sorted by
+    /// name), and the order table. Two oracles with equal digests
+    /// route identically; the delta-vs-full identity gates chain this
+    /// across whole runs.
+    #[must_use]
+    pub fn hierarchy_digest(&self) -> u64 {
+        let mut h = splitmix64(0x48ae_5a11_d161_57a1 ^ self.layers.len() as u64);
+        for layer in &self.layers {
+            h = splitmix64(h ^ layer.layer_no as u64);
+            for (name, ring) in layer.rings() {
+                for &d in &name.0 {
+                    h = splitmix64(h ^ u64::from(d) ^ 0x1111);
+                }
+                h = splitmix64(h ^ ring.arena_digest());
+            }
+            for &r in layer.ring_of_node.iter() {
+                h = splitmix64(h ^ u64::from(r));
+            }
+        }
+        let mut table_names: Vec<&String> = self.ring_tables.keys().collect();
+        table_names.sort();
+        for n in table_names {
+            let t = &self.ring_tables[n];
+            for b in n.bytes() {
+                h = splitmix64(h ^ u64::from(b));
+            }
+            h = splitmix64(h ^ t.ring_id.0);
+            for &m in t.entry_points() {
+                h = splitmix64(h ^ m.0);
+            }
+        }
+        for o in self.orders.iter() {
+            h = splitmix64(h ^ o.0.len() as u64);
+            for &d in &o.0 {
+                h = splitmix64(h ^ u64::from(d));
+            }
+        }
+        h
+    }
+
+    /// Dismantles this hierarchy into `pool`, salvaging the arena
+    /// allocations of every ring this oracle was the last owner of
+    /// (rings still shared with a newer epoch just drop their
+    /// reference). The epoch publisher calls this on reclaimed
+    /// snapshots so steady-state publishing stops round-tripping arena
+    /// buffers through the allocator.
+    pub fn recycle_into(self, pool: &mut RingArenaPool) {
+        for layer in self.layers {
+            for ring in layer.rings {
+                if let Ok(r) = Arc::try_unwrap(ring) {
+                    r.recycle_into(pool);
+                }
+            }
+        }
     }
 }
 
@@ -834,6 +1229,219 @@ mod tests {
         )
         .unwrap();
         let _ = o.route(3, Id(42));
+    }
+
+    /// Field-by-field structural equality: every ring arena, ring
+    /// numbering, node→ring map and the whole-hierarchy digest.
+    fn assert_same(a: &HierasOracle, b: &HierasOracle) {
+        assert_eq!(a.layers().len(), b.layers().len());
+        for (la, lb) in a.layers().iter().zip(b.layers()) {
+            assert_eq!(la.ring_count(), lb.ring_count(), "layer {}", la.layer_no);
+            for ((na, ra), (nb, rb)) in la.rings().zip(lb.rings()) {
+                assert_eq!(na, nb, "layer {}", la.layer_no);
+                assert_eq!(ra, rb, "layer {} ring {}", la.layer_no, na.name());
+            }
+            assert_eq!(&*la.ring_of_node, &*lb.ring_of_node, "layer {}", la.layer_no);
+        }
+        assert_eq!(a.hierarchy_digest(), b.hierarchy_digest());
+    }
+
+    #[test]
+    fn delta_matches_full_rebuild_on_churn_batch() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let exec = Executor::default();
+        let members: Vec<u32> = (0..12u32).filter(|&m| m != 5 && m != 8).collect();
+        let base = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &members,
+            config.clone(),
+        )
+        .unwrap();
+        // One epoch: node 5 joins, node 2 leaves, node 4 re-bins to "22".
+        let mut after = orders.clone();
+        after[4] = LandmarkOrder(vec![2, 2]);
+        let delta = HierasDelta { joined: &[5], departed: &[2], rebinned: &[4] };
+        let inc = base
+            .apply_delta_on(&exec, &delta, &after, &mut RingArenaPool::disabled())
+            .unwrap();
+        let post: Vec<u32> = (0..12u32).filter(|&m| m != 2 && m != 8).collect();
+        let full = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            after,
+            &post,
+            config,
+        )
+        .unwrap();
+        assert_same(&inc, &full);
+        for k in 0..50u64 {
+            let key = Id(k.wrapping_mul(0x517c_c1b7_2722_0a95));
+            assert_eq!(inc.owner_of(key), full.owner_of(key));
+            assert_eq!(inc.route(4, key).hop_count(), full.route(4, key).hop_count());
+        }
+        // The untouched base survives unchanged (copy-on-write).
+        assert!(base.layers()[0].ring_index_of(2).is_some());
+        assert!(base.layers()[0].ring_index_of(5).is_none());
+    }
+
+    #[test]
+    fn delta_handles_ring_death_and_birth() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let exec = Executor::default();
+        let all: Vec<u32> = (0..12u32).collect();
+        let base = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &all,
+            config.clone(),
+        )
+        .unwrap();
+        // Whole-stub-domain removal: every "22" node departs at once.
+        let odds: Vec<u32> = (0..12u32).filter(|m| m % 2 == 1).collect();
+        let delta = HierasDelta { departed: &odds, ..HierasDelta::default() };
+        let inc = base
+            .apply_delta_on(&exec, &delta, &orders, &mut RingArenaPool::disabled())
+            .unwrap();
+        let evens: Vec<u32> = (0..12u32).filter(|m| m % 2 == 0).collect();
+        let full = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &evens,
+            config.clone(),
+        )
+        .unwrap();
+        assert_same(&inc, &full);
+        assert_eq!(inc.layers()[1].ring_count(), 1, "ring 22 died");
+        assert!(inc.ring_table("22").is_none(), "dead ring keeps no table");
+        // Birth: node 1 rejoins under a brand-new order "11".
+        let mut after = orders.clone();
+        after[1] = LandmarkOrder(vec![1, 1]);
+        let delta = HierasDelta { joined: &[1], ..HierasDelta::default() };
+        let inc2 = inc
+            .apply_delta_on(&exec, &delta, &after, &mut RingArenaPool::disabled())
+            .unwrap();
+        let post: Vec<u32> = (0..12u32).filter(|&m| m % 2 == 0 || m == 1).collect();
+        let full2 = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            after,
+            &post,
+            config,
+        )
+        .unwrap();
+        assert_same(&inc2, &full2);
+        assert_eq!(inc2.layers()[1].ring_count(), 2, "ring 11 born");
+        assert_eq!(inc2.ring_table("11").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delta_validates_inputs() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let exec = Executor::default();
+        let all: Vec<u32> = (0..12u32).collect();
+        let o = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &all,
+            config,
+        )
+        .unwrap();
+        let mut pool = RingArenaPool::disabled();
+        let err = o
+            .apply_delta_on(&exec, &HierasDelta::default(), &orders[..5], &mut pool)
+            .unwrap_err();
+        assert_eq!(err, HierasBuildError::OrderCount { expected: 12, got: 5 });
+        // A live member's order moved without being declared re-binned.
+        let mut sneaky = orders.clone();
+        sneaky[7] = LandmarkOrder(vec![0, 0]);
+        let err = o
+            .apply_delta_on(&exec, &HierasDelta::default(), &sneaky, &mut pool)
+            .unwrap_err();
+        assert_eq!(err, HierasBuildError::UndeclaredRebin { node: 7 });
+        // ...but declaring it makes the same input valid.
+        let delta = HierasDelta { rebinned: &[7], ..HierasDelta::default() };
+        assert!(o.apply_delta_on(&exec, &delta, &sneaky, &mut pool).is_ok());
+        // Re-binning a node that is not a member.
+        let dead = HierasDelta { departed: &[7], ..HierasDelta::default() };
+        let o2 = o.apply_delta_on(&exec, &dead, &orders, &mut pool).unwrap();
+        let delta = HierasDelta { rebinned: &[7], ..HierasDelta::default() };
+        let err = o2.apply_delta_on(&exec, &delta, &orders, &mut pool).unwrap_err();
+        assert_eq!(err, HierasBuildError::Ring(RingBuildError::NotAMember(7)));
+        // Out-of-range node indices.
+        let delta = HierasDelta { joined: &[99], ..HierasDelta::default() };
+        let err = o.apply_delta_on(&exec, &delta, &orders, &mut pool).unwrap_err();
+        assert_eq!(err, HierasBuildError::Ring(RingBuildError::BadIndex(99)));
+        // An empty delta is the identity.
+        let same = o
+            .apply_delta_on(&exec, &HierasDelta::default(), &orders, &mut pool)
+            .unwrap();
+        assert_same(&same, &o);
+    }
+
+    #[test]
+    fn delta_touch_stats_count_affected_rings() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let exec = Executor::default();
+        let all: Vec<u32> = (0..12u32).collect();
+        let o = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &all,
+            config,
+        )
+        .unwrap();
+        let none = o.delta_touch_stats(&HierasDelta::default(), &orders);
+        assert_eq!((none.touched_rings, none.total_rings), (0, 3));
+        assert_eq!(none.fraction(), 0.0);
+        // One departure touches the global ring and its "22" stub ring.
+        let delta = HierasDelta { departed: &[3], ..HierasDelta::default() };
+        let s = o.delta_touch_stats(&delta, &orders);
+        assert_eq!((s.touched_rings, s.total_rings), (2, 3));
+        // A re-bin from "22" to "00" touches both stub rings, not global.
+        let mut after = orders.clone();
+        after[3] = LandmarkOrder(vec![0, 0]);
+        let delta = HierasDelta { rebinned: &[3], ..HierasDelta::default() };
+        let s = o.delta_touch_stats(&delta, &after);
+        assert_eq!((s.touched_rings, s.total_rings), (2, 3));
+    }
+
+    #[test]
+    fn recycled_oracle_feeds_the_next_delta() {
+        let (space, ids, orders, config) = two_bin_inputs();
+        let exec = Executor::default();
+        let all: Vec<u32> = (0..12u32).collect();
+        let mut pool = RingArenaPool::new(16);
+        let base = HierasOracle::build_members_on(
+            &exec,
+            space,
+            Arc::clone(&ids),
+            orders.clone(),
+            &all,
+            config,
+        )
+        .unwrap();
+        let delta = HierasDelta { departed: &[3], ..HierasDelta::default() };
+        let next = base.apply_delta_on(&exec, &delta, &orders, &mut pool).unwrap();
+        // Retire the base epoch: only rings it solely owns are salvaged.
+        base.recycle_into(&mut pool);
+        assert!(pool.stats().returned > 0, "retired arenas were deposited");
+        let delta = HierasDelta { departed: &[5], ..HierasDelta::default() };
+        let reused_before = pool.stats().reused;
+        let _ = next.apply_delta_on(&exec, &delta, &orders, &mut pool).unwrap();
+        assert!(pool.stats().reused > reused_before, "delta build drew from the pool");
     }
 
     /// Seeded-loop replacement for the old property test: HIERAS always

@@ -121,6 +121,19 @@ pub const SERVE_EPOCH_REBUILD_US: &str = "serve.epoch.rebuild_us";
 /// Wall-clock re-bin pass duration, µs (histogram; free-running
 /// windows only).
 pub const SERVE_EPOCH_REBIN_US: &str = "serve.epoch.rebin_us";
+/// Snapshots rebuilt incrementally from the churn delta inside the
+/// window (counter).
+pub const SERVE_EPOCH_DELTA_REBUILDS: &str = "serve.epoch.delta_rebuilds";
+/// Snapshots rebuilt from scratch inside the window — the maintainer's
+/// fallback when a churn batch touches too many rings (counter).
+pub const SERVE_EPOCH_FULL_REBUILDS: &str = "serve.epoch.full_rebuilds";
+/// Arena-buffer withdrawals served by the maintainer's recycling pool
+/// (counter).
+pub const SERVE_EPOCH_ARENA_REUSED: &str = "serve.epoch.arena_reuse.reused";
+/// Retired arena buffers deposited for reuse (counter).
+pub const SERVE_EPOCH_ARENA_RETURNED: &str = "serve.epoch.arena_reuse.returned";
+/// Retired arena buffers dropped because the pool was full (counter).
+pub const SERVE_EPOCH_ARENA_DROPPED: &str = "serve.epoch.arena_reuse.dropped";
 
 /// Populated telemetry windows at end of run (gauge).
 pub const TELEMETRY_WINDOWS: &str = "telemetry.windows";

@@ -318,6 +318,23 @@ impl TelemetryShard {
                 || latency_ms > self.cur_slow.last().expect("k > 0").latency_ms)
     }
 
+    /// Records a batch of successful lookups that all completed in
+    /// `window`: one window roll for the whole batch instead of one
+    /// per lookup. Produces exactly the state `latencies_ms.len()`
+    /// calls to [`TelemetryShard::lookup`] would — the batched reader
+    /// path stays merge-identical to the single-lookup path.
+    #[inline]
+    pub fn lookup_bulk(&mut self, window: u64, latencies_ms: &[u64]) {
+        if latencies_ms.is_empty() {
+            return;
+        }
+        self.roll(window);
+        self.cur.lookups += latencies_ms.len() as u64;
+        for &ms in latencies_ms {
+            self.cur.latency.record(ms);
+        }
+    }
+
     /// Records one failed lookup (counted, not observed into the
     /// latency histogram).
     pub fn lookup_failed(&mut self, window: u64) {
@@ -784,6 +801,32 @@ mod tests {
                 merged.slow.iter().filter(|s| s.window == w).cloned().collect();
             assert_eq!(got, want, "window {w}");
         }
+    }
+
+    #[test]
+    fn bulk_lookups_match_single_lookups_exactly() {
+        let obs: Vec<(u64, u64)> = (0..60u64).map(|i| (i / 20, (i * 13) % 97)).collect();
+        let mut single = TelemetryShard::new(2);
+        let mut bulk = TelemetryShard::new(2);
+        for &(w, ms) in &obs {
+            single.lookup(w, ms);
+            if single.slow_qualifies(w, ms) {
+                single.admit_slow(slow(w, ms, ms));
+            }
+        }
+        for w in 0..3u64 {
+            let batch: Vec<u64> = obs.iter().filter(|o| o.0 == w).map(|o| o.1).collect();
+            bulk.lookup_bulk(w, &batch);
+            for &ms in &batch {
+                if bulk.slow_qualifies(w, ms) {
+                    bulk.admit_slow(slow(w, ms, ms));
+                }
+            }
+        }
+        bulk.lookup_bulk(9, &[]); // empty batches touch nothing
+        let rs = single.into_report("sim", 10, None);
+        let rb = bulk.into_report("sim", 10, None);
+        assert_eq!(rs, rb, "bulk feed must be indistinguishable from singles");
     }
 
     #[test]

@@ -30,13 +30,13 @@ use crate::snapshot::ServeSnapshot;
 use crate::telemetry::{MaintStats, TelemetryConfig};
 use hieras_chord::PathBuf;
 use hieras_churn::MembershipReplay;
-use hieras_core::LandmarkOrder;
+use hieras_core::{HierasDelta, HierasOracle, LandmarkOrder, RingArenaPool};
 use hieras_id::{Id, Key};
 use hieras_obs::{names, HopRecord, Registry, SlowLookup, TelemetryShard, TimeSeriesReport};
 use hieras_rt::{splitmix64, Executor};
 use hieras_sim::{ChurnConfig, Experiment, Metrics, Sample, Workload};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Knobs of one serving run.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +69,31 @@ pub struct ServeConfig {
     /// SLO monitor. Off by default; turning it on never perturbs the
     /// routing metrics (telemetry accumulates in its own shards).
     pub telemetry: TelemetryConfig,
+    /// Incremental-maintenance threshold: when a churn batch touches
+    /// at most this fraction of the hierarchy's rings, the maintainer
+    /// applies it as a delta onto the previous epoch's arenas
+    /// ([`hieras_core::HierasOracle::apply_delta_on`] — byte-identical
+    /// to a full rebuild by construction) instead of rebuilding from
+    /// scratch; batches above the threshold fall back to the full
+    /// rebuild. `0.0` disables the delta path entirely, `1.0` never
+    /// falls back.
+    pub delta_max_ring_fraction: f64,
+    /// Free-running readers serve lookups in epoch-pinned batches of
+    /// `refresh_batch`: telemetry feeds the window shard in bulk and
+    /// slow-lookup qualification runs once per batch after the routing
+    /// work, instead of interleaving per lookup. The reported metrics
+    /// and flight-recorder top-K are identical either way; only the
+    /// per-lookup overhead moves.
+    pub batched: bool,
+    /// Free-running maintainer pacing, in sim-milliseconds of schedule
+    /// time per wall-millisecond. At `0.0` the maintainer replays
+    /// churn at full rate (the schedule drains in a few ms of wall
+    /// time at smoke sizes — wall-mode telemetry then sees one giant
+    /// burst); at `pace > 0` it sleeps until each batch's schedule
+    /// time, so a 60 s horizon at `pace = 50` spans 1.2 s of wall
+    /// clock and the wall windows resolve the churn as a time series.
+    /// Ignored outside [`ServeEngine::run_live`].
+    pub pace: f64,
 }
 
 /// The quiesced baseline: full membership, epoch 0, no maintenance.
@@ -164,6 +189,35 @@ impl MaintCtx {
     }
 }
 
+/// Maintainer-private rebuild state, one per churning run: the oracle
+/// of the latest published snapshot (the base every delta applies
+/// onto), the arena recycling pool, and the per-batch delta scratch.
+struct MaintState {
+    /// The published hierarchy — shares its ring `Arc`s with the
+    /// snapshot readers hold, so a delta copies only touched rings.
+    cur: HierasOracle,
+    pool: RingArenaPool,
+    joined: Vec<u32>,
+    departed: Vec<u32>,
+    rebinned: Vec<u32>,
+}
+
+impl MaintState {
+    /// Retired arenas a maintainer plausibly holds between epochs:
+    /// a few rings per layer, three buffers each.
+    const POOL_CAP: usize = 64;
+
+    fn new(cur: HierasOracle) -> Self {
+        MaintState {
+            cur,
+            pool: RingArenaPool::new(Self::POOL_CAP),
+            joined: Vec::new(),
+            departed: Vec::new(),
+            rebinned: Vec::new(),
+        }
+    }
+}
+
 /// The serving engine over one experiment's world.
 #[derive(Clone, Copy)]
 pub struct ServeEngine<'a> {
@@ -196,6 +250,11 @@ impl<'a> ServeEngine<'a> {
         assert!(cfg.lookups_per_epoch >= 1, "need at least one lookup per epoch");
         assert!(cfg.refresh_batch >= 1, "need at least one lookup per refresh");
         assert!(cfg.rebin_noise >= 0.0, "noise is a magnitude");
+        assert!(
+            (0.0..=1.0).contains(&cfg.delta_max_ring_fraction),
+            "the delta threshold is a ring fraction"
+        );
+        assert!(cfg.pace >= 0.0, "pace is a sim-per-wall ratio");
         ServeEngine { exp, cfg }
     }
 
@@ -345,8 +404,15 @@ impl<'a> ServeEngine<'a> {
     /// Re-measures every live peer's landmark RTTs under fresh
     /// multiplicative noise (deterministic in `(round, peer)`) and
     /// re-derives its ring order into `orders`. Returns how many live
-    /// peers changed order — the peers the next snapshot re-bins.
-    fn rebin(&self, round: u64, live: &[u32], orders: &mut [LandmarkOrder]) -> u64 {
+    /// peers changed order — the peers the next snapshot re-bins —
+    /// and appends them to `changed_peers` (not cleared first).
+    fn rebin(
+        &self,
+        round: u64,
+        live: &[u32],
+        orders: &mut [LandmarkOrder],
+        changed_peers: &mut Vec<u32>,
+    ) -> u64 {
         let binning = &self.exp.config.hieras.binning;
         let mut changed = 0u64;
         let mut rtts: Vec<u16> = Vec::with_capacity(self.exp.landmarks.len());
@@ -370,6 +436,7 @@ impl<'a> ServeEngine<'a> {
             let o = binning.order_with_noise(&rtts, &noise);
             if o != orders[p as usize] {
                 orders[p as usize] = o;
+                changed_peers.push(p);
                 changed += 1;
             }
         }
@@ -380,28 +447,44 @@ impl<'a> ServeEngine<'a> {
     /// due, rebuild + publish when the membership or orders moved, and
     /// reclaim. Returns whether the schedule is exhausted.
     ///
+    /// When the batch touches at most `delta_max_ring_fraction` of the
+    /// hierarchy's rings, the rebuild applies the recorded membership
+    /// delta onto `st.cur` — structurally sharing every untouched ring
+    /// with the previous epoch and recycling retired arenas through
+    /// `st.pool` — and falls back to a full rebuild otherwise. Both
+    /// paths produce byte-identical snapshots (the CI-gated delta
+    /// identity), so the choice is purely a cost decision.
+    ///
     /// `ctx` collects the round's telemetry: wall-clock phase
     /// durations always flow into [`MaintStats`]; when telemetry is
     /// enabled the round also publishes `serve.epoch.*` health
     /// counters and gauges into its window (and, on the wall clock
     /// only, the duration histograms — wall values never enter sim
     /// windows, which must stay deterministic).
+    #[allow(clippy::too_many_arguments)] // the full maintenance round state
     fn maintain(
         &self,
         exec: &Executor,
         round: u64,
         replay: &mut MembershipReplay,
         orders: &mut [LandmarkOrder],
+        st: &mut MaintState,
         pb: &mut Publisher<ServeSnapshot>,
         reg: &mut Registry,
         ctx: &mut MaintCtx,
     ) -> bool {
         ctx.stats.rounds += 1;
-        let delta = replay.apply_next(self.cfg.events_per_epoch);
+        let delta = replay.apply_next_recording(
+            self.cfg.events_per_epoch,
+            &mut st.joined,
+            &mut st.departed,
+        );
         let mut rebin_us = 0u64;
+        st.rebinned.clear();
         let rebinned = if self.cfg.rebin_every > 0 && round % self.cfg.rebin_every == 0 {
             let tr = Instant::now();
-            let changed = self.rebin(round, &replay.live_members(), orders);
+            let changed =
+                self.rebin(round, &replay.live_members(), orders, &mut st.rebinned);
             rebin_us = tr.elapsed().as_micros() as u64;
             ctx.stats.rebin_rounds += 1;
             ctx.stats.rebinned_peers += changed;
@@ -413,24 +496,64 @@ impl<'a> ServeEngine<'a> {
         let published = delta.changed() || rebinned > 0;
         let mut publish_us = 0u64;
         let mut rebuild_us = 0u64;
+        let mut used_delta = false;
         if published {
+            // A peer that joined this very batch is not a member of the
+            // base hierarchy yet — its (possibly re-binned) order rides
+            // in with the join, not as a re-bin.
+            st.rebinned.retain(|m| !st.joined.contains(m));
             let members = replay.live_members();
             let next = pb.published_epoch() + 1;
             let tp = Instant::now();
-            let snap = self.snapshot(exec, next, members, orders);
+            let hdelta = HierasDelta {
+                joined: &st.joined,
+                departed: &st.departed,
+                rebinned: &st.rebinned,
+            };
+            // Note: the touched fraction can exceed 1.0 — born rings
+            // count as touched but not as existing — so 1.0 is handled
+            // as the documented "never fall back", not a comparison.
+            let frac = self.cfg.delta_max_ring_fraction;
+            used_delta = frac >= 1.0
+                || (frac > 0.0
+                    && st.cur.delta_touch_stats(&hdelta, orders).fraction() <= frac);
+            let oracle = if used_delta {
+                st.cur
+                    .apply_delta_on(exec, &hdelta, orders, &mut st.pool)
+                    .expect("a recorded churn delta over the live membership is valid")
+            } else {
+                self.exp
+                    .subset_hieras_on(exec, &members, Some(orders), None)
+                    .expect("live membership is a valid non-empty subset")
+            };
+            let snap = ServeSnapshot::new(next, oracle.clone(), members.into());
             rebuild_us = tp.elapsed().as_micros() as u64;
             pb.publish(snap);
             publish_us = tp.elapsed().as_micros() as u64;
+            st.cur = oracle;
+            // Chained off the timed path: proves, run against run, that
+            // the delta and full paths publish byte-identical state.
+            ctx.stats.snapshot_digest =
+                splitmix64(ctx.stats.snapshot_digest ^ st.cur.hierarchy_digest());
             ctx.stats.rebuilds += 1;
+            if used_delta {
+                ctx.stats.delta_rebuilds += 1;
+            } else {
+                ctx.stats.full_rebuilds += 1;
+            }
             ctx.stats.rebuild_us.record(rebuild_us);
             ctx.stats.publish_us.record(publish_us);
+            ctx.stats.publish_samples.push(publish_us);
             reg.inc(names::SERVE_EPOCHS_PUBLISHED);
             reg.inc_by(names::SERVE_JOINS, u64::from(delta.joins));
             reg.inc_by(names::SERVE_LEAVES, u64::from(delta.leaves));
             reg.inc_by(names::SERVE_FAILS, u64::from(delta.fails));
             reg.inc_by(names::SERVE_REBINNED, rebinned);
         }
-        let freed = pb.reclaim();
+        // Salvage retired snapshots this publisher solely owns back
+        // into the arena pool — the next delta builds from them.
+        let pool = &mut st.pool;
+        let freed = pb.reclaim_with(|snap| snap.oracle.recycle_into(pool));
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
         if ctx.enabled {
             let now = ctx.now_ms(replay.now_ms());
@@ -446,6 +569,11 @@ impl<'a> ServeEngine<'a> {
             h.gauge_set(names::SERVE_EPOCH_RETIRED_BACKLOG, backlog as i64);
             if published {
                 h.inc(names::SERVE_EPOCH_PUBLISHED);
+                h.inc(if used_delta {
+                    names::SERVE_EPOCH_DELTA_REBUILDS
+                } else {
+                    names::SERVE_EPOCH_FULL_REBUILDS
+                });
                 // Age of the snapshot just replaced, at replacement.
                 h.gauge_set(names::SERVE_EPOCH_SNAPSHOT_AGE_MS, age as i64);
                 if wall {
@@ -459,6 +587,18 @@ impl<'a> ServeEngine<'a> {
             }
         }
         delta.done
+    }
+
+    /// Publishes the run's arena-recycling counters into `reg`
+    /// (`serve.epoch.arena_reuse.*`) and folds them into the
+    /// maintenance profile — called once per churning run, after the
+    /// maintainer loop drains.
+    fn finish_maint(&self, st: &MaintState, reg: &mut Registry, ctx: &mut MaintCtx) {
+        let ps = st.pool.stats();
+        ctx.stats.arena = ps;
+        reg.inc_by(names::SERVE_EPOCH_ARENA_REUSED, ps.reused);
+        reg.inc_by(names::SERVE_EPOCH_ARENA_RETURNED, ps.returned);
+        reg.inc_by(names::SERVE_EPOCH_ARENA_DROPPED, ps.dropped);
     }
 
     /// Finalizes a run's telemetry: folds the maintenance shard into
@@ -558,8 +698,9 @@ impl<'a> ServeEngine<'a> {
         let turnover = schedule.turnover(self.cfg.churn.initial_nodes);
         let mut replay = MembershipReplay::new(self.cfg.churn.initial_nodes, schedule);
         let mut orders: Vec<LandmarkOrder> = self.exp.orders.clone();
-        let (mut pb, handle) =
-            epoch_pair(self.snapshot(exec, 0, replay.live_members(), &orders));
+        let snap0 = self.snapshot(exec, 0, replay.live_members(), &orders);
+        let mut st = MaintState::new(snap0.oracle.clone());
+        let (mut pb, handle) = epoch_pair(snap0);
         let mut reader = handle.reader();
         assert!(reader.snapshot().value.verify(0), "initial snapshot failed verification");
         let mut reg = Registry::new();
@@ -623,13 +764,24 @@ impl<'a> ServeEngine<'a> {
                 break;
             }
             round += 1;
-            self.maintain(exec, round, &mut replay, &mut orders, &mut pb, &mut reg, &mut ctx);
+            self.maintain(
+                exec,
+                round,
+                &mut replay,
+                &mut orders,
+                &mut st,
+                &mut pb,
+                &mut reg,
+                &mut ctx,
+            );
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         reg.observe(names::SERVE_READER_LOOKUPS, lookups);
         drop(reader);
-        let freed = pb.reclaim();
+        let pool = &mut st.pool;
+        let freed = pb.reclaim_with(|snap| snap.oracle.recycle_into(pool));
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
+        self.finish_maint(&st, &mut reg, &mut ctx);
         let stats = pb.stats();
         reg.gauge_set(names::SERVE_RECLAIM_LAG_PEAK, stats.lag_peak as i64);
         let maint = std::mem::take(&mut ctx.stats);
@@ -670,8 +822,9 @@ impl<'a> ServeEngine<'a> {
         let mut replay = MembershipReplay::new(self.cfg.churn.initial_nodes, schedule);
         let mut orders: Vec<LandmarkOrder> = self.exp.orders.clone();
         let maint_exec = Executor::new(1);
-        let (mut pb, handle) =
-            epoch_pair(self.snapshot(&maint_exec, 0, replay.live_members(), &orders));
+        let snap0 = self.snapshot(&maint_exec, 0, replay.live_members(), &orders);
+        let mut st = MaintState::new(snap0.oracle.clone());
+        let (mut pb, handle) = epoch_pair(snap0);
         let stop = AtomicBool::new(false);
         let mut reg = Registry::new();
         let mut ctx = MaintCtx::new(self.cfg.telemetry, true);
@@ -696,6 +849,11 @@ impl<'a> ServeEngine<'a> {
                         let floor = AtomicU64::new(0);
                         let mut floor_win = 0u64;
                         let mut scratch = PathBuf::new();
+                        // Batched-path scratch, reused across batches:
+                        // the batch's latencies and its slow-candidate
+                        // lookups `(src, key, latency, seq)`.
+                        let mut lats: Vec<u64> = Vec::new();
+                        let mut cands: Vec<(u32, u64, u64, u64)> = Vec::new();
                         let stream = splitmix64(
                             self.cfg.seed ^ (r as u64 + 1).wrapping_mul(0xd134_2543_de82_ef95),
                         );
@@ -722,24 +880,71 @@ impl<'a> ServeEngine<'a> {
                                     .health(win)
                                     .gauge_set(names::SERVE_EPOCH_READER_LAG, rd.lag() as i64);
                             }
-                            for _ in 0..self.cfg.refresh_batch {
-                                let (src, key) = v.value.request(stream, i);
-                                let s = self.eval(&v.value, src, key, &mut scratch);
-                                if tel_on {
-                                    self.telemetry_lookup(
-                                        &mut shard,
-                                        &v.value,
-                                        src,
-                                        key,
-                                        &mut scratch,
-                                        win,
-                                        u64::from(s.latency_ms),
-                                        i,
-                                        &floor,
-                                    );
+                            if self.cfg.batched {
+                                // Batched serving: route the whole
+                                // epoch-pinned batch allocation-free,
+                                // then feed telemetry once — one window
+                                // roll for N lookups, slow-lookup
+                                // qualification and capture deferred
+                                // behind the routing work. The admitted
+                                // top-K is identical to the per-lookup
+                                // path: the floor pre-check only skips
+                                // lookups ≥ K same-window entries
+                                // already outrank.
+                                lats.clear();
+                                cands.clear();
+                                for _ in 0..self.cfg.refresh_batch {
+                                    let (src, key) = v.value.request(stream, i);
+                                    let s = self.eval(&v.value, src, key, &mut scratch);
+                                    if tel_on {
+                                        let lat = u64::from(s.latency_ms);
+                                        lats.push(lat);
+                                        if lat >= floor.load(Ordering::Relaxed) {
+                                            cands.push((src, key.0, lat, i));
+                                        }
+                                    }
+                                    i += 1;
+                                    m.record(s);
                                 }
-                                i += 1;
-                                m.record(s);
+                                if tel_on {
+                                    shard.lookup_bulk(win, &lats);
+                                    for &(src, key, lat, seq) in &cands {
+                                        if shard.slow_qualifies(win, lat) {
+                                            shard.admit_slow(self.capture(
+                                                &v.value,
+                                                src,
+                                                Id(key),
+                                                &mut scratch,
+                                                win,
+                                                lat,
+                                                seq,
+                                            ));
+                                            if let Some(f) = shard.slow_floor() {
+                                                floor.fetch_max(f, Ordering::Relaxed);
+                                            }
+                                        }
+                                    }
+                                }
+                            } else {
+                                for _ in 0..self.cfg.refresh_batch {
+                                    let (src, key) = v.value.request(stream, i);
+                                    let s = self.eval(&v.value, src, key, &mut scratch);
+                                    if tel_on {
+                                        self.telemetry_lookup(
+                                            &mut shard,
+                                            &v.value,
+                                            src,
+                                            key,
+                                            &mut scratch,
+                                            win,
+                                            u64::from(s.latency_ms),
+                                            i,
+                                            &floor,
+                                        );
+                                    }
+                                    i += 1;
+                                    m.record(s);
+                                }
                             }
                         }
                         local.inc_by(names::SERVE_LOOKUPS, i);
@@ -750,12 +955,25 @@ impl<'a> ServeEngine<'a> {
                 .collect();
             let mut round = 0u64;
             loop {
+                // Pace the maintainer against the schedule: sleep until
+                // the next batch's sim time maps onto the wall clock at
+                // `pace` sim-ms per wall-ms. At 0.0, replay flat out.
+                if self.cfg.pace > 0.0 {
+                    if let Some(at) = replay.next_event_at() {
+                        let target = Duration::from_secs_f64(at as f64 / 1000.0 / self.cfg.pace);
+                        let elapsed = t0.elapsed();
+                        if target > elapsed {
+                            std::thread::sleep(target - elapsed);
+                        }
+                    }
+                }
                 round += 1;
                 if self.maintain(
                     &maint_exec,
                     round,
                     &mut replay,
                     &mut orders,
+                    &mut st,
                     &mut pb,
                     &mut reg,
                     &mut ctx,
@@ -779,8 +997,10 @@ impl<'a> ServeEngine<'a> {
             series = series.merged(shard);
         }
         let lookups = reg.counter(names::SERVE_LOOKUPS);
-        let freed = pb.reclaim();
+        let pool = &mut st.pool;
+        let freed = pb.reclaim_with(|snap| snap.oracle.recycle_into(pool));
         reg.inc_by(names::SERVE_SNAPSHOTS_RECLAIMED, freed as u64);
+        self.finish_maint(&st, &mut reg, &mut ctx);
         let stats = pb.stats();
         reg.gauge_set(names::SERVE_RECLAIM_LAG_PEAK, stats.lag_peak as i64);
         let maint = std::mem::take(&mut ctx.stats);
@@ -833,6 +1053,9 @@ mod tests {
             // 140-150 ms; ±60% reaches the 20/100 ms bounds.
             rebin_noise: 0.6,
             telemetry: TelemetryConfig::off(),
+            delta_max_ring_fraction: 0.35,
+            batched: false,
+            pace: 0.0,
         };
         (exp, serve)
     }
@@ -868,13 +1091,37 @@ mod tests {
         let mut a: Vec<LandmarkOrder> = exp.orders.clone();
         let mut b: Vec<LandmarkOrder> = exp.orders.clone();
         let live: Vec<u32> = (0..60).collect();
-        let ca = engine.rebin(4, &live, &mut a);
-        let cb = engine.rebin(4, &live, &mut b);
+        let mut moved = Vec::new();
+        let ca = engine.rebin(4, &live, &mut a, &mut moved);
+        let cb = engine.rebin(4, &live, &mut b, &mut Vec::new());
         assert_eq!(ca, cb, "re-bin must be deterministic in (round, peer)");
         assert_eq!(a, b);
+        assert_eq!(moved.len() as u64, ca, "every changed peer is recorded");
         // A different round draws different noise.
-        let cc = engine.rebin(8, &live, &mut b);
+        let cc = engine.rebin(8, &live, &mut b, &mut Vec::new());
         assert!(ca > 0 || cc > 0, "±60% noise must flip at least one bin boundary");
+    }
+
+    #[test]
+    fn delta_maintenance_publishes_identical_snapshots() {
+        let (exp, mut cfg) = tiny();
+        let exec = Executor::new(2);
+        cfg.delta_max_ring_fraction = 0.0;
+        let full = ServeEngine::new(&exp, cfg).run_deterministic(&exec);
+        assert_eq!(full.maint.delta_rebuilds, 0, "0.0 disables the delta path");
+        cfg.delta_max_ring_fraction = 1.0;
+        let delta = ServeEngine::new(&exp, cfg).run_deterministic(&exec);
+        assert!(delta.maint.delta_rebuilds > 0, "1.0 never falls back");
+        assert_eq!(delta.maint.full_rebuilds, 0);
+        assert_eq!(delta.metrics, full.metrics, "routing is oblivious to the rebuild path");
+        assert_eq!(
+            delta.maint.snapshot_digest, full.maint.snapshot_digest,
+            "every published snapshot must be byte-identical either way"
+        );
+        // The delta path recycles retired arenas; the full path cannot.
+        assert!(delta.maint.arena.returned > 0, "retired snapshots feed the pool");
+        assert!(delta.maint.arena.reused > 0, "deltas build from recycled arenas");
+        assert_eq!(full.maint.arena.reused, 0);
     }
 
     #[test]

@@ -104,6 +104,16 @@ impl<T> Publisher<T> {
     /// an old epoch keeps that epoch's snapshot (and every younger
     /// retired one) alive.
     pub fn reclaim(&mut self) -> usize {
+        self.reclaim_with(|_| {})
+    }
+
+    /// [`Publisher::reclaim`], but hands each reclaimed snapshot this
+    /// publisher held the *last* reference to over to `salvage` instead
+    /// of dropping it — the hook the serving maintainer uses to recycle
+    /// retired ring arenas into its free-list. A snapshot some reader
+    /// is still releasing concurrently is reclaimed but not salvaged
+    /// (its final `Arc` drop frees it as usual).
+    pub fn reclaim_with(&mut self, mut salvage: impl FnMut(T)) -> usize {
         let min_pinned = {
             let mut readers = self.shared.readers.lock().expect("reader panicked mid-drop");
             readers.retain(|slot| slot.active.load(Ordering::Acquire));
@@ -117,10 +127,16 @@ impl<T> Publisher<T> {
         // A snapshot of epoch e is safe to drop once every reader pins
         // an epoch > e: slots only ever increase and are written after
         // the reader swapped its Arc, so nobody can return to e.
-        self.retired.retain(|snap| {
+        let mut kept = Vec::with_capacity(self.retired.len());
+        for snap in self.retired.drain(..) {
             debug_assert!(snap.epoch < self.shared.published.load(Ordering::Relaxed));
-            snap.epoch >= min_pinned
-        });
+            if snap.epoch >= min_pinned {
+                kept.push(snap);
+            } else if let Ok(v) = Arc::try_unwrap(snap) {
+                salvage(v.value);
+            }
+        }
+        self.retired = kept;
         let freed = before - self.retired.len();
         self.reclaimed += freed as u64;
         freed
@@ -288,6 +304,22 @@ mod tests {
         let r = handle.reader();
         assert_eq!(r.snapshot().epoch, 5);
         assert_eq!(r.lag(), 0);
+    }
+
+    #[test]
+    fn reclaim_with_salvages_sole_owner_snapshots() {
+        let (mut pb, handle) = epoch_pair(0u32);
+        let slow = handle.reader();
+        for v in 1..=3 {
+            pb.publish(v);
+        }
+        let mut salvaged = Vec::new();
+        assert_eq!(pb.reclaim_with(|v| salvaged.push(v)), 0, "pinned by `slow`");
+        assert!(salvaged.is_empty());
+        drop(slow);
+        assert_eq!(pb.reclaim_with(|v| salvaged.push(v)), 3);
+        salvaged.sort_unstable();
+        assert_eq!(salvaged, vec![0, 1, 2], "every retired payload came back");
     }
 
     #[test]

@@ -52,6 +52,11 @@ fn free_running_readers_never_adopt_a_torn_snapshot() {
             // Telemetry on under fire: wall windows + flight captures
             // must survive the same stress the lookups do.
             telemetry: TelemetryConfig::on(),
+            // Delta and batched paths both on: the stress covers the
+            // incremental maintainer and the bulk-fed reader shards.
+            delta_max_ring_fraction: 0.5,
+            batched: true,
+            pace: 0.0,
         },
     );
     let r = engine.run_live();

@@ -179,6 +179,36 @@ if [ -z "$live_hieras" ] || [ "$live_hieras" != "$replay_hieras" ]; then
 fi
 echo "quiesced serving metrics byte-identical to the replay bench"
 
+echo "==> incremental maintenance: delta identity + publish-latency gates"
+# The bench replays the same deterministic schedule twice — delta
+# rebuilds off, then on — and records whether both runs published
+# byte-identical snapshots (routing metrics AND the chained snapshot
+# digest). The binary asserts it too; the grep keeps the artifact
+# honest. Note the quiesced-vs-replay identity above already ran with
+# the delta path enabled — the serving engine's default rows use it.
+if ! grep -q '"delta_identity": true' BENCH_live.json; then
+    echo "delta rebuilds were not byte-identical to full rebuilds" >&2
+    exit 1
+fi
+echo "delta rebuilds byte-identical to full rebuilds"
+# Publish-latency gate: at smoke sizes (tiny per-epoch ring turnover)
+# the incremental publish p50 must come in at or under the checked-in
+# fraction of the full-rebuild p50 (scripts/incremental_publish_ratio
+# — 0.5 means "at least 2x faster").
+ratio_budget=$(cat scripts/incremental_publish_ratio)
+ratio=$(awk -F': ' '/"incremental_publish_ratio"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_live.json)
+if [ -z "$ratio" ]; then
+    echo "no incremental_publish_ratio in BENCH_live.json" >&2
+    exit 1
+fi
+awk -v r="$ratio" -v b="$ratio_budget" 'BEGIN {
+    if (r + 0 > b + 0) {
+        printf "incremental publish too slow: p50 at %.2fx of a full rebuild (budget %.2fx)\n", r, b
+        exit 1
+    }
+    printf "incremental publish p50 at %.2fx of a full rebuild (budget %.2fx)\n", r, b
+}'
+
 echo "==> telemetry: windowed time-series gates"
 # Both streams (deterministic sim windows, free-running wall windows)
 # must parse back through hieras_rt::FromJson and re-serialize
