@@ -60,9 +60,13 @@
 
 use hieras_rt::{Executor, Json, ToJson};
 use hieras_serve::{
-    EpochStats, LiveReport, MaintStats, ServeConfig, ServeEngine, TelemetryConfig,
+    CacheConfig, EpochStats, LiveReport, MaintStats, ServeConfig, ServeEngine, TelemetryConfig,
+    WorkloadReport,
 };
-use hieras_sim::{ChurnConfig, Experiment, ExperimentConfig, Lifetime};
+use hieras_sim::{
+    ChurnConfig, Experiment, ExperimentConfig, Lifetime, SkewParams, Workload, WorkloadModel,
+    WorkloadSpec,
+};
 
 /// Master seed shared with the figure harness (paper publication date).
 const SEED: u64 = 20030415;
@@ -151,6 +155,8 @@ impl Scenario {
             delta_max_ring_fraction: DELTA_FRACTION,
             batched: false,
             pace: 0.0,
+            cache: CacheConfig::off(),
+            workload: WorkloadModel::Uniform,
         }
     }
 }
@@ -164,9 +170,10 @@ fn epochs_json(s: &EpochStats) -> Json {
     ])
 }
 
-fn live_json(r: &LiveReport, obs: bool) -> Json {
+fn live_json(r: &LiveReport, workload: WorkloadSpec, obs: bool) -> Json {
     let mut fields = vec![
         ("hieras", r.metrics.summary().to_json()),
+        ("workload", workload.to_json()),
         ("lookups", r.lookups.to_json()),
         ("wall_ns", r.wall_ns.to_json()),
         ("lookups_per_sec", r.lookups_per_sec().to_json()),
@@ -250,6 +257,9 @@ fn main() {
     cfg_on.pace = pace;
     let engine = ServeEngine::new(&exp, cfg_off);
     let engine_tel = ServeEngine::new(&exp, cfg_on);
+    // The descriptor every live row reports: the serve engines draw
+    // their lookup stream from the serve seed under `cfg.workload`.
+    let serve_spec = WorkloadSpec { model: cfg_off.workload, seed: cfg_off.seed };
 
     // Quiesced baseline: one discarded warm-up per engine, then REPS
     // timed reps, alternating telemetry off/on so both sides see the
@@ -377,6 +387,94 @@ fn main() {
         live.timeseries.as_ref().map_or(0, hieras_obs::TimeSeriesReport::window_count)
     );
 
+    // Workload-skew & caching sweep: uniform vs three Zipf exponents
+    // vs a flash crowd, each replayed three ways against the same
+    // world — the dual-algorithm replay (HIERAS-vs-Chord latency
+    // ratio as skew sharpens), then the quiesced serving path with
+    // the hot-key cache off and on (in verify mode, so every hit is
+    // cross-checked against the authoritative route). Cached and
+    // uncached runs must answer every request with the same owner
+    // (`digest_identity`), and the uniform uncached run must be
+    // byte-identical to the quiesced baseline (`cache_off_identity` —
+    // the cache-off no-perturbation proof CI greps for).
+    let mut cfg_cache = sc.serve_config(TelemetryConfig::off());
+    cfg_cache.cache = CacheConfig::on().verified();
+    let engine_cached = ServeEngine::new(&exp, cfg_cache);
+    let workload_seed = SEED ^ 0x517c_c1b7;
+    let skew_points: [(&str, WorkloadModel); 5] = [
+        ("uniform", WorkloadModel::Uniform),
+        ("zipf_0.8", WorkloadModel::Skew(SkewParams::zipf(0.8))),
+        ("zipf_0.99", WorkloadModel::Skew(SkewParams::zipf(0.99))),
+        ("zipf_1.2", WorkloadModel::Skew(SkewParams::zipf(1.2))),
+        ("flash", WorkloadModel::Skew(SkewParams::flash_crowd())),
+    ];
+    let mut cache_off_identity = false;
+    let mut zipf_smoke_hit_rate = 0.0;
+    let mut cached_hot_p50_ratio = 1.0;
+    let mut sweep_rows: Vec<Json> = Vec::with_capacity(skew_points.len());
+    for (label, model) in skew_points {
+        let w = Workload::with_model(sc.nodes as u32, sc.requests, workload_seed, model);
+        let cmp = exp.run_workload_on(&exec, &w);
+        let cs = cmp.chord.summary();
+        let hs = cmp.hieras.summary();
+        let latency_ratio =
+            if cs.avg_latency_ms > 0.0 { hs.avg_latency_ms / cs.avg_latency_ms } else { 1.0 };
+        let uncached = engine.run_quiesced_workload(&exec, &w);
+        let cached = engine_cached.run_quiesced_workload(&exec, &w);
+        assert_eq!(
+            cached.owner_digest, uncached.owner_digest,
+            "{label}: the cache changed a lookup's answer"
+        );
+        if matches!(model, WorkloadModel::Uniform) {
+            cache_off_identity = uncached.metrics == quiesced.metrics;
+            assert!(cache_off_identity, "cache-off uniform replay diverged from quiesced");
+        }
+        let hit_rate = cached.cache.hit_rate();
+        let hot = |r: &WorkloadReport| {
+            (r.hot.requests > 0).then(|| r.hot.summary().latency_tail.p50_ms)
+        };
+        let (hot_off, hot_on) = (hot(&uncached), hot(&cached));
+        let hot_ratio = match (hot_off, hot_on) {
+            (Some(off), Some(on)) if off > 0 => Some(f64::from(on) / f64::from(off)),
+            _ => None,
+        };
+        if label == "zipf_0.99" {
+            zipf_smoke_hit_rate = hit_rate;
+            cached_hot_p50_ratio = hot_ratio.unwrap_or(1.0);
+        }
+        println!(
+            "workload {label:>9} | hieras/chord latency {latency_ratio:.2} | \
+             cache hit rate {:>5.1}% | hot p50 {} -> {} ms",
+            100.0 * hit_rate,
+            hot_off.map_or_else(|| "-".into(), |v| v.to_string()),
+            hot_on.map_or_else(|| "-".into(), |v| v.to_string()),
+        );
+        let report_json = |r: &WorkloadReport| {
+            Json::obj([
+                ("hot_p50_ms", hot(r).map_or(Json::Null, |v| v.to_json())),
+                ("p50_ms", r.metrics.summary().latency_tail.p50_ms.to_json()),
+                ("hot_requests", r.hot.requests.to_json()),
+                ("lookups", r.lookups.to_json()),
+                ("wall_ns", r.wall_ns.to_json()),
+                ("cache_hits", r.cache.hits.to_json()),
+                ("cache_misses", r.cache.misses.to_json()),
+                ("cache_admits", r.cache.admits.to_json()),
+                ("cache_hit_rate", r.cache.hit_rate().to_json()),
+            ])
+        };
+        sweep_rows.push(Json::obj([
+            ("label", label.to_json()),
+            ("workload", w.spec().to_json()),
+            ("chord", cs.to_json()),
+            ("hieras", hs.to_json()),
+            ("hieras_vs_chord_latency", latency_ratio.to_json()),
+            ("uncached", report_json(&uncached)),
+            ("cached", report_json(&cached)),
+            ("cached_hot_p50_ratio", hot_ratio.map_or(Json::Null, |v| v.to_json())),
+            ("digest_identity", true.to_json()),
+        ]));
+    }
+
     if let Some(path) = timeseries_out.as_deref() {
         let det_ts = det.timeseries.as_ref().expect("deterministic run carries telemetry");
         let live_ts = live.timeseries.as_ref().expect("live run carries telemetry");
@@ -420,6 +518,15 @@ fn main() {
         ("telemetry_on_median_ns", tel_median_ns.to_json()),
         ("telemetry_off_ns_per_lookup", per_lookup_ns.to_json()),
         ("telemetry_on_ns_per_lookup", tel_lookup_ns.to_json()),
+        // Cache gates: every cached run re-verified each hit against
+        // the authoritative route (`cache_verified`), the cache-off
+        // uniform replay matched the quiesced baseline byte for byte,
+        // and the Zipf(0.99) point supplies the hit-rate floor and the
+        // hot-key speedup ceiling `scripts/verify.sh` budgets.
+        ("cache_verified", true.to_json()),
+        ("cache_off_identity", cache_off_identity.to_json()),
+        ("zipf_smoke_hit_rate", zipf_smoke_hit_rate.to_json()),
+        ("cached_hot_p50_ratio", cached_hot_p50_ratio.to_json()),
         // The quiesced block must stay the first `"hieras"` object in
         // the file: CI extracts it by position to compare against
         // `BENCH_replay.json`'s replayed summary byte for byte.
@@ -427,6 +534,7 @@ fn main() {
             "quiesced",
             Json::obj([
                 ("hieras", qs.to_json()),
+                ("workload", WorkloadSpec::uniform(SEED ^ 0x517c_c1b7).to_json()),
                 ("lookups", quiesced.lookups.to_json()),
                 ("warmup_ns_per_lookup", warmup_ns.to_json()),
                 ("min_ns_per_lookup", per_lookup_ns[0].to_json()),
@@ -457,9 +565,13 @@ fn main() {
                 ("maintenance", base.maint.to_json()),
             ]),
         ),
-        ("live_deterministic", live_json(&det, obs)),
-        ("live", live_json(&live, obs)),
-        ("live_batched", live_json(&batched, obs)),
+        ("live_deterministic", live_json(&det, serve_spec, obs)),
+        ("live", live_json(&live, serve_spec, obs)),
+        ("live_batched", live_json(&batched, serve_spec, obs)),
+        // The skew sweep rows carry their own `hieras` summaries, so
+        // they must trail everything the position-sensitive quiesced
+        // extraction could see.
+        ("workload_sweep", Json::Arr(sweep_rows)),
     ]);
 
     let path = "BENCH_live.json";

@@ -30,7 +30,7 @@
 use hieras_bench::message_probe;
 use hieras_obs::Profiler;
 use hieras_rt::{Executor, Json, ToJson};
-use hieras_sim::{Experiment, ExperimentConfig};
+use hieras_sim::{Experiment, ExperimentConfig, WorkloadSpec};
 use std::time::Instant;
 
 /// Master seed shared with the figure harness (paper publication date).
@@ -100,6 +100,9 @@ fn bench_one(exec: &Executor, point: &SizePoint, obs: &ObsOpts) -> Json {
     let mut fields = vec![
         ("nodes", point.nodes.to_json()),
         ("requests", point.requests.to_json()),
+        // The replay stream `run_requests_on` derives: uniform draws
+        // from the experiment seed's workload sub-stream.
+        ("workload", WorkloadSpec::uniform(config.seed ^ 0x517c_c1b7).to_json()),
         ("build_ms", build_ms.to_json()),
         ("warmup_ns_per_lookup", warmup_ns.to_json()),
         ("min_ns_per_lookup", min_ns.to_json()),

@@ -39,6 +39,7 @@ use hieras_obs::{names, Profiler, Registry};
 use hieras_rt::{Executor, Json, ToJson};
 use hieras_sim::{
     BuildOptions, ComparisonResult, Experiment, ExperimentConfig, OracleBackend, Workload,
+    WorkloadSpec,
 };
 use hieras_topology::LatencyOracle;
 use std::time::Instant;
@@ -199,6 +200,9 @@ fn bench_one(
     let json = Json::obj([
         ("nodes", point.nodes.to_json()),
         ("requests", point.requests.to_json()),
+        // The replay stream `run_requests_on` derives: uniform draws
+        // from the experiment seed's workload sub-stream.
+        ("workload", WorkloadSpec::uniform(SEED ^ 0x517c_c1b7).to_json()),
         ("backend", oracle.label().to_json()),
         ("build_threads", exec.threads().to_json()),
         ("build_ms", build_ms.to_json()),

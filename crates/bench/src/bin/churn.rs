@@ -1,10 +1,13 @@
 //! Churn benchmark — resilience under membership turnover.
 //!
-//! Runs the deterministic churn engine over three departure mixes
-//! (all-graceful, 50/50, all-silent) and writes one record per
-//! scenario to `BENCH_churn.json`: lookup failure rates,
-//! timeout-inflated latency summaries, and per-layer maintenance
-//! overhead for both HIERAS and the dynamic Chord baseline.
+//! Runs the deterministic churn engine over four departure scenarios
+//! — all-graceful, 50/50, all-silent, and `domain` (the 50/50 mix
+//! plus a correlated stub-domain cut fired mid-run, read against
+//! `mixed` to price simultaneous site loss over the same
+//! independent-death background) — and writes one record per scenario
+//! to `BENCH_churn.json`: lookup failure rates, timeout-inflated
+//! latency summaries, and per-layer maintenance overhead for both
+//! HIERAS and the dynamic Chord baseline.
 //!
 //! Run with `--smoke` for the CI-sized run (120 initial nodes);
 //! the full run uses the acceptance scale (300 initial nodes, ≥ 5 %
@@ -26,6 +29,7 @@
 use hieras_bench::{churn_sweep, churn_sweep_traced, ChurnRow};
 use hieras_churn::ChurnObs;
 use hieras_rt::{Executor, Json, ToJson};
+use hieras_sim::WorkloadSpec;
 use std::time::Instant;
 
 /// Master seed shared with the figure harness (paper publication date).
@@ -131,6 +135,9 @@ fn main() {
         ("initial_nodes", initial.to_json()),
         ("arrivals", arrivals.to_json()),
         ("horizon_ms", horizon_ms.to_json()),
+        // The churn engine injects uniformly drawn lookups; every
+        // bench artifact names the workload model it measured under.
+        ("workload", WorkloadSpec::uniform(SEED).to_json()),
         ("wall_ms", wall_ms.to_json()),
         ("scenarios", Json::Arr(scenarios)),
     ]);

@@ -173,6 +173,38 @@ pub fn timeline_table(ts: &TimeSeriesReport) -> String {
             ts.windows.iter().map(|w| pub_p50(w).unwrap_or(0)).collect();
         let _ = writeln!(s, "pub µs  {}", sparkline(&series));
     }
+    // Cache hit-rate series: runs with the hot-key lookup cache on
+    // fold per-window probe/hit counters into each window's health
+    // registry; cache-off runs never carry them, so the section only
+    // appears when there is something to show.
+    let cache_probes =
+        |w: &hieras_obs::TelemetryWindow| w.health.counter(names::SERVE_CACHE_WINDOW_LOOKUPS);
+    let cache_hits =
+        |w: &hieras_obs::TelemetryWindow| w.health.counter(names::SERVE_CACHE_WINDOW_HITS);
+    if ts.windows.iter().any(|w| cache_probes(w) > 0) {
+        let pct: Vec<u64> = ts
+            .windows
+            .iter()
+            .map(|w| {
+                let probes = cache_probes(w);
+                if probes > 0 { cache_hits(w) * 100 / probes } else { 0 }
+            })
+            .collect();
+        let _ = writeln!(s, "cache % {}", sparkline(&pct));
+        let (hits, probes) = ts
+            .windows
+            .iter()
+            .fold((0u64, 0u64), |(h, p), w| (h + cache_hits(w), p + cache_probes(w)));
+        let _ = writeln!(
+            s,
+            "# cache: {hits} hits / {probes} lookups ({:.1}%), per-window {}",
+            100.0 * hits as f64 / probes.max(1) as f64,
+            pct.iter()
+                .map(|p| format!("{p}%"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        );
+    }
     let _ = writeln!(
         s,
         "| window | lookups | lookups/s | p50 | p95 | p99 | p99.9 | fail | retry | epochs | full | pub µs | churn |"
@@ -313,6 +345,38 @@ pub fn timeline_compare(a: &TimeSeriesReport, b: &TimeSeriesReport) -> String {
             fmt(wb, |w| w.failures),
         );
     }
+    // Flash-crowd flags: windows whose lookup volume spikes to at
+    // least 3x the stream's own median — the signature a flash-crowd
+    // workload leaves on the timeline. Flagged per side so a
+    // crowd-vs-uniform diff names exactly where the surge landed.
+    for (name, ts) in [("a", a), ("b", b)] {
+        let mut volumes: Vec<u64> = ts.windows.iter().map(|w| w.lookups).collect();
+        volumes.sort_unstable();
+        let median = volumes.get(volumes.len() / 2).copied().unwrap_or(0);
+        let crowded: Vec<&hieras_obs::TelemetryWindow> = if median > 0 {
+            ts.windows.iter().filter(|w| w.lookups >= 3 * median).collect()
+        } else {
+            Vec::new()
+        };
+        if !crowded.is_empty() {
+            let _ = writeln!(
+                s,
+                "# flash-crowd windows ({name}): {} of {} (median {median} lookups/window)",
+                crowded.len(),
+                ts.window_count(),
+            );
+            for w in crowded {
+                let _ = writeln!(
+                    s,
+                    "window {}: {} lookups ({:.1}x median), p99 {} ms",
+                    w.index,
+                    w.lookups,
+                    w.lookups as f64 / median as f64,
+                    w.latency.quantile(0.99),
+                );
+            }
+        }
+    }
     s
 }
 
@@ -430,6 +494,53 @@ mod tests {
         assert!(t.contains("window 1: 1 full of 2 rebuilds, publish p50 "), "{t}");
         // The per-window table carries the full count and publish p50.
         assert!(t.contains("| 0 | 1 | 4 | "), "{t}");
+    }
+
+    #[test]
+    fn timeline_table_renders_cache_hit_rate_series() {
+        use hieras_obs::{names, TelemetryShard};
+        let mut sh = TelemetryShard::new(0);
+        // Window 0: 4 probes, 1 hit. Window 1: 4 probes, 3 hits.
+        sh.lookup(0, 10);
+        sh.health(0).inc_by(names::SERVE_CACHE_WINDOW_LOOKUPS, 4);
+        sh.health(0).inc_by(names::SERVE_CACHE_WINDOW_HITS, 1);
+        sh.lookup(1, 10);
+        sh.health(1).inc_by(names::SERVE_CACHE_WINDOW_LOOKUPS, 4);
+        sh.health(1).inc_by(names::SERVE_CACHE_WINDOW_HITS, 3);
+        let t = timeline_table(&sh.into_report("sim", 1000, None));
+        assert!(t.contains("cache % "), "{t}");
+        assert!(t.contains("# cache: 4 hits / 8 lookups (50.0%), per-window 25% 75%"), "{t}");
+    }
+
+    #[test]
+    fn timeline_table_omits_cache_series_when_the_cache_is_off() {
+        let t = timeline_table(&demo_report());
+        assert!(!t.contains("cache %"), "cache-off windows render no cache series");
+        assert!(!t.contains("# cache:"), "{t}");
+    }
+
+    #[test]
+    fn timeline_compare_flags_flash_crowd_windows() {
+        use hieras_obs::TelemetryShard;
+        // Side a: steady 10 lookups/window. Side b: same stream with a
+        // window-2 surge to 40 (4x the median of 10).
+        let mut sa = TelemetryShard::new(0);
+        let mut sb = TelemetryShard::new(0);
+        for w in 0..4u64 {
+            for _ in 0..10 {
+                sa.lookup(w, 20);
+                sb.lookup(w, 20);
+            }
+        }
+        for _ in 0..30 {
+            sb.lookup(2, 35);
+        }
+        let a = sa.into_report("sim", 1000, None);
+        let b = sb.into_report("sim", 1000, None);
+        let t = timeline_compare(&a, &b);
+        assert!(!t.contains("flash-crowd windows (a)"), "{t}");
+        assert!(t.contains("# flash-crowd windows (b): 1 of 4 (median 10 lookups/window)"), "{t}");
+        assert!(t.contains("window 2: 40 lookups (4.0x median)"), "{t}");
     }
 
     #[test]

@@ -146,7 +146,7 @@ pub fn depth_sweep(
 /// [`ChurnReport`] the engine produced for it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnRow {
-    /// Scenario label: `graceful`, `mixed`, or `silent`.
+    /// Scenario label: `graceful`, `mixed`, `silent`, or `domain`.
     pub scenario: &'static str,
     /// Fraction of departures executed as graceful leaves.
     pub graceful_fraction: f64,
@@ -154,11 +154,21 @@ pub struct ChurnRow {
     pub report: ChurnReport,
 }
 
-/// The three departure mixes the churn sweep compares.
-const CHURN_SCENARIOS: [(&str, f64); 3] = [("graceful", 1.0), ("mixed", 0.5), ("silent", 0.0)];
+/// The departure scenarios the churn sweep compares: three independent
+/// mixes plus `domain` — the `mixed` schedule with a correlated
+/// stub-domain cut injected mid-run, so its row reads directly against
+/// `mixed` to isolate what simultaneous site loss costs over the same
+/// independent-death background.
+const CHURN_SCENARIOS: [(&str, f64, bool); 4] = [
+    ("graceful", 1.0, false),
+    ("mixed", 0.5, false),
+    ("silent", 0.0, false),
+    ("domain", 0.5, true),
+];
 
-/// Runs the churn engine over three departure mixes — all-graceful,
-/// 50/50, and all-silent — on identically sized populations.
+/// Runs the churn engine over the departure scenarios — all-graceful,
+/// 50/50, all-silent, and 50/50 with a correlated stub-domain cut —
+/// on identically sized populations.
 ///
 /// Scenarios are farmed out across the executor one per chunk; each
 /// engine run is strictly sequential and seeded, and the merge order
@@ -210,7 +220,7 @@ fn churn_sweep_impl(
         1,
         Vec::new,
         |acc: &mut Vec<(ChurnRow, Option<ChurnObs>)>, i| {
-            let (scenario, graceful_fraction) = CHURN_SCENARIOS[i];
+            let (scenario, graceful_fraction, domain_cut) = CHURN_SCENARIOS[i];
             let churn = ChurnConfig {
                 initial_nodes,
                 arrivals,
@@ -228,6 +238,12 @@ fn churn_sweep_impl(
                 // observable: fewer maintenance rounds, more probes.
                 cfg.lookups_per_event = 12;
                 cfg.maintenance_every = 4;
+            }
+            if domain_cut {
+                // Mid-run site cut: every schedule has at least
+                // `arrivals` events, so the cut always fires.
+                cfg.domain_fail =
+                    Some(hieras_churn::DomainFail { after_event: (arrivals / 2).max(1) });
             }
             let (report, row_obs) = match obs {
                 Some(cap) => {
@@ -317,10 +333,11 @@ mod tests {
     #[test]
     fn churn_sweep_covers_all_scenarios() {
         let rows = churn_sweep(&Executor::new(2), 40, 4, 3000, 11);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].scenario, "graceful");
         assert_eq!(rows[1].scenario, "mixed");
         assert_eq!(rows[2].scenario, "silent");
+        assert_eq!(rows[3].scenario, "domain");
         for r in &rows {
             assert!(r.report.hieras.lookups > 0, "{}: no lookups ran", r.scenario);
             assert!(r.report.population_start >= 40);
@@ -328,6 +345,12 @@ mod tests {
         // The departure mix actually differs across scenarios.
         assert_eq!(rows[0].report.events.fails, 0, "graceful scenario saw silent fails");
         assert_eq!(rows[2].report.events.leaves, 0, "silent scenario saw graceful leaves");
+        // Only the domain scenario takes the correlated cut, and it
+        // kills a whole site at once.
+        for r in &rows[..3] {
+            assert_eq!(r.report.events.domain_killed, 0, "{}", r.scenario);
+        }
+        assert!(rows[3].report.events.domain_killed > 1, "the site cut must fire");
     }
 
     #[test]

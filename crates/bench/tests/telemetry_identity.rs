@@ -46,6 +46,8 @@ fn world(telemetry: TelemetryConfig) -> (Experiment, ServeConfig) {
         delta_max_ring_fraction: 0.35,
         batched: false,
         pace: 0.0,
+        cache: hieras_serve::CacheConfig::off(),
+        workload: hieras_sim::WorkloadModel::Uniform,
     };
     (exp, serve)
 }

@@ -26,6 +26,25 @@ impl ToJson for LandmarkFail {
     }
 }
 
+/// A domain-correlated failure injected mid-run: after the given churn
+/// event, every live peer attached to one Transit-Stub failure domain
+/// ([`hieras_topology::Topology::domain`]) fails silently at the same
+/// instant — a power cut or uplink loss at a site, against which the
+/// independent-death lifetime model says nothing. The victim is the
+/// most-populated live domain at that instant (deterministic), capped
+/// so at least two peers survive the cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainFail {
+    /// The domain dies once this many churn events have fired.
+    pub after_event: u32,
+}
+
+impl ToJson for DomainFail {
+    fn to_json(&self) -> Json {
+        Json::obj([("after_event", self.after_event.to_json())])
+    }
+}
+
 /// Full description of one churn experiment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChurnExperimentConfig {
@@ -59,6 +78,8 @@ pub struct ChurnExperimentConfig {
     pub succ_list_len: usize,
     /// Optional landmark death injected mid-run.
     pub landmark_fail: Option<LandmarkFail>,
+    /// Optional domain-correlated failure injected mid-run.
+    pub domain_fail: Option<DomainFail>,
 }
 
 impl ChurnExperimentConfig {
@@ -79,6 +100,7 @@ impl ChurnExperimentConfig {
             backoff_ms: 400,
             succ_list_len: 8,
             landmark_fail: None,
+            domain_fail: None,
         }
     }
 }
@@ -109,6 +131,10 @@ impl ToJson for ChurnExperimentConfig {
             ("succ_list_len", self.succ_list_len.to_json()),
             ("landmark_fail", match self.landmark_fail {
                 Some(lf) => lf.to_json(),
+                None => Json::Null,
+            }),
+            ("domain_fail", match self.domain_fail {
+                Some(df) => df.to_json(),
                 None => Json::Null,
             }),
         ])

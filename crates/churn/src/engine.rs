@@ -459,6 +459,54 @@ fn run_churn_impl(
                 }
             }
         }
+
+        // Domain-correlated failure: a whole Transit-Stub failure
+        // domain (site power cut / uplink loss) dies at one instant.
+        // Every live peer attached to the most-populated domain fails
+        // silently, back to back, with no maintenance in between — the
+        // repair bill lands on the rounds that follow.
+        if let Some(df) = cfg.domain_fail {
+            if ev_no as u64 + 1 == u64::from(df.after_event) {
+                let mut by_domain: HashMap<u32, Vec<Id>> = HashMap::new();
+                for id in net.sorted_ids() {
+                    let router = exp.router_of[index_of[&id] as usize];
+                    by_domain.entry(exp.topo.domain_of(router)).or_default().push(id);
+                }
+                // Deterministic victim: most live peers, lowest domain
+                // id on ties; capped so at least two peers survive.
+                let victim = by_domain
+                    .iter()
+                    .max_by_key(|(dom, peers)| (peers.len(), u32::MAX - **dom))
+                    .map(|(dom, _)| *dom);
+                if let Some(dom) = victim {
+                    let doomed = &by_domain[&dom];
+                    let survivors = net.len() - doomed.len();
+                    let kill: &[Id] =
+                        if survivors >= 2 { doomed } else { &doomed[..net.len() - 2] };
+                    let t_now = net.now();
+                    let span = net.tracer_mut().map(|t| {
+                        t.open(t_now, "churn.domain_fail", &[
+                            ("ev", ev_no as u64),
+                            ("domain", u64::from(dom)),
+                        ])
+                    });
+                    for &id in kill {
+                        net.fail_node(id);
+                        chord.fail(id).expect("memberships are mirrored");
+                        counts.domain_killed += 1;
+                    }
+                    let t_now = net.now();
+                    if let Some(t) = net.tracer_mut() {
+                        if let Some(s) = span {
+                            t.close(t_now, s, &[("killed", kill.len() as u64)]);
+                        }
+                    }
+                    if let Some(r) = net.registry_mut() {
+                        r.inc_by("churn.domain_fail.killed", kill.len() as u64);
+                    }
+                }
+            }
+        }
     }
 
     c.maint = vec![chord.stats()];
@@ -631,5 +679,32 @@ mod tests {
         // in the lowest layer.
         assert!(r.events.rebinned > 0, "no node moved rings after landmark death");
         assert!(r.hieras.maint.last().expect("depth >= 1").repair_msgs > 0);
+    }
+
+    #[test]
+    fn domain_death_kills_a_site_at_one_instant() {
+        let mut cfg = small_cfg(1.0, 33);
+        let base = run_churn(&cfg);
+        assert_eq!(base.events.domain_killed, 0, "no cut without a DomainFail");
+        cfg.domain_fail = Some(crate::DomainFail { after_event: 3 });
+        let r = run_churn(&cfg);
+        // A whole stub domain's worth of correlated deaths: more than
+        // one peer went down in the same instant, and the network
+        // stayed serviceable (the engine asserts `len >= 2` throughout,
+        // and later lookups still resolve).
+        assert!(r.events.domain_killed > 1, "a site cut must kill several peers at once");
+        // Membership arithmetic: the cut's victims are accounted
+        // separately from the schedule's own departures.
+        assert_eq!(
+            r.population_end as u64,
+            60 + r.events.joins - r.events.leaves - r.events.fails - r.events.domain_killed
+        );
+        assert!(r.hieras.lookups == base.hieras.lookups, "same schedule, same lookup count");
+        // Correlated loss is strictly harsher than the independent
+        // baseline for at least one of the failure counters.
+        let failed = r.hieras.wrong_owner + r.hieras.unresolved + r.hieras.attempts;
+        let failed_base =
+            base.hieras.wrong_owner + base.hieras.unresolved + base.hieras.attempts;
+        assert!(failed >= failed_base, "a site cut cannot make routing healthier");
     }
 }

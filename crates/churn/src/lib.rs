@@ -32,7 +32,7 @@ mod engine;
 mod replay;
 mod report;
 
-pub use config::{ChurnExperimentConfig, LandmarkFail};
+pub use config::{ChurnExperimentConfig, DomainFail, LandmarkFail};
 pub use engine::{run_churn, run_churn_traced, ChurnObs, CHURN_WINDOW_MS};
 pub use replay::{MembershipReplay, ReplayDelta};
 pub use report::{AlgoChurnStats, ChurnReport, EventCounts};

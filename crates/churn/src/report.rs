@@ -23,6 +23,8 @@ pub struct EventCounts {
     pub skipped: u64,
     /// Layer moves performed by landmark-death re-binning.
     pub rebinned: u64,
+    /// Peers killed by the correlated domain failure (0 without one).
+    pub domain_killed: u64,
 }
 
 impl ToJson for EventCounts {
@@ -35,6 +37,7 @@ impl ToJson for EventCounts {
             ("fails", self.fails.to_json()),
             ("skipped", self.skipped.to_json()),
             ("rebinned", self.rebinned.to_json()),
+            ("domain_killed", self.domain_killed.to_json()),
         ])
     }
 }

@@ -87,6 +87,29 @@ pub const SERVE_FAILS: &str = "serve.fails";
 /// Peers whose landmark order changed at a re-bin epoch (counter).
 pub const SERVE_REBINNED: &str = "serve.rebinned_peers";
 
+// Reader-side hot-key result cache (`serve.cache.*`): run totals in
+// the run registry, per-window activity in each telemetry window's
+// health registry.
+
+/// Lookups answered from a cached owner (counter).
+pub const SERVE_CACHE_HITS: &str = "serve.cache.hits";
+/// Lookups that fell through to a full route (counter).
+pub const SERVE_CACHE_MISSES: &str = "serve.cache.misses";
+/// Cache entries written — fresh fills and admission-gated
+/// displacements (counter).
+pub const SERVE_CACHE_ADMITS: &str = "serve.cache.admits";
+/// Wholesale cache invalidations, one per snapshot-checksum change a
+/// reader observed (counter).
+pub const SERVE_CACHE_INVALIDATIONS: &str = "serve.cache.invalidations";
+/// Cache hits inside the window (per-window health counter).
+pub const SERVE_CACHE_WINDOW_HITS: &str = "serve.cache.window.hits";
+/// Cache probes inside the window, hits + misses (per-window health
+/// counter).
+pub const SERVE_CACHE_WINDOW_LOOKUPS: &str = "serve.cache.window.lookups";
+/// Window hit rate in parts per million — derived from the window
+/// counters when the report is assembled (per-window health gauge).
+pub const SERVE_CACHE_HIT_RATE_PPM: &str = "serve.cache.window.hit_rate_ppm";
+
 // Per-window epoch-health block (`serve.epoch.*`): published into a
 // window's health registry by the serving maintenance path, so every
 // telemetry window carries the maintenance activity that ran inside

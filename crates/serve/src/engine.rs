@@ -25,6 +25,7 @@
 //!   throughput and reclaim lag are real; routing metrics depend on
 //!   the race and are reported, not asserted.
 
+use crate::cache::{CacheConfig, CacheStats, LookupCache};
 use crate::epoch::{epoch_pair, EpochStats, Publisher};
 use crate::snapshot::ServeSnapshot;
 use crate::telemetry::{MaintStats, TelemetryConfig};
@@ -34,7 +35,9 @@ use hieras_core::{HierasDelta, HierasOracle, LandmarkOrder, RingArenaPool};
 use hieras_id::{Id, Key};
 use hieras_obs::{names, HopRecord, Registry, SlowLookup, TelemetryShard, TimeSeriesReport};
 use hieras_rt::{splitmix64, Executor};
-use hieras_sim::{ChurnConfig, Experiment, Metrics, Sample, Workload};
+use hieras_sim::{
+    ChurnConfig, Experiment, Metrics, Sample, SkewParams, Workload, WorkloadModel, HOT_RANK_MAX,
+};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -94,6 +97,47 @@ pub struct ServeConfig {
     /// clock and the wall windows resolve the churn as a time series.
     /// Ignored outside [`ServeEngine::run_live`].
     pub pace: f64,
+    /// Reader-side hot-key result cache ([`crate::cache`]). Disabled
+    /// by default; with the cache off every serving path is
+    /// byte-identical to the pre-cache engine. In the deterministic
+    /// modes the cache lives in the executor-chunk accumulator (fresh
+    /// per chunk — bit-identical at any width); free-running readers
+    /// each keep one across their whole run, invalidated wholesale on
+    /// every epoch adoption.
+    pub cache: CacheConfig,
+    /// Draw model of the serving request streams. `Uniform` keeps the
+    /// historical derivation bit-exactly; `Skew` draws Zipf-popular
+    /// keys (stable per stream seed, so hot keys stay hot across
+    /// epochs within a stream) with clustered sources over the live
+    /// set. Flash-crowd overlays are a replay-workload feature and are
+    /// ignored here — serving streams have no fixed request count to
+    /// anchor the window on.
+    pub workload: WorkloadModel,
+}
+
+/// A quiesced replay of one explicit [`Workload`] — the measurement
+/// unit of the skew/caching sweep.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// HIERAS routing metrics over every request.
+    pub metrics: Metrics,
+    /// Metrics over the hot-key subset alone (popularity rank ≤
+    /// [`HOT_RANK_MAX`]; empty for uniform workloads, whose keys have
+    /// no ranks).
+    pub hot: Metrics,
+    /// Requests served.
+    pub lookups: u64,
+    /// Wall-clock duration of the replay, ns.
+    pub wall_ns: u64,
+    /// Cache counters merged across chunks (all zero with the cache
+    /// off).
+    pub cache: CacheStats,
+    /// `splitmix64` chain over every request's answered owner, in
+    /// request order (chunk digests chained in ascending chunk order).
+    /// Cached and uncached runs of the same workload answered every
+    /// request identically iff these match — the per-request
+    /// correctness identity the cache tests and CI assert.
+    pub owner_digest: u64,
 }
 
 /// The quiesced baseline: full membership, epoch 0, no maintenance.
@@ -268,13 +312,118 @@ impl<'a> ServeEngine<'a> {
     /// with the experiment's latency oracle — the exact evaluation the
     /// replay bench performs, so quiesced metrics reconcile.
     fn eval(&self, snap: &ServeSnapshot, src: u32, key: Key, scratch: &mut PathBuf) -> Sample {
+        self.eval_owner(snap, src, key, scratch).0
+    }
+
+    /// [`Self::eval`] plus the key's owner — the answer the cache
+    /// learns.
+    fn eval_owner(
+        &self,
+        snap: &ServeSnapshot,
+        src: u32,
+        key: Key,
+        scratch: &mut PathBuf,
+    ) -> (Sample, u32) {
         let c = snap.oracle.eval(src, key, scratch, |a, b| self.exp.peer_latency(a, b));
         #[allow(clippy::cast_possible_truncation)] // ms sums fit u32 (replay invariant)
-        Sample {
+        let s = Sample {
             hops: c.hops,
             lower_hops: c.lower_hops,
             latency_ms: c.latency_ms as u32,
             lower_latency_ms: c.lower_latency_ms as u32,
+        };
+        (s, c.destination)
+    }
+
+    /// The cached lookup path. A probe hit answers with the cached
+    /// owner — one direct hop, costed with the same latency oracle
+    /// (shortest-path RTTs, so never dearer than the routed path); a
+    /// miss routes normally and offers the learned owner to the
+    /// cache's admission policy. Entries bind to `snap.checksum`, so
+    /// an epoch advance invalidates them wholesale before any probe;
+    /// in [`CacheConfig::verify`] mode every hit is re-routed and the
+    /// cached owner (and its lowest-layer ring) asserted against the
+    /// authoritative answer.
+    ///
+    /// With the cache disabled this is exactly [`Self::eval_owner`] —
+    /// the byte-identity the cache-off CI gates rest on. The third
+    /// element flags a cache hit: a hit's latency is the direct hop,
+    /// not a routed path, so callers keep hits out of the
+    /// flight-recorder capture (whose hop traces must reconcile with
+    /// the recorded latency).
+    #[inline]
+    fn eval_cached(
+        &self,
+        snap: &ServeSnapshot,
+        src: u32,
+        key: Key,
+        scratch: &mut PathBuf,
+        cache: &mut LookupCache,
+    ) -> (Sample, u32, bool) {
+        if !cache.enabled() {
+            let (s, owner) = self.eval_owner(snap, src, key, scratch);
+            return (s, owner, false);
+        }
+        cache.bind(snap.checksum);
+        if let Some((owner, ring)) = cache.get(key.0) {
+            if cache.verify() {
+                let (_, routed) = self.eval_owner(snap, src, key, scratch);
+                assert_eq!(routed, owner, "stale cache hit: owner diverged from the route");
+                assert_eq!(
+                    snap.owner_ring(owner),
+                    ring,
+                    "stale cache hit: owner ring diverged from the snapshot"
+                );
+            }
+            let latency_ms =
+                if src == owner { 0 } else { u32::from(self.exp.peer_latency(src, owner)) };
+            let s = Sample {
+                hops: u32::from(src != owner),
+                lower_hops: 0,
+                latency_ms,
+                lower_latency_ms: 0,
+            };
+            return (s, owner, true);
+        }
+        let (s, owner) = self.eval_owner(snap, src, key, scratch);
+        cache.insert(key.0, owner, snap.owner_ring(owner));
+        (s, owner, false)
+    }
+
+    /// The skewed serving workload over `live_len` live peers, or
+    /// `None` for the uniform model (which keeps the historical
+    /// per-stream derivation bit-exactly). Sources index the live
+    /// array; flash overlays are stripped (see [`ServeConfig`]).
+    fn serve_workload(&self, live_len: usize, stream: u64) -> Option<Workload> {
+        match self.cfg.workload {
+            WorkloadModel::Uniform => None,
+            WorkloadModel::Skew(p) => Some(Workload::with_model(
+                live_len.max(1) as u32,
+                usize::MAX,
+                stream,
+                WorkloadModel::Skew(SkewParams { flash: None, ..p }),
+            )),
+        }
+    }
+
+    /// Draws serving request `i` of stream `stream` against `snap`:
+    /// the legacy uniform sampler, or the skewed model mapped onto the
+    /// live set.
+    #[inline]
+    fn draw(
+        &self,
+        snap: &ServeSnapshot,
+        sw: &Option<Workload>,
+        stream: u64,
+        i: u64,
+    ) -> (u32, Key) {
+        match sw {
+            None => snap.request(stream, i),
+            #[allow(clippy::cast_possible_truncation)] // request indices fit usize
+            Some(w) => {
+                let (si, key, _) = w.request_detail(i as usize);
+                (snap.live[si as usize], key)
+            }
         }
     }
 
@@ -617,7 +766,18 @@ impl<'a> ServeEngine<'a> {
         }
         let mode = if ctx.wall { "wall" } else { "sim" };
         let merged = readers.merged(ctx.shard);
-        let ts = merged.into_report(mode, ctx.window_ms, self.cfg.telemetry.slo);
+        let mut ts = merged.into_report(mode, ctx.window_ms, self.cfg.telemetry.slo);
+        // Derive each window's cache hit-rate gauge from its counters
+        // (counters sum across shards; a ratio could not).
+        for w in &mut ts.windows {
+            let probes = w.health.counter(names::SERVE_CACHE_WINDOW_LOOKUPS);
+            if probes > 0 {
+                let hits = w.health.counter(names::SERVE_CACHE_WINDOW_HITS);
+                #[allow(clippy::cast_possible_wrap)] // ppm fits i64
+                w.health
+                    .gauge_set(names::SERVE_CACHE_HIT_RATE_PPM, (hits * 1_000_000 / probes) as i64);
+            }
+        }
         reg.gauge_set(names::TELEMETRY_WINDOWS, ts.window_count() as i64);
         reg.inc_by(names::TELEMETRY_SLOW_LOOKUPS, ts.slow.len() as u64);
         reg.inc_by(names::TELEMETRY_SLO_BREACHES, ts.breaches.len() as u64);
@@ -685,6 +845,79 @@ impl<'a> ServeEngine<'a> {
         QuiescedReport { metrics, lookups: requests as u64, wall_ns, timeseries }
     }
 
+    /// Replays an explicit [`Workload`] against the quiesced epoch-0
+    /// snapshot through the cached lookup path ([`Self::eval_cached`])
+    /// — the measurement mode of the skew/caching sweep. Telemetry
+    /// does not ride along (the timed skew rows run lean; windowed
+    /// cache telemetry comes from the churning modes); what it reports
+    /// instead is the hot-key-subset metrics, the merged cache
+    /// counters, and the per-request owner digest.
+    ///
+    /// With the cache disabled and the uniform workload at the replay
+    /// seed derivation, `metrics` is byte-identical to
+    /// [`Self::run_quiesced`]'s — the CI cache-off identity.
+    /// Determinism: the cache lives in the chunk accumulator, so the
+    /// whole report is bit-identical at any executor width.
+    ///
+    /// # Panics
+    /// Panics if the workload draws sources outside the experiment's
+    /// peer range, or (in [`CacheConfig::verify`] mode) if any cache
+    /// hit disagrees with the authoritative route.
+    #[must_use]
+    pub fn run_quiesced_workload(&self, exec: &Executor, w: &Workload) -> WorkloadReport {
+        let n = self.exp.config.nodes;
+        assert!(w.nodes as usize <= n, "workload sources exceed the experiment's peers");
+        let members: Vec<u32> = (0..n as u32).collect();
+        let snap = self.snapshot(exec, 0, members, &self.exp.orders);
+        assert!(snap.verify(0), "freshly built snapshot failed verification");
+        let ccfg = self.cfg.cache;
+        let t0 = Instant::now();
+        let (metrics, hot, _, cache, owner_digest) = exec.par_fold(
+            w.requests,
+            Self::CHUNK,
+            || {
+                (
+                    Metrics::default(),
+                    Metrics::default(),
+                    PathBuf::new(),
+                    LookupCache::new(ccfg),
+                    0u64,
+                )
+            },
+            |acc, i| {
+                let (src, key, rank) = w.request_detail(i);
+                let (s, owner, _) = self.eval_cached(&snap, src, key, &mut acc.2, &mut acc.3);
+                acc.4 = splitmix64(acc.4 ^ (u64::from(owner) + 1));
+                acc.0.record(s);
+                if rank.map_or(false, |r| r <= HOT_RANK_MAX) {
+                    acc.1.record(s);
+                }
+            },
+            |a, b| {
+                (
+                    a.0.merged(b.0),
+                    a.1.merged(b.1),
+                    a.2,
+                    {
+                        let mut c = a.3;
+                        c.stats = c.stats.merged(b.3.stats);
+                        c
+                    },
+                    splitmix64(a.4 ^ b.4),
+                )
+            },
+        );
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        WorkloadReport {
+            metrics,
+            hot,
+            lookups: w.requests as u64,
+            wall_ns,
+            cache: cache.stats,
+            owner_digest,
+        }
+    }
+
     /// Deterministic serving: the executor arbitrates the
     /// reader/maintainer interleaving in lock step. Each round serves
     /// `lookups_per_epoch` requests against the pinned snapshot
@@ -709,6 +942,7 @@ impl<'a> ServeEngine<'a> {
         let mut ctx = MaintCtx::new(self.cfg.telemetry, false);
         let mut lookups = 0u64;
         let mut round = 0u64;
+        let mut cache_total = CacheStats::default();
         // Capture-pruning floor, shared by every chunk of a round and
         // carried across rounds until the sim window advances.
         let floor = AtomicU64::new(0);
@@ -722,6 +956,7 @@ impl<'a> ServeEngine<'a> {
             let v = reader.snapshot();
             let stream =
                 splitmix64(self.cfg.seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let sw = self.serve_workload(v.value.live_count(), stream);
             // Every lookup of a round lands in the window the sim
             // clock sits in — a round-level constant, so the windowed
             // fold is identical at any executor width.
@@ -734,30 +969,67 @@ impl<'a> ServeEngine<'a> {
                 let h = series.health(win);
                 h.gauge_set(names::SERVE_EPOCH_READER_LAG, reader.lag() as i64);
             }
-            let (m, _, shard) = exec.par_fold(
+            let (m, _, shard, rcache) = exec.par_fold(
                 self.cfg.lookups_per_epoch,
                 Self::CHUNK,
-                || (Metrics::default(), PathBuf::new(), TelemetryShard::new(self.cfg.telemetry.slow_k)),
+                || {
+                    (
+                        Metrics::default(),
+                        PathBuf::new(),
+                        TelemetryShard::new(self.cfg.telemetry.slow_k),
+                        // Chunk-fresh: the cache state a lookup sees is
+                        // a function of its chunk alone, so the fold is
+                        // bit-identical at any executor width.
+                        LookupCache::new(self.cfg.cache),
+                    )
+                },
                 |acc, i| {
-                    let (src, key) = v.value.request(stream, i as u64);
-                    let s = self.eval(&v.value, src, key, &mut acc.1);
-                    self.telemetry_lookup(
-                        &mut acc.2,
-                        &v.value,
-                        src,
-                        key,
-                        &mut acc.1,
-                        win,
-                        u64::from(s.latency_ms),
-                        (round << 32) | i as u64,
-                        &floor,
-                    );
+                    let (src, key) = self.draw(&v.value, &sw, stream, i as u64);
+                    let (s, _, hit) =
+                        self.eval_cached(&v.value, src, key, &mut acc.1, &mut acc.3);
+                    if hit {
+                        // A hit's latency is a direct hop — recorded,
+                        // but never flight-captured (a re-route would
+                        // not reconcile with it).
+                        if self.cfg.telemetry.enabled {
+                            acc.2.lookup(win, u64::from(s.latency_ms));
+                        }
+                    } else {
+                        self.telemetry_lookup(
+                            &mut acc.2,
+                            &v.value,
+                            src,
+                            key,
+                            &mut acc.1,
+                            win,
+                            u64::from(s.latency_ms),
+                            (round << 32) | i as u64,
+                            &floor,
+                        );
+                    }
                     acc.0.record(s);
                 },
-                |a, b| (a.0.merged(b.0), a.1, a.2.merged(b.2)),
+                |a, b| {
+                    (a.0.merged(b.0), a.1, a.2.merged(b.2), {
+                        let mut c = a.3;
+                        c.stats = c.stats.merged(b.3.stats);
+                        c
+                    })
+                },
             );
             metrics = metrics.merged(m);
             series = series.merged(shard);
+            if self.cfg.cache.enabled {
+                cache_total = cache_total.merged(rcache.stats);
+                if ctx.enabled {
+                    let h = series.health(win);
+                    h.inc_by(names::SERVE_CACHE_WINDOW_HITS, rcache.stats.hits);
+                    h.inc_by(
+                        names::SERVE_CACHE_WINDOW_LOOKUPS,
+                        rcache.stats.hits + rcache.stats.misses,
+                    );
+                }
+            }
             lookups += self.cfg.lookups_per_epoch as u64;
             reg.inc_by(names::SERVE_LOOKUPS, self.cfg.lookups_per_epoch as u64);
             if replay.is_done() {
@@ -777,6 +1049,12 @@ impl<'a> ServeEngine<'a> {
         }
         let wall_ns = t0.elapsed().as_nanos() as u64;
         reg.observe(names::SERVE_READER_LOOKUPS, lookups);
+        if self.cfg.cache.enabled {
+            reg.inc_by(names::SERVE_CACHE_HITS, cache_total.hits);
+            reg.inc_by(names::SERVE_CACHE_MISSES, cache_total.misses);
+            reg.inc_by(names::SERVE_CACHE_ADMITS, cache_total.admits);
+            reg.inc_by(names::SERVE_CACHE_INVALIDATIONS, cache_total.invalidations);
+        }
         drop(reader);
         let pool = &mut st.pool;
         let freed = pb.reclaim_with(|snap| snap.oracle.recycle_into(pool));
@@ -843,6 +1121,11 @@ impl<'a> ServeEngine<'a> {
                         let mut local = Registry::new();
                         let mut shard = TelemetryShard::new(self.cfg.telemetry.slow_k);
                         let tel_on = self.cfg.telemetry.enabled;
+                        // One persistent cache per reader: entries are
+                        // checksum-bound, so every epoch adoption below
+                        // invalidates it wholesale.
+                        let mut cache = LookupCache::new(self.cfg.cache);
+                        let cache_on = cache.enabled();
                         // Reader-local capture-pruning floor (the
                         // shard is reader-local too); reset when the
                         // wall window rolls.
@@ -867,6 +1150,8 @@ impl<'a> ServeEngine<'a> {
                             }
                             local.observe(names::SERVE_STALE_EPOCHS, rd.lag());
                             let v = rd.snapshot();
+                            let sw = self.serve_workload(v.value.live_count(), stream);
+                            let batch_stats = cache.stats;
                             // One window probe per refresh batch keeps
                             // the per-lookup telemetry cost to a
                             // cached-window fast path.
@@ -894,12 +1179,22 @@ impl<'a> ServeEngine<'a> {
                                 lats.clear();
                                 cands.clear();
                                 for _ in 0..self.cfg.refresh_batch {
-                                    let (src, key) = v.value.request(stream, i);
-                                    let s = self.eval(&v.value, src, key, &mut scratch);
+                                    let (src, key) = self.draw(&v.value, &sw, stream, i);
+                                    let (s, _, hit) = self.eval_cached(
+                                        &v.value,
+                                        src,
+                                        key,
+                                        &mut scratch,
+                                        &mut cache,
+                                    );
                                     if tel_on {
                                         let lat = u64::from(s.latency_ms);
                                         lats.push(lat);
-                                        if lat >= floor.load(Ordering::Relaxed) {
+                                        // Hits never flight-capture: a
+                                        // re-routed path would not
+                                        // reconcile with the direct-hop
+                                        // latency.
+                                        if !hit && lat >= floor.load(Ordering::Relaxed) {
                                             cands.push((src, key.0, lat, i));
                                         }
                                     }
@@ -927,28 +1222,59 @@ impl<'a> ServeEngine<'a> {
                                 }
                             } else {
                                 for _ in 0..self.cfg.refresh_batch {
-                                    let (src, key) = v.value.request(stream, i);
-                                    let s = self.eval(&v.value, src, key, &mut scratch);
+                                    let (src, key) = self.draw(&v.value, &sw, stream, i);
+                                    let (s, _, hit) = self.eval_cached(
+                                        &v.value,
+                                        src,
+                                        key,
+                                        &mut scratch,
+                                        &mut cache,
+                                    );
                                     if tel_on {
-                                        self.telemetry_lookup(
-                                            &mut shard,
-                                            &v.value,
-                                            src,
-                                            key,
-                                            &mut scratch,
-                                            win,
-                                            u64::from(s.latency_ms),
-                                            i,
-                                            &floor,
-                                        );
+                                        if hit {
+                                            shard.lookup(win, u64::from(s.latency_ms));
+                                        } else {
+                                            self.telemetry_lookup(
+                                                &mut shard,
+                                                &v.value,
+                                                src,
+                                                key,
+                                                &mut scratch,
+                                                win,
+                                                u64::from(s.latency_ms),
+                                                i,
+                                                &floor,
+                                            );
+                                        }
                                     }
                                     i += 1;
                                     m.record(s);
                                 }
                             }
+                            if cache_on && tel_on {
+                                let h = shard.health(win);
+                                h.inc_by(
+                                    names::SERVE_CACHE_WINDOW_HITS,
+                                    cache.stats.hits - batch_stats.hits,
+                                );
+                                h.inc_by(
+                                    names::SERVE_CACHE_WINDOW_LOOKUPS,
+                                    (cache.stats.hits + cache.stats.misses)
+                                        - (batch_stats.hits + batch_stats.misses),
+                                );
+                            }
                         }
                         local.inc_by(names::SERVE_LOOKUPS, i);
                         local.observe(names::SERVE_READER_LOOKUPS, i);
+                        if cache_on {
+                            local.inc_by(names::SERVE_CACHE_HITS, cache.stats.hits);
+                            local.inc_by(names::SERVE_CACHE_MISSES, cache.stats.misses);
+                            local.inc_by(names::SERVE_CACHE_ADMITS, cache.stats.admits);
+                            local.inc_by(
+                                names::SERVE_CACHE_INVALIDATIONS,
+                                cache.stats.invalidations,
+                            );
+                        }
                         (m, local, shard)
                     })
                 })
@@ -1056,6 +1382,8 @@ mod tests {
             delta_max_ring_fraction: 0.35,
             batched: false,
             pace: 0.0,
+            cache: CacheConfig::off(),
+            workload: WorkloadModel::Uniform,
         };
         (exp, serve)
     }
@@ -1182,6 +1510,130 @@ mod tests {
         );
         let churn_in_breaches: u64 = ts.breaches.iter().map(|b| b.churn_events).sum();
         assert!(churn_in_breaches > 0, "breach windows carry their churn events");
+    }
+
+    #[test]
+    fn cache_off_uniform_workload_replay_is_the_quiesced_identity() {
+        let (exp, cfg) = tiny();
+        let exec = Executor::new(2);
+        let engine = ServeEngine::new(&exp, cfg);
+        let base = engine.run_quiesced(&exec, 200);
+        let w = Workload::new(60, 200, exp.config.seed ^ 0x517c_c1b7);
+        let r = engine.run_quiesced_workload(&exec, &w);
+        assert_eq!(r.metrics, base.metrics, "cache off + uniform stream is the quiesced path");
+        assert_eq!(r.cache, CacheStats::default(), "a disabled cache counts nothing");
+        assert_eq!(r.hot.requests, 0, "uniform keys carry no popularity ranks");
+        assert_eq!(r.lookups, 200);
+    }
+
+    #[test]
+    fn cached_replay_answers_every_request_identically() {
+        let (exp, mut cfg) = tiny();
+        let exec = Executor::new(2);
+        let w = Workload::with_model(
+            60,
+            4096,
+            99,
+            WorkloadModel::Skew(SkewParams::zipf(0.99)),
+        );
+        let cold = ServeEngine::new(&exp, cfg).run_quiesced_workload(&exec, &w);
+        assert_eq!(cold.cache, CacheStats::default());
+        assert!(cold.hot.requests > 0, "a Zipf stream must draw hot-rank keys");
+        // Verify mode: every hit is re-routed and cross-checked against
+        // the authoritative answer inside eval_cached.
+        cfg.cache = CacheConfig::on().verified();
+        let warm = ServeEngine::new(&exp, cfg).run_quiesced_workload(&exec, &w);
+        assert_eq!(
+            warm.owner_digest, cold.owner_digest,
+            "cached and uncached runs must answer every request with the same owner"
+        );
+        assert_eq!(warm.hot.requests, cold.hot.requests);
+        assert!(warm.cache.hits > 0, "hot keys repeat within a chunk");
+        assert_eq!(warm.cache.invalidations, 0, "one epoch, one binding");
+        // A hit answers with the direct src→owner hop, and peer latency
+        // is shortest-path: never slower than the routed path it skips.
+        assert!(warm.metrics.total_latency_ms <= cold.metrics.total_latency_ms);
+        assert!(
+            warm.hot.latency_cdf().quantile(0.5) <= cold.hot.latency_cdf().quantile(0.5),
+            "cache hits cannot slow the hot subset down"
+        );
+    }
+
+    #[test]
+    fn cached_deterministic_serving_is_identical_at_any_width() {
+        let (exp, mut cfg) = tiny();
+        cfg.cache = CacheConfig::on();
+        cfg.workload = WorkloadModel::Skew(SkewParams {
+            // A small key universe so even 64-lookup rounds re-draw
+            // hot keys inside one chunk-scoped cache.
+            key_universe: 128,
+            ..SkewParams::zipf(1.1)
+        });
+        cfg.telemetry = TelemetryConfig::on();
+        let engine = ServeEngine::new(&exp, cfg);
+        let base = engine.run_deterministic(&Executor::new(1));
+        assert!(
+            base.registry.counter(names::SERVE_CACHE_HITS) > 0,
+            "a 128-key Zipf(1.1) stream must hit the chunk cache"
+        );
+        assert_eq!(
+            base.registry.counter(names::SERVE_CACHE_HITS)
+                + base.registry.counter(names::SERVE_CACHE_MISSES),
+            base.lookups,
+            "every lookup probes the cache exactly once"
+        );
+        for width in [2, 8] {
+            let r = engine.run_deterministic(&Executor::new(width));
+            assert_eq!(r.metrics, base.metrics, "width {width} must not move a metric");
+            assert_eq!(r.registry, base.registry, "width {width} must not move a counter");
+        }
+        // The per-window hit-rate gauge is derived wherever the window
+        // saw cache probes.
+        let ts = base.timeseries.expect("telemetry on");
+        let mut derived = 0;
+        for w in &ts.windows {
+            let probes = w.health.counter(names::SERVE_CACHE_WINDOW_LOOKUPS);
+            if probes > 0 {
+                let ppm = w
+                    .health
+                    .gauge(names::SERVE_CACHE_HIT_RATE_PPM)
+                    .expect("probed windows carry the hit-rate gauge");
+                assert!((0..=1_000_000).contains(&ppm));
+                assert!(w.health.counter(names::SERVE_CACHE_WINDOW_HITS) <= probes);
+                derived += 1;
+            }
+        }
+        assert!(derived > 0, "at least one window must have cache activity");
+    }
+
+    #[test]
+    fn live_readers_verify_cached_hits_across_epoch_flips() {
+        let (exp, mut cfg) = tiny();
+        // Verified hits under real churn: a stale cached answer served
+        // after an epoch flip would panic inside eval_cached.
+        cfg.cache = CacheConfig::on().verified();
+        cfg.workload = WorkloadModel::Skew(SkewParams {
+            key_universe: 128,
+            ..SkewParams::zipf(1.1)
+        });
+        // Pace the maintainer (~50 ms of wall clock for the 20 s
+        // schedule) so readers serve across many epoch flips.
+        cfg.pace = 400.0;
+        let r = ServeEngine::new(&exp, cfg).run_live();
+        assert!(r.lookups > 0);
+        assert!(
+            r.registry.counter(names::SERVE_CACHE_HITS) > 0,
+            "hot keys must hit between epoch flips"
+        );
+        assert!(
+            r.registry.counter(names::SERVE_CACHE_INVALIDATIONS) > 0,
+            "every adopted epoch re-binds (and so invalidates) the reader caches"
+        );
+        assert_eq!(
+            r.registry.counter(names::SERVE_CACHE_HITS)
+                + r.registry.counter(names::SERVE_CACHE_MISSES),
+            r.lookups
+        );
     }
 }
 

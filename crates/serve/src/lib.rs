@@ -38,12 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod engine;
 mod epoch;
 mod snapshot;
 mod telemetry;
 
-pub use engine::{LiveReport, QuiescedReport, ServeConfig, ServeEngine};
+pub use cache::{CacheConfig, CacheStats, LookupCache};
+pub use engine::{LiveReport, QuiescedReport, ServeConfig, ServeEngine, WorkloadReport};
 pub use epoch::{epoch_pair, EpochHandle, EpochStats, Publisher, Reader, Versioned};
 pub use snapshot::ServeSnapshot;
 pub use telemetry::{MaintStats, TelemetryConfig};

@@ -63,6 +63,19 @@ impl ServeSnapshot {
         self.live.len()
     }
 
+    /// The lowest-layer ring a live peer belongs to — the key-owner
+    /// ring identity the reader-side lookup cache stores alongside
+    /// each cached owner (`u32::MAX` for a peer outside every lowest
+    /// ring, which a live owner never is).
+    #[must_use]
+    pub fn owner_ring(&self, owner: u32) -> u32 {
+        self.oracle
+            .layers()
+            .last()
+            .and_then(|l| l.ring_index_of(owner))
+            .unwrap_or(u32::MAX)
+    }
+
     /// Deterministic lookup-source + key sampler over the live set:
     /// the serving analogue of `hieras_sim::Workload::request`, indexed
     /// so any thread can draw request `i` of stream `seed` without

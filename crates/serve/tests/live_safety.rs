@@ -57,6 +57,8 @@ fn free_running_readers_never_adopt_a_torn_snapshot() {
             delta_max_ring_fraction: 0.5,
             batched: true,
             pace: 0.0,
+            cache: hieras_serve::CacheConfig::off(),
+            workload: hieras_sim::WorkloadModel::Uniform,
         },
     );
     let r = engine.run_live();

@@ -472,6 +472,37 @@ impl Experiment {
         self.run_requests(self.config.requests)
     }
 
+    /// Replays an arbitrary [`Workload`] — uniform or skewed — through
+    /// both algorithms. With `Workload::new(nodes, requests,
+    /// seed ^ 0x517c_c1b7)` this reproduces [`Experiment::run_requests_on`]
+    /// bit-exactly; skewed models reuse the same chunked merge, so
+    /// they are equally thread-invariant.
+    ///
+    /// # Panics
+    /// Panics if the workload draws sources outside this experiment's
+    /// peer range.
+    #[must_use]
+    pub fn run_workload_on(&self, exec: &Executor, w: &Workload) -> ComparisonResult {
+        assert!(
+            w.nodes as usize <= self.config.nodes,
+            "workload sources exceed the peer range"
+        );
+        let (chord, hieras, _) = exec.par_fold(
+            w.requests,
+            Self::REPLAY_CHUNK,
+            || (Metrics::default(), Metrics::default(), PathBuf::new()),
+            |acc, i| {
+                let (src, key) = w.request(i);
+                let cs = self.eval_chord(src, key, &mut acc.2);
+                let hs = self.eval_hieras(src, key, &mut acc.2);
+                acc.0.record(cs);
+                acc.1.record(hs);
+            },
+            |a, b| (a.0.merged(b.0), a.1.merged(b.1), a.2),
+        );
+        ComparisonResult { chord, hieras }
+    }
+
     /// Like [`Experiment::run_requests_on`] but additionally folds a
     /// per-chunk [`Registry`] (hop / latency histograms per algorithm,
     /// a request counter) alongside the metrics. Chunks merge in
@@ -855,6 +886,39 @@ mod tests {
         let e2 = Experiment::build(small_cfg());
         let c = e2.run_requests(500);
         assert_eq!(a.hieras.total_latency_ms, c.hieras.total_latency_ms);
+    }
+
+    #[test]
+    fn run_workload_on_uniform_matches_run_requests_on() {
+        let e = Experiment::build(small_cfg());
+        let exec = Executor::new(2);
+        let w = Workload::new(e.config.nodes as u32, 500, e.config.seed ^ 0x517c_c1b7);
+        assert_eq!(
+            e.run_workload_on(&exec, &w),
+            e.run_requests_on(&exec, 500),
+            "the uniform workload path must reproduce the legacy stream bit-exactly"
+        );
+    }
+
+    #[test]
+    fn skewed_workload_is_thread_invariant_and_comparable() {
+        let e = Experiment::build(small_cfg());
+        let w = Workload::with_model(
+            e.config.nodes as u32,
+            600,
+            e.config.seed ^ 0x5103,
+            crate::WorkloadModel::Skew(crate::SkewParams::zipf(0.99)),
+        );
+        let one = e.run_workload_on(&Executor::new(1), &w);
+        for threads in [2, 8] {
+            assert_eq!(
+                e.run_workload_on(&Executor::new(threads), &w),
+                one,
+                "{threads}-thread skewed replay diverged"
+            );
+        }
+        assert_eq!(one.chord.requests, 600);
+        assert!(one.hieras.summary().avg_latency_ms > 0.0);
     }
 
     #[test]

@@ -37,4 +37,6 @@ pub use experiment::{
     TopologyKind,
 };
 pub use metrics::{Cdf, Histogram, Metrics, Sample, Summary, TailLatency};
-pub use workload::Workload;
+pub use workload::{
+    FlashCrowd, SkewParams, Workload, WorkloadModel, WorkloadSpec, HOT_RANK_MAX,
+};

@@ -1,47 +1,310 @@
-//! Workload generation: "randomly generated routing requests" (§4.1).
+//! Workload generation: "randomly generated routing requests" (§4.1),
+//! plus skewed models for realistic traffic.
 //!
 //! Requests are derived from the request *index* through a SplitMix64
 //! stream, so request `i` is identical whether the replay is
 //! sequential, chunked, or parallel — determinism is independent of
 //! thread count.
+//!
+//! Beyond the paper's uniform draws, [`WorkloadModel::Skew`] generates
+//! Zipf-popular keys (bounded-Pareto inverse CDF — O(1), no frequency
+//! tables), landmark-clustered source draws (peers are numbered
+//! locality-packed, so a contiguous index slice approximates one
+//! landmark region), and an optional time-windowed [`FlashCrowd`] that
+//! redirects a fraction of requests in one stretch of the stream onto
+//! a small hot key region. All of it is a pure function of
+//! `(seed, i)`, so the skewed streams inherit the same thread
+//! invariance as the uniform one.
 
 use hieras_id::{Id, Key};
+use hieras_rt::{Json, ToJson};
+
+/// Requests with popularity rank at or below this count form the
+/// "hot-key subset" that cache benchmarks report separately.
+pub const HOT_RANK_MAX: u32 = 16;
+
+/// A time-windowed flash crowd: inside the window
+/// `[start, start + len)` (fractions of the request-index range), each
+/// request is redirected with probability `intensity` onto one of
+/// `region` hot keys, with its source drawn from those keys' home
+/// clusters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Window start as a fraction of the request stream (0..1).
+    pub start: f64,
+    /// Window length as a fraction of the request stream.
+    pub len: f64,
+    /// Probability a request inside the window joins the crowd.
+    pub intensity: f64,
+    /// Number of distinct keys the crowd piles onto.
+    pub region: u32,
+}
+
+impl FlashCrowd {
+    /// The standard smoke flash crowd: the middle fifth of the stream,
+    /// 80% of requests piling onto 4 keys.
+    #[must_use]
+    pub fn standard() -> Self {
+        FlashCrowd { start: 0.4, len: 0.2, intensity: 0.8, region: 4 }
+    }
+
+    fn active(&self, i: usize, requests: usize) -> bool {
+        let frac = if requests == 0 { 0.0 } else { i as f64 / requests as f64 };
+        frac >= self.start && frac < self.start + self.len
+    }
+}
+
+impl ToJson for FlashCrowd {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("start", self.start.to_json()),
+            ("len", self.len.to_json()),
+            ("intensity", self.intensity.to_json()),
+            ("region", self.region.to_json()),
+        ])
+    }
+}
+
+/// Skewed-draw parameters shared by the Zipf and flash-crowd models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewParams {
+    /// Zipf exponent `s` (0 = uniform over the universe, 0.99 = the
+    /// classic web-trace figure, >1 = heavy head).
+    pub exponent: f64,
+    /// Number of distinct keys (popularity ranks 1..=universe).
+    pub key_universe: u32,
+    /// Number of source clusters (≈ landmark regions; peers are
+    /// locality-packed so cluster `c` is one contiguous index slice).
+    pub clusters: u32,
+    /// Probability a request's source comes from its key's home
+    /// cluster rather than uniformly from all peers.
+    pub cluster_bias: f64,
+    /// Optional flash-crowd overlay.
+    pub flash: Option<FlashCrowd>,
+}
+
+impl SkewParams {
+    /// Zipf(`exponent`) keys over a 64k-key universe with 8 source
+    /// clusters at 70% home-cluster bias — the bench sweep's default.
+    #[must_use]
+    pub fn zipf(exponent: f64) -> Self {
+        SkewParams {
+            exponent,
+            key_universe: 65_536,
+            clusters: 8,
+            cluster_bias: 0.7,
+            flash: None,
+        }
+    }
+
+    /// The Zipf(0.99) smoke model with the standard flash crowd.
+    #[must_use]
+    pub fn flash_crowd() -> Self {
+        SkewParams { flash: Some(FlashCrowd::standard()), ..SkewParams::zipf(0.99) }
+    }
+}
+
+/// How `(source, key)` pairs are drawn from the request index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadModel {
+    /// The paper's model: uniform source, uniform 64-bit key. The
+    /// derivation is bit-exact with the pre-skew `Workload`, so every
+    /// historical metric stays byte-identical.
+    Uniform,
+    /// Zipf keys, clustered sources, optional flash crowd.
+    Skew(SkewParams),
+}
+
+impl WorkloadModel {
+    /// Short model name for bench descriptors.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadModel::Uniform => "uniform",
+            WorkloadModel::Skew(p) if p.flash.is_some() => "flash",
+            WorkloadModel::Skew(_) => "zipf",
+        }
+    }
+}
 
 /// A deterministic stream of `(source node, lookup key)` requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
-    /// Number of overlay nodes (sources are uniform over `0..nodes`).
+    /// Number of overlay nodes (sources are drawn from `0..nodes`).
     pub nodes: u32,
     /// Number of requests.
     pub requests: usize,
     /// Stream seed.
     pub seed: u64,
+    /// Draw model (uniform unless configured otherwise).
+    pub model: WorkloadModel,
 }
 
 impl Workload {
-    /// Creates a workload description.
+    /// Creates a uniform workload description.
     ///
     /// # Panics
     /// Panics if `nodes == 0`.
     #[must_use]
     pub fn new(nodes: u32, requests: usize, seed: u64) -> Self {
         assert!(nodes > 0, "workload needs at least one node");
-        Workload { nodes, requests, seed }
+        Workload { nodes, requests, seed, model: WorkloadModel::Uniform }
     }
 
-    /// The `i`-th request: uniform source and uniform 64-bit key.
+    /// Creates a workload with an explicit draw model.
+    ///
+    /// # Panics
+    /// Panics if `nodes == 0`, or if a skewed model has an empty key
+    /// universe or zero clusters.
+    #[must_use]
+    pub fn with_model(nodes: u32, requests: usize, seed: u64, model: WorkloadModel) -> Self {
+        assert!(nodes > 0, "workload needs at least one node");
+        if let WorkloadModel::Skew(p) = &model {
+            assert!(p.key_universe > 0, "skewed workload needs a non-empty key universe");
+            assert!(p.clusters > 0, "skewed workload needs at least one cluster");
+        }
+        Workload { nodes, requests, seed, model }
+    }
+
+    /// The `i`-th request.
     #[must_use]
     pub fn request(&self, i: usize) -> (u32, Key) {
+        let (src, key, _) = self.request_detail(i);
+        (src, key)
+    }
+
+    /// The `i`-th request plus its popularity rank (1-based; `None`
+    /// for the uniform model, whose keys have no rank structure).
+    #[must_use]
+    pub fn request_detail(&self, i: usize) -> (u32, Key, Option<u32>) {
         let mut x = self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let a = splitmix64(&mut x);
         let b = splitmix64(&mut x);
-        ((a % u64::from(self.nodes)) as u32, Id(b))
+        match &self.model {
+            WorkloadModel::Uniform => {
+                ((a % u64::from(self.nodes)) as u32, Id(b), None)
+            }
+            WorkloadModel::Skew(p) => {
+                let c = splitmix64(&mut x);
+                let d = splitmix64(&mut x);
+                let mut rank = zipf_rank(to_unit(b), p.key_universe, p.exponent);
+                let mut in_crowd = false;
+                if let Some(f) = &p.flash {
+                    if f.active(i, self.requests) && to_unit(d) < f.intensity {
+                        // Pile onto a small region of top ranks; the
+                        // crowd's keys are the globally hottest ones,
+                        // which is what a breaking-news spike does.
+                        rank = 1 + (d >> 32) as u32 % f.region.max(1);
+                        in_crowd = true;
+                    }
+                }
+                let cluster = self.cluster_of_rank(rank, p.clusters);
+                let src = if in_crowd || to_unit(c) < p.cluster_bias {
+                    self.cluster_source(cluster, p.clusters, a)
+                } else {
+                    (a % u64::from(self.nodes)) as u32
+                };
+                (src, self.key_of_rank(rank), Some(rank))
+            }
+        }
+    }
+
+    /// The stable 64-bit key identified by popularity rank `rank`.
+    #[must_use]
+    pub fn key_of_rank(&self, rank: u32) -> Key {
+        Id(mix(self.seed ^ 0x6b79_5f72_616e_6b21 ^ u64::from(rank)))
+    }
+
+    /// Which cluster a key rank calls home (stable per seed).
+    fn cluster_of_rank(&self, rank: u32, clusters: u32) -> u32 {
+        (mix(self.seed ^ 0x636c_7573_7465_7221 ^ u64::from(rank)) % u64::from(clusters)) as u32
+    }
+
+    /// A source drawn from cluster `cluster`'s contiguous index slice.
+    fn cluster_source(&self, cluster: u32, clusters: u32, entropy: u64) -> u32 {
+        let clusters = clusters.min(self.nodes);
+        let cluster = cluster % clusters;
+        let lo = (u64::from(self.nodes) * u64::from(cluster) / u64::from(clusters)) as u32;
+        let hi = (u64::from(self.nodes) * u64::from(cluster + 1) / u64::from(clusters)) as u32;
+        let span = (hi - lo).max(1);
+        lo + (entropy % u64::from(span)) as u32
     }
 
     /// Iterates all requests.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Key)> + '_ {
         (0..self.requests).map(|i| self.request(i))
     }
+
+    /// Self-describing descriptor for bench JSON rows.
+    #[must_use]
+    pub fn spec(&self) -> WorkloadSpec {
+        WorkloadSpec { model: self.model, seed: self.seed }
+    }
+}
+
+/// Bench-row descriptor: which model generated a row's traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Draw model.
+    pub model: WorkloadModel,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Descriptor for the legacy uniform stream at `seed`.
+    #[must_use]
+    pub fn uniform(seed: u64) -> Self {
+        WorkloadSpec { model: WorkloadModel::Uniform, seed }
+    }
+}
+
+impl ToJson for WorkloadSpec {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("model", self.model.name().to_json()),
+            ("seed", self.seed.to_json()),
+        ];
+        if let WorkloadModel::Skew(p) = &self.model {
+            fields.push(("zipf_exponent", p.exponent.to_json()));
+            fields.push(("key_universe", p.key_universe.to_json()));
+            fields.push(("clusters", p.clusters.to_json()));
+            fields.push(("cluster_bias", p.cluster_bias.to_json()));
+            if let Some(f) = &p.flash {
+                fields.push(("flash", f.to_json()));
+            }
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Inverse-CDF Zipf rank in `1..=universe` via the bounded-Pareto
+/// continuous approximation — O(1), table-free, and a pure function of
+/// the unit draw `u`, so it keeps the stream index-addressable.
+fn zipf_rank(u: f64, universe: u32, exponent: f64) -> u32 {
+    let n = f64::from(universe);
+    let u = u.clamp(0.0, 1.0 - 1e-12);
+    let r = if (exponent - 1.0).abs() < 1e-9 {
+        // s → 1 limit: CDF ∝ ln(rank), so rank = N^u.
+        n.powf(u)
+    } else {
+        let one_minus_s = 1.0 - exponent;
+        (u * (n.powf(one_minus_s) - 1.0) + 1.0).powf(1.0 / one_minus_s)
+    };
+    (r.floor() as u32).clamp(1, universe)
+}
+
+/// Maps a 64-bit draw onto `[0, 1)`.
+fn to_unit(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stateless 64-bit finalizer (same mix as the SplitMix64 step).
+fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// SplitMix64 step — tiny, seedable, and stateless per request.
@@ -96,5 +359,127 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = Workload::new(0, 10, 0);
+    }
+
+    /// The uniform derivation through the model enum must remain
+    /// bit-exact with the historical two-draw stream: every bench
+    /// metric recorded before skewed models existed depends on it.
+    #[test]
+    fn uniform_model_matches_legacy_derivation() {
+        let w = Workload::new(128, 512, 0xdead_beef);
+        for i in 0..512 {
+            let mut x = 0xdead_beefu64 ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let a = splitmix64(&mut x);
+            let b = splitmix64(&mut x);
+            assert_eq!(w.request(i), ((a % 128) as u32, Id(b)));
+        }
+    }
+
+    #[test]
+    fn zipf_stream_is_deterministic_and_skewed() {
+        let w = Workload::with_model(200, 8000, 7, WorkloadModel::Skew(SkewParams::zipf(0.99)));
+        let again = Workload::with_model(200, 8000, 7, WorkloadModel::Skew(SkewParams::zipf(0.99)));
+        let hot_key = w.key_of_rank(1);
+        let mut hot = 0usize;
+        let mut hot_subset = 0usize;
+        for i in 0..8000 {
+            let (src, key, rank) = w.request_detail(i);
+            assert_eq!(again.request_detail(i), (src, key, rank));
+            assert!(src < 200);
+            let rank = rank.expect("skewed draws carry a rank");
+            assert!(rank >= 1);
+            if key == hot_key {
+                assert_eq!(rank, 1);
+                hot += 1;
+            }
+            if rank <= HOT_RANK_MAX {
+                hot_subset += 1;
+            }
+        }
+        // Zipf(0.99) over 64k keys: rank 1 alone carries ~8% of
+        // draws, the top-16 subset roughly a quarter. Wide bounds —
+        // this asserts skew exists, not an exact distribution.
+        assert!(hot > 8000 / 25, "rank-1 key drew only {hot} of 8000");
+        assert!(hot_subset > 8000 / 8, "hot subset drew only {hot_subset} of 8000");
+        assert!(hot_subset < 8000, "degenerate: everything hot");
+    }
+
+    #[test]
+    fn zipf_exponent_orders_head_mass() {
+        let mass = |s: f64| {
+            let w = Workload::with_model(64, 6000, 3, WorkloadModel::Skew(SkewParams::zipf(s)));
+            (0..6000)
+                .filter(|&i| w.request_detail(i).2.expect("rank") <= HOT_RANK_MAX)
+                .count()
+        };
+        let (lo, mid, hi) = (mass(0.8), mass(0.99), mass(1.2));
+        assert!(lo < mid && mid < hi, "head mass not monotone in s: {lo} {mid} {hi}");
+    }
+
+    #[test]
+    fn flash_crowd_spikes_inside_its_window_only() {
+        let w = Workload::with_model(
+            100,
+            10_000,
+            21,
+            WorkloadModel::Skew(SkewParams::flash_crowd()),
+        );
+        let region = 4u32;
+        let in_window = |i: usize| (0.4..0.6).contains(&(i as f64 / 10_000.0));
+        let mut crowd_inside = 0usize;
+        let mut crowd_outside = 0usize;
+        for i in 0..10_000 {
+            let (_, _, rank) = w.request_detail(i);
+            if rank.expect("rank") <= region {
+                if in_window(i) {
+                    crowd_inside += 1;
+                } else {
+                    crowd_outside += 1;
+                }
+            }
+        }
+        // The window holds 2000 requests at 80% redirect intensity on
+        // top of the Zipf base rate; outside it only the base rate
+        // (~12% of draws land in the top 4 ranks at s=0.99) remains.
+        assert!(crowd_inside > 1600, "flash window under-spiked: {crowd_inside}");
+        assert!(
+            crowd_outside < 8000 / 4,
+            "flash leaked outside its window: {crowd_outside}"
+        );
+    }
+
+    #[test]
+    fn clustered_sources_concentrate_per_key() {
+        let p = SkewParams { cluster_bias: 1.0, ..SkewParams::zipf(0.99) };
+        let w = Workload::with_model(800, 4000, 9, WorkloadModel::Skew(p));
+        // With bias 1.0 every draw of a given rank must come from one
+        // contiguous slice of 100 peer indices (800 peers, 8 clusters).
+        let mut slice_of_rank: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for i in 0..4000 {
+            let (src, _, rank) = w.request_detail(i);
+            let slice = src / 100;
+            let prev = slice_of_rank.entry(rank.expect("rank")).or_insert(slice);
+            assert_eq!(*prev, slice, "rank {:?} drew from two clusters", rank);
+        }
+        assert!(slice_of_rank.len() > 8, "too few distinct ranks to trust the test");
+    }
+
+    #[test]
+    fn workload_spec_describes_the_model() {
+        let u = Workload::new(10, 10, 5).spec().to_json().dump();
+        assert!(u.contains("\"model\":\"uniform\""), "{u}");
+        let z = Workload::with_model(10, 10, 5, WorkloadModel::Skew(SkewParams::zipf(1.2)))
+            .spec()
+            .to_json()
+            .dump();
+        assert!(z.contains("\"model\":\"zipf\""), "{z}");
+        assert!(z.contains("\"zipf_exponent\""), "{z}");
+        let f =
+            Workload::with_model(10, 10, 5, WorkloadModel::Skew(SkewParams::flash_crowd()))
+                .spec()
+                .to_json()
+                .dump();
+        assert!(f.contains("\"model\":\"flash\""), "{f}");
+        assert!(f.contains("\"intensity\""), "{f}");
     }
 }

@@ -26,6 +26,13 @@ pub struct Topology {
     /// Routers on which overlay peers may attach (stub routers for the
     /// Transit-Stub model, every router for flat models).
     pub attach_candidates: Vec<u32>,
+    /// Correlated-failure domain of each router. In the Transit-Stub
+    /// model, transit routers carry their transit-domain index and stub
+    /// routers their stub-domain index offset past the transit domains
+    /// — a power cut or uplink loss takes a whole domain at once. Flat
+    /// models (Inet / BRITE) have no domain structure: every router is
+    /// its own singleton domain.
+    pub domain: Vec<u32>,
     /// Human-readable model name ("transit-stub", "inet", "brite").
     pub model: &'static str,
 }
@@ -35,6 +42,12 @@ impl Topology {
     #[must_use]
     pub fn router_count(&self) -> usize {
         self.graph.node_count()
+    }
+
+    /// Correlated-failure domain of a router ([`Topology::domain`]).
+    #[must_use]
+    pub fn domain_of(&self, router: u32) -> u32 {
+        self.domain[router as usize]
     }
 
     /// Chooses attachment routers for `n` overlay peers.

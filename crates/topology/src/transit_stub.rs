@@ -224,6 +224,12 @@ impl TransitStubConfig {
                 a
             },
         );
+        // Failure domains: transit domain d is domain d; stub domain s
+        // is domain transit_domains + s.
+        let mut domain = vec![0u32; total];
+        for (i, d) in domain.iter_mut().enumerate().take(transit_total) {
+            *d = (i / self.transit_nodes_per_domain) as u32;
+        }
         let mut attach_candidates = Vec::with_capacity(self.stub_router_count());
         for (s, (gw, edges)) in domains.into_iter().enumerate() {
             for (u, v) in edges {
@@ -233,10 +239,14 @@ impl TransitStubConfig {
             graph.add_edge(t, gw, self.transit_stub_ms);
             let base = (transit_total + s * per_dom) as u32;
             attach_candidates.extend(base..base + per_dom as u32);
+            let dom = (self.transit_domains + s) as u32;
+            for d in &mut domain[base as usize..base as usize + per_dom] {
+                *d = dom;
+            }
         }
         debug_assert_eq!(attach_candidates.len() + transit_total, total);
 
-        Topology { graph, kind, attach_candidates, model: "transit-stub" }
+        Topology { graph, kind, attach_candidates, domain, model: "transit-stub" }
     }
 }
 
@@ -388,6 +398,22 @@ mod tests {
         let b = t.attach_candidates[per_dom - 1];
         let local = t.graph.shortest_delay(a, b);
         assert!(local < 40, "intra-domain delay {local} should be < transit round trip");
+    }
+
+    #[test]
+    fn failure_domains_partition_the_routers() {
+        let cfg = TransitStubConfig::for_peers(300, 7);
+        let t = cfg.generate();
+        let transit_total = cfg.transit_domains * cfg.transit_nodes_per_domain;
+        for (i, &d) in t.domain.iter().enumerate() {
+            if i < transit_total {
+                assert_eq!(d as usize, i / cfg.transit_nodes_per_domain);
+            } else {
+                let s = (i - transit_total) / cfg.stub_nodes_per_domain;
+                assert_eq!(d as usize, cfg.transit_domains + s, "router {i}");
+            }
+        }
+        assert_eq!(t.domain_of(0), 0);
     }
 
     #[test]

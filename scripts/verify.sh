@@ -60,8 +60,21 @@ if ! grep -q '"traceEvents"' target/replay_trace.chrome.json; then
 fi
 echo "trace2chrome: replay trace converts to Chrome trace-event JSON"
 
-echo "==> bench smoke: churn, 120 nodes, 3 departure mixes"
+echo "==> bench smoke: churn, 120 nodes, 4 departure scenarios"
 ./target/release/churn --smoke
+# The correlated-failure scenario must actually cut a domain: its row
+# rides next to the independent-death mixes precisely so the two are
+# comparable, and a domain row that killed nobody measured nothing.
+if ! grep -q '"scenario": "domain"' BENCH_churn.json; then
+    echo "no domain-failure scenario in BENCH_churn.json" >&2
+    exit 1
+fi
+domain_killed=$(awk -F': ' '/"domain_killed"/ { v = $2; sub(/,.*/, "", v); if (v + 0 > m) m = v + 0 } END { print m + 0 }' BENCH_churn.json)
+if [ "$domain_killed" -lt 2 ]; then
+    echo "domain-failure scenario killed $domain_killed nodes (need >= 2)" >&2
+    exit 1
+fi
+echo "domain-failure scenario killed $domain_killed co-located nodes at one instant"
 
 echo "==> bench smoke: scale, 500 peers, 2000 requests + regression gates"
 ./target/release/bench_scale --smoke
@@ -207,6 +220,54 @@ awk -v r="$ratio" -v b="$ratio_budget" 'BEGIN {
         exit 1
     }
     printf "incremental publish p50 at %.2fx of a full rebuild (budget %.2fx)\n", r, b
+}'
+
+echo "==> lookup cache: identity, hit-rate and hot-key latency gates"
+# The skew sweep replays every workload through the serving path with
+# the hot-key cache off and on. Cache-off must be a no-op (the uniform
+# uncached run byte-identical to the quiesced baseline), and the
+# cached runs must have re-verified every hit against the
+# authoritative route — both recorded by the binary, kept honest here.
+if ! grep -q '"cache_off_identity": true' BENCH_live.json; then
+    echo "cache-off run was not byte-identical to the quiesced baseline" >&2
+    exit 1
+fi
+if ! grep -q '"cache_verified": true' BENCH_live.json; then
+    echo "cached sweep did not run in verify mode" >&2
+    exit 1
+fi
+echo "cache off is a no-op; every cached hit re-verified against the route"
+# Hit-rate floor: under the Zipf(0.99) smoke workload the
+# frequency-sketch admission must capture at least the checked-in
+# fraction of lookups (scripts/cache_hit_floor).
+hit_floor=$(cat scripts/cache_hit_floor)
+hit_rate=$(awk -F': ' '/"zipf_smoke_hit_rate"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_live.json)
+if [ -z "$hit_rate" ]; then
+    echo "no zipf_smoke_hit_rate in BENCH_live.json" >&2
+    exit 1
+fi
+awk -v h="$hit_rate" -v f="$hit_floor" 'BEGIN {
+    if (h + 0 < f + 0) {
+        printf "cache hit rate %.3f under the Zipf(0.99) smoke floor %.3f\n", h, f
+        exit 1
+    }
+    printf "cache hit rate %.3f over the Zipf(0.99) floor %.3f\n", h, f
+}'
+# Hot-key latency gate: the cached hot-key p50 must come in at or
+# under the checked-in fraction of the uncached hot-key p50
+# (scripts/cached_latency_ratio — 0.5 means "at least 2x faster").
+cache_ratio_budget=$(cat scripts/cached_latency_ratio)
+cache_ratio=$(awk -F': ' '/"cached_hot_p50_ratio"/ { v = $2; sub(/,.*/, "", v); print v; exit }' BENCH_live.json)
+if [ -z "$cache_ratio" ]; then
+    echo "no cached_hot_p50_ratio in BENCH_live.json" >&2
+    exit 1
+fi
+awk -v r="$cache_ratio" -v b="$cache_ratio_budget" 'BEGIN {
+    if (r + 0 > b + 0) {
+        printf "cached hot-key p50 at %.2fx of uncached (budget %.2fx)\n", r, b
+        exit 1
+    }
+    printf "cached hot-key p50 at %.2fx of uncached (budget %.2fx)\n", r, b
 }'
 
 echo "==> telemetry: windowed time-series gates"
